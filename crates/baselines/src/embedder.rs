@@ -1,0 +1,153 @@
+//! Generic query embedding over a pluggable geometry.
+//!
+//! Each baseline differs only in its per-operator geometry (cones, boxes,
+//! plain vectors); the recursion over the computation tree, batching, loss
+//! and scoring are identical. [`GeomOps`] captures the geometry;
+//! [`embed_batch`] and [`forward_loss`] supply everything else, so a
+//! baseline is exactly its operator definitions — the same factoring the
+//! comparison needs (Fig. 6b times operators, not harness differences).
+
+use halk_core::loss::margin_loss;
+use halk_core::TrainExample;
+use halk_logic::Query;
+use halk_nn::{Tape, Var};
+
+/// A query-region geometry: how to embed anchors, apply operators, and
+/// measure distances, all on the tape.
+pub trait GeomOps {
+    /// The tape-level region representation (a small bundle of `Var`s).
+    type Rep: Copy;
+
+    /// Embeds a batch of anchor entities.
+    fn anchor(&self, tape: &mut Tape, ids: &[u32]) -> Self::Rep;
+
+    /// Projection by a batch of relations.
+    fn projection(&self, tape: &mut Tape, input: Self::Rep, rels: &[u32]) -> Self::Rep;
+
+    /// Intersection of `k ≥ 2` regions.
+    fn intersection(&self, tape: &mut Tape, inputs: &[Self::Rep]) -> Self::Rep;
+
+    /// Difference (first minus rest); `None` if the geometry cannot express
+    /// it (ConE, MLPMix — §IV-A).
+    fn difference(&self, tape: &mut Tape, inputs: &[Self::Rep]) -> Option<Self::Rep>;
+
+    /// Complement; `None` if the geometry cannot express it (NewLook).
+    fn negation(&self, tape: &mut Tape, input: Self::Rep) -> Option<Self::Rep>;
+
+    /// Distance (`B×1`, lower = closer) from a batch of entity ids to the
+    /// region batch.
+    fn distance(&self, tape: &mut Tape, rep: Self::Rep, entity_ids: &[u32]) -> Var;
+}
+
+/// Embeds a batch of same-structure, union-free queries.
+///
+/// Returns `None` when the geometry lacks an operator the query uses.
+///
+/// # Panics
+/// On heterogeneous batches or un-rewritten unions (run DNF first).
+pub fn embed_batch<G: GeomOps>(geom: &G, tape: &mut Tape, queries: &[&Query]) -> Option<G::Rep> {
+    assert!(!queries.is_empty(), "empty batch");
+    match queries[0] {
+        Query::Anchor(_) => {
+            let ids: Vec<u32> = queries
+                .iter()
+                .map(|q| match q {
+                    Query::Anchor(e) => e.0,
+                    other => panic!("heterogeneous batch: {}", other.render()),
+                })
+                .collect();
+            Some(geom.anchor(tape, &ids))
+        }
+        Query::Projection { .. } => {
+            let mut rels = Vec::with_capacity(queries.len());
+            let mut inputs = Vec::with_capacity(queries.len());
+            for q in queries {
+                match q {
+                    Query::Projection { rel, input } => {
+                        rels.push(rel.0);
+                        inputs.push(&**input);
+                    }
+                    other => panic!("heterogeneous batch: {}", other.render()),
+                }
+            }
+            let rep = embed_batch(geom, tape, &inputs)?;
+            Some(geom.projection(tape, rep, &rels))
+        }
+        Query::Intersection(bs0) => {
+            let reps = embed_branches(geom, tape, queries, bs0.len(), |q| match q {
+                Query::Intersection(bs) => bs,
+                other => panic!("heterogeneous batch: {}", other.render()),
+            })?;
+            Some(geom.intersection(tape, &reps))
+        }
+        Query::Difference(bs0) => {
+            let reps = embed_branches(geom, tape, queries, bs0.len(), |q| match q {
+                Query::Difference(bs) => bs,
+                other => panic!("heterogeneous batch: {}", other.render()),
+            })?;
+            geom.difference(tape, &reps)
+        }
+        Query::Negation(_) => {
+            let inners: Vec<&Query> = queries
+                .iter()
+                .map(|q| match q {
+                    Query::Negation(inner) => &**inner,
+                    other => panic!("heterogeneous batch: {}", other.render()),
+                })
+                .collect();
+            let rep = embed_batch(geom, tape, &inners)?;
+            geom.negation(tape, rep)
+        }
+        Query::Union(_) => panic!("unions must be removed by DNF before embedding"),
+    }
+}
+
+fn embed_branches<'q, G: GeomOps>(
+    geom: &G,
+    tape: &mut Tape,
+    queries: &[&'q Query],
+    k: usize,
+    get: impl Fn(&'q Query) -> &'q [Query],
+) -> Option<Vec<G::Rep>> {
+    (0..k)
+        .map(|j| {
+            let branch: Vec<&Query> = queries
+                .iter()
+                .map(|q| {
+                    let bs = get(q);
+                    assert_eq!(bs.len(), k, "heterogeneous branch arity");
+                    &bs[j]
+                })
+                .collect();
+            embed_batch(geom, tape, &branch)
+        })
+        .collect()
+}
+
+/// The forward pass shared by all baselines: embed the batch and build the
+/// margin loss (Eq. 17 without HaLk's group term). Returns the tape and the
+/// loss node; the caller runs `backward` and its optimizer (the only part
+/// that needs `&mut` access to the parameter store).
+pub fn forward_loss<G: GeomOps>(geom: &G, batch: &[TrainExample], gamma: f32) -> (Tape, Var) {
+    assert!(!batch.is_empty());
+    let mut tape = Tape::new();
+    let queries: Vec<&Query> = batch.iter().map(|ex| &ex.query).collect();
+    let rep = embed_batch(geom, &mut tape, &queries)
+        .expect("train_batch called with an unsupported structure");
+    let pos_ids: Vec<u32> = batch.iter().map(|ex| ex.positive.0).collect();
+    let d_pos = geom.distance(&mut tape, rep, &pos_ids);
+    let m = batch
+        .iter()
+        .map(|ex| ex.negatives.len())
+        .min()
+        .expect("nonempty batch");
+    assert!(m > 0, "training requires negatives");
+    let d_negs: Vec<Var> = (0..m)
+        .map(|j| {
+            let ids: Vec<u32> = batch.iter().map(|ex| ex.negatives[j].0).collect();
+            geom.distance(&mut tape, rep, &ids)
+        })
+        .collect();
+    let loss = margin_loss(&mut tape, d_pos, None, &d_negs, None, gamma);
+    (tape, loss)
+}

@@ -1,0 +1,170 @@
+//! Re-implementations of the three baselines the HaLk paper compares
+//! against (§IV-A): **ConE** (cones, linear negation, no difference),
+//! **NewLook** (boxes, lossy difference, no negation), and **MLPMix**
+//! (non-geometric MLPs, no difference).
+//!
+//! All three are built on the same `halk-nn` substrate, trained by the same
+//! `halk-core::train` harness with the same budget, and scored by the same
+//! evaluation protocol, so Tables I–IV and Figures 6b–6c compare operator
+//! designs rather than engineering differences. The shared recursion lives
+//! in [`embedder`]; each baseline is exactly its geometry.
+
+pub mod cone;
+pub mod embedder;
+pub mod mlpmix;
+pub mod newlook;
+
+pub use cone::ConeModel;
+pub use mlpmix::MlpMixModel;
+pub use newlook::NewLookModel;
+
+// Bounded-range clamp shared with HaLk's operators.
+pub(crate) use halk_core::arcvar::clamp;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halk_core::{HalkConfig, QueryModel};
+    use halk_kg::{generate, Graph, SynthConfig};
+    use halk_logic::{answers, Query, Sampler, Structure};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph() -> Graph {
+        generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(77))
+    }
+
+    fn models(g: &Graph) -> Vec<Box<dyn QueryModel>> {
+        let cfg = HalkConfig::tiny();
+        vec![
+            Box::new(ConeModel::new(g, cfg.clone())),
+            Box::new(NewLookModel::new(g, cfg.clone())),
+            Box::new(MlpMixModel::new(g, cfg)),
+        ]
+    }
+
+    fn batch(
+        g: &Graph,
+        s: Structure,
+        n: usize,
+        seed: u64,
+    ) -> Vec<halk_core::TrainExample> {
+        let sampler = Sampler::new(g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        sampler
+            .sample_many(s, n, &mut rng)
+            .into_iter()
+            .map(|gq| {
+                let ans = answers(&gq.query, g);
+                let positive = ans.iter().next().expect("non-empty");
+                let negatives = sampler.negatives(&ans, 4, &mut rng);
+                halk_core::TrainExample {
+                    positive,
+                    negatives,
+                    query: gq.query,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn support_matrix_matches_table_dashes() {
+        let g = graph();
+        let cone = ConeModel::new(&g, HalkConfig::tiny());
+        let newlook = NewLookModel::new(&g, HalkConfig::tiny());
+        let mlp = MlpMixModel::new(&g, HalkConfig::tiny());
+        // ConE and MLPMix: no difference columns (2d/3d/dp are "-").
+        assert!(!cone.supports(Structure::D2) && !mlp.supports(Structure::Dp));
+        assert!(cone.supports(Structure::In2) && mlp.supports(Structure::Pni));
+        // NewLook: no negation columns.
+        assert!(!newlook.supports(Structure::In2) && !newlook.supports(Structure::Pin));
+        assert!(newlook.supports(Structure::D3));
+    }
+
+    #[test]
+    fn all_baselines_train_on_supported_structures() {
+        let g = graph();
+        for mut m in models(&g) {
+            for s in Structure::training() {
+                if !m.supports(s) {
+                    continue;
+                }
+                let b = batch(&g, s, 4, 5);
+                let loss = m.train_batch(&b);
+                assert!(loss.is_finite() && loss > 0.0, "{} on {s}: {loss}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn all_baselines_score_all_entities() {
+        let g = graph();
+        let t = g.triples()[0];
+        let q = Query::atom(t.h, t.r);
+        for m in models(&g) {
+            let scores = m.score_all(&q);
+            assert_eq!(scores.len(), g.n_entities());
+            assert!(
+                scores.iter().all(|s| s.is_finite() && *s >= 0.0),
+                "{}: bad scores",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn unsupported_queries_score_infinite() {
+        let g = graph();
+        let t = g.triples()[0];
+        let diff = Query::Difference(vec![
+            Query::atom(t.h, t.r),
+            Query::atom(t.t, t.r),
+        ]);
+        let cone = ConeModel::new(&g, HalkConfig::tiny());
+        assert!(cone.score_all(&diff).iter().all(|s| s.is_infinite()));
+        let neg = Query::atom(t.h, t.r).negate();
+        let newlook = NewLookModel::new(&g, HalkConfig::tiny());
+        assert!(newlook.score_all(&neg).iter().all(|s| s.is_infinite()));
+    }
+
+    #[test]
+    fn baselines_loss_decreases_on_fixed_batch() {
+        let g = graph();
+        for mut m in models(&g) {
+            let b = batch(&g, Structure::P1, 8, 6);
+            let first = m.train_batch(&b);
+            let mut last = first;
+            for _ in 0..25 {
+                last = m.train_batch(&b);
+            }
+            assert!(last < first, "{}: {first} -> {last}", m.name());
+        }
+    }
+
+    #[test]
+    fn cone_negation_is_involution_on_point() {
+        // ConE's linear negation applied twice returns the original region.
+        let g = graph();
+        let cone = ConeModel::new(&g, HalkConfig::tiny());
+        let t = g.triples()[0];
+        let q = Query::atom(t.h, t.r);
+        let qnn = q.clone().negate().negate();
+        let s1 = cone.score_all(&q);
+        let s2 = cone.score_all(&qnn);
+        for (a, b) in s1.iter().zip(&s2) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn union_handled_by_dnf_in_all_baselines() {
+        let g = graph();
+        let t0 = g.triples()[0];
+        let t1 = g.triples()[1];
+        let q = Query::Union(vec![Query::atom(t0.h, t0.r), Query::atom(t1.h, t1.r)]);
+        for m in models(&g) {
+            let scores = m.score_all(&q);
+            assert!(scores.iter().all(|s| s.is_finite()), "{}", m.name());
+        }
+    }
+}

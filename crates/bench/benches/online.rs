@@ -1,0 +1,48 @@
+//! Criterion benchmark: online answering latency — embedding executor vs
+//! exact engine vs subgraph matcher, by query size (the latency side of
+//! Fig. 6c and Table VI).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use halk_core::{HalkConfig, HalkModel};
+use halk_kg::{generate, SynthConfig};
+use halk_logic::{answers, Sampler, Structure};
+use halk_matching::Matcher;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_engines_by_query_size(c: &mut Criterion) {
+    let g = generate(&SynthConfig::nell_like(), &mut StdRng::seed_from_u64(1));
+    let model = HalkModel::new(&g, HalkConfig::default());
+    let sampler = Sampler::new(&g);
+    let mut rng = StdRng::seed_from_u64(2);
+
+    let mut group = c.benchmark_group("online_by_size");
+    for (size, s) in Structure::scalability_ladder() {
+        let gq = sampler.sample(s, &mut rng).expect("groundable");
+
+        group.bench_with_input(
+            BenchmarkId::new("halk", format!("qs{size}_{}", s.name())),
+            &gq,
+            |b, gq| b.iter(|| model.score_all(&gq.query)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact", format!("qs{size}_{}", s.name())),
+            &gq,
+            |b, gq| b.iter(|| answers(&gq.query, &g)),
+        );
+        let matcher = Matcher::new(&g);
+        group.bench_with_input(
+            BenchmarkId::new("gfinder", format!("qs{size}_{}", s.name())),
+            &gq,
+            |b, gq| b.iter(|| matcher.answer(&gq.query)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engines_by_query_size
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks: forward+backward latency of each HaLk
+//! operator (the per-operator costs behind the complexity analysis of
+//! §III-H and the offline-time comparison of Fig. 6b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use halk_core::{HalkConfig, HalkModel, QueryModel, TrainExample};
+use halk_kg::{generate, Graph, SynthConfig};
+use halk_logic::{answers, Sampler, Structure};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (Graph, HalkModel) {
+    let g = generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(1));
+    let model = HalkModel::new(&g, HalkConfig::default());
+    (g, model)
+}
+
+fn batch_for(g: &Graph, s: Structure, n: usize) -> Vec<TrainExample> {
+    let sampler = Sampler::new(g);
+    let mut rng = StdRng::seed_from_u64(2);
+    sampler
+        .sample_many(s, n, &mut rng)
+        .into_iter()
+        .map(|gq| {
+            let ans = answers(&gq.query, g);
+            let positive = ans.iter().next().expect("non-empty");
+            let negatives = sampler.negatives(&ans, 16, &mut rng);
+            TrainExample {
+                positive,
+                negatives,
+                query: gq.query,
+            }
+        })
+        .collect()
+}
+
+/// One optimizer step (embed + loss + backward + Adam) per operator family.
+fn bench_operator_steps(c: &mut Criterion) {
+    let (g, _) = setup();
+    let mut group = c.benchmark_group("train_step");
+    for s in [
+        Structure::P1,  // projection
+        Structure::P3,  // 3-hop projection chain
+        Structure::I3,  // intersection
+        Structure::D3,  // difference
+        Structure::In2, // negation
+    ] {
+        let batch = batch_for(&g, s, 32);
+        if batch.is_empty() {
+            continue;
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(s.name()), &batch, |b, batch| {
+            // Fresh model: realistic (untrained) parameter state.
+            let mut model = HalkModel::new(&g, HalkConfig::default());
+            b.iter(|| model.train_batch(batch));
+        });
+    }
+    group.finish();
+}
+
+/// Online scoring latency per structure (the quantity of Fig. 6c/Table VI).
+fn bench_score_all(c: &mut Criterion) {
+    let (g, model) = setup();
+    let sampler = Sampler::new(&g);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut group = c.benchmark_group("score_all");
+    for s in [Structure::P1, Structure::Pi, Structure::P3ip, Structure::Up] {
+        let gq = sampler.sample(s, &mut rng).expect("groundable");
+        group.bench_with_input(BenchmarkId::from_parameter(s.name()), &gq, |b, gq| {
+            b.iter(|| model.score_all(&gq.query));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_operator_steps, bench_score_all
+}
+criterion_main!(benches);

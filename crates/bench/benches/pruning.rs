@@ -1,0 +1,52 @@
+//! Criterion benchmark: the matcher with and without HaLk candidate pruning
+//! (the latency half of Fig. 6a, isolated from accuracy measurement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use halk_core::prune::{candidate_set, induced_graph};
+use halk_core::{HalkConfig, HalkModel};
+use halk_kg::{generate, SynthConfig};
+use halk_logic::{Sampler, Structure};
+use halk_matching::Matcher;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_pruned_vs_unpruned(c: &mut Criterion) {
+    let g = generate(&SynthConfig::nell_like(), &mut StdRng::seed_from_u64(1));
+    let model = HalkModel::new(&g, HalkConfig::default());
+    let sampler = Sampler::new(&g);
+    let mut rng = StdRng::seed_from_u64(2);
+
+    let mut group = c.benchmark_group("pruning");
+    for s in [Structure::Ipp2, Structure::Ipp3] {
+        let gq = sampler.sample(s, &mut rng).expect("groundable");
+
+        group.bench_with_input(BenchmarkId::new("unpruned", s.name()), &gq, |b, gq| {
+            let matcher = Matcher::new(&g);
+            b.iter(|| matcher.answer(&gq.query));
+        });
+        group.bench_with_input(BenchmarkId::new("pruned", s.name()), &gq, |b, gq| {
+            // Full pruned pipeline: candidate scoring + induced graph +
+            // matching — the honest "after" cost of §IV-D.
+            b.iter(|| {
+                let cands = candidate_set(&model, &gq.query, 20);
+                let small = induced_graph(&g, &cands);
+                Matcher::new(&small).answer(&gq.query)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("match_only_pruned", s.name()), &gq, |b, gq| {
+            // Matching cost alone once the induced graph exists.
+            let cands = candidate_set(&model, &gq.query, 20);
+            let small = induced_graph(&g, &cands);
+            let matcher = Matcher::new(&small);
+            b.iter(|| matcher.answer(&gq.query));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pruned_vs_unpruned
+}
+criterion_main!(benches);

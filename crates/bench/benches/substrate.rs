@@ -1,0 +1,76 @@
+//! Criterion benchmark: substrate throughput — KG store lookups, exact
+//! answer evaluation, query sampling, and autodiff tape steps. These bound
+//! everything the experiments measure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use halk_kg::{generate, EntityId, RelationId, SynthConfig};
+use halk_logic::{answers, Sampler, Structure};
+use halk_nn::{Act, Mlp, ParamStore, Tape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_graph_lookups(c: &mut Criterion) {
+    let g = generate(&SynthConfig::fb15k_like(), &mut StdRng::seed_from_u64(1));
+    let mut rng = StdRng::seed_from_u64(2);
+    let probes: Vec<(EntityId, RelationId)> = (0..1024)
+        .map(|_| {
+            (
+                EntityId(rng.gen_range(0..g.n_entities() as u32)),
+                RelationId(rng.gen_range(0..g.n_relations() as u32)),
+            )
+        })
+        .collect();
+    c.bench_function("graph_neighbors_1k", |b| {
+        b.iter(|| {
+            probes
+                .iter()
+                .map(|&(e, r)| g.neighbors(e, r).len())
+                .sum::<usize>()
+        })
+    });
+}
+
+fn bench_exact_answers(c: &mut Criterion) {
+    let g = generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(3));
+    let sampler = Sampler::new(&g);
+    let mut rng = StdRng::seed_from_u64(4);
+    let q = sampler
+        .sample(Structure::P3ip, &mut rng)
+        .expect("groundable")
+        .query;
+    c.bench_function("exact_answers_p3ip", |b| b.iter(|| answers(&q, &g)));
+}
+
+fn bench_sampler(c: &mut Criterion) {
+    let g = generate(&SynthConfig::nell_like(), &mut StdRng::seed_from_u64(5));
+    c.bench_function("sample_pi_query", |b| {
+        let sampler = Sampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(6);
+        b.iter(|| sampler.sample(Structure::Pi, &mut rng))
+    });
+}
+
+fn bench_tape_mlp_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut store = ParamStore::new();
+    let mlp = Mlp::new(&mut store, 64, 64, 32, 1, Act::Relu, &mut rng);
+    let x = Tensor::full(64, 64, 0.1);
+    c.bench_function("tape_mlp_fwd_bwd_64x64", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let xv = tape.input(x.clone());
+            let y = mlp.forward(&mut tape, &store, xv);
+            let sq = tape.mul(y, y);
+            let loss = tape.mean_all(sq);
+            store.zero_grads();
+            tape.backward(loss, &mut store);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_graph_lookups, bench_exact_answers, bench_sampler, bench_tape_mlp_step
+}
+criterion_main!(benches);

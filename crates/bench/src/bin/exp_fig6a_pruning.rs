@@ -1,0 +1,104 @@
+//! Figure 6a: GFinder accuracy and online query time before/after HaLk
+//! pruning, on the 6 large query structures (2ipp 2ippu 2ippd 3ipp 3ippu
+//! 3ippd) over the NELL stand-in.
+//!
+//! Protocol (§IV-D): HaLk produces top-20 candidates for every variable
+//! node of each query; the union induces a data graph; GFinder runs on the
+//! induced graph. Accuracy is recall@|truth| against the exact answers of
+//! the *test* graph while the matcher sees the (incomplete) training graph.
+//!
+//! Run with `cargo run --release -p halk-bench --bin exp_fig6a_pruning`.
+
+use halk_bench::{save_json, Scale, Table};
+use halk_core::prune::{candidate_set, induced_graph};
+use halk_core::{train_model, HalkModel};
+use halk_kg::Dataset;
+use halk_logic::{answers, Sampler, Structure};
+use halk_matching::{answer_accuracy, Matcher};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let queries_per_structure = scale.eval_queries.min(20);
+    eprintln!(
+        "Fig. 6a (pruning, NELL) at scale '{}' ({} queries/structure)",
+        scale.name(),
+        queries_per_structure
+    );
+    let nell = Dataset::standard_suite(&mut StdRng::seed_from_u64(scale.seed))
+        .into_iter()
+        .find(|d| d.name == "NELL")
+        .expect("NELL in the standard suite");
+
+    let mut halk = HalkModel::new(&nell.split.train, scale.model_config());
+    let stats = train_model(
+        &mut halk,
+        &nell.split.train,
+        &Structure::training(),
+        &scale.train_config(),
+    );
+    eprintln!("  trained HaLk in {:.1?}", stats.wall);
+
+    let mut acc_table = Table::new(
+        "Fig. 6a — GFinder accuracy (%) before/after HaLk pruning",
+        &["before", "after"],
+    )
+    .percentages();
+    let mut time_table = Table::new(
+        "Fig. 6a — GFinder query time (ms) before/after HaLk pruning",
+        &["before", "after"],
+    )
+    .precision(2);
+
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x6A);
+    let sampler = Sampler::new(&nell.split.test);
+    let mut json_rows = Vec::new();
+    for s in Structure::pruning6() {
+        let (mut acc_b, mut acc_a) = (0.0, 0.0);
+        let (mut ms_b, mut ms_a) = (0.0f64, 0.0f64);
+        let mut n = 0usize;
+        for gq in sampler.sample_many(s, queries_per_structure, &mut rng) {
+            let truth = answers(&gq.query, &nell.split.test);
+            if truth.is_empty() {
+                continue;
+            }
+            // Before: GFinder on the full (train) data graph.
+            let matcher = Matcher::new(&nell.split.train);
+            let t0 = Instant::now();
+            let before = matcher.answer_entities(&gq.query);
+            ms_b += t0.elapsed().as_secs_f64() * 1e3;
+            acc_b += answer_accuracy(&before, &truth);
+
+            // After: induced graph from HaLk's top-20 candidates per node.
+            let t1 = Instant::now();
+            let cands = candidate_set(&halk, &gq.query, 20);
+            let small = induced_graph(&nell.split.train, &cands);
+            let pruned_matcher = Matcher::new(&small);
+            let after = pruned_matcher.answer_entities(&gq.query);
+            ms_a += t1.elapsed().as_secs_f64() * 1e3;
+            acc_a += answer_accuracy(&after, &truth);
+            n += 1;
+        }
+        let n = n.max(1) as f64;
+        acc_table.push_row(s.name(), vec![Some(acc_b / n), Some(acc_a / n)]);
+        time_table.push_row(s.name(), vec![Some(ms_b / n), Some(ms_a / n)]);
+        json_rows.push(json!({
+            "structure": s.name(),
+            "acc_before": acc_b / n,
+            "acc_after": acc_a / n,
+            "ms_before": ms_b / n,
+            "ms_after": ms_a / n,
+        }));
+    }
+    acc_table.print();
+    time_table.print();
+    if let Some(p) = save_json(
+        "fig6a_pruning",
+        &json!({ "scale": scale.name(), "rows": json_rows }),
+    ) {
+        eprintln!("results written to {}", p.display());
+    }
+}

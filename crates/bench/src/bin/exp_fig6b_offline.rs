@@ -1,0 +1,57 @@
+//! Figure 6b: offline (training) time of NewLook / ConE / MLPMix / HaLk on
+//! the three datasets, under identical step budgets.
+//!
+//! The paper's observation: the non-geometric MLPMix costs the most; the
+//! geometric methods are comparable; HaLk takes slightly longer than the
+//! four-operator baselines because it trains a fifth operator.
+//!
+//! Run with `cargo run --release -p halk-bench --bin exp_fig6b_offline`.
+
+use halk_bench::suite::{standard_datasets, train_suite, ModelKind};
+use halk_bench::{save_json, Scale, Table};
+use serde_json::json;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!(
+        "Fig. 6b (offline time) at scale '{}' ({} steps each)",
+        scale.name(),
+        scale.steps
+    );
+    let mut table = Table::new(
+        "Fig. 6b — offline training time (s)",
+        &["FB15k", "FB237", "NELL"],
+    )
+    .precision(1);
+    let mut per_model: std::collections::BTreeMap<&'static str, Vec<Option<f64>>> =
+        Default::default();
+
+    let mut json_rows = Vec::new();
+    for dataset in standard_datasets(&scale) {
+        eprintln!("dataset {}:", dataset.name);
+        let suite = train_suite(&dataset.split, &scale, &ModelKind::all());
+        for trained in &suite {
+            let secs = trained.offline_time().as_secs_f64();
+            per_model
+                .entry(trained.name())
+                .or_default()
+                .push(Some(secs));
+            json_rows.push(json!({
+                "dataset": dataset.name,
+                "model": trained.name(),
+                "seconds": secs,
+                "tail_loss": trained.stats.tail_loss(),
+            }));
+        }
+    }
+    for (name, cells) in per_model {
+        table.push_row(name, cells);
+    }
+    table.print();
+    if let Some(p) = save_json(
+        "fig6b_offline",
+        &json!({ "scale": scale.name(), "rows": json_rows }),
+    ) {
+        eprintln!("results written to {}", p.display());
+    }
+}

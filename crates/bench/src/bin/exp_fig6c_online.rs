@@ -1,0 +1,97 @@
+//! Figure 6c: online query time of the four embedding methods and GFinder
+//! on the three datasets, over the 6 large structures of §IV-D.
+//!
+//! Online time for an embedding method = embed the query + score every
+//! entity; for GFinder = dynamic index construction + best-effort search
+//! (§IV-E: "the time for building the index should be included"). Training
+//! quality does not affect these costs, so models are trained with a small
+//! fixed budget regardless of `HALK_SCALE`.
+//!
+//! Run with `cargo run --release -p halk-bench --bin exp_fig6c_online`.
+
+use halk_bench::suite::{standard_datasets, train_suite, ModelKind};
+use halk_bench::{save_json, Scale, Table};
+use halk_logic::{Sampler, Structure};
+use halk_matching::Matcher;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::json;
+use std::time::Instant;
+
+fn main() {
+    let mut scale = Scale::from_env();
+    let queries_per_structure = scale.eval_queries.min(20);
+    // Timing only: a short training run produces identically-shaped models.
+    scale.steps = scale.steps.min(500);
+    eprintln!(
+        "Fig. 6c (online time) with {} queries/structure",
+        queries_per_structure
+    );
+
+    let mut table = Table::new(
+        "Fig. 6c — online time per query (ms)",
+        &["FB15k", "FB237", "NELL"],
+    )
+    .precision(3);
+    let mut per_method: std::collections::BTreeMap<String, Vec<Option<f64>>> = Default::default();
+
+    let mut json_rows = Vec::new();
+    for dataset in standard_datasets(&scale) {
+        eprintln!("dataset {}:", dataset.name);
+        let suite = train_suite(&dataset.split, &scale, &ModelKind::all());
+        let sampler = Sampler::new(&dataset.split.test);
+        let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x6C);
+        // One shared pool of queries so every method times the same work.
+        let mut pool = Vec::new();
+        for s in Structure::pruning6() {
+            pool.extend(sampler.sample_many(s, queries_per_structure, &mut rng));
+        }
+        eprintln!("  timing over {} queries", pool.len());
+
+        for trained in &suite {
+            let t0 = Instant::now();
+            for gq in &pool {
+                // ConE/MLPMix skip difference structures, as in the paper.
+                if trained.model.supports(gq.structure) {
+                    std::hint::black_box(trained.model.score_all(&gq.query));
+                }
+            }
+            let supported = pool
+                .iter()
+                .filter(|g| trained.model.supports(g.structure))
+                .count()
+                .max(1);
+            let ms = t0.elapsed().as_secs_f64() * 1e3 / supported as f64;
+            per_method
+                .entry(trained.name().to_string())
+                .or_default()
+                .push(Some(ms));
+            json_rows.push(json!({
+                "dataset": dataset.name, "method": trained.name(), "ms_per_query": ms,
+            }));
+        }
+
+        // GFinder on the same pool.
+        let matcher = Matcher::new(&dataset.split.train);
+        let t0 = Instant::now();
+        for gq in &pool {
+            std::hint::black_box(matcher.answer(&gq.query));
+        }
+        let ms = t0.elapsed().as_secs_f64() * 1e3 / pool.len().max(1) as f64;
+        per_method
+            .entry("GFinder".to_string())
+            .or_default()
+            .push(Some(ms));
+        json_rows.push(json!({
+            "dataset": dataset.name, "method": "GFinder", "ms_per_query": ms,
+        }));
+    }
+
+    for (name, cells) in per_method {
+        table.push_row(name, cells);
+    }
+    table.print();
+    if let Some(p) = save_json("fig6c_online", &json!({ "rows": json_rows })) {
+        eprintln!("results written to {}", p.display());
+    }
+}

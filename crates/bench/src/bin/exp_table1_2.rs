@@ -1,0 +1,73 @@
+//! Tables I and II: MRR and Hit@3 for the 12 non-negation query structures
+//! on the three benchmark datasets, for ConE / NewLook / MLPMix / HaLk.
+//!
+//! Run with `cargo run --release -p halk-bench --bin exp_table1_2`;
+//! scale via `HALK_SCALE=smoke|quick|standard|full`.
+
+use halk_bench::suite::{standard_datasets, train_suite, ModelKind};
+use halk_bench::{save_json, Scale, Table};
+use halk_core::eval::{evaluate_table, row_average};
+use halk_logic::Structure;
+use serde_json::json;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!(
+        "Tables I-II at scale '{}' (dim {}, {} steps, {} eval queries/cell)",
+        scale.name(),
+        scale.dim,
+        scale.steps,
+        scale.eval_queries
+    );
+    let structures = Structure::table12();
+    let mut columns: Vec<&str> = structures.iter().map(|s| s.name()).collect();
+    columns.push("AVG");
+
+    let mut json_out = Vec::new();
+    for dataset in standard_datasets(&scale) {
+        eprintln!("dataset {}:", dataset.name);
+        let suite = train_suite(&dataset.split, &scale, &ModelKind::all());
+
+        let mut mrr_table = Table::new(
+            format!("Table I (MRR %) — {}", dataset.name),
+            &columns,
+        )
+        .percentages();
+        let mut hit3_table = Table::new(
+            format!("Table II (Hit@3 %) — {}", dataset.name),
+            &columns,
+        )
+        .percentages();
+
+        for trained in &suite {
+            let row = evaluate_table(
+                trained.model.as_ref(),
+                &dataset.split,
+                &structures,
+                scale.eval_queries,
+                scale.seed ^ 0x12,
+            );
+            let mut mrr_cells: Vec<Option<f64>> =
+                row.iter().map(|(_, c)| c.map(|c| c.metrics.mrr)).collect();
+            let mut hit3_cells: Vec<Option<f64>> =
+                row.iter().map(|(_, c)| c.map(|c| c.metrics.hits3)).collect();
+            mrr_cells.push(Some(row_average(&row, |m| m.mrr)));
+            hit3_cells.push(Some(row_average(&row, |m| m.hits3)));
+            mrr_table.push_row(trained.name(), mrr_cells);
+            hit3_table.push_row(trained.name(), hit3_cells);
+        }
+        mrr_table.print();
+        hit3_table.print();
+        json_out.push(json!({
+            "dataset": dataset.name,
+            "mrr": mrr_table.to_json(),
+            "hit3": hit3_table.to_json(),
+        }));
+    }
+    if let Some(p) = save_json(
+        "table1_2",
+        &json!({ "scale": scale.name(), "results": json_out }),
+    ) {
+        eprintln!("results written to {}", p.display());
+    }
+}

@@ -1,0 +1,21 @@
+//! Experiment harness for the HaLk reproduction.
+//!
+//! One binary per table/figure of the paper's evaluation section lives in
+//! `src/bin/` (see DESIGN.md §2 for the full index); this library holds the
+//! shared machinery: scaled experiment presets, dataset construction, timed
+//! training of all four models under one protocol, table rendering and JSON
+//! result persistence.
+//!
+//! Scale is controlled by the `HALK_SCALE` environment variable
+//! (`smoke` | `quick` | `standard` | `full`) or per-binary `--scale` flag;
+//! `HALK_STEPS` overrides the training budget directly. Absolute numbers
+//! grow with budget; the paper-shape comparisons hold from `quick` up
+//! (EXPERIMENTS.md records which preset produced the reported runs).
+
+pub mod report;
+pub mod scale;
+pub mod suite;
+
+pub use report::{save_json, Table};
+pub use scale::Scale;
+pub use suite::{train_suite, TrainedModel};

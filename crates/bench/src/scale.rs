@@ -1,0 +1,138 @@
+//! Experiment scale presets.
+//!
+//! The paper trains with `d = 800` on four GPUs; this reproduction runs on
+//! one CPU, so every experiment accepts a scale knob trading wall-clock for
+//! metric headroom. The *relative* comparisons (who wins, by roughly what
+//! factor) are stable from `quick` upward; `smoke` exists so the binaries
+//! can run in CI/tests in seconds.
+
+use halk_core::{HalkConfig, TrainConfig};
+
+/// A named experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Seconds; sanity only.
+    Smoke,
+    /// A few minutes; shapes emerge.
+    Quick,
+    /// Tens of minutes; the EXPERIMENTS.md reference runs.
+    Standard,
+    /// As long as you can afford.
+    Full,
+}
+
+/// Resolved experiment scale: model/config knobs all derived from a preset.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// The preset this scale came from.
+    pub preset: Preset,
+    /// Embedding dimensionality.
+    pub dim: usize,
+    /// Optimizer steps per (model, dataset) training run.
+    pub steps: usize,
+    /// Evaluation queries per (structure, dataset) cell.
+    pub eval_queries: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Builds a scale from a preset name.
+    pub fn from_preset(p: Preset) -> Self {
+        let (dim, steps, eval_queries) = match p {
+            Preset::Smoke => (8, 120, 5),
+            Preset::Quick => (32, 3000, 25),
+            Preset::Standard => (32, 10000, 50),
+            Preset::Full => (64, 40000, 100),
+        };
+        Self {
+            preset: p,
+            dim,
+            steps,
+            eval_queries,
+            seed: 40,
+        }
+    }
+
+    /// Reads `HALK_SCALE` / `HALK_STEPS` / `HALK_SEED` from the environment,
+    /// defaulting to `quick`.
+    pub fn from_env() -> Self {
+        let preset = match std::env::var("HALK_SCALE").as_deref() {
+            Ok("smoke") => Preset::Smoke,
+            Ok("standard") => Preset::Standard,
+            Ok("full") => Preset::Full,
+            _ => Preset::Quick,
+        };
+        let mut s = Self::from_preset(preset);
+        if let Ok(steps) = std::env::var("HALK_STEPS") {
+            if let Ok(v) = steps.parse() {
+                s.steps = v;
+            }
+        }
+        if let Ok(seed) = std::env::var("HALK_SEED") {
+            if let Ok(v) = seed.parse() {
+                s.seed = v;
+            }
+        }
+        s
+    }
+
+    /// Model hyper-parameters at this scale.
+    pub fn model_config(&self) -> HalkConfig {
+        HalkConfig {
+            dim: self.dim,
+            hidden: 2 * self.dim,
+            steps: self.steps,
+            seed: self.seed,
+            ..HalkConfig::default()
+        }
+    }
+
+    /// Training-loop knobs at this scale.
+    pub fn train_config(&self) -> TrainConfig {
+        TrainConfig {
+            steps: self.steps,
+            batch_size: 64,
+            negatives: 16,
+            queries_per_structure: 600,
+            p1_weight: 3,
+            seed: self.seed ^ 0x7EA1,
+            log_every: 0,
+        }
+    }
+
+    /// Preset name for report labels.
+    pub fn name(&self) -> &'static str {
+        match self.preset {
+            Preset::Smoke => "smoke",
+            Preset::Quick => "quick",
+            Preset::Standard => "standard",
+            Preset::Full => "full",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_budget() {
+        let smoke = Scale::from_preset(Preset::Smoke);
+        let quick = Scale::from_preset(Preset::Quick);
+        let std = Scale::from_preset(Preset::Standard);
+        let full = Scale::from_preset(Preset::Full);
+        assert!(smoke.steps < quick.steps);
+        assert!(quick.steps < std.steps);
+        assert!(std.steps < full.steps);
+        assert!(smoke.dim <= quick.dim && std.dim <= full.dim);
+    }
+
+    #[test]
+    fn configs_inherit_scale() {
+        let s = Scale::from_preset(Preset::Quick);
+        assert_eq!(s.model_config().dim, s.dim);
+        assert_eq!(s.train_config().steps, s.steps);
+        assert_eq!(s.name(), "quick");
+    }
+}

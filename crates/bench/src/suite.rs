@@ -1,0 +1,134 @@
+//! Timed training of the four-model suite under one protocol.
+
+use crate::scale::Scale;
+use halk_baselines::{ConeModel, MlpMixModel, NewLookModel};
+use halk_core::{train_model, HalkModel, QueryModel, TrainStats};
+use halk_kg::split::DatasetSplit;
+use halk_logic::Structure;
+use std::time::Duration;
+
+/// The three benchmark datasets at the harness's seed (FB15k / FB237 /
+/// NELL stand-ins, DESIGN.md §4).
+pub fn standard_datasets(scale: &Scale) -> Vec<halk_kg::Dataset> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    halk_kg::Dataset::standard_suite(&mut StdRng::seed_from_u64(scale.seed))
+}
+
+/// A trained model plus its offline cost (Fig. 6b's quantity).
+pub struct TrainedModel {
+    /// The model behind the shared trait.
+    pub model: Box<dyn QueryModel>,
+    /// Training statistics (wall-clock = offline time).
+    pub stats: TrainStats,
+}
+
+impl TrainedModel {
+    /// The model's display name.
+    pub fn name(&self) -> &'static str {
+        self.model.name()
+    }
+
+    /// Offline (training) wall-clock time.
+    pub fn offline_time(&self) -> Duration {
+        self.stats.wall
+    }
+}
+
+/// Which models to train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// The paper's contribution.
+    Halk,
+    /// ConE baseline.
+    Cone,
+    /// NewLook baseline.
+    NewLook,
+    /// MLPMix baseline.
+    MlpMix,
+}
+
+impl ModelKind {
+    /// The four-model suite of Tables I–II / Fig. 6.
+    pub fn all() -> Vec<ModelKind> {
+        vec![
+            ModelKind::Cone,
+            ModelKind::NewLook,
+            ModelKind::MlpMix,
+            ModelKind::Halk,
+        ]
+    }
+
+    /// The negation-capable trio of Tables III–IV.
+    pub fn negation_capable() -> Vec<ModelKind> {
+        vec![ModelKind::Cone, ModelKind::MlpMix, ModelKind::Halk]
+    }
+
+    fn build(self, split: &DatasetSplit, scale: &Scale) -> Box<dyn QueryModel> {
+        let cfg = scale.model_config();
+        match self {
+            ModelKind::Halk => Box::new(HalkModel::new(&split.train, cfg)),
+            ModelKind::Cone => Box::new(ConeModel::new(&split.train, cfg)),
+            ModelKind::NewLook => Box::new(NewLookModel::new(&split.train, cfg)),
+            ModelKind::MlpMix => Box::new(MlpMixModel::new(&split.train, cfg)),
+        }
+    }
+}
+
+/// Trains the requested models on one dataset with identical budgets
+/// (the paper's protocol). Each model trains on the training structures its
+/// operator set supports — exactly as the original systems do.
+pub fn train_suite(split: &DatasetSplit, scale: &Scale, kinds: &[ModelKind]) -> Vec<TrainedModel> {
+    let structures = Structure::training();
+    kinds
+        .iter()
+        .map(|&k| {
+            let mut model = k.build(split, scale);
+            let stats = train_model(model.as_mut(), &split.train, &structures, &scale.train_config());
+            eprintln!(
+                "  trained {:8} in {:6.1?} (tail loss {:.3})",
+                model.name(),
+                stats.wall,
+                stats.tail_loss()
+            );
+            TrainedModel { model, stats }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::{Preset, Scale};
+    use halk_kg::{generate, SynthConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn smoke_suite_trains_all_four() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let full = generate(&SynthConfig::fb237_like(), &mut rng);
+        let split = DatasetSplit::nested(&full, 0.8, 0.1, &mut rng);
+        let scale = Scale::from_preset(Preset::Smoke);
+        let suite = train_suite(&split, &scale, &ModelKind::all());
+        assert_eq!(suite.len(), 4);
+        let names: Vec<_> = suite.iter().map(|t| t.name()).collect();
+        assert_eq!(names, vec!["ConE", "NewLook", "MLPMix", "HaLk"]);
+        for t in &suite {
+            assert!(t.offline_time() > Duration::ZERO);
+            assert!(t.stats.tail_loss().is_finite());
+        }
+        // Support-dependent training structures.
+        let by_name = |n: &str| suite.iter().find(|t| t.name() == n).unwrap();
+        assert!(by_name("ConE")
+            .stats
+            .trained_structures
+            .iter()
+            .all(|s| !s.has_difference()));
+        assert!(by_name("NewLook")
+            .stats
+            .trained_structures
+            .iter()
+            .all(|s| !s.has_negation()));
+    }
+}

@@ -1,0 +1,241 @@
+//! `halk` — command-line interface to the HaLk reproduction.
+//!
+//! ```text
+//! halk gen   --dataset fb15k|fb237|nell --out graph.tsv [--seed N]
+//! halk stats --graph graph.tsv
+//! halk train --graph graph.tsv --out model_dir [--steps N] [--dim N] [--seed N]
+//! halk ask   --graph graph.tsv --sparql 'SELECT ?x WHERE { e:0 r:0 ?x . }'
+//!            [--model model_dir] [--engine exact|halk|match] [--top N]
+//! halk help
+//! ```
+
+mod args;
+
+use args::{ArgError, Args};
+use halk_core::{train_model, HalkConfig, HalkModel, TrainConfig};
+use halk_kg::{generate, stats::GraphStats, tsv, Graph, SynthConfig};
+use halk_logic::{answers, Structure};
+use halk_matching::Matcher;
+use halk_sparql::sparql_to_query;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(argv).map_err(|e| e.to_string())?;
+    match args.command.as_str() {
+        "gen" => cmd_gen(&args),
+        "stats" => cmd_stats(&args),
+        "train" => cmd_train(&args),
+        "ask" => cmd_ask(&args),
+        "help" | "--help" | "-h" => {
+            print!("{}", HELP);
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}' (try `halk help`)").into()),
+    }
+    .map_err(|e: Box<dyn std::error::Error>| e.to_string())
+}
+
+const HELP: &str = "\
+halk — answering logical queries on knowledge graphs (HaLk, ICDE 2023)
+
+USAGE:
+  halk gen   --dataset fb15k|fb237|nell --out graph.tsv [--seed N]
+  halk stats --graph graph.tsv
+  halk train --graph graph.tsv --out model_dir [--steps N] [--dim N] [--seed N]
+  halk ask   --graph graph.tsv --sparql QUERY
+             [--model model_dir] [--engine exact|halk|match] [--top N]
+  halk help
+";
+
+fn load_graph(args: &Args) -> Result<Graph, String> {
+    let path = args.required("graph").map_err(|e| e.to_string())?;
+    tsv::load(Path::new(path)).map_err(|e| format!("cannot read graph {path}: {e}"))
+}
+
+fn cmd_gen(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let dataset = args.required("dataset")?;
+    let out = args.required("out")?;
+    let seed: u64 = args.parsed_or("seed", 40)?;
+    let cfg = match dataset {
+        "fb15k" => SynthConfig::fb15k_like(),
+        "fb237" => SynthConfig::fb237_like(),
+        "nell" => SynthConfig::nell_like(),
+        other => return Err(ArgError::BadValue("dataset", other.into()).into()),
+    };
+    use rand::SeedableRng;
+    let g = generate(&cfg, &mut rand::rngs::StdRng::seed_from_u64(seed));
+    tsv::save(&g, Path::new(out))?;
+    println!(
+        "wrote {out}: {} entities, {} relations, {} triples",
+        g.n_entities(),
+        g.n_relations(),
+        g.n_triples()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let g = load_graph(args)?;
+    let s = GraphStats::compute(&g);
+    println!("entities          {}", s.n_entities);
+    println!("relations         {}", s.n_relations);
+    println!("triples           {}", s.n_triples);
+    println!("avg degree        {:.2}", s.avg_degree);
+    println!("median degree     {}", s.median_degree);
+    println!("max degree        {}", s.max_degree);
+    println!("inverse leakage   {:.0}%", 100.0 * s.inverse_leakage);
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let g = load_graph(args)?;
+    let out = args.required("out")?;
+    let steps: usize = args.parsed_or("steps", 3000)?;
+    let dim: usize = args.parsed_or("dim", 32)?;
+    let seed: u64 = args.parsed_or("seed", 7)?;
+    let cfg = HalkConfig {
+        dim,
+        hidden: 2 * dim,
+        steps,
+        seed,
+        ..HalkConfig::default()
+    };
+    let mut model = HalkModel::new(&g, cfg);
+    let tc = TrainConfig {
+        steps,
+        log_every: (steps / 10).max(1),
+        seed,
+        ..TrainConfig::default()
+    };
+    let stats = train_model(&mut model, &g, &Structure::training(), &tc);
+    model.save(Path::new(out))?;
+    println!(
+        "trained {} steps in {:.1?} (tail loss {:.3}); model saved to {out}",
+        steps,
+        stats.wall,
+        stats.tail_loss()
+    );
+    Ok(())
+}
+
+fn cmd_ask(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let g = load_graph(args)?;
+    let sparql = args.required("sparql")?;
+    let engine = args.optional("engine").unwrap_or("exact");
+    let top: usize = args.parsed_or("top", 10)?;
+
+    let query = sparql_to_query(sparql)?;
+    println!("computation tree: {}", query.render());
+    match engine {
+        "exact" => {
+            let ans = answers(&query, &g);
+            let shown: Vec<u32> = ans.iter().take(top).map(|e| e.0).collect();
+            println!("exact answers ({} total): {shown:?}", ans.len());
+        }
+        "halk" => {
+            let dir = args.required("model")?;
+            let model = HalkModel::load(&g, Path::new(dir))?;
+            let scores = model.score_all(&query);
+            let mut ranked: Vec<u32> = (0..scores.len() as u32).collect();
+            ranked.sort_by(|&a, &b| {
+                scores[a as usize]
+                    .partial_cmp(&scores[b as usize])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            println!("HaLk top-{top}:");
+            for &e in ranked.iter().take(top) {
+                println!("  e{e}  (distance {:.3})", scores[e as usize]);
+            }
+        }
+        "match" => {
+            let hits = Matcher::new(&g).answer(&query);
+            println!("matcher results (top {top}):");
+            for m in hits.iter().take(top) {
+                println!("  {}  (score {:.1})", m.entity, m.score);
+            }
+        }
+        other => return Err(ArgError::BadValue("engine", other.into()).into()),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("halk_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn run_line(line: &str) -> Result<(), String> {
+        run(line.split_whitespace().map(str::to_string).collect())
+    }
+
+    #[test]
+    fn gen_stats_ask_pipeline() {
+        let g = tmp("g.tsv");
+        let gs = g.to_str().unwrap();
+        run_line(&format!("gen --dataset fb237 --out {gs} --seed 3")).unwrap();
+        run_line(&format!("stats --graph {gs}")).unwrap();
+        // Ask with the exact engine over an edge that must exist.
+        let graph = tsv::load(&g).unwrap();
+        let t = graph.triples()[0];
+        run(vec![
+            "ask".into(),
+            "--graph".into(),
+            gs.into(),
+            "--sparql".into(),
+            format!("SELECT ?x WHERE {{ e:{} r:{} ?x . }}", t.h.0, t.r.0),
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn unknown_subcommand_fails() {
+        assert!(run_line("frobnicate").is_err());
+        assert!(run_line("").is_err());
+    }
+
+    #[test]
+    fn ask_requires_model_for_halk_engine() {
+        let g = tmp("g2.tsv");
+        let gs = g.to_str().unwrap();
+        run_line(&format!("gen --dataset nell --out {gs} --seed 4")).unwrap();
+        let err = run(vec![
+            "ask".into(),
+            "--graph".into(),
+            gs.into(),
+            "--sparql".into(),
+            "SELECT ?x WHERE { e:0 r:0 ?x . }".into(),
+            "--engine".into(),
+            "halk".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("--model"), "{err}");
+    }
+
+    #[test]
+    fn help_prints() {
+        run_line("help").unwrap();
+    }
+
+    #[test]
+    fn bad_dataset_rejected() {
+        let err = run_line("gen --dataset wikidata --out /tmp/x.tsv").unwrap_err();
+        assert!(err.contains("dataset"), "{err}");
+    }
+}

@@ -1,0 +1,164 @@
+//! Hyper-parameters for the HaLk model and its ablation variants.
+
+use serde::{Deserialize, Serialize};
+
+/// Which ablated variant of HaLk to build (Table V of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Ablation {
+    /// The full model.
+    None,
+    /// HaLk-V1: NewLook-style raw-value overlap in the difference operator
+    /// and no cardinality constraint.
+    V1,
+    /// HaLk-V2: *linear*-transformation negation (the closed-form complement
+    /// only, no corrective neural network).
+    V2,
+    /// HaLk-V3: NewLook-style projection — center and length learned
+    /// independently instead of through the coordinated (start, end) pair.
+    V3,
+}
+
+/// How to read the outside-distance formula of Eq. 16 (a design choice this
+/// reproduction measured; see `exp_ablation_distance` and EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DistanceMode {
+    /// Eq. 16 taken literally: `d_o` = smaller endpoint chord everywhere.
+    /// A point arc degenerates to the RotatE chord distance; positives keep
+    /// receiving gradient anywhere on the circle.
+    LiteralEq16,
+    /// ConE-style reading: `d_o = 0` anywhere on the arc. Lets arcs inflate
+    /// to cover positives without organizing the embedding space — trains
+    /// an order of magnitude worse at CPU scale.
+    ZeroedInside,
+    /// Literal endpoints plus the semantic center as a third attractor:
+    /// `d_o = min(chord(v, A_S), chord(v, A_E), chord(v, A_c))`. Preserves
+    /// the literal reading's training signal while ranking interior answers
+    /// (which concentrate at the semantic center) correctly on wide arcs.
+    /// The default — measurably strongest at CPU scale (EXPERIMENTS.md).
+    CenterAnchored,
+}
+
+/// All scale and optimization knobs for one HaLk training run.
+///
+/// Paper defaults (§IV-A) are `d = 800`, batch 512, 128 negatives on 4×RTX
+/// 3090; the CPU-scaled defaults below preserve every ratio that matters for
+/// the comparisons (see DESIGN.md §4).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HalkConfig {
+    /// Embedding dimensionality `d`.
+    pub dim: usize,
+    /// Hidden width of the operator MLPs.
+    pub hidden: usize,
+    /// Hidden layers per operator MLP.
+    pub mlp_layers: usize,
+    /// Circle radius `ρ` (§II-A fixes it; radius learning is future work).
+    pub rho: f32,
+    /// Scale `λ` of the squashing function `g` (Eq. 3).
+    pub lambda: f32,
+    /// Margin `γ` of the loss (Eq. 17).
+    pub gamma: f32,
+    /// Inside-distance down-weight `η` (Eq. 15).
+    pub eta: f32,
+    /// Group-penalty weight `ξ` (Eq. 17).
+    pub xi: f32,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Queries per mini-batch.
+    pub batch_size: usize,
+    /// Negative samples per positive (`m` in Eq. 17).
+    pub negatives: usize,
+    /// Number of random node groups (§II-A).
+    pub n_groups: usize,
+    /// Total optimizer steps.
+    pub steps: usize,
+    /// RNG seed for initialization and sampling.
+    pub seed: u64,
+    /// Ablation variant.
+    pub ablation: Ablation,
+    /// Outside-distance reading of Eq. 16.
+    pub distance: DistanceMode,
+}
+
+impl Default for HalkConfig {
+    fn default() -> Self {
+        Self {
+            dim: 32,
+            hidden: 64,
+            mlp_layers: 1,
+            rho: 1.0,
+            lambda: 1.0,
+            gamma: 2.0,
+            eta: 0.05,
+            xi: 0.5,
+            lr: 0.01,
+            batch_size: 64,
+            negatives: 16,
+            n_groups: 32,
+            steps: 600,
+            seed: 7,
+            ablation: Ablation::None,
+            distance: DistanceMode::CenterAnchored,
+        }
+    }
+}
+
+impl HalkConfig {
+    /// A tiny configuration for unit tests (fast, still end-to-end).
+    pub fn tiny() -> Self {
+        Self {
+            dim: 8,
+            hidden: 16,
+            steps: 40,
+            batch_size: 16,
+            negatives: 4,
+            n_groups: 8,
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy with the given ablation enabled.
+    pub fn with_ablation(mut self, a: Ablation) -> Self {
+        self.ablation = a;
+        self
+    }
+
+    /// Returns a copy with the given distance mode.
+    pub fn with_distance(mut self, d: DistanceMode) -> Self {
+        self.distance = d;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = HalkConfig::default();
+        assert!(c.dim > 0 && c.hidden >= c.dim);
+        assert!(c.eta > 0.0 && c.eta < 1.0, "η must be in (0,1) per Eq. 15");
+        assert!(c.gamma > 0.0, "margin must be positive per Eq. 17");
+        assert_eq!(c.ablation, Ablation::None);
+    }
+
+    #[test]
+    fn tiny_is_smaller() {
+        let t = HalkConfig::tiny();
+        let d = HalkConfig::default();
+        assert!(t.dim < d.dim && t.steps < d.steps);
+    }
+
+    #[test]
+    fn with_ablation_sets_variant() {
+        let c = HalkConfig::tiny().with_ablation(Ablation::V2);
+        assert_eq!(c.ablation, Ablation::V2);
+    }
+
+    #[test]
+    fn distance_mode_defaults_to_center_anchored() {
+        assert_eq!(HalkConfig::default().distance, DistanceMode::CenterAnchored);
+        let c = HalkConfig::tiny().with_distance(DistanceMode::ZeroedInside);
+        assert_eq!(c.distance, DistanceMode::ZeroedInside);
+    }
+}

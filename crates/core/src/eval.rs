@@ -1,0 +1,214 @@
+//! Filtered-ranking evaluation (§IV-A protocol).
+//!
+//! Test queries are sampled on the *test* graph; their hard answers are the
+//! entities answerable only there (not on the validation graph), so a model
+//! can only rank them well by generalizing over unseen edges. Easy answers
+//! are filtered out of every ranking. Metrics are averaged per structure, as
+//! in Tables I–IV.
+
+use crate::qmodel::QueryModel;
+use halk_kg::split::DatasetSplit;
+use halk_logic::{answer_split, filtered_ranks, MetricsAccumulator, RankMetrics, Sampler, Structure};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Evaluation result for one (model, structure) cell.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalCell {
+    /// Averaged metrics over the evaluated queries.
+    pub metrics: RankMetrics,
+    /// Number of queries evaluated.
+    pub n_queries: usize,
+    /// Total online scoring time (for Fig. 6c / Table VI).
+    pub online_time: Duration,
+}
+
+/// Evaluates a model on one structure with `n_queries` sampled test queries.
+///
+/// Queries whose hard-answer set is empty (fully derivable on the validation
+/// graph) are rejected and resampled, as the protocol requires.
+pub fn evaluate_structure<M: QueryModel + ?Sized>(
+    model: &M,
+    split: &DatasetSplit,
+    structure: Structure,
+    n_queries: usize,
+    seed: u64,
+) -> EvalCell {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sampler = Sampler::new(&split.test);
+    let mut acc = MetricsAccumulator::new();
+    let mut online = Duration::ZERO;
+    let mut evaluated = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = n_queries * 20;
+
+    while evaluated < n_queries && attempts < max_attempts {
+        attempts += 1;
+        let Some(gq) = sampler.sample(structure, &mut rng) else {
+            continue;
+        };
+        let ans = answer_split(&gq.query, &split.valid, &split.test);
+        if ans.hard.is_empty() {
+            continue;
+        }
+        let t0 = std::time::Instant::now();
+        let scores = model.score_all(&gq.query);
+        online += t0.elapsed();
+        let ranks = filtered_ranks(&scores, &ans.hard, &ans.easy);
+        acc.push_ranks(&ranks);
+        evaluated += 1;
+    }
+
+    EvalCell {
+        metrics: acc.finish(),
+        n_queries: evaluated,
+        online_time: online,
+    }
+}
+
+/// Evaluates a model across a list of structures (a table row), skipping
+/// structures the model does not support (rendered as `-` in the paper's
+/// tables).
+pub fn evaluate_table<M: QueryModel + ?Sized>(
+    model: &M,
+    split: &DatasetSplit,
+    structures: &[Structure],
+    n_queries: usize,
+    seed: u64,
+) -> Vec<(Structure, Option<EvalCell>)> {
+    structures
+        .iter()
+        .map(|&s| {
+            if model.supports(s) {
+                (s, Some(evaluate_structure(model, split, s, n_queries, seed)))
+            } else {
+                (s, None)
+            }
+        })
+        .collect()
+}
+
+/// Average of a metric accessor over the supported cells of a table row.
+pub fn row_average(
+    row: &[(Structure, Option<EvalCell>)],
+    metric: impl Fn(&RankMetrics) -> f64,
+) -> f64 {
+    let vals: Vec<f64> = row
+        .iter()
+        .filter_map(|(_, c)| c.as_ref().map(|c| metric(&c.metrics)))
+        .collect();
+    if vals.is_empty() {
+        0.0
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HalkConfig;
+    use crate::model::HalkModel;
+    use crate::train::{train_model, TrainConfig};
+    use halk_kg::{generate, DatasetSplit, SynthConfig};
+
+    fn setup() -> (DatasetSplit, HalkModel) {
+        setup_with(HalkConfig::tiny())
+    }
+
+    fn setup_with(cfg: HalkConfig) -> (DatasetSplit, HalkModel) {
+        let mut rng = StdRng::seed_from_u64(40);
+        let full = generate(&SynthConfig::fb237_like(), &mut rng);
+        let split = DatasetSplit::nested(&full, 0.8, 0.1, &mut rng);
+        let model = HalkModel::new(&split.train, cfg);
+        (split, model)
+    }
+
+    #[test]
+    fn evaluation_produces_valid_metrics() {
+        let (split, model) = setup();
+        let cell = evaluate_structure(&model, &split, Structure::P1, 5, 1);
+        assert!(cell.n_queries > 0);
+        let m = cell.metrics;
+        assert!((0.0..=1.0).contains(&m.mrr));
+        assert!(m.hits1 <= m.hits3 && m.hits3 <= m.hits10);
+        assert!(cell.online_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn trained_model_beats_untrained_on_seen_queries() {
+        // Rank the known train-graph answers of 1p queries (hard = all
+        // answers, nothing filtered). Training must massively improve this;
+        // full *generalization* quality needs a release-mode budget and is
+        // exercised by the experiment harness (crates/bench), not here.
+        // The literal Eq. 16 reading memorizes fastest at tiny dimensions
+        // (two sharp attractors per dim); the production default
+        // (CenterAnchored) needs d >= ~16 to be discriminative, which the
+        // release-scale harness uses. This test checks the training loop,
+        // not the distance-mode choice — see exp_ablation_distance for that.
+        let cfg = HalkConfig::tiny().with_distance(crate::config::DistanceMode::LiteralEq16);
+        let (split, mut trained) = setup_with(cfg.clone());
+        let untrained = {
+            let (_, m) = setup_with(cfg);
+            m
+        };
+        let mut tc = TrainConfig::tiny();
+        tc.steps = 1200;
+        tc.batch_size = 16;
+        train_model(&mut trained, &split.train, &[Structure::P1], &tc);
+
+        let rank_on_train = |model: &HalkModel| {
+            let sampler = halk_logic::Sampler::new(&split.train);
+            let mut rng = StdRng::seed_from_u64(123);
+            let mut acc = halk_logic::MetricsAccumulator::new();
+            for gq in sampler.sample_many(Structure::P1, 15, &mut rng) {
+                let ans = halk_logic::answers(&gq.query, &split.train);
+                let hard: Vec<_> = ans.iter().collect();
+                let scores = model.score_all(&gq.query);
+                acc.push_ranks(&halk_logic::filtered_ranks(&scores, &hard, &[]));
+            }
+            acc.finish().mrr
+        };
+        let m_trained = rank_on_train(&trained);
+        let m_untrained = rank_on_train(&untrained);
+        assert!(
+            m_trained > 2.0 * m_untrained,
+            "training did not help: {m_trained} vs {m_untrained}"
+        );
+    }
+
+    #[test]
+    fn evaluate_table_marks_unsupported_as_none() {
+        struct NoDiff(HalkModel);
+        impl QueryModel for NoDiff {
+            fn name(&self) -> &'static str {
+                "NoDiff"
+            }
+            fn supports(&self, s: Structure) -> bool {
+                !s.has_difference()
+            }
+            fn train_batch(&mut self, b: &[crate::qmodel::TrainExample]) -> f32 {
+                self.0.train_batch(b)
+            }
+            fn score_all(&self, q: &halk_logic::Query) -> Vec<f32> {
+                self.0.score_all(q)
+            }
+            fn n_entities(&self) -> usize {
+                self.0.n_entities()
+            }
+        }
+        let (split, model) = setup();
+        let wrapped = NoDiff(model);
+        let row = evaluate_table(
+            &wrapped,
+            &split,
+            &[Structure::P1, Structure::D2],
+            2,
+            3,
+        );
+        assert!(row[0].1.is_some());
+        assert!(row[1].1.is_none());
+        assert!(row_average(&row, |m| m.mrr) >= 0.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Locality-sensitive hashing for the online answer search (§III-H).
+//!
+//! "To get the final answers, we perform a range search in the
+//! low-dimensional vector space, which can also be done in constant time
+//! using search algorithms such as Locality Sensitive Hashing." This module
+//! provides that index: entity point embeddings (angle vectors) are lifted
+//! to the unit torus `(cos θ, sin θ) ∈ R^{2d}` — where the chord distance of
+//! Eq. 16 *is* the Euclidean distance per dimension — and hashed with
+//! random-hyperplane signatures (SimHash). A query probes the buckets of
+//! its arc centers across tables, scoring only the retrieved candidates.
+//!
+//! At benchmark scale a linear scan is already fast (DESIGN.md §4), so the
+//! scan remains the default everywhere; the index exists for the constant
+//! -time claim and for users with larger graphs, and its recall is pinned by
+//! tests.
+
+use crate::model::HalkModel;
+use halk_kg::EntityId;
+use halk_logic::Query;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// A multi-table SimHash index over entity point embeddings.
+pub struct EntityLsh {
+    /// Random hyperplanes per table: `n_bits × 2d`, row-major.
+    planes: Vec<Vec<f32>>,
+    /// Bucket maps, one per table.
+    tables: Vec<HashMap<u64, Vec<u32>>>,
+    n_bits: usize,
+    dim: usize,
+}
+
+impl EntityLsh {
+    /// Builds an index over a model's entity embeddings.
+    ///
+    /// `n_tables` trades memory for recall; `n_bits` trades bucket size for
+    /// selectivity (both in the usual LSH way).
+    pub fn build(model: &HalkModel, n_tables: usize, n_bits: usize, seed: u64) -> Self {
+        assert!(n_bits <= 64, "signature must fit in u64");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = model.cfg.dim;
+        let lifted_dim = 2 * dim;
+        let planes: Vec<Vec<f32>> = (0..n_tables)
+            .map(|_| {
+                (0..n_bits * lifted_dim)
+                    .map(|_| rng.gen_range(-1.0f32..1.0))
+                    .collect()
+            })
+            .collect();
+        let mut tables = vec![HashMap::new(); n_tables];
+        let mut lifted = vec![0.0f32; lifted_dim];
+        for e in 0..model.n_entities() {
+            for j in 0..dim {
+                let theta = model.entity_angle(EntityId(e as u32), j);
+                lifted[2 * j] = theta.cos();
+                lifted[2 * j + 1] = theta.sin();
+            }
+            for (t, plane) in planes.iter().enumerate() {
+                let sig = signature(plane, &lifted, n_bits);
+                tables[t]
+                    .entry(sig)
+                    .or_insert_with(Vec::new)
+                    .push(e as u32);
+            }
+        }
+        Self {
+            planes,
+            tables,
+            n_bits,
+            dim,
+        }
+    }
+
+    /// Number of hash tables.
+    pub fn n_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Candidate entities near a point given by its angle vector: union of
+    /// the point's buckets across tables, plus single-bit multi-probe when
+    /// the direct buckets are thin.
+    pub fn candidates(&self, angles: &[f32]) -> Vec<u32> {
+        assert_eq!(angles.len(), self.dim, "query dimensionality mismatch");
+        let mut lifted = vec![0.0f32; 2 * self.dim];
+        for (j, &theta) in angles.iter().enumerate() {
+            lifted[2 * j] = theta.cos();
+            lifted[2 * j + 1] = theta.sin();
+        }
+        let mut out: Vec<u32> = Vec::new();
+        for (plane, table) in self.planes.iter().zip(&self.tables) {
+            let sig = signature(plane, &lifted, self.n_bits);
+            if let Some(bucket) = table.get(&sig) {
+                out.extend_from_slice(bucket);
+            }
+            // Multi-probe: neighbors at Hamming distance 1 (cheap recall
+            // boost for points near a hyperplane).
+            for bit in 0..self.n_bits {
+                if let Some(bucket) = table.get(&(sig ^ (1 << bit))) {
+                    out.extend_from_slice(bucket);
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Approximate top-`k` answers for a query: gather candidates from every
+    /// DNF branch's arc centers, score only those with the model's distance,
+    /// and return the best `k`. Falls back to all entities when the
+    /// candidate pool is smaller than `k` (tiny graphs / unlucky hashes).
+    pub fn top_k(&self, model: &HalkModel, query: &Query, k: usize) -> Vec<EntityId> {
+        let branches = model.embed_query(query);
+        let mut pool: Vec<u32> = branches
+            .iter()
+            .flat_map(|arcs| {
+                let centers: Vec<f32> = arcs.iter().map(|a| a.center).collect();
+                self.candidates(&centers)
+            })
+            .collect();
+        pool.sort_unstable();
+        pool.dedup();
+        if pool.len() < k {
+            pool = (0..model.n_entities() as u32).collect();
+        }
+        let eta = model.cfg.eta;
+        let mut scored: Vec<(f32, u32)> = pool
+            .into_iter()
+            .map(|e| {
+                let d: f32 = branches
+                    .iter()
+                    .map(|arcs| {
+                        arcs.iter()
+                            .enumerate()
+                            .map(|(j, a)| a.dist(model.entity_angle(EntityId(e), j), eta))
+                            .sum::<f32>()
+                    })
+                    .fold(f32::INFINITY, f32::min);
+                (d, e)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored.truncate(k);
+        scored.into_iter().map(|(_, e)| EntityId(e)).collect()
+    }
+}
+
+fn signature(plane: &[f32], lifted: &[f32], n_bits: usize) -> u64 {
+    let dim = lifted.len();
+    let mut sig = 0u64;
+    for b in 0..n_bits {
+        let row = &plane[b * dim..(b + 1) * dim];
+        let dot: f32 = row.iter().zip(lifted).map(|(&p, &x)| p * x).sum();
+        if dot >= 0.0 {
+            sig |= 1 << b;
+        }
+    }
+    sig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HalkConfig;
+    use halk_kg::{generate, SynthConfig};
+    use halk_logic::{Sampler, Structure};
+
+    fn setup() -> (halk_kg::Graph, HalkModel, EntityLsh) {
+        let g = generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(61));
+        let model = HalkModel::new(&g, HalkConfig::tiny());
+        let lsh = EntityLsh::build(&model, 6, 10, 99);
+        (g, model, lsh)
+    }
+
+    #[test]
+    fn buckets_partition_all_entities() {
+        let (g, _, lsh) = setup();
+        for table in &lsh.tables {
+            let total: usize = table.values().map(Vec::len).sum();
+            assert_eq!(total, g.n_entities());
+        }
+        assert_eq!(lsh.n_tables(), 6);
+    }
+
+    #[test]
+    fn entity_retrieves_itself() {
+        let (g, model, lsh) = setup();
+        let mut hits = 0;
+        let n = 50.min(g.n_entities());
+        for e in 0..n {
+            let angles: Vec<f32> = (0..model.cfg.dim)
+                .map(|j| model.entity_angle(EntityId(e as u32), j))
+                .collect();
+            if lsh.candidates(&angles).contains(&(e as u32)) {
+                hits += 1;
+            }
+        }
+        // The point hashes into its own bucket deterministically.
+        assert_eq!(hits, n);
+    }
+
+    #[test]
+    fn top_k_recall_vs_exact_scan() {
+        let (g, model, lsh) = setup();
+        let sampler = Sampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(62);
+        let k = 10;
+        let mut recall_sum = 0.0;
+        let mut n = 0;
+        for gq in sampler.sample_many(Structure::P1, 10, &mut rng) {
+            let approx = lsh.top_k(&model, &gq.query, k);
+            let scores = model.score_all(&gq.query);
+            let mut exact: Vec<u32> = (0..scores.len() as u32).collect();
+            exact.sort_by(|&a, &b| {
+                scores[a as usize]
+                    .partial_cmp(&scores[b as usize])
+                    .expect("finite")
+            });
+            let exact_top: Vec<u32> = exact.into_iter().take(k).collect();
+            let hits = approx.iter().filter(|e| exact_top.contains(&e.0)).count();
+            recall_sum += hits as f64 / k as f64;
+            n += 1;
+        }
+        let recall = recall_sum / n as f64;
+        assert!(recall > 0.5, "LSH top-{k} recall {recall:.2} too low");
+    }
+
+    #[test]
+    fn small_pools_fall_back_to_scan() {
+        let (_, model, _) = setup();
+        // A 1-table, wide-signature index produces tiny buckets; top_k must
+        // still return k results via the fallback.
+        let sparse = EntityLsh::build(&model, 1, 24, 7);
+        let q = Query::atom(EntityId(0), halk_kg::RelationId(0));
+        let top = sparse.top_k(&model, &q, 15);
+        assert_eq!(top.len(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality")]
+    fn wrong_query_dim_panics() {
+        let (_, _, lsh) = setup();
+        let _ = lsh.candidates(&[0.0; 3]);
+    }
+}

@@ -1,0 +1,128 @@
+//! Embedding-based pruning for subgraph matching (§IV-D).
+//!
+//! "For each query, we use HaLk to obtain top-20 candidates for each
+//! variable node and add these candidates into a node set S. After that, an
+//! induced data graph based on S could be generated" — the matcher then runs
+//! on the (much smaller) induced graph, trading a little accuracy for a
+//! large online-time reduction (Fig. 6a).
+
+use crate::model::HalkModel;
+use halk_kg::{EntityId, Graph};
+use halk_logic::Query;
+
+/// Top-`k` entity candidates for *one* query node, by embedding distance.
+pub fn top_k_candidates(model: &HalkModel, query: &Query, k: usize) -> Vec<EntityId> {
+    let scores = model.score_all(query);
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        scores[a as usize]
+            .partial_cmp(&scores[b as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    idx.truncate(k);
+    idx.into_iter().map(EntityId).collect()
+}
+
+/// The candidate node set `S`: top-`k` candidates of every variable node of
+/// the computation tree (every sub-query root), plus all anchors.
+pub fn candidate_set(model: &HalkModel, query: &Query, k: usize) -> Vec<EntityId> {
+    let mut keep = vec![false; model.n_entities()];
+    // Anchors are always part of the induced graph.
+    for a in query.anchors() {
+        keep[a.index()] = true;
+    }
+    // Every operator node of the tree is a variable node of the query graph.
+    let mut subqueries: Vec<Query> = Vec::new();
+    query.visit(&mut |q| {
+        if !matches!(q, Query::Anchor(_)) {
+            subqueries.push(q.clone());
+        }
+    });
+    for sub in &subqueries {
+        for e in top_k_candidates(model, sub, k) {
+            keep[e.index()] = true;
+        }
+    }
+    keep.iter()
+        .enumerate()
+        .filter(|&(_, &k)| k)
+        .map(|(i, _)| EntityId(i as u32))
+        .collect()
+}
+
+/// Builds the induced data graph over the candidate set `S` (§IV-D).
+pub fn induced_graph(graph: &Graph, candidates: &[EntityId]) -> Graph {
+    let mut keep = vec![false; graph.n_entities()];
+    for e in candidates {
+        keep[e.index()] = true;
+    }
+    graph.induced_subgraph(&keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HalkConfig;
+    use halk_kg::{generate, RelationId, SynthConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Graph, HalkModel) {
+        let g = generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(50));
+        let model = HalkModel::new(&g, HalkConfig::tiny());
+        (g, model)
+    }
+
+    #[test]
+    fn top_k_returns_k_distinct_best() {
+        let (g, model) = setup();
+        let t = g.triples()[0];
+        let q = Query::atom(t.h, t.r);
+        let cands = top_k_candidates(&model, &q, 20);
+        assert_eq!(cands.len(), 20);
+        let mut sorted = cands.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "duplicates in top-k");
+        // They are the globally best-scoring entities.
+        let scores = model.score_all(&q);
+        let worst_kept = cands
+            .iter()
+            .map(|e| scores[e.index()])
+            .fold(f32::MIN, f32::max);
+        let better_outside = scores
+            .iter()
+            .enumerate()
+            .filter(|(i, &s)| s < worst_kept && !cands.contains(&EntityId(*i as u32)))
+            .count();
+        assert_eq!(better_outside, 0);
+    }
+
+    #[test]
+    fn candidate_set_includes_anchors_and_scales_with_nodes() {
+        let (g, model) = setup();
+        let t = g.triples()[0];
+        let q1 = Query::atom(t.h, t.r);
+        let q2 = Query::atom(t.h, t.r).project(RelationId(0));
+        let s1 = candidate_set(&model, &q1, 10);
+        let s2 = candidate_set(&model, &q2, 10);
+        assert!(s1.contains(&t.h));
+        assert!(s2.contains(&t.h));
+        // Deeper query has more variable nodes → at least as many candidates.
+        assert!(s2.len() >= s1.len());
+        assert!(s1.len() <= 11); // 10 candidates + anchor
+    }
+
+    #[test]
+    fn induced_graph_is_subgraph_and_smaller() {
+        let (g, model) = setup();
+        let t = g.triples()[0];
+        let q = Query::atom(t.h, t.r);
+        let cands = candidate_set(&model, &q, 20);
+        let sub = induced_graph(&g, &cands);
+        assert!(sub.is_subgraph_of(&g));
+        assert!(sub.n_triples() < g.n_triples());
+        // Entity id space is preserved for comparability.
+        assert_eq!(sub.n_entities(), g.n_entities());
+    }
+}

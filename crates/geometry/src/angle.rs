@@ -1,0 +1,162 @@
+//! Angular arithmetic on the circle `[0, 2π)`.
+//!
+//! HaLk measures every distance through *chord lengths* (`2ρ·sin(Δθ/2)`,
+//! Eq. 9 and Eq. 16 of the paper) precisely because chords are immune to the
+//! 2π-periodicity that breaks naive angle subtraction. The helpers here are
+//! the single source of truth for wrapping, signed differences and chords.
+
+/// The full turn, `2π`, as `f32`.
+pub const TAU: f32 = std::f32::consts::TAU;
+
+/// Normalizes an angle to the canonical range `[0, 2π)`.
+///
+/// Handles arbitrarily large magnitudes and negative inputs. `NaN` is
+/// propagated unchanged so callers can surface upstream numerical bugs
+/// instead of silently folding them onto the circle.
+///
+/// ```
+/// use halk_geometry::angle::{norm_angle, TAU};
+/// assert!((norm_angle(TAU + 1.0) - 1.0).abs() < 1e-6);
+/// assert!((norm_angle(-0.5) - (TAU - 0.5)).abs() < 1e-6);
+/// ```
+#[inline]
+pub fn norm_angle(theta: f32) -> f32 {
+    let r = theta.rem_euclid(TAU);
+    // rem_euclid can return TAU itself when theta is a tiny negative number
+    // whose remainder rounds up; fold that back to 0.
+    if r >= TAU {
+        0.0
+    } else {
+        r
+    }
+}
+
+/// Signed minimal difference `a - b`, wrapped into `(-π, π]`.
+///
+/// This is the angular displacement you would rotate through to get from `b`
+/// to `a` along the shorter way around the circle.
+///
+/// ```
+/// use halk_geometry::angle::signed_delta;
+/// use std::f32::consts::PI;
+/// assert!((signed_delta(0.1, 2.0 * PI - 0.1) - 0.2).abs() < 1e-6);
+/// ```
+#[inline]
+pub fn signed_delta(a: f32, b: f32) -> f32 {
+    let mut d = norm_angle(a) - norm_angle(b);
+    if d > std::f32::consts::PI {
+        d -= TAU;
+    } else if d <= -std::f32::consts::PI {
+        d += TAU;
+    }
+    d
+}
+
+/// Absolute minimal angular distance between two angles, in `[0, π]`.
+#[inline]
+pub fn abs_delta(a: f32, b: f32) -> f32 {
+    signed_delta(a, b).abs()
+}
+
+/// Chord length between two points on a circle of radius `rho`:
+/// `2ρ·|sin((a−b)/2)|` (the measurement standard of Eq. 9 / Eq. 16).
+///
+/// Unlike the raw angle difference, the chord is a periodic-safe metric: it
+/// is continuous across the 0/2π seam and symmetric in its arguments.
+#[inline]
+pub fn chord(a: f32, b: f32, rho: f32) -> f32 {
+    2.0 * rho * ((a - b) * 0.5).sin().abs()
+}
+
+/// Chord length subtended by an angular span `delta` (around any base point).
+#[inline]
+pub fn chord_of_span(delta: f32, rho: f32) -> f32 {
+    2.0 * rho * (delta * 0.5).sin().abs()
+}
+
+/// Converts an arclength on a circle of radius `rho` to the subtended angle.
+#[inline]
+pub fn arclen_to_angle(len: f32, rho: f32) -> f32 {
+    len / rho
+}
+
+/// Converts a subtended angle to an arclength on a circle of radius `rho`.
+#[inline]
+pub fn angle_to_arclen(alpha: f32, rho: f32) -> f32 {
+    alpha * rho
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::PI;
+
+    #[test]
+    fn norm_angle_identity_in_range() {
+        for &t in &[0.0, 0.5, PI, TAU - 1e-3] {
+            assert!((norm_angle(t) - t).abs() < 1e-6, "t={t}");
+        }
+    }
+
+    #[test]
+    fn norm_angle_wraps_negative() {
+        assert!((norm_angle(-PI) - PI).abs() < 1e-6);
+        assert!((norm_angle(-3.0 * TAU - 1.0) - (TAU - 1.0)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn norm_angle_zero_at_tau() {
+        assert_eq!(norm_angle(TAU), 0.0);
+        assert_eq!(norm_angle(0.0), 0.0);
+    }
+
+    #[test]
+    fn norm_angle_propagates_nan() {
+        assert!(norm_angle(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn signed_delta_is_antisymmetric() {
+        let (a, b) = (0.3, 5.9);
+        assert!((signed_delta(a, b) + signed_delta(b, a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn signed_delta_crosses_seam() {
+        // 0.1 and 2π-0.1 are 0.2 apart through the seam, not 2π-0.2.
+        assert!((signed_delta(0.1, TAU - 0.1) - 0.2).abs() < 1e-6);
+        assert!((signed_delta(TAU - 0.1, 0.1) + 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn signed_delta_half_turn_is_positive_pi() {
+        // The boundary case lands on +π by convention (range (-π, π]).
+        assert!((signed_delta(PI, 0.0) - PI).abs() < 1e-6);
+    }
+
+    #[test]
+    fn chord_is_periodic_safe() {
+        // Same two physical points expressed with different winding.
+        let c1 = chord(0.2, 6.0, 1.0);
+        let c2 = chord(0.2 + TAU, 6.0 - TAU, 1.0);
+        assert!((c1 - c2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn chord_max_at_antipode() {
+        // Diametrically opposite points: chord = 2ρ.
+        assert!((chord(0.0, PI, 3.0) - 6.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn chord_zero_at_same_point() {
+        assert!(chord(1.234, 1.234, 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn arclen_angle_roundtrip() {
+        let rho = 2.5;
+        let len = 3.3;
+        assert!((angle_to_arclen(arclen_to_angle(len, rho), rho) - len).abs() < 1e-6);
+    }
+}

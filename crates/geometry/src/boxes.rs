@@ -1,0 +1,212 @@
+//! Axis-aligned box segments — the geometric substrate of NewLook
+//! (Liu et al., KDD 2021) and Query2Box (Ren et al., ICLR 2020).
+//!
+//! NewLook represents a query as a hyper-rectangle `(center, offset)` in
+//! `R^d`; this module provides the per-dimension interval algebra the
+//! baseline needs: containment, intersection, the *lossy* difference that the
+//! HaLk paper criticizes (§III-C, Fig. 5a), and the Query2Box inside/outside
+//! distance. Keeping it closed-form and scalar lets the property tests pin
+//! down exactly where the box difference loses answers — the behaviour HaLk's
+//! arc difference is designed to avoid.
+
+use serde::{Deserialize, Serialize};
+
+/// One dimension of a box embedding: the interval
+/// `[center − offset, center + offset]` with `offset ≥ 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoxSeg {
+    /// Interval midpoint.
+    pub center: f32,
+    /// Non-negative half-width.
+    pub offset: f32,
+}
+
+impl BoxSeg {
+    /// Creates a box segment, clamping a negative offset to zero.
+    pub fn new(center: f32, offset: f32) -> Self {
+        Self {
+            center,
+            offset: offset.max(0.0),
+        }
+    }
+
+    /// A degenerate (point) box at `x` — the embedding of a single entity.
+    pub fn point(x: f32) -> Self {
+        Self::new(x, 0.0)
+    }
+
+    /// Lower end of the interval.
+    #[inline]
+    pub fn lo(&self) -> f32 {
+        self.center - self.offset
+    }
+
+    /// Upper end of the interval.
+    #[inline]
+    pub fn hi(&self) -> f32 {
+        self.center + self.offset
+    }
+
+    /// Whether a scalar point lies inside the interval (inclusive).
+    pub fn contains(&self, x: f32) -> bool {
+        x >= self.lo() - 1e-6 && x <= self.hi() + 1e-6
+    }
+
+    /// Exact interval intersection; `None` when disjoint.
+    pub fn intersect(&self, other: &BoxSeg) -> Option<BoxSeg> {
+        let lo = self.lo().max(other.lo());
+        let hi = self.hi().min(other.hi());
+        if lo > hi {
+            None
+        } else {
+            Some(BoxSeg::new((lo + hi) * 0.5, (hi - lo) * 0.5))
+        }
+    }
+
+    /// Length of overlap with another interval (zero when disjoint).
+    pub fn overlap_len(&self, other: &BoxSeg) -> f32 {
+        (self.hi().min(other.hi()) - self.lo().max(other.lo())).max(0.0)
+    }
+
+    /// The *lossy* single-interval difference `self − other` as a box method
+    /// must approximate it (Fig. 5a of the HaLk paper).
+    ///
+    /// The true set difference of two overlapping intervals is in general a
+    /// union of up to two intervals, which a single `(center, offset)` cannot
+    /// express. Following NewLook's shrinking behaviour, this keeps the
+    /// larger surviving side — introducing false negatives when the removed
+    /// region splits `self`, and false positives when nothing can shrink.
+    pub fn difference_lossy(&self, other: &BoxSeg) -> BoxSeg {
+        let ov_lo = self.lo().max(other.lo());
+        let ov_hi = self.hi().min(other.hi());
+        if ov_lo >= ov_hi {
+            return *self; // disjoint: nothing removed
+        }
+        if other.lo() <= self.lo() && other.hi() >= self.hi() {
+            // Fully covered: empty result (degenerate point at center).
+            return BoxSeg::new(self.center, 0.0);
+        }
+        let left_len = (ov_lo - self.lo()).max(0.0);
+        let right_len = (self.hi() - ov_hi).max(0.0);
+        if left_len >= right_len {
+            BoxSeg::new((self.lo() + ov_lo) * 0.5, left_len * 0.5)
+        } else {
+            BoxSeg::new((ov_hi + self.hi()) * 0.5, right_len * 0.5)
+        }
+    }
+
+    /// Query2Box distance from a point: `dist_outside + η·dist_inside`.
+    pub fn dist(&self, x: f32, eta: f32) -> f32 {
+        self.dist_outside(x) + eta * self.dist_inside(x)
+    }
+
+    /// Distance from `x` to the nearest interval edge, zero inside.
+    pub fn dist_outside(&self, x: f32) -> f32 {
+        (x - self.hi()).max(0.0) + (self.lo() - x).max(0.0)
+    }
+
+    /// Distance from the interval center, capped at the offset (Query2Box's
+    /// inside term).
+    pub fn dist_inside(&self, x: f32) -> f32 {
+        (x - self.center).abs().min(self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negative_offset_clamped() {
+        assert_eq!(BoxSeg::new(1.0, -0.5).offset, 0.0);
+    }
+
+    #[test]
+    fn contains_endpoints() {
+        let b = BoxSeg::new(0.0, 1.0);
+        assert!(b.contains(-1.0) && b.contains(1.0) && b.contains(0.0));
+        assert!(!b.contains(1.1));
+    }
+
+    #[test]
+    fn intersect_partial() {
+        let a = BoxSeg::new(0.0, 1.0); // [-1, 1]
+        let b = BoxSeg::new(1.0, 1.0); // [0, 2]
+        let i = a.intersect(&b).unwrap();
+        assert!((i.lo() - 0.0).abs() < 1e-6 && (i.hi() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn intersect_disjoint_is_none() {
+        let a = BoxSeg::new(0.0, 0.5);
+        let b = BoxSeg::new(3.0, 0.5);
+        assert!(a.intersect(&b).is_none());
+        assert_eq!(a.overlap_len(&b), 0.0);
+    }
+
+    #[test]
+    fn intersect_nested_returns_inner() {
+        let outer = BoxSeg::new(0.0, 2.0);
+        let inner = BoxSeg::new(0.3, 0.2);
+        let i = outer.intersect(&inner).unwrap();
+        assert!((i.center - inner.center).abs() < 1e-6);
+        assert!((i.offset - inner.offset).abs() < 1e-6);
+    }
+
+    #[test]
+    fn difference_disjoint_is_identity() {
+        let a = BoxSeg::new(0.0, 1.0);
+        let b = BoxSeg::new(5.0, 1.0);
+        assert_eq!(a.difference_lossy(&b), a);
+    }
+
+    #[test]
+    fn difference_cover_is_empty() {
+        let a = BoxSeg::new(0.0, 1.0);
+        let b = BoxSeg::new(0.0, 2.0);
+        assert_eq!(a.difference_lossy(&b).offset, 0.0);
+    }
+
+    #[test]
+    fn difference_side_cut_keeps_remainder() {
+        let a = BoxSeg::new(0.0, 1.0); // [-1, 1]
+        let b = BoxSeg::new(1.0, 0.5); // [0.5, 1.5]
+        let d = a.difference_lossy(&b); // should keep [-1, 0.5]
+        assert!((d.lo() + 1.0).abs() < 1e-6);
+        assert!((d.hi() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn difference_middle_cut_is_lossy() {
+        // Removing the middle produces two true intervals; the box keeps one
+        // and *loses* the other — the false-negative failure mode the HaLk
+        // paper highlights in Fig. 5a.
+        let a = BoxSeg::new(0.0, 2.0); // [-2, 2]
+        let b = BoxSeg::new(0.0, 0.5); // [-0.5, 0.5]
+        let d = a.difference_lossy(&b);
+        let true_left_covered = d.contains(-1.0);
+        let true_right_covered = d.contains(1.0);
+        assert!(true_left_covered ^ true_right_covered, "one side must be lost");
+    }
+
+    #[test]
+    fn dist_zero_inside() {
+        let b = BoxSeg::new(0.0, 1.0);
+        assert_eq!(b.dist_outside(0.5), 0.0);
+        assert!(b.dist_outside(2.0) > 0.0);
+    }
+
+    #[test]
+    fn dist_inside_capped() {
+        let b = BoxSeg::new(0.0, 1.0);
+        assert!((b.dist_inside(10.0) - 1.0).abs() < 1e-6);
+        assert_eq!(b.dist_inside(0.0), 0.0);
+    }
+
+    #[test]
+    fn dist_combines_terms() {
+        let b = BoxSeg::new(0.0, 1.0);
+        let d = b.dist(2.0, 0.5);
+        assert!((d - (1.0 + 0.5 * 1.0)).abs() < 1e-6);
+    }
+}

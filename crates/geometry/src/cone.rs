@@ -1,0 +1,165 @@
+//! Sector ("cone") segments — the geometric substrate of ConE
+//! (Zhang et al., NeurIPS 2021).
+//!
+//! ConE embeds a query, per dimension, as a circular sector described by an
+//! axis angle `axis ∈ [−π, π)` and a half-aperture `ap ∈ [0, π]`; the sector
+//! covers `[axis − ap, axis + ap]`. Its negation is the *closed-form linear*
+//! complement the HaLk paper criticizes, and its distance uses raw angular
+//! differences, which exhibit the periodicity "duality" that HaLk's
+//! chord-length measurement avoids (§III-G remark). Both behaviours are
+//! reproduced here faithfully so the baseline inherits the weaknesses the
+//! paper measures.
+
+use serde::{Deserialize, Serialize};
+
+/// One dimension of a ConE embedding: axis angle and half-aperture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConeSeg {
+    /// Sector axis in `[−π, π)`.
+    pub axis: f32,
+    /// Half-aperture in `[0, π]`; `π` is the full circle, `0` a ray (point).
+    pub ap: f32,
+}
+
+/// Wraps an angle into ConE's canonical `[−π, π)` range.
+#[inline]
+pub fn wrap_pi(theta: f32) -> f32 {
+    let t = (theta + std::f32::consts::PI).rem_euclid(std::f32::consts::TAU);
+    t - std::f32::consts::PI
+}
+
+impl ConeSeg {
+    /// Creates a sector, wrapping the axis and clamping the aperture.
+    pub fn new(axis: f32, ap: f32) -> Self {
+        Self {
+            axis: wrap_pi(axis),
+            ap: ap.clamp(0.0, std::f32::consts::PI),
+        }
+    }
+
+    /// A point (zero-aperture) sector — an entity embedding.
+    pub fn point(axis: f32) -> Self {
+        Self::new(axis, 0.0)
+    }
+
+    /// The full circle (universal set in ConE's geometry).
+    pub fn full() -> Self {
+        Self {
+            axis: 0.0,
+            ap: std::f32::consts::PI,
+        }
+    }
+
+    /// Whether an angle lies in the sector.
+    pub fn contains(&self, theta: f32) -> bool {
+        wrap_pi(theta - self.axis).abs() <= self.ap + 1e-6
+    }
+
+    /// ConE's closed-form complement: axis rotated by π, aperture `π − ap`.
+    /// This is the *linear* negation the HaLk paper contrasts with its
+    /// learned negation operator.
+    pub fn complement(&self) -> ConeSeg {
+        ConeSeg::new(self.axis + std::f32::consts::PI, std::f32::consts::PI - self.ap)
+    }
+
+    /// ConE's outside distance `d_con,o`: raw angular gap from the nearest
+    /// sector boundary measured with `|sin(Δ/2)|` scaling, zero inside.
+    pub fn dist_outside(&self, theta: f32) -> f32 {
+        let d = wrap_pi(theta - self.axis).abs();
+        if d <= self.ap {
+            0.0
+        } else {
+            let gap = d - self.ap;
+            2.0 * (gap * 0.5).sin().abs()
+        }
+    }
+
+    /// ConE's inside distance: pull towards the axis, capped at the aperture.
+    pub fn dist_inside(&self, theta: f32) -> f32 {
+        let d = wrap_pi(theta - self.axis).abs().min(self.ap);
+        2.0 * (d * 0.5).sin().abs()
+    }
+
+    /// Combined ConE distance `d_o + λ·d_i`.
+    pub fn dist(&self, theta: f32, lambda: f32) -> f32 {
+        self.dist_outside(theta) + lambda * self.dist_inside(theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f32::consts::{PI, TAU};
+
+    #[test]
+    fn wrap_pi_range() {
+        for i in -10..10 {
+            let w = wrap_pi(i as f32 * 1.3);
+            assert!((-PI..PI).contains(&w), "w = {w}");
+        }
+        assert!((wrap_pi(TAU + 0.5) - 0.5).abs() < 1e-5);
+        assert!((wrap_pi(-PI) - (-PI)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn contains_basic() {
+        let c = ConeSeg::new(0.0, 0.5);
+        assert!(c.contains(0.4) && c.contains(-0.4));
+        assert!(!c.contains(0.6));
+    }
+
+    #[test]
+    fn contains_wraps() {
+        let c = ConeSeg::new(PI - 0.1, 0.3); // sector straddles ±π
+        assert!(c.contains(-PI + 0.1));
+    }
+
+    #[test]
+    fn complement_partitions_circle() {
+        let c = ConeSeg::new(1.0, 0.8);
+        let n = c.complement();
+        assert!((c.ap + n.ap - PI).abs() < 1e-6);
+        // Interior points swap membership.
+        assert!(c.contains(1.0) && !n.contains(1.0));
+        let far = wrap_pi(1.0 + PI);
+        assert!(!c.contains(far) && n.contains(far));
+        // Involution.
+        let cc = n.complement();
+        assert!((wrap_pi(cc.axis - c.axis)).abs() < 1e-5);
+        assert!((cc.ap - c.ap).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_contains_everything_and_complement_is_point() {
+        let f = ConeSeg::full();
+        assert!(f.contains(2.9) && f.contains(-2.9));
+        assert_eq!(f.complement().ap, 0.0);
+    }
+
+    #[test]
+    fn dist_outside_zero_inside() {
+        let c = ConeSeg::new(0.0, 1.0);
+        assert_eq!(c.dist_outside(0.9), 0.0);
+        assert!(c.dist_outside(1.5) > 0.0);
+    }
+
+    #[test]
+    fn dist_inside_zero_on_axis() {
+        let c = ConeSeg::new(0.3, 1.0);
+        assert!(c.dist_inside(0.3).abs() < 1e-7);
+        assert!(c.dist_inside(1.0) > 0.0);
+    }
+
+    #[test]
+    fn dist_monotone_outside() {
+        let c = ConeSeg::new(0.0, 0.5);
+        assert!(c.dist_outside(1.0) < c.dist_outside(2.0));
+        assert!(c.dist_outside(2.0) < c.dist_outside(3.0));
+    }
+
+    #[test]
+    fn aperture_clamped() {
+        assert_eq!(ConeSeg::new(0.0, 7.0).ap, PI);
+        assert_eq!(ConeSeg::new(0.0, -1.0).ap, 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Closed-form geometric primitives for HaLk and its baselines.
+//!
+//! HaLk (ICDE 2023) embeds every knowledge-graph entity as a *point* on a
+//! circle of radius `ρ` and every sub-query as an *arc segment* on the same
+//! circle, one `(center, arclength)` pair per embedding dimension. This crate
+//! implements the angular arithmetic the paper relies on — start/end points
+//! (Definitions 1–2), the quadrant regularizer `Reg(·)` (Eq. 6), chord-length
+//! distances (Eq. 9, 16), the squashing function `g(·)` (Eq. 3), and the
+//! closed-form complement used to seed the negation operator (Eq. 13) —
+//! entirely free of any learning machinery so it can be tested exhaustively.
+//!
+//! Two sibling modules provide the geometric substrates of the baselines the
+//! paper compares against: axis-aligned [`boxes`] for NewLook (KDD 2021) and
+//! [`cone`] sectors for ConE (NeurIPS 2021).
+//!
+//! All functions here are scalar (one embedding dimension at a time); the
+//! model crates apply them element-wise over tensors, and the property tests
+//! in this crate pin down the invariants the learned operators must respect.
+
+pub mod angle;
+pub mod arc;
+pub mod boxes;
+pub mod cone;
+pub mod polar;
+
+pub use angle::{chord, norm_angle, signed_delta, TAU};
+pub use arc::Arc;
+pub use boxes::BoxSeg;
+pub use cone::ConeSeg;
+pub use polar::{g_squash, reg_atan2, to_polar, to_rect};
+
+/// Default circle radius `ρ` used throughout the paper (radius learning is
+/// explicitly deferred to future work in §II-A, so `ρ` is a fixed constant).
+pub const DEFAULT_RHO: f32 = 1.0;

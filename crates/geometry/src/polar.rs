@@ -1,0 +1,160 @@
+//! Polar ↔ rectangular conversion and the paper's squashing/regularizing
+//! functions.
+//!
+//! The semantic-average-center trick of the difference and intersection
+//! operators (Eq. 4–6) runs attention in *rectangular* coordinates — the
+//! only way a weighted average of periodic angles is semantically consistent
+//! — and then restores a polar angle with the quadrant regularizer `Reg(·)`.
+//! This module holds both conversions plus `g(·)` (Eq. 3), the bounded
+//! non-linearity that maps raw MLP outputs onto legal angle ranges.
+
+use crate::angle::norm_angle;
+
+/// Rectangular coordinates of a point at polar angle `theta` on a circle of
+/// radius `rho` (Eq. 4).
+#[inline]
+pub fn to_rect(theta: f32, rho: f32) -> (f32, f32) {
+    (rho * theta.cos(), rho * theta.sin())
+}
+
+/// Polar angle in `[0, 2π)` of a rectangular point `(x, y)`.
+///
+/// This is the composition of `arctan(y/x)` with the `Reg(·)` quadrant fixup
+/// of Eq. 6, implemented through `atan2` (which performs exactly that fixup)
+/// followed by wrapping into a single period. The paper's footnote about
+/// replacing `x == 0` with a small constant is unnecessary with `atan2`,
+/// which is defined there; the degenerate origin maps to angle `0`.
+#[inline]
+pub fn to_polar(x: f32, y: f32) -> f32 {
+    if x == 0.0 && y == 0.0 {
+        return 0.0;
+    }
+    norm_angle(y.atan2(x))
+}
+
+/// `Reg`-regularized arctangent of Eq. 6, kept under its paper name so model
+/// code reads like the equations. Identical to [`to_polar`].
+#[inline]
+pub fn reg_atan2(x: f32, y: f32) -> f32 {
+    to_polar(x, y)
+}
+
+/// The squashing function `g(x) = π·tanh(λx) + π` of Eq. 3, mapping any real
+/// activation into the open interval `(0, 2π)` so it is always a legal angle
+/// or arc angle.
+#[inline]
+pub fn g_squash(x: f32, lambda: f32) -> f32 {
+    std::f32::consts::PI * (lambda * x).tanh() + std::f32::consts::PI
+}
+
+/// Weighted semantic average of angles via rectangular coordinates
+/// (Eq. 4–6): converts each angle to `(x, y)`, averages with the given
+/// non-negative weights, and restores the polar angle. Returns the center of
+/// mass angle; if the weighted sum collapses to the origin (antipodal inputs
+/// with equal weight) the result falls back to the first angle, which is the
+/// degenerate-case behaviour the attention weights are trained to avoid.
+pub fn semantic_average(angles: &[f32], weights: &[f32], rho: f32) -> f32 {
+    debug_assert_eq!(angles.len(), weights.len());
+    let (mut sx, mut sy) = (0.0f32, 0.0f32);
+    for (&a, &w) in angles.iter().zip(weights) {
+        let (x, y) = to_rect(a, rho);
+        sx += w * x;
+        sy += w * y;
+    }
+    if sx.abs() < 1e-6 && sy.abs() < 1e-6 {
+        angles.first().copied().map(norm_angle).unwrap_or(0.0)
+    } else {
+        to_polar(sx, sy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::angle::{abs_delta, TAU};
+    use std::f32::consts::PI;
+
+    #[test]
+    fn rect_polar_roundtrip() {
+        for i in 0..16 {
+            let theta = i as f32 * TAU / 16.0;
+            let (x, y) = to_rect(theta, 2.0);
+            assert!(abs_delta(to_polar(x, y), theta) < 1e-5, "theta={theta}");
+        }
+    }
+
+    #[test]
+    fn to_polar_covers_all_quadrants() {
+        assert!(abs_delta(to_polar(1.0, 1.0), PI / 4.0) < 1e-6);
+        assert!(abs_delta(to_polar(-1.0, 1.0), 3.0 * PI / 4.0) < 1e-6);
+        assert!(abs_delta(to_polar(-1.0, -1.0), 5.0 * PI / 4.0) < 1e-6);
+        assert!(abs_delta(to_polar(1.0, -1.0), 7.0 * PI / 4.0) < 1e-6);
+    }
+
+    #[test]
+    fn to_polar_axes() {
+        assert_eq!(to_polar(1.0, 0.0), 0.0);
+        assert!(abs_delta(to_polar(0.0, 1.0), PI / 2.0) < 1e-6);
+        assert!(abs_delta(to_polar(-1.0, 0.0), PI) < 1e-6);
+        assert!(abs_delta(to_polar(0.0, -1.0), 3.0 * PI / 2.0) < 1e-6);
+    }
+
+    #[test]
+    fn to_polar_origin_is_zero() {
+        assert_eq!(to_polar(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn g_squash_range_is_open_zero_two_pi() {
+        // Open interval (0, 2π) in exact arithmetic; tanh saturates to ±1 in
+        // f32 for huge inputs, so the closed bounds are the testable ones.
+        for &x in &[-1e6f32, -3.0, -0.1, 0.0, 0.1, 3.0, 1e6] {
+            let y = g_squash(x, 1.0);
+            assert!((0.0..=TAU).contains(&y), "g({x}) = {y}");
+        }
+        assert!(g_squash(-3.0, 1.0) > 0.0 && g_squash(3.0, 1.0) < TAU);
+        assert!((g_squash(0.0, 1.0) - PI).abs() < 1e-6);
+    }
+
+    #[test]
+    fn g_squash_is_monotone() {
+        let ys: Vec<f32> = (-10..=10).map(|i| g_squash(i as f32 * 0.5, 0.7)).collect();
+        for w in ys.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn g_squash_lambda_controls_scale() {
+        // Larger λ saturates faster.
+        assert!(g_squash(1.0, 5.0) > g_squash(1.0, 0.5));
+    }
+
+    #[test]
+    fn semantic_average_of_identical_angles() {
+        let avg = semantic_average(&[1.2, 1.2, 1.2], &[0.2, 0.3, 0.5], 1.0);
+        assert!(abs_delta(avg, 1.2) < 1e-5);
+    }
+
+    #[test]
+    fn semantic_average_handles_seam() {
+        // Angles 0.1 and 2π−0.1 average to 0 (the seam), not π as a naive
+        // arithmetic mean of the raw values would give.
+        let avg = semantic_average(&[0.1, TAU - 0.1], &[0.5, 0.5], 1.0);
+        assert!(abs_delta(avg, 0.0) < 1e-4, "avg = {avg}");
+    }
+
+    #[test]
+    fn semantic_average_weights_pull_towards_heavier_input() {
+        let avg = semantic_average(&[0.0, 1.0], &[0.9, 0.1], 1.0);
+        assert!(avg < 0.5);
+    }
+
+    #[test]
+    fn semantic_average_degenerate_antipodes() {
+        let avg = semantic_average(&[0.0, PI], &[0.5, 0.5], 1.0);
+        // Falls back to the first input instead of NaN.
+        assert!(avg.is_finite());
+        assert!(abs_delta(avg, 0.0) < 1e-5);
+    }
+}

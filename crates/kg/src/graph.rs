@@ -1,0 +1,300 @@
+//! The knowledge-graph triple store.
+//!
+//! `G = {V, R, T}` of §II-A: entities, relations and fact triples `(h, r, t)`.
+//! Storage is one CSR index per relation in each direction, so the two
+//! operations everything else is built on — `neighbors(h, r)` for the
+//! projection operator's ground truth and `inverse_neighbors(t, r)` for
+//! backward query sampling — are contiguous slice lookups, and membership
+//! `has(h, r, t)` is a binary search.
+
+use crate::ids::{EntityId, RelationId};
+use serde::{Deserialize, Serialize};
+
+/// A fact triple `(head, relation, tail)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Triple {
+    /// Subject (head) entity.
+    pub h: EntityId,
+    /// Predicate (relation).
+    pub r: RelationId,
+    /// Object (tail) entity.
+    pub t: EntityId,
+}
+
+impl Triple {
+    /// Convenience constructor from raw ids.
+    pub fn new(h: u32, r: u32, t: u32) -> Self {
+        Self {
+            h: EntityId(h),
+            r: RelationId(r),
+            t: EntityId(t),
+        }
+    }
+}
+
+/// Compressed sparse rows over entities: `offsets[e]..offsets[e+1]` indexes
+/// the sorted neighbor list of entity `e`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    fn build(n_entities: usize, pairs: &mut Vec<(u32, u32)>) -> Self {
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut offsets = vec![0u32; n_entities + 1];
+        for &(src, _) in pairs.iter() {
+            offsets[src as usize + 1] += 1;
+        }
+        for i in 0..n_entities {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets = pairs.iter().map(|&(_, dst)| dst).collect();
+        Self { offsets, targets }
+    }
+
+    #[inline]
+    fn neighbors(&self, e: usize) -> &[u32] {
+        &self.targets[self.offsets[e] as usize..self.offsets[e + 1] as usize]
+    }
+}
+
+/// An immutable knowledge graph with per-relation forward and inverse
+/// adjacency indexes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Graph {
+    n_entities: usize,
+    n_relations: usize,
+    triples: Vec<Triple>,
+    out: Vec<Csr>,
+    inv: Vec<Csr>,
+}
+
+impl Graph {
+    /// Builds a graph from a triple list. Duplicates are removed; triples
+    /// referencing entities/relations beyond the declared counts panic.
+    pub fn from_triples(n_entities: usize, n_relations: usize, triples: Vec<Triple>) -> Self {
+        let mut tri = triples;
+        tri.sort_unstable();
+        tri.dedup();
+        for t in &tri {
+            assert!(
+                t.h.index() < n_entities && t.t.index() < n_entities,
+                "triple {t:?} references entity out of range (n={n_entities})"
+            );
+            assert!(
+                t.r.index() < n_relations,
+                "triple {t:?} references relation out of range (m={n_relations})"
+            );
+        }
+        let mut out = Vec::with_capacity(n_relations);
+        let mut inv = Vec::with_capacity(n_relations);
+        for r in 0..n_relations {
+            let mut fwd: Vec<(u32, u32)> = tri
+                .iter()
+                .filter(|t| t.r.index() == r)
+                .map(|t| (t.h.0, t.t.0))
+                .collect();
+            let mut bwd: Vec<(u32, u32)> = fwd.iter().map(|&(h, t)| (t, h)).collect();
+            out.push(Csr::build(n_entities, &mut fwd));
+            inv.push(Csr::build(n_entities, &mut bwd));
+        }
+        Self {
+            n_entities,
+            n_relations,
+            triples: tri,
+            out,
+            inv,
+        }
+    }
+
+    /// Number of entities `|V|`.
+    #[inline]
+    pub fn n_entities(&self) -> usize {
+        self.n_entities
+    }
+
+    /// Number of relations `|R|`.
+    #[inline]
+    pub fn n_relations(&self) -> usize {
+        self.n_relations
+    }
+
+    /// Number of distinct triples `|T|`.
+    #[inline]
+    pub fn n_triples(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// The sorted, deduplicated triple list.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Tails reachable from `h` by relation `r` (sorted).
+    #[inline]
+    pub fn neighbors(&self, h: EntityId, r: RelationId) -> &[u32] {
+        self.out[r.index()].neighbors(h.index())
+    }
+
+    /// Heads that reach `t` by relation `r` (sorted).
+    #[inline]
+    pub fn inverse_neighbors(&self, t: EntityId, r: RelationId) -> &[u32] {
+        self.inv[r.index()].neighbors(t.index())
+    }
+
+    /// Whether the fact `(h, r, t)` is present.
+    pub fn has(&self, h: EntityId, r: RelationId, t: EntityId) -> bool {
+        self.neighbors(h, r).binary_search(&t.0).is_ok()
+    }
+
+    /// Out-degree of `h` under relation `r`.
+    pub fn out_degree(&self, h: EntityId, r: RelationId) -> usize {
+        self.neighbors(h, r).len()
+    }
+
+    /// Total degree (all relations, both directions) of an entity.
+    pub fn degree(&self, e: EntityId) -> usize {
+        (0..self.n_relations)
+            .map(|r| {
+                self.neighbors(e, RelationId(r as u32)).len()
+                    + self.inverse_neighbors(e, RelationId(r as u32)).len()
+            })
+            .sum()
+    }
+
+    /// Iterator over all entity ids.
+    pub fn entities(&self) -> impl Iterator<Item = EntityId> + '_ {
+        (0..self.n_entities as u32).map(EntityId)
+    }
+
+    /// Iterator over all relation ids.
+    pub fn relations(&self) -> impl Iterator<Item = RelationId> + '_ {
+        (0..self.n_relations as u32).map(RelationId)
+    }
+
+    /// Relations with at least one outgoing edge from `h` — used by the
+    /// matching engine's candidate filtering.
+    pub fn relations_from(&self, h: EntityId) -> Vec<RelationId> {
+        self.relations()
+            .filter(|&r| !self.neighbors(h, r).is_empty())
+            .collect()
+    }
+
+    /// Returns a new graph restricted to the given entity set (edges with
+    /// both endpoints inside). Entity ids are preserved, so embeddings and
+    /// answers remain comparable — this is the "induced data graph" of the
+    /// pruning experiment (§IV-D).
+    pub fn induced_subgraph(&self, keep: &[bool]) -> Graph {
+        assert_eq!(keep.len(), self.n_entities);
+        let tri: Vec<Triple> = self
+            .triples
+            .iter()
+            .filter(|t| keep[t.h.index()] && keep[t.t.index()])
+            .copied()
+            .collect();
+        Graph::from_triples(self.n_entities, self.n_relations, tri)
+    }
+
+    /// True when every triple of `self` is also in `other` — the
+    /// `G_train ⊆ G_valid ⊆ G_test` invariant of §IV-A.
+    pub fn is_subgraph_of(&self, other: &Graph) -> bool {
+        self.triples.iter().all(|t| other.has(t.h, t.r, t.t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Graph {
+        // 0 -r0-> 1, 0 -r0-> 2, 1 -r1-> 2, 2 -r0-> 0
+        Graph::from_triples(
+            3,
+            2,
+            vec![
+                Triple::new(0, 0, 1),
+                Triple::new(0, 0, 2),
+                Triple::new(1, 1, 2),
+                Triple::new(2, 0, 0),
+            ],
+        )
+    }
+
+    #[test]
+    fn neighbors_sorted_and_complete() {
+        let g = toy();
+        assert_eq!(g.neighbors(EntityId(0), RelationId(0)), &[1, 2]);
+        assert_eq!(g.neighbors(EntityId(1), RelationId(0)), &[] as &[u32]);
+        assert_eq!(g.neighbors(EntityId(1), RelationId(1)), &[2]);
+    }
+
+    #[test]
+    fn inverse_neighbors() {
+        let g = toy();
+        assert_eq!(g.inverse_neighbors(EntityId(2), RelationId(0)), &[0]);
+        assert_eq!(g.inverse_neighbors(EntityId(0), RelationId(0)), &[2]);
+        assert_eq!(g.inverse_neighbors(EntityId(2), RelationId(1)), &[1]);
+    }
+
+    #[test]
+    fn has_and_degree() {
+        let g = toy();
+        assert!(g.has(EntityId(0), RelationId(0), EntityId(1)));
+        assert!(!g.has(EntityId(1), RelationId(0), EntityId(0)));
+        assert_eq!(g.out_degree(EntityId(0), RelationId(0)), 2);
+        assert_eq!(g.degree(EntityId(2)), 3); // in: 0->2, 1->2; out: 2->0
+    }
+
+    #[test]
+    fn duplicates_removed() {
+        let g = Graph::from_triples(
+            2,
+            1,
+            vec![Triple::new(0, 0, 1), Triple::new(0, 0, 1), Triple::new(0, 0, 1)],
+        );
+        assert_eq!(g.n_triples(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_entity() {
+        Graph::from_triples(2, 1, vec![Triple::new(0, 0, 5)]);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = toy();
+        let sub = g.induced_subgraph(&[true, false, true]);
+        // Only edges among {0, 2} survive.
+        assert_eq!(sub.n_triples(), 2);
+        assert!(sub.has(EntityId(0), RelationId(0), EntityId(2)));
+        assert!(sub.has(EntityId(2), RelationId(0), EntityId(0)));
+        assert!(!sub.has(EntityId(0), RelationId(0), EntityId(1)));
+    }
+
+    #[test]
+    fn subgraph_relation() {
+        let g = toy();
+        let smaller = Graph::from_triples(3, 2, vec![Triple::new(0, 0, 1)]);
+        assert!(smaller.is_subgraph_of(&g));
+        assert!(!g.is_subgraph_of(&smaller));
+        assert!(g.is_subgraph_of(&g));
+    }
+
+    #[test]
+    fn relations_from_lists_active_only() {
+        let g = toy();
+        assert_eq!(g.relations_from(EntityId(1)), vec![RelationId(1)]);
+        assert_eq!(g.relations_from(EntityId(0)), vec![RelationId(0)]);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Graph::from_triples(4, 2, vec![]);
+        assert_eq!(g.n_triples(), 0);
+        assert_eq!(g.neighbors(EntityId(3), RelationId(1)), &[] as &[u32]);
+    }
+}

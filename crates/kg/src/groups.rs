@@ -1,0 +1,228 @@
+//! Random node grouping and the relation-based 3-D group adjacency matrix.
+//!
+//! §II-A of the paper: "we randomly divide all the nodes in KGs into
+//! different groups with video-memory-friendly size and record the group
+//! ownership of each node by one-hot vectors. In addition, a relation-based
+//! 3D adjacency matrix is adopted to track the connectivity between groups
+//! based on each predicate." The intersection operator (Eq. 10) and the loss
+//! (Eq. 17) consume this coarse-grained signal.
+//!
+//! With at most 64 groups a group *set* is a `u64` bitmask: entity one-hot
+//! vectors are single-bit masks, the multi-hot vectors `h_{U_t} = h_{U_1} ⊙
+//! h_{U_2} ⊙ ⋯` are bitwise ANDs, and `‖h_v − h_U‖₁` is a popcount.
+
+use crate::graph::Graph;
+use crate::ids::{EntityId, RelationId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Maximum supported number of groups (one `u64` of mask bits).
+pub const MAX_GROUPS: usize = 64;
+
+/// A random partition of entities into groups plus the per-relation group
+/// connectivity matrix `M_r[i][k]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Grouping {
+    n_groups: usize,
+    group_of: Vec<u8>,
+    /// `adj[r.index()][i]` = bitmask of groups `k` with `M_r^{ik} = 1`.
+    adj: Vec<Vec<u64>>,
+    /// Same for the inverse direction (needed when queries traverse edges
+    /// backwards during sampling).
+    adj_inv: Vec<Vec<u64>>,
+}
+
+impl Grouping {
+    /// Randomly partitions the graph's entities into `n_groups` groups and
+    /// builds the 3-D adjacency matrix.
+    ///
+    /// # Panics
+    /// If `n_groups` is zero or exceeds [`MAX_GROUPS`].
+    pub fn random(graph: &Graph, n_groups: usize, rng: &mut impl Rng) -> Self {
+        assert!(
+            (1..=MAX_GROUPS).contains(&n_groups),
+            "n_groups must be in 1..={MAX_GROUPS}"
+        );
+        let group_of: Vec<u8> = (0..graph.n_entities())
+            .map(|_| rng.gen_range(0..n_groups) as u8)
+            .collect();
+        let mut adj = vec![vec![0u64; n_groups]; graph.n_relations()];
+        let mut adj_inv = vec![vec![0u64; n_groups]; graph.n_relations()];
+        for t in graph.triples() {
+            let gi = group_of[t.h.index()] as usize;
+            let gk = group_of[t.t.index()] as usize;
+            adj[t.r.index()][gi] |= 1 << gk;
+            adj_inv[t.r.index()][gk] |= 1 << gi;
+        }
+        Self {
+            n_groups,
+            group_of,
+            adj,
+            adj_inv,
+        }
+    }
+
+    /// Number of groups.
+    pub fn n_groups(&self) -> usize {
+        self.n_groups
+    }
+
+    /// Group index of an entity.
+    pub fn group_of(&self, e: EntityId) -> usize {
+        self.group_of[e.index()] as usize
+    }
+
+    /// One-hot mask `h_v` of an entity.
+    #[inline]
+    pub fn mask_of(&self, e: EntityId) -> u64 {
+        1u64 << self.group_of[e.index()]
+    }
+
+    /// Mask with every group bit set — the multi-hot vector of the universal
+    /// set (used when a negation makes the reachable groups unbounded).
+    pub fn full_mask(&self) -> u64 {
+        if self.n_groups == MAX_GROUPS {
+            u64::MAX
+        } else {
+            (1u64 << self.n_groups) - 1
+        }
+    }
+
+    /// Propagates a group mask through relation `r`: the groups reachable by
+    /// one `r`-hop from any group in `mask` (the `M_r` product of §II-A).
+    pub fn propagate(&self, mask: u64, r: RelationId) -> u64 {
+        let rows = &self.adj[r.index()];
+        let mut out = 0u64;
+        let mut m = mask;
+        while m != 0 {
+            let g = m.trailing_zeros() as usize;
+            out |= rows[g];
+            m &= m - 1;
+        }
+        out
+    }
+
+    /// Propagates a group mask through relation `r` backwards.
+    pub fn propagate_inverse(&self, mask: u64, r: RelationId) -> u64 {
+        let rows = &self.adj_inv[r.index()];
+        let mut out = 0u64;
+        let mut m = mask;
+        while m != 0 {
+            let g = m.trailing_zeros() as usize;
+            out |= rows[g];
+            m &= m - 1;
+        }
+        out
+    }
+
+    /// `‖h_a − h_b‖₁` for two group masks: the Hamming distance (popcount of
+    /// the symmetric difference).
+    #[inline]
+    pub fn l1_distance(a: u64, b: u64) -> u32 {
+        (a ^ b).count_ones()
+    }
+
+    /// The similarity weight `z = 1 / (‖h_a − h_b‖₁ + 1)` of Eq. 10.
+    #[inline]
+    pub fn similarity(a: u64, b: u64) -> f32 {
+        1.0 / (Self::l1_distance(a, b) as f32 + 1.0)
+    }
+
+    /// The penalty `‖Relu(h_v − h_U)‖₁` of Eq. 17: group bits the entity has
+    /// but the query's multi-hot does not (an entity outside every reachable
+    /// group is penalized).
+    #[inline]
+    pub fn relu_l1(entity_mask: u64, query_mask: u64) -> u32 {
+        (entity_mask & !query_mask).count_ones()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Triple;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> (Graph, Grouping) {
+        let g = Graph::from_triples(
+            6,
+            2,
+            vec![
+                Triple::new(0, 0, 1),
+                Triple::new(1, 0, 2),
+                Triple::new(2, 1, 3),
+                Triple::new(4, 1, 5),
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(11);
+        let grouping = Grouping::random(&g, 4, &mut rng);
+        (g, grouping)
+    }
+
+    #[test]
+    fn every_entity_gets_a_group() {
+        let (g, gr) = toy();
+        for e in g.entities() {
+            assert!(gr.group_of(e) < gr.n_groups());
+            assert_eq!(gr.mask_of(e).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn adjacency_reflects_edges() {
+        let (g, gr) = toy();
+        for t in g.triples() {
+            let from = gr.mask_of(t.h);
+            let reached = gr.propagate(from, t.r);
+            assert!(
+                reached & gr.mask_of(t.t) != 0,
+                "edge {t:?} missing from group adjacency"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_adjacency_mirrors_forward() {
+        let (g, gr) = toy();
+        for t in g.triples() {
+            let back = gr.propagate_inverse(gr.mask_of(t.t), t.r);
+            assert!(back & gr.mask_of(t.h) != 0);
+        }
+    }
+
+    #[test]
+    fn propagate_empty_mask_is_empty() {
+        let (_, gr) = toy();
+        assert_eq!(gr.propagate(0, RelationId(0)), 0);
+    }
+
+    #[test]
+    fn full_mask_has_n_bits() {
+        let (_, gr) = toy();
+        assert_eq!(gr.full_mask().count_ones() as usize, gr.n_groups());
+    }
+
+    #[test]
+    fn l1_and_similarity() {
+        assert_eq!(Grouping::l1_distance(0b1010, 0b1010), 0);
+        assert_eq!(Grouping::l1_distance(0b1010, 0b0101), 4);
+        assert!((Grouping::similarity(0b1, 0b1) - 1.0).abs() < 1e-6);
+        assert!((Grouping::similarity(0b01, 0b10) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_l1_counts_uncovered_bits() {
+        // Entity in group 2 (bit 0b100); query mask covers groups 0 and 1.
+        assert_eq!(Grouping::relu_l1(0b100, 0b011), 1);
+        assert_eq!(Grouping::relu_l1(0b100, 0b111), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_groups")]
+    fn rejects_too_many_groups() {
+        let g = Graph::from_triples(1, 1, vec![]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = Grouping::random(&g, 65, &mut rng);
+    }
+}

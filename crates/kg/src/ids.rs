@@ -1,0 +1,79 @@
+//! Typed identifiers for entities and relations.
+//!
+//! Newtypes over `u32` keep the adjacency structures compact (the datasets
+//! of §IV-A are far below 4 G entities) while making it impossible to use an
+//! entity id where a relation id is expected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of an entity (a node of the knowledge graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EntityId(pub u32);
+
+/// Identifier of a relation (an edge label / predicate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RelationId(pub u32);
+
+impl EntityId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl RelationId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for RelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u32> for EntityId {
+    fn from(v: u32) -> Self {
+        EntityId(v)
+    }
+}
+
+impl From<u32> for RelationId {
+    fn from(v: u32) -> Self {
+        RelationId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(EntityId(3).to_string(), "e3");
+        assert_eq!(RelationId(7).to_string(), "r7");
+    }
+
+    #[test]
+    fn ordering_follows_numeric() {
+        assert!(EntityId(1) < EntityId(2));
+        assert!(RelationId(0) < RelationId(10));
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(EntityId::from(5u32).index(), 5);
+        assert_eq!(RelationId::from(9u32).index(), 9);
+    }
+}

@@ -1,0 +1,22 @@
+//! Knowledge-graph substrate for the HaLk reproduction.
+//!
+//! Provides the triple store (`G = {V, R, T}` of §II-A) with per-relation
+//! CSR adjacency in both directions, the random node [`groups::Grouping`]
+//! with its relation-based 3-D group adjacency matrix, nested
+//! train ⊆ valid ⊆ test [`split::DatasetSplit`]s, TSV persistence, and the
+//! [`synth`] generators that stand in for FB15k / FB15k-237 / NELL995
+//! (substitution rationale in DESIGN.md §4).
+
+pub mod graph;
+pub mod groups;
+pub mod ids;
+pub mod split;
+pub mod stats;
+pub mod synth;
+pub mod tsv;
+
+pub use graph::{Graph, Triple};
+pub use groups::Grouping;
+pub use ids::{EntityId, RelationId};
+pub use split::{Dataset, DatasetSplit};
+pub use synth::{generate, SynthConfig};

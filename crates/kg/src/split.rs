@@ -1,0 +1,221 @@
+//! Train / validation / test splits with the paper's nesting invariant.
+//!
+//! §IV-A: "We create three graphs respectively for training, validation and
+//! test, which satisfies `G_training ⊆ G_validation ⊆ G_test`." The *test*
+//! graph is the full generated graph; validation removes a slice of its
+//! triples; training removes another. Queries sampled on the larger graphs
+//! thus have "hard" answers that require generalizing over missing edges —
+//! the incomplete-KG setting embedding methods are built for.
+
+use crate::graph::{Graph, Triple};
+use crate::ids::{EntityId, RelationId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The three nested graphs of the benchmark protocol.
+#[derive(Debug, Clone)]
+pub struct DatasetSplit {
+    /// Training graph (smallest).
+    pub train: Graph,
+    /// Validation graph (train plus a held-out slice).
+    pub valid: Graph,
+    /// Test graph (everything).
+    pub test: Graph,
+}
+
+impl DatasetSplit {
+    /// Splits `full` so that `train` keeps `train_frac` of the triples and
+    /// `valid` keeps `train_frac + valid_frac` (the remainder appearing only
+    /// in `test`).
+    ///
+    /// A spanning core — one incident triple per entity and one triple per
+    /// relation — is always forced into `train`, so every embedding receives
+    /// training signal and samplers never hit an untrained id.
+    ///
+    /// # Panics
+    /// If the fractions are not in `(0, 1]` or exceed 1 combined.
+    pub fn nested(full: &Graph, train_frac: f64, valid_frac: f64, rng: &mut impl Rng) -> Self {
+        assert!(train_frac > 0.0 && train_frac <= 1.0);
+        assert!(valid_frac >= 0.0 && train_frac + valid_frac <= 1.0);
+
+        let triples = full.triples().to_vec();
+        let n = triples.len();
+
+        // Spanning core: greedily cover entities and relations.
+        let mut in_core = vec![false; n];
+        let mut entity_covered = vec![false; full.n_entities()];
+        let mut relation_covered = vec![false; full.n_relations()];
+        for (i, t) in triples.iter().enumerate() {
+            let need = !entity_covered[t.h.index()]
+                || !entity_covered[t.t.index()]
+                || !relation_covered[t.r.index()];
+            if need {
+                in_core[i] = true;
+                entity_covered[t.h.index()] = true;
+                entity_covered[t.t.index()] = true;
+                relation_covered[t.r.index()] = true;
+            }
+        }
+
+        let mut rest: Vec<usize> = (0..n).filter(|&i| !in_core[i]).collect();
+        rest.shuffle(rng);
+
+        let n_train_target = ((n as f64) * train_frac).round() as usize;
+        let core_count = in_core.iter().filter(|&&b| b).count();
+        let extra_train = n_train_target.saturating_sub(core_count).min(rest.len());
+        let n_valid_extra = ((n as f64) * valid_frac).round() as usize;
+
+        let mut train_triples: Vec<Triple> =
+            (0..n).filter(|&i| in_core[i]).map(|i| triples[i]).collect();
+        train_triples.extend(rest[..extra_train].iter().map(|&i| triples[i]));
+
+        let mut valid_triples = train_triples.clone();
+        let valid_take = n_valid_extra.min(rest.len() - extra_train);
+        valid_triples.extend(
+            rest[extra_train..extra_train + valid_take]
+                .iter()
+                .map(|&i| triples[i]),
+        );
+
+        let train = Graph::from_triples(full.n_entities(), full.n_relations(), train_triples);
+        let valid = Graph::from_triples(full.n_entities(), full.n_relations(), valid_triples);
+        Self {
+            train,
+            valid,
+            test: full.clone(),
+        }
+    }
+
+    /// Checks the `G_train ⊆ G_valid ⊆ G_test` invariant.
+    pub fn is_nested(&self) -> bool {
+        self.train.is_subgraph_of(&self.valid) && self.valid.is_subgraph_of(&self.test)
+    }
+
+    /// Triples in `test` but not `train` — the unseen facts evaluation
+    /// queries must generalize over.
+    pub fn held_out_triples(&self) -> Vec<Triple> {
+        self.test
+            .triples()
+            .iter()
+            .filter(|t| !self.train.has(t.h, t.r, t.t))
+            .copied()
+            .collect()
+    }
+}
+
+/// A named dataset: a split plus the label used in the paper's tables.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Table label ("FB15k", "FB237", "NELL").
+    pub name: &'static str,
+    /// The nested split.
+    pub split: DatasetSplit,
+}
+
+impl Dataset {
+    /// Generates the three benchmark stand-ins with the standard 80/10/10
+    /// nesting (see DESIGN.md §4 for the substitution rationale).
+    pub fn standard_suite(rng: &mut impl Rng) -> Vec<Dataset> {
+        use crate::synth::{generate, SynthConfig};
+        [
+            ("FB15k", SynthConfig::fb15k_like()),
+            ("FB237", SynthConfig::fb237_like()),
+            ("NELL", SynthConfig::nell_like()),
+        ]
+        .into_iter()
+        .map(|(name, cfg)| {
+            let full = generate(&cfg, rng);
+            Dataset {
+                name,
+                split: DatasetSplit::nested(&full, 0.8, 0.1, rng),
+            }
+        })
+        .collect()
+    }
+}
+
+/// Ensures ids referenced by queries are valid in all three graphs (they
+/// share entity/relation counts by construction; this asserts it).
+pub fn assert_aligned(split: &DatasetSplit) {
+    assert_eq!(split.train.n_entities(), split.test.n_entities());
+    assert_eq!(split.valid.n_entities(), split.test.n_entities());
+    assert_eq!(split.train.n_relations(), split.test.n_relations());
+    assert_eq!(split.valid.n_relations(), split.test.n_relations());
+    let _ = (
+        EntityId(0).index(),
+        RelationId(0).index(), // typed-id sanity anchor
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn split() -> DatasetSplit {
+        let mut rng = StdRng::seed_from_u64(10);
+        let full = generate(&SynthConfig::fb237_like(), &mut rng);
+        DatasetSplit::nested(&full, 0.8, 0.1, &mut rng)
+    }
+
+    #[test]
+    fn nesting_invariant_holds() {
+        let s = split();
+        assert!(s.is_nested());
+        assert_aligned(&s);
+    }
+
+    #[test]
+    fn sizes_monotone() {
+        let s = split();
+        assert!(s.train.n_triples() < s.valid.n_triples());
+        assert!(s.valid.n_triples() < s.test.n_triples());
+    }
+
+    #[test]
+    fn train_fraction_respected() {
+        let s = split();
+        let frac = s.train.n_triples() as f64 / s.test.n_triples() as f64;
+        assert!((0.75..0.9).contains(&frac), "train frac {frac}");
+    }
+
+    #[test]
+    fn all_entities_and_relations_trained() {
+        let s = split();
+        for e in s.test.entities() {
+            assert!(s.train.degree(e) > 0, "entity {e} unseen in train");
+        }
+        for r in s.test.relations() {
+            let any = s
+                .train
+                .triples()
+                .iter()
+                .any(|t| t.r == r);
+            assert!(any, "relation {r} unseen in train");
+        }
+    }
+
+    #[test]
+    fn held_out_triples_are_test_only() {
+        let s = split();
+        let held = s.held_out_triples();
+        assert!(!held.is_empty());
+        for t in &held {
+            assert!(s.test.has(t.h, t.r, t.t));
+            assert!(!s.train.has(t.h, t.r, t.t));
+        }
+    }
+
+    #[test]
+    fn standard_suite_has_three_named_datasets() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let suite = Dataset::standard_suite(&mut rng);
+        let names: Vec<_> = suite.iter().map(|d| d.name).collect();
+        assert_eq!(names, vec!["FB15k", "FB237", "NELL"]);
+        for d in &suite {
+            assert!(d.split.is_nested(), "{} not nested", d.name);
+        }
+    }
+}

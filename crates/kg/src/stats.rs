@@ -1,0 +1,109 @@
+//! Descriptive statistics used to validate that the synthetic stand-ins
+//! exhibit the dataset "personalities" the paper's comparisons rely on.
+
+use crate::graph::Graph;
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub n_entities: usize,
+    /// `|R|`.
+    pub n_relations: usize,
+    /// `|T|`.
+    pub n_triples: usize,
+    /// Average (out+in) degree per entity.
+    pub avg_degree: f64,
+    /// Maximum entity degree.
+    pub max_degree: usize,
+    /// Median entity degree.
+    pub median_degree: usize,
+    /// Fraction of ordered relation pairs `(r, r')` where `r'` contains the
+    /// inverse of ≥80% of `r`'s triples — the FB15k leakage indicator.
+    pub inverse_leakage: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for a graph.
+    pub fn compute(g: &Graph) -> Self {
+        let mut degs: Vec<usize> = g.entities().map(|e| g.degree(e)).collect();
+        degs.sort_unstable();
+        let n = degs.len().max(1);
+        let avg = degs.iter().sum::<usize>() as f64 / n as f64;
+
+        // Inverse leakage: count relations that have an (approximate)
+        // inverse twin somewhere in the relation set.
+        let mut leaked = 0usize;
+        let mut measured = 0usize;
+        for r in g.relations() {
+            let triples: Vec<_> = g.triples().iter().filter(|t| t.r == r).collect();
+            if triples.len() < 5 {
+                continue;
+            }
+            measured += 1;
+            let found_twin = g.relations().any(|r2| {
+                if r2 == r {
+                    return false;
+                }
+                let hits = triples
+                    .iter()
+                    .filter(|t| g.has(t.t, r2, t.h))
+                    .count();
+                hits * 10 >= triples.len() * 8
+            });
+            if found_twin {
+                leaked += 1;
+            }
+        }
+
+        Self {
+            n_entities: g.n_entities(),
+            n_relations: g.n_relations(),
+            n_triples: g.n_triples(),
+            avg_degree: avg,
+            max_degree: degs.last().copied().unwrap_or(0),
+            median_degree: degs[degs.len() / 2.max(1) - if degs.len() > 1 { 0 } else { 0 }],
+            inverse_leakage: if measured == 0 {
+                0.0
+            } else {
+                leaked as f64 / measured as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fb15k_like_leaks_fb237_like_does_not() {
+        let mut rng = StdRng::seed_from_u64(20);
+        let fb = GraphStats::compute(&generate(&SynthConfig::fb15k_like(), &mut rng));
+        let fb237 = GraphStats::compute(&generate(&SynthConfig::fb237_like(), &mut rng));
+        assert!(
+            fb.inverse_leakage > 0.9,
+            "fb15k-like leakage {}",
+            fb.inverse_leakage
+        );
+        assert!(
+            fb237.inverse_leakage < 0.2,
+            "fb237-like leakage {}",
+            fb237.inverse_leakage
+        );
+    }
+
+    #[test]
+    fn stats_fields_consistent() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = generate(&SynthConfig::nell_like(), &mut rng);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.n_entities, g.n_entities());
+        assert_eq!(s.n_triples, g.n_triples());
+        assert!(s.max_degree >= s.median_degree);
+        assert!(s.avg_degree > 0.0);
+    }
+}

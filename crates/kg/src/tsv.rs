@@ -1,0 +1,118 @@
+//! TSV persistence for graphs — the interchange format the original
+//! benchmarks use (`head \t relation \t tail`, one triple per line).
+
+use crate::graph::{Graph, Triple};
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Writes a graph as TSV with a `# entities relations` header comment so the
+/// exact shape round-trips even when trailing entities are isolated.
+pub fn save(graph: &Graph, path: &Path) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    writeln!(w, "# {} {}", graph.n_entities(), graph.n_relations())?;
+    for t in graph.triples() {
+        writeln!(w, "{}\t{}\t{}", t.h.0, t.r.0, t.t.0)?;
+    }
+    w.flush()
+}
+
+/// Reads a graph written by [`save`]. Lines starting with `#` other than the
+/// header are ignored; malformed lines produce an error naming the line
+/// number.
+pub fn load(path: &Path) -> io::Result<Graph> {
+    let f = std::fs::File::open(path)?;
+    let reader = io::BufReader::new(f);
+    let mut n_entities = 0usize;
+    let mut n_relations = 0usize;
+    let mut have_header = false;
+    let mut triples = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if !have_header {
+                let mut it = rest.split_whitespace();
+                if let (Some(e), Some(r)) = (it.next(), it.next()) {
+                    n_entities = e.parse().map_err(|_| bad_line(lineno))?;
+                    n_relations = r.parse().map_err(|_| bad_line(lineno))?;
+                    have_header = true;
+                }
+            }
+            continue;
+        }
+        let mut it = line.split('\t');
+        let (h, r, t) = (
+            it.next().ok_or_else(|| bad_line(lineno))?,
+            it.next().ok_or_else(|| bad_line(lineno))?,
+            it.next().ok_or_else(|| bad_line(lineno))?,
+        );
+        let h: u32 = h.parse().map_err(|_| bad_line(lineno))?;
+        let r: u32 = r.parse().map_err(|_| bad_line(lineno))?;
+        let t: u32 = t.parse().map_err(|_| bad_line(lineno))?;
+        triples.push(Triple::new(h, r, t));
+    }
+    if !have_header {
+        // Infer shape from content for foreign TSV files.
+        n_entities = triples
+            .iter()
+            .map(|t| t.h.0.max(t.t.0) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        n_relations = triples.iter().map(|t| t.r.0 as usize + 1).max().unwrap_or(0);
+    }
+    Ok(Graph::from_triples(n_entities, n_relations, triples))
+}
+
+fn bad_line(lineno: usize) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed TSV at line {}", lineno + 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(1));
+        let dir = std::env::temp_dir().join("halk_kg_tsv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.tsv");
+        save(&g, &path).unwrap();
+        let g2 = load(&path).unwrap();
+        assert_eq!(g.n_entities(), g2.n_entities());
+        assert_eq!(g.n_relations(), g2.n_relations());
+        assert_eq!(g.triples(), g2.triples());
+    }
+
+    #[test]
+    fn load_without_header_infers_shape() {
+        let dir = std::env::temp_dir().join("halk_kg_tsv_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("raw.tsv");
+        std::fs::write(&path, "0\t0\t1\n2\t1\t0\n").unwrap();
+        let g = load(&path).unwrap();
+        assert_eq!(g.n_entities(), 3);
+        assert_eq!(g.n_relations(), 2);
+        assert_eq!(g.n_triples(), 2);
+    }
+
+    #[test]
+    fn malformed_line_errors_with_position() {
+        let dir = std::env::temp_dir().join("halk_kg_tsv_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.tsv");
+        std::fs::write(&path, "0\t0\t1\nnot a triple\n").unwrap();
+        let err = load(&path).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+    }
+}

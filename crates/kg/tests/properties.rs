@@ -1,0 +1,92 @@
+//! Property-based tests for the KG substrate: adjacency consistency,
+//! grouping soundness and split nesting on randomly parameterized graphs.
+
+use halk_kg::{generate, DatasetSplit, EntityId, Grouping, RelationId, SynthConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_config() -> impl Strategy<Value = SynthConfig> {
+    (60usize..200, 4usize..12, 3usize..8, 200usize..900, any::<bool>()).prop_map(
+        |(n_entities, n_relations, n_types, n_triples, inverse)| SynthConfig {
+            n_entities,
+            n_relations,
+            n_types,
+            n_triples,
+            pairs_per_relation: 2,
+            inverse_twins: inverse,
+            hierarchy: false,
+            skew: 0.5,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn forward_and_inverse_adjacency_agree(cfg in arb_config(), seed in 0u64..1000) {
+        let g = generate(&cfg, &mut StdRng::seed_from_u64(seed));
+        for t in g.triples().iter().take(300) {
+            prop_assert!(g.neighbors(t.h, t.r).contains(&t.t.0));
+            prop_assert!(g.inverse_neighbors(t.t, t.r).contains(&t.h.0));
+            prop_assert!(g.has(t.h, t.r, t.t));
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_are_sorted_and_deduped(cfg in arb_config(), seed in 0u64..1000) {
+        let g = generate(&cfg, &mut StdRng::seed_from_u64(seed));
+        for e in g.entities().take(50) {
+            for r in g.relations() {
+                let ns = g.neighbors(e, r);
+                for w in ns.windows(2) {
+                    prop_assert!(w[0] < w[1], "unsorted or duplicated neighbor list");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn splits_are_nested_for_any_fraction(
+        cfg in arb_config(),
+        seed in 0u64..1000,
+        train_frac in 0.5f64..0.9,
+    ) {
+        let g = generate(&cfg, &mut StdRng::seed_from_u64(seed));
+        let valid_frac = (1.0 - train_frac) / 2.0;
+        let split = DatasetSplit::nested(&g, train_frac, valid_frac, &mut StdRng::seed_from_u64(seed ^ 1));
+        prop_assert!(split.is_nested());
+        prop_assert!(split.train.n_triples() <= split.valid.n_triples());
+        prop_assert!(split.valid.n_triples() <= split.test.n_triples());
+        // Spanning core: all entities trainable.
+        for e in split.test.entities() {
+            prop_assert!(split.train.degree(e) > 0, "entity {e} untrained");
+        }
+    }
+
+    #[test]
+    fn grouping_covers_edges(cfg in arb_config(), seed in 0u64..1000, n_groups in 2usize..32) {
+        let g = generate(&cfg, &mut StdRng::seed_from_u64(seed));
+        let grouping = Grouping::random(&g, n_groups, &mut StdRng::seed_from_u64(seed ^ 2));
+        for t in g.triples().iter().take(200) {
+            let reached = grouping.propagate(grouping.mask_of(t.h), t.r);
+            prop_assert!(reached & grouping.mask_of(t.t) != 0);
+        }
+        // Similarity is symmetric and bounded.
+        let a = grouping.mask_of(EntityId(0));
+        let b = grouping.mask_of(EntityId(1 % g.n_entities() as u32));
+        prop_assert_eq!(Grouping::similarity(a, b), Grouping::similarity(b, a));
+        prop_assert!(Grouping::similarity(a, b) <= 1.0);
+    }
+
+    #[test]
+    fn induced_subgraph_monotone(cfg in arb_config(), seed in 0u64..1000) {
+        let g = generate(&cfg, &mut StdRng::seed_from_u64(seed));
+        let keep: Vec<bool> = (0..g.n_entities()).map(|i| i % 3 != 0).collect();
+        let sub = g.induced_subgraph(&keep);
+        prop_assert!(sub.is_subgraph_of(&g));
+        prop_assert!(sub.n_triples() <= g.n_triples());
+        let _ = RelationId(0);
+    }
+}

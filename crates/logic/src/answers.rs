@@ -1,0 +1,220 @@
+//! The exact answer engine — the oracle every learned method is measured
+//! against.
+//!
+//! Evaluates a computation tree against a graph with exact set semantics:
+//! projection is the image of the input set under the relation, negation is
+//! the complement over the entity universe, difference is `first \ rest`.
+//! Ground-truth labels for training, filtered-ranking evaluation and the
+//! matching engine's accuracy reference all come from here.
+
+use crate::ast::Query;
+use crate::set::EntitySet;
+use halk_kg::{EntityId, Graph};
+
+/// Exact answer set of `query` on `graph`.
+pub fn answers(query: &Query, graph: &Graph) -> EntitySet {
+    let n = graph.n_entities();
+    match query {
+        Query::Anchor(e) => EntitySet::singleton(n, *e),
+        Query::Projection { rel, input } => {
+            let inp = answers(input, graph);
+            let mut out = EntitySet::empty(n);
+            for e in inp.iter() {
+                for &t in graph.neighbors(e, *rel) {
+                    out.insert(EntityId(t));
+                }
+            }
+            out
+        }
+        Query::Intersection(qs) => {
+            let mut it = qs.iter();
+            let first = it.next().expect("intersection of nothing");
+            let mut acc = answers(first, graph);
+            for q in it {
+                if acc.is_empty() {
+                    break;
+                }
+                acc.intersect_with(&answers(q, graph));
+            }
+            acc
+        }
+        Query::Union(qs) => {
+            let mut acc = EntitySet::empty(n);
+            for q in qs {
+                acc.union_with(&answers(q, graph));
+            }
+            acc
+        }
+        Query::Difference(qs) => {
+            let mut it = qs.iter();
+            let first = it.next().expect("difference of nothing");
+            let mut acc = answers(first, graph);
+            for q in it {
+                if acc.is_empty() {
+                    break;
+                }
+                acc.difference_with(&answers(q, graph));
+            }
+            acc
+        }
+        Query::Negation(q) => answers(q, graph).complement(),
+    }
+}
+
+/// The hard/easy answer partition of the BetaE evaluation protocol: `hard`
+/// answers hold only on the larger graph (they require generalization);
+/// `easy` answers are already entailed by the smaller graph and are filtered
+/// out of rankings.
+#[derive(Debug, Clone)]
+pub struct AnswerSplit {
+    /// Answers on the larger graph that are *not* answers on the smaller.
+    pub hard: Vec<EntityId>,
+    /// Answers already derivable on the smaller graph.
+    pub easy: Vec<EntityId>,
+}
+
+/// Splits the answers of `query` into easy (on `small`) and hard (only on
+/// `large`) per the evaluation protocol of §IV-A.
+pub fn answer_split(query: &Query, small: &Graph, large: &Graph) -> AnswerSplit {
+    let on_small = answers(query, small);
+    let on_large = answers(query, large);
+    let mut hard = Vec::new();
+    let mut easy = Vec::new();
+    for e in on_large.iter() {
+        if on_small.contains(e) {
+            easy.push(e);
+        } else {
+            hard.push(e);
+        }
+    }
+    AnswerSplit { hard, easy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halk_kg::{RelationId, Triple};
+
+    /// 0 -r0-> {1, 2}; 1 -r1-> 3; 2 -r1-> 3; 2 -r1-> 4; 5 -r0-> 2
+    fn toy() -> Graph {
+        Graph::from_triples(
+            6,
+            2,
+            vec![
+                Triple::new(0, 0, 1),
+                Triple::new(0, 0, 2),
+                Triple::new(1, 1, 3),
+                Triple::new(2, 1, 3),
+                Triple::new(2, 1, 4),
+                Triple::new(5, 0, 2),
+            ],
+        )
+    }
+
+    fn ids(v: &[u32]) -> Vec<EntityId> {
+        v.iter().map(|&i| EntityId(i)).collect()
+    }
+
+    #[test]
+    fn projection_1p() {
+        let g = toy();
+        let q = Query::atom(EntityId(0), RelationId(0));
+        assert_eq!(answers(&q, &g).to_vec(), ids(&[1, 2]));
+    }
+
+    #[test]
+    fn projection_2p_chains() {
+        let g = toy();
+        let q = Query::atom(EntityId(0), RelationId(0)).project(RelationId(1));
+        assert_eq!(answers(&q, &g).to_vec(), ids(&[3, 4]));
+    }
+
+    #[test]
+    fn intersection() {
+        let g = toy();
+        // Things reached by both 0-r0 and 5-r0: just {2}.
+        let q = Query::Intersection(vec![
+            Query::atom(EntityId(0), RelationId(0)),
+            Query::atom(EntityId(5), RelationId(0)),
+        ]);
+        assert_eq!(answers(&q, &g).to_vec(), ids(&[2]));
+    }
+
+    #[test]
+    fn union() {
+        let g = toy();
+        let q = Query::Union(vec![
+            Query::atom(EntityId(0), RelationId(0)),
+            Query::atom(EntityId(1), RelationId(1)),
+        ]);
+        assert_eq!(answers(&q, &g).to_vec(), ids(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn difference() {
+        let g = toy();
+        // {1,2} minus {2} = {1}.
+        let q = Query::Difference(vec![
+            Query::atom(EntityId(0), RelationId(0)),
+            Query::atom(EntityId(5), RelationId(0)),
+        ]);
+        assert_eq!(answers(&q, &g).to_vec(), ids(&[1]));
+    }
+
+    #[test]
+    fn negation_is_complement() {
+        let g = toy();
+        let q = Query::atom(EntityId(0), RelationId(0)).negate();
+        assert_eq!(answers(&q, &g).to_vec(), ids(&[0, 3, 4, 5]));
+    }
+
+    #[test]
+    fn intersection_with_negation_matches_difference() {
+        // B ∧ ¬C ≡ B − C: the paper's Fig. 2 equivalence, exact on the oracle.
+        let g = toy();
+        let b = Query::atom(EntityId(0), RelationId(0));
+        let c = Query::atom(EntityId(5), RelationId(0));
+        let with_neg = Query::Intersection(vec![b.clone(), c.clone().negate()]);
+        let with_diff = Query::Difference(vec![b, c]);
+        assert_eq!(answers(&with_neg, &g), answers(&with_diff, &g));
+    }
+
+    #[test]
+    fn empty_projection_gives_empty() {
+        let g = toy();
+        let q = Query::atom(EntityId(3), RelationId(0)); // 3 has no r0 out-edges
+        assert!(answers(&q, &g).is_empty());
+        // And further projection stays empty.
+        let q2 = q.project(RelationId(1));
+        assert!(answers(&q2, &g).is_empty());
+    }
+
+    #[test]
+    fn answer_split_partitions() {
+        let full = toy();
+        // Train graph missing the 2 -r1-> 4 edge.
+        let train = Graph::from_triples(
+            6,
+            2,
+            vec![
+                Triple::new(0, 0, 1),
+                Triple::new(0, 0, 2),
+                Triple::new(1, 1, 3),
+                Triple::new(2, 1, 3),
+                Triple::new(5, 0, 2),
+            ],
+        );
+        let q = Query::atom(EntityId(0), RelationId(0)).project(RelationId(1));
+        let split = answer_split(&q, &train, &full);
+        assert_eq!(split.easy, ids(&[3]));
+        assert_eq!(split.hard, ids(&[4]));
+    }
+
+    #[test]
+    fn double_negation_is_identity() {
+        let g = toy();
+        let q = Query::atom(EntityId(0), RelationId(0));
+        let qnn = q.clone().negate().negate();
+        assert_eq!(answers(&q, &g), answers(&qnn, &g));
+    }
+}

@@ -1,0 +1,217 @@
+//! The logical-query AST: computation graphs over the five operators.
+//!
+//! A query is the computation DAG of §II-A — anchors at the leaves, the
+//! target variable at the root, and each internal node one of projection
+//! `ℙ`, intersection `𝕀`, difference `𝔻`, negation `ℕ` or union `𝕌`. The
+//! tree form is sufficient for every structure in the paper's workload
+//! (Fig. 4 of its supplementary); sub-queries are owned, not shared.
+
+use halk_kg::{EntityId, RelationId};
+use serde::{Deserialize, Serialize};
+
+/// A first-order-logic query as a computation tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Query {
+    /// A grounded anchor entity `ũ ∈ Ũ`.
+    Anchor(EntityId),
+    /// Relation traversal `ℙ`: all tails reachable from the input set.
+    Projection {
+        /// Relation to traverse.
+        rel: RelationId,
+        /// Sub-query producing the input entity set.
+        input: Box<Query>,
+    },
+    /// Conjunction `𝕀` of two or more sub-queries.
+    Intersection(Vec<Query>),
+    /// Disjunction `𝕌` of two or more sub-queries.
+    Union(Vec<Query>),
+    /// Set difference `𝔻`: the first sub-query minus all the rest.
+    Difference(Vec<Query>),
+    /// Complement `ℕ` with respect to the entity universe.
+    Negation(Box<Query>),
+}
+
+impl Query {
+    /// Convenience constructor for a 1p atom `r(a, ?)`.
+    pub fn atom(anchor: EntityId, rel: RelationId) -> Query {
+        Query::Projection {
+            rel,
+            input: Box::new(Query::Anchor(anchor)),
+        }
+    }
+
+    /// Wraps `self` in a projection.
+    pub fn project(self, rel: RelationId) -> Query {
+        Query::Projection {
+            rel,
+            input: Box::new(self),
+        }
+    }
+
+    /// Wraps `self` in a negation.
+    pub fn negate(self) -> Query {
+        Query::Negation(Box::new(self))
+    }
+
+    /// All anchor entities, in left-to-right order.
+    pub fn anchors(&self) -> Vec<EntityId> {
+        let mut out = Vec::new();
+        self.visit(&mut |q| {
+            if let Query::Anchor(e) = q {
+                out.push(*e);
+            }
+        });
+        out
+    }
+
+    /// All relations used, in left-to-right order (with repetition).
+    pub fn relations(&self) -> Vec<RelationId> {
+        let mut out = Vec::new();
+        self.visit(&mut |q| {
+            if let Query::Projection { rel, .. } = q {
+                out.push(*rel);
+            }
+        });
+        out
+    }
+
+    /// Number of operator nodes (anchors excluded).
+    pub fn n_ops(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |q| {
+            if !matches!(q, Query::Anchor(_)) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Longest anchor-to-root path length in operator nodes — the paper's
+    /// "query size" axis of Table VI.
+    pub fn depth(&self) -> usize {
+        match self {
+            Query::Anchor(_) => 0,
+            Query::Projection { input, .. } => 1 + input.depth(),
+            Query::Negation(q) => 1 + q.depth(),
+            Query::Intersection(qs) | Query::Union(qs) | Query::Difference(qs) => {
+                1 + qs.iter().map(Query::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// True if any negation operator appears.
+    pub fn has_negation(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |q| found |= matches!(q, Query::Negation(_)));
+        found
+    }
+
+    /// True if any difference operator appears.
+    pub fn has_difference(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |q| found |= matches!(q, Query::Difference(_)));
+        found
+    }
+
+    /// True if any union operator appears.
+    pub fn has_union(&self) -> bool {
+        let mut found = false;
+        self.visit(&mut |q| found |= matches!(q, Query::Union(_)));
+        found
+    }
+
+    /// Pre-order traversal.
+    pub fn visit(&self, f: &mut impl FnMut(&Query)) {
+        f(self);
+        match self {
+            Query::Anchor(_) => {}
+            Query::Projection { input, .. } => input.visit(f),
+            Query::Negation(q) => q.visit(f),
+            Query::Intersection(qs) | Query::Union(qs) | Query::Difference(qs) => {
+                for q in qs {
+                    q.visit(f);
+                }
+            }
+        }
+    }
+
+    /// A compact human-readable rendering, e.g. `P[r2](I(P[r0](e1), P[r1](e3)))`.
+    pub fn render(&self) -> String {
+        match self {
+            Query::Anchor(e) => e.to_string(),
+            Query::Projection { rel, input } => format!("P[{rel}]({})", input.render()),
+            Query::Negation(q) => format!("N({})", q.render()),
+            Query::Intersection(qs) => {
+                format!("I({})", qs.iter().map(Query::render).collect::<Vec<_>>().join(", "))
+            }
+            Query::Union(qs) => {
+                format!("U({})", qs.iter().map(Query::render).collect::<Vec<_>>().join(", "))
+            }
+            Query::Difference(qs) => {
+                format!("D({})", qs.iter().map(Query::render).collect::<Vec<_>>().join(", "))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Query {
+        // P[r2]( I( P[r0](e1), P[r1](e3) ) )
+        Query::Intersection(vec![
+            Query::atom(EntityId(1), RelationId(0)),
+            Query::atom(EntityId(3), RelationId(1)),
+        ])
+        .project(RelationId(2))
+    }
+
+    #[test]
+    fn anchors_in_order() {
+        assert_eq!(sample().anchors(), vec![EntityId(1), EntityId(3)]);
+    }
+
+    #[test]
+    fn relations_in_order() {
+        // Pre-order: outer projection first, then branches.
+        assert_eq!(
+            sample().relations(),
+            vec![RelationId(2), RelationId(0), RelationId(1)]
+        );
+    }
+
+    #[test]
+    fn op_count_and_depth() {
+        let q = sample();
+        // P, I, P, P = 4 operator nodes.
+        assert_eq!(q.n_ops(), 4);
+        // anchor -> P -> I -> P = depth 3.
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn feature_flags() {
+        let q = sample();
+        assert!(!q.has_negation() && !q.has_difference() && !q.has_union());
+        let qn = q.clone().negate();
+        assert!(qn.has_negation());
+        let qd = Query::Difference(vec![q.clone(), qn.clone()]);
+        assert!(qd.has_difference() && qd.has_negation());
+        let qu = Query::Union(vec![q, qd]);
+        assert!(qu.has_union());
+    }
+
+    #[test]
+    fn render_is_readable() {
+        assert_eq!(sample().render(), "P[r2](I(P[r0](e1), P[r1](e3)))");
+    }
+
+    #[test]
+    fn atom_is_projection_of_anchor() {
+        let a = Query::atom(EntityId(0), RelationId(1));
+        assert_eq!(a.depth(), 1);
+        assert_eq!(a.n_ops(), 1);
+        assert_eq!(a.anchors(), vec![EntityId(0)]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Disjunctive-normal-form rewriting (§III-F).
+//!
+//! HaLk gives the union operator an *exact*, non-parametric treatment: every
+//! union is pushed to the top of the computation graph, the query becomes a
+//! disjunction of `N = Π |P_u|` conjunctive branches, each branch is
+//! answered independently, and the final answer set is the union. This
+//! module performs that rewrite; the model crates embed each branch
+//! separately and score entities by the minimum branch distance.
+
+use crate::ast::Query;
+
+/// Rewrites a query into union-free conjunctive branches whose disjunction
+/// is equivalent to the input.
+///
+/// Unions may appear anywhere the paper's workload puts them: under
+/// projections, as difference minuends, or at the root. A union under a
+/// *negation* or as a difference *subtrahend* distributes by De Morgan into
+/// the conjunctive branch itself (`a − (b ∪ c) = a − b − c`), so it never
+/// multiplies branches.
+pub fn to_dnf(query: &Query) -> Vec<Query> {
+    match query {
+        Query::Anchor(_) => vec![query.clone()],
+        Query::Projection { rel, input } => to_dnf(input)
+            .into_iter()
+            .map(|b| b.project(*rel))
+            .collect(),
+        Query::Union(qs) => qs.iter().flat_map(to_dnf).collect(),
+        Query::Intersection(qs) => {
+            let branch_sets: Vec<Vec<Query>> = qs.iter().map(to_dnf).collect();
+            cartesian(&branch_sets)
+                .into_iter()
+                .map(Query::Intersection)
+                .collect()
+        }
+        Query::Difference(qs) => {
+            let minuend = to_dnf(&qs[0]);
+            // a − (b ∪ c) = (a − b) − c: flatten every subtrahend branch into
+            // the subtrahend list.
+            let subtrahends: Vec<Query> = qs[1..].iter().flat_map(to_dnf).collect();
+            minuend
+                .into_iter()
+                .map(|m| {
+                    let mut parts = vec![m];
+                    parts.extend(subtrahends.iter().cloned());
+                    Query::Difference(parts)
+                })
+                .collect()
+        }
+        Query::Negation(inner) => {
+            // ¬(b ∪ c) = ¬b ∧ ¬c.
+            let inner_branches = to_dnf(inner);
+            if inner_branches.len() == 1 {
+                vec![Query::Negation(Box::new(inner_branches.into_iter().next().expect("one branch")))]
+            } else {
+                vec![Query::Intersection(
+                    inner_branches
+                        .into_iter()
+                        .map(|b| Query::Negation(Box::new(b)))
+                        .collect(),
+                )]
+            }
+        }
+    }
+}
+
+fn cartesian(sets: &[Vec<Query>]) -> Vec<Vec<Query>> {
+    let mut acc: Vec<Vec<Query>> = vec![Vec::new()];
+    for set in sets {
+        let mut next = Vec::with_capacity(acc.len() * set.len());
+        for prefix in &acc {
+            for item in set {
+                let mut row = prefix.clone();
+                row.push(item.clone());
+                next.push(row);
+            }
+        }
+        acc = next;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answers::answers;
+    use crate::set::EntitySet;
+    use halk_kg::{EntityId, Graph, RelationId, Triple};
+
+    fn toy() -> Graph {
+        Graph::from_triples(
+            6,
+            2,
+            vec![
+                Triple::new(0, 0, 1),
+                Triple::new(0, 0, 2),
+                Triple::new(1, 1, 3),
+                Triple::new(2, 1, 4),
+                Triple::new(5, 0, 2),
+                Triple::new(3, 0, 5),
+            ],
+        )
+    }
+
+    fn dnf_equivalent(q: &Query, g: &Graph) {
+        let direct = answers(q, g);
+        let mut via_dnf = EntitySet::empty(g.n_entities());
+        for b in to_dnf(q) {
+            assert!(!b.has_union(), "branch still has a union: {}", b.render());
+            via_dnf.union_with(&answers(&b, g));
+        }
+        assert_eq!(direct, via_dnf, "DNF changed semantics of {}", q.render());
+    }
+
+    #[test]
+    fn union_free_query_is_single_branch() {
+        let q = Query::atom(EntityId(0), RelationId(0)).project(RelationId(1));
+        assert_eq!(to_dnf(&q).len(), 1);
+        dnf_equivalent(&q, &toy());
+    }
+
+    #[test]
+    fn root_union_splits() {
+        let q = Query::Union(vec![
+            Query::atom(EntityId(0), RelationId(0)),
+            Query::atom(EntityId(5), RelationId(0)),
+        ]);
+        assert_eq!(to_dnf(&q).len(), 2);
+        dnf_equivalent(&q, &toy());
+    }
+
+    #[test]
+    fn union_under_projection_lifts() {
+        // up structure: P(U(b1, b2)).
+        let q = Query::Union(vec![
+            Query::atom(EntityId(0), RelationId(0)),
+            Query::atom(EntityId(5), RelationId(0)),
+        ])
+        .project(RelationId(1));
+        let branches = to_dnf(&q);
+        assert_eq!(branches.len(), 2);
+        for b in &branches {
+            assert!(matches!(b, Query::Projection { .. }));
+        }
+        dnf_equivalent(&q, &toy());
+    }
+
+    #[test]
+    fn intersection_multiplies_branches() {
+        let u1 = Query::Union(vec![
+            Query::atom(EntityId(0), RelationId(0)),
+            Query::atom(EntityId(5), RelationId(0)),
+        ]);
+        let u2 = Query::Union(vec![
+            Query::atom(EntityId(1), RelationId(1)),
+            Query::atom(EntityId(2), RelationId(1)),
+        ]);
+        let q = Query::Intersection(vec![u1, u2]);
+        assert_eq!(to_dnf(&q).len(), 4);
+        dnf_equivalent(&q, &toy());
+    }
+
+    #[test]
+    fn difference_subtrahend_union_flattens() {
+        // a − (b ∪ c) becomes a single branch a − b − c.
+        let q = Query::Difference(vec![
+            Query::atom(EntityId(0), RelationId(0)),
+            Query::Union(vec![
+                Query::atom(EntityId(5), RelationId(0)),
+                Query::atom(EntityId(1), RelationId(1)),
+            ]),
+        ]);
+        assert_eq!(to_dnf(&q).len(), 1);
+        dnf_equivalent(&q, &toy());
+    }
+
+    #[test]
+    fn negated_union_demorgans() {
+        let q = Query::Negation(Box::new(Query::Union(vec![
+            Query::atom(EntityId(0), RelationId(0)),
+            Query::atom(EntityId(5), RelationId(0)),
+        ])));
+        let branches = to_dnf(&q);
+        assert_eq!(branches.len(), 1);
+        dnf_equivalent(&q, &toy());
+    }
+
+    #[test]
+    fn nested_mixed_query_preserves_semantics() {
+        let q = Query::Difference(vec![
+            Query::Union(vec![
+                Query::atom(EntityId(0), RelationId(0)),
+                Query::atom(EntityId(3), RelationId(0)),
+            ])
+            .project(RelationId(1)),
+            Query::atom(EntityId(5), RelationId(0)),
+        ]);
+        dnf_equivalent(&q, &toy());
+    }
+}

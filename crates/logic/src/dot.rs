@@ -1,0 +1,121 @@
+//! Graphviz DOT export for computation graphs — the Fig. 1b artifact.
+//!
+//! `dot -Tsvg` on the output renders the query exactly as the paper draws
+//! it: anchor entities as sources, one node per logical operator, and the
+//! target variable as the sink.
+
+use crate::ast::Query;
+use std::fmt::Write as _;
+
+/// Renders a query's computation graph in Graphviz DOT syntax.
+pub fn to_dot(query: &Query) -> String {
+    let mut out = String::from("digraph computation {\n  rankdir=LR;\n");
+    let mut counter = 0usize;
+    let root = emit(query, &mut out, &mut counter);
+    let _ = writeln!(out, "  target [label=\"u?\", shape=doublecircle];");
+    let _ = writeln!(out, "  n{root} -> target;");
+    out.push_str("}\n");
+    out
+}
+
+/// Emits nodes for a sub-query; returns the sub-query's output node id.
+fn emit(q: &Query, out: &mut String, counter: &mut usize) -> usize {
+    let id = *counter;
+    *counter += 1;
+    match q {
+        Query::Anchor(e) => {
+            let _ = writeln!(out, "  n{id} [label=\"{e}\", shape=box];");
+        }
+        Query::Projection { rel, input } => {
+            let child = emit(input, out, counter);
+            let _ = writeln!(out, "  n{id} [label=\"P\", shape=circle];");
+            let _ = writeln!(out, "  n{child} -> n{id} [label=\"{rel}\"];");
+        }
+        Query::Intersection(qs) => {
+            let _ = writeln!(out, "  n{id} [label=\"∩\", shape=circle];");
+            for sub in qs {
+                let child = emit(sub, out, counter);
+                let _ = writeln!(out, "  n{child} -> n{id};");
+            }
+        }
+        Query::Union(qs) => {
+            let _ = writeln!(out, "  n{id} [label=\"∪\", shape=circle];");
+            for sub in qs {
+                let child = emit(sub, out, counter);
+                let _ = writeln!(out, "  n{child} -> n{id};");
+            }
+        }
+        Query::Difference(qs) => {
+            let _ = writeln!(out, "  n{id} [label=\"−\", shape=circle];");
+            for (i, sub) in qs.iter().enumerate() {
+                let child = emit(sub, out, counter);
+                let style = if i == 0 { "" } else { " [style=dashed]" };
+                let _ = writeln!(out, "  n{child} -> n{id}{style};");
+            }
+        }
+        Query::Negation(inner) => {
+            let child = emit(inner, out, counter);
+            let _ = writeln!(out, "  n{id} [label=\"¬\", shape=circle];");
+            let _ = writeln!(out, "  n{child} -> n{id};");
+        }
+    }
+    id
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halk_kg::{EntityId, RelationId};
+
+    fn fig1_query() -> Query {
+        Query::Intersection(vec![
+            Query::atom(EntityId(1), RelationId(0)),
+            Query::atom(EntityId(2), RelationId(1)),
+        ])
+        .project(RelationId(2))
+    }
+
+    #[test]
+    fn dot_has_all_structural_pieces() {
+        let dot = to_dot(&fig1_query());
+        assert!(dot.starts_with("digraph computation"));
+        assert!(dot.contains("label=\"e1\""));
+        assert!(dot.contains("label=\"e2\""));
+        assert!(dot.contains("label=\"∩\""));
+        assert!(dot.contains("label=\"P\""));
+        assert!(dot.contains("label=\"r2\""));
+        assert!(dot.contains("-> target"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn difference_subtrahends_are_dashed() {
+        let q = Query::Difference(vec![
+            Query::atom(EntityId(0), RelationId(0)),
+            Query::atom(EntityId(1), RelationId(0)),
+        ]);
+        let dot = to_dot(&q);
+        assert_eq!(dot.matches("style=dashed").count(), 1);
+        assert!(dot.contains("label=\"−\""));
+    }
+
+    #[test]
+    fn node_ids_are_unique() {
+        let dot = to_dot(&fig1_query());
+        // Each node declared once.
+        for i in 0..5 {
+            let decl = format!("  n{i} [");
+            assert_eq!(dot.matches(decl.as_str()).count(), 1, "node {i}");
+        }
+    }
+
+    #[test]
+    fn negation_and_union_render() {
+        let q = Query::Union(vec![
+            Query::atom(EntityId(0), RelationId(0)).negate(),
+            Query::atom(EntityId(1), RelationId(1)),
+        ]);
+        let dot = to_dot(&q);
+        assert!(dot.contains("label=\"¬\"") && dot.contains("label=\"∪\""));
+    }
+}

@@ -1,0 +1,27 @@
+//! First-order-logic query machinery for the HaLk reproduction.
+//!
+//! Contains the query [`ast::Query`] (computation trees over the five
+//! operators of §II-A), the named workload [`structures::Structure`]s of
+//! §IV-A, the DNF rewrite of §III-F, the exact [`answers()`] oracle, the
+//! backward-walk [`sampler::Sampler`] that grounds structures into query
+//! instances, and the filtered-ranking [`metrics`] of the evaluation
+//! protocol. Everything here is deterministic and learning-free; the model
+//! crates consume it for labels and scoring.
+
+pub mod answers;
+pub mod ast;
+pub mod dnf;
+pub mod dot;
+pub mod metrics;
+pub mod sampler;
+pub mod set;
+pub mod structures;
+
+pub use answers::{answer_split, answers, AnswerSplit};
+pub use ast::Query;
+pub use dnf::to_dnf;
+pub use dot::to_dot;
+pub use metrics::{filtered_ranks, MetricsAccumulator, RankMetrics};
+pub use sampler::{GroundedQuery, Sampler};
+pub use set::EntitySet;
+pub use structures::Structure;

@@ -1,0 +1,185 @@
+//! Ranking metrics: MRR and Hits@K under the filtered protocol.
+//!
+//! §IV-A evaluates with Mean Reciprocal Rank and Hits@K, averaged per query
+//! structure. Following the BetaE protocol the rank of each *hard* answer is
+//! computed against all entities with every other answer (easy or hard)
+//! filtered out, so a model is not punished for ranking one correct answer
+//! above another.
+
+use halk_kg::EntityId;
+
+/// Filtered rank of each hard answer given per-entity scores
+/// (**lower score = better**, e.g. a distance).
+///
+/// For hard answer `a`: `rank(a) = 1 + |{e ∉ answers : score(e) < score(a)}|`
+/// where `answers = hard ∪ easy`. Ties are resolved optimistically, matching
+/// the common open-source implementations of the protocol.
+pub fn filtered_ranks(scores: &[f32], hard: &[EntityId], easy: &[EntityId]) -> Vec<usize> {
+    let mut is_answer = vec![false; scores.len()];
+    for e in hard.iter().chain(easy) {
+        is_answer[e.index()] = true;
+    }
+    hard.iter()
+        .map(|a| {
+            let sa = scores[a.index()];
+            if !sa.is_finite() {
+                // A non-finite score can never be "close": worst rank, so a
+                // diverged model cannot accidentally game the metric.
+                return scores.len();
+            }
+            let better = scores
+                .iter()
+                .enumerate()
+                .filter(|&(i, &s)| !is_answer[i] && s < sa)
+                .count();
+            1 + better
+        })
+        .collect()
+}
+
+/// Aggregated ranking metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankMetrics {
+    /// Mean reciprocal rank in `[0, 1]`.
+    pub mrr: f64,
+    /// Fraction of ranks ≤ 1.
+    pub hits1: f64,
+    /// Fraction of ranks ≤ 3.
+    pub hits3: f64,
+    /// Fraction of ranks ≤ 10.
+    pub hits10: f64,
+    /// Number of ranks aggregated.
+    pub n: usize,
+}
+
+/// Streaming accumulator for metrics over many queries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MetricsAccumulator {
+    sum_rr: f64,
+    sum_h1: f64,
+    sum_h3: f64,
+    sum_h10: f64,
+    n: usize,
+}
+
+impl MetricsAccumulator {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one rank observation.
+    pub fn push_rank(&mut self, rank: usize) {
+        debug_assert!(rank >= 1);
+        self.sum_rr += 1.0 / rank as f64;
+        self.sum_h1 += (rank <= 1) as u8 as f64;
+        self.sum_h3 += (rank <= 3) as u8 as f64;
+        self.sum_h10 += (rank <= 10) as u8 as f64;
+        self.n += 1;
+    }
+
+    /// Adds all ranks of one query.
+    pub fn push_ranks(&mut self, ranks: &[usize]) {
+        for &r in ranks {
+            self.push_rank(r);
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &MetricsAccumulator) {
+        self.sum_rr += other.sum_rr;
+        self.sum_h1 += other.sum_h1;
+        self.sum_h3 += other.sum_h3;
+        self.sum_h10 += other.sum_h10;
+        self.n += other.n;
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Final averaged metrics (zeros if nothing was pushed).
+    pub fn finish(&self) -> RankMetrics {
+        let n = self.n.max(1) as f64;
+        RankMetrics {
+            mrr: self.sum_rr / n,
+            hits1: self.sum_h1 / n,
+            hits3: self.sum_h3 / n,
+            hits10: self.sum_h10 / n,
+            n: self.n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    #[test]
+    fn rank_one_for_best_score() {
+        // Entity 2 is the single hard answer with the lowest score.
+        let scores = vec![0.9, 0.8, 0.1, 0.5];
+        let ranks = filtered_ranks(&scores, &[e(2)], &[]);
+        assert_eq!(ranks, vec![1]);
+    }
+
+    #[test]
+    fn rank_counts_only_non_answers() {
+        // Entity 3 is hard; entity 2 scores better but is an easy answer, so
+        // it is filtered and entity 3 still ranks 2 (behind entity 1 only).
+        let scores = vec![0.9, 0.2, 0.1, 0.5];
+        let ranks = filtered_ranks(&scores, &[e(3)], &[e(2)]);
+        assert_eq!(ranks, vec![2]);
+    }
+
+    #[test]
+    fn multiple_hard_answers_filter_each_other() {
+        let scores = vec![0.1, 0.2, 0.3, 0.9];
+        let ranks = filtered_ranks(&scores, &[e(0), e(1), e(2)], &[]);
+        // Each hard answer only competes with entity 3.
+        assert_eq!(ranks, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn ties_are_optimistic() {
+        let scores = vec![0.5, 0.5, 0.5];
+        let ranks = filtered_ranks(&scores, &[e(1)], &[]);
+        assert_eq!(ranks, vec![1]);
+    }
+
+    #[test]
+    fn accumulator_averages() {
+        let mut acc = MetricsAccumulator::new();
+        acc.push_ranks(&[1, 2, 10, 100]);
+        let m = acc.finish();
+        assert!((m.mrr - (1.0 + 0.5 + 0.1 + 0.01) / 4.0).abs() < 1e-12);
+        assert!((m.hits1 - 0.25).abs() < 1e-12);
+        assert!((m.hits3 - 0.5).abs() < 1e-12);
+        assert!((m.hits10 - 0.75).abs() < 1e-12);
+        assert_eq!(m.n, 4);
+    }
+
+    #[test]
+    fn merge_equals_combined_stream() {
+        let mut a = MetricsAccumulator::new();
+        a.push_ranks(&[1, 5]);
+        let mut b = MetricsAccumulator::new();
+        b.push_ranks(&[3, 7]);
+        a.merge(&b);
+        let mut c = MetricsAccumulator::new();
+        c.push_ranks(&[1, 5, 3, 7]);
+        assert_eq!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        let m = MetricsAccumulator::new().finish();
+        assert_eq!(m.mrr, 0.0);
+        assert_eq!(m.n, 0);
+    }
+}

@@ -1,0 +1,423 @@
+//! Grounding query structures against a graph.
+//!
+//! Training and evaluation both need query *instances*: structures with
+//! concrete anchors and relations whose answer sets are non-empty. Following
+//! the BetaE/NewLook protocol, instances are sampled **backwards** from a
+//! known answer entity — walk edges in reverse to pick anchors, so the
+//! grounded query provably answers at least that entity — then validated
+//! with the exact engine and rejected if degenerate (empty or blown-up
+//! answer sets).
+
+use crate::answers::answers;
+use crate::ast::Query;
+use crate::structures::Structure;
+use halk_kg::{EntityId, Graph, RelationId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A structure grounded with concrete anchors and relations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundedQuery {
+    /// Which template this instance came from.
+    pub structure: Structure,
+    /// The grounded computation tree.
+    pub query: Query,
+}
+
+/// Samples grounded queries on one graph.
+pub struct Sampler<'g> {
+    graph: &'g Graph,
+    /// Rejection-sampling budget per instance.
+    max_tries: usize,
+    /// Reject instances whose answer set exceeds this fraction of the
+    /// universe (negation structures are exempt — their answer sets are
+    /// legitimately huge, as §IV-B discusses).
+    max_answer_frac: f64,
+}
+
+impl<'g> Sampler<'g> {
+    /// A sampler with the default rejection budget.
+    pub fn new(graph: &'g Graph) -> Self {
+        Self {
+            graph,
+            max_tries: 64,
+            max_answer_frac: 0.25,
+        }
+    }
+
+    /// Samples one grounded instance of `structure`, or `None` if the
+    /// rejection budget is exhausted (possible on tiny graphs).
+    pub fn sample(&self, structure: Structure, rng: &mut impl Rng) -> Option<GroundedQuery> {
+        for _ in 0..self.max_tries {
+            if let Some(query) = self.try_build(structure, rng) {
+                let ans = answers(&query, self.graph);
+                let n = self.graph.n_entities();
+                let cap = if structure.has_negation() {
+                    n - 1
+                } else {
+                    ((n as f64 * self.max_answer_frac) as usize).max(32)
+                };
+                if !ans.is_empty() && ans.len() <= cap {
+                    return Some(GroundedQuery { structure, query });
+                }
+            }
+        }
+        None
+    }
+
+    /// Every distinct 1p query of the graph — one per `(head, relation)`
+    /// pair with a non-empty answer set. The benchmark protocol trains the
+    /// projection operator on *all* training triples, not a sample; anything
+    /// less cripples generalization to unseen pairs.
+    pub fn all_p1(&self) -> Vec<GroundedQuery> {
+        let mut seen = std::collections::HashSet::new();
+        self.graph
+            .triples()
+            .iter()
+            .filter(|t| seen.insert((t.h, t.r)))
+            .map(|t| GroundedQuery {
+                structure: Structure::P1,
+                query: Query::atom(t.h, t.r),
+            })
+            .collect()
+    }
+
+    /// Samples up to `n` instances (best effort; duplicates are removed).
+    pub fn sample_many(
+        &self,
+        structure: Structure,
+        n: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<GroundedQuery> {
+        let mut out: Vec<GroundedQuery> = Vec::with_capacity(n);
+        let mut failures = 0usize;
+        while out.len() < n && failures < self.max_tries {
+            match self.sample(structure, rng) {
+                Some(q) if !out.contains(&q) => out.push(q),
+                _ => failures += 1,
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------ primitives
+
+    /// A uniformly random triple.
+    fn random_triple(&self, rng: &mut impl Rng) -> Option<halk_kg::Triple> {
+        self.graph.triples().choose(rng).copied()
+    }
+
+    /// A random `(head, relation)` with `head −rel→ v`.
+    fn edge_into(&self, v: EntityId, rng: &mut impl Rng) -> Option<(EntityId, RelationId)> {
+        let rels: Vec<RelationId> = self
+            .graph
+            .relations()
+            .filter(|&r| !self.graph.inverse_neighbors(v, r).is_empty())
+            .collect();
+        let r = *rels.choose(rng)?;
+        let h = *self.graph.inverse_neighbors(v, r).choose(rng)?;
+        Some((EntityId(h), r))
+    }
+
+    /// A backward chain of length `len` ending at `v`: returns the grounded
+    /// projection chain `P[r_len](…P[r_1](anchor)…)` with `v` in its answers.
+    fn backward_chain(&self, v: EntityId, len: usize, rng: &mut impl Rng) -> Option<Query> {
+        let mut cur = v;
+        let mut rels = Vec::with_capacity(len);
+        for _ in 0..len {
+            let (h, r) = self.edge_into(cur, rng)?;
+            rels.push(r);
+            cur = h;
+        }
+        rels.reverse(); // innermost (anchor-adjacent) relation first
+        let mut q = Query::Anchor(cur);
+        for r in rels {
+            q = q.project(r);
+        }
+        Some(q)
+    }
+
+    /// `k` distinct single-hop branches into `v` (for intersections).
+    fn distinct_edges_into(
+        &self,
+        v: EntityId,
+        k: usize,
+        rng: &mut impl Rng,
+    ) -> Option<Vec<Query>> {
+        let mut seen: Vec<(EntityId, RelationId)> = Vec::with_capacity(k);
+        for _ in 0..self.max_tries {
+            if seen.len() == k {
+                break;
+            }
+            let e = self.edge_into(v, rng)?;
+            if !seen.contains(&e) {
+                seen.push(e);
+            }
+        }
+        if seen.len() < k {
+            return None;
+        }
+        Some(seen.into_iter().map(|(h, r)| Query::atom(h, r)).collect())
+    }
+
+    /// A random 1p atom guaranteed non-empty, avoiding `v` in its answers
+    /// when `exclude` is set (for difference subtrahends and negations).
+    fn random_atom(&self, exclude: Option<EntityId>, rng: &mut impl Rng) -> Option<Query> {
+        for _ in 0..self.max_tries {
+            let t = self.random_triple(rng)?;
+            if let Some(v) = exclude {
+                if self.graph.has(t.h, t.r, v) {
+                    continue;
+                }
+            }
+            return Some(Query::atom(t.h, t.r));
+        }
+        None
+    }
+
+    // -------------------------------------------------------- per structure
+
+    fn try_build(&self, structure: Structure, rng: &mut impl Rng) -> Option<Query> {
+        use Structure::*;
+        let t = self.random_triple(rng)?;
+        let v = t.t; // the guaranteed answer for backward-grounded parts
+        match structure {
+            P1 => Some(Query::atom(t.h, t.r)),
+            P2 => self.backward_chain(v, 2, rng),
+            P3 => self.backward_chain(v, 3, rng),
+            I2 => Some(Query::Intersection(self.distinct_edges_into(v, 2, rng)?)),
+            I3 => Some(Query::Intersection(self.distinct_edges_into(v, 3, rng)?)),
+            Ip => {
+                // P[r](I(1p, 1p)) with the intersection grounded at t.h.
+                let branches = self.distinct_edges_into(t.h, 2, rng)?;
+                Some(Query::Intersection(branches).project(t.r))
+            }
+            Pi => {
+                let chain = self.backward_chain(v, 2, rng)?;
+                let (h2, r2) = self.edge_into(v, rng)?;
+                Some(Query::Intersection(vec![chain, Query::atom(h2, r2)]))
+            }
+            U2 => {
+                let (h1, r1) = self.edge_into(v, rng)?;
+                let other = self.random_atom(None, rng)?;
+                Some(Query::Union(vec![Query::atom(h1, r1), other]))
+            }
+            Up => {
+                let (h1, r1) = self.edge_into(t.h, rng)?;
+                let other = self.random_atom(None, rng)?;
+                Some(Query::Union(vec![Query::atom(h1, r1), other]).project(t.r))
+            }
+            D2 => {
+                let (h1, r1) = self.edge_into(v, rng)?;
+                let sub = self.random_atom(Some(v), rng)?;
+                Some(Query::Difference(vec![Query::atom(h1, r1), sub]))
+            }
+            D3 => {
+                let (h1, r1) = self.edge_into(v, rng)?;
+                let s1 = self.random_atom(Some(v), rng)?;
+                let s2 = self.random_atom(Some(v), rng)?;
+                Some(Query::Difference(vec![Query::atom(h1, r1), s1, s2]))
+            }
+            Dp => {
+                let (h1, r1) = self.edge_into(t.h, rng)?;
+                let sub = self.random_atom(Some(t.h), rng)?;
+                Some(Query::Difference(vec![Query::atom(h1, r1), sub]).project(t.r))
+            }
+            In2 => {
+                let (h1, r1) = self.edge_into(v, rng)?;
+                let neg = self.random_atom(Some(v), rng)?;
+                Some(Query::Intersection(vec![Query::atom(h1, r1), neg.negate()]))
+            }
+            In3 => {
+                let branches = self.distinct_edges_into(v, 2, rng)?;
+                let neg = self.random_atom(Some(v), rng)?;
+                let mut parts = branches;
+                parts.push(neg.negate());
+                Some(Query::Intersection(parts))
+            }
+            Pin => {
+                let chain = self.backward_chain(v, 2, rng)?;
+                let neg = self.random_atom(Some(v), rng)?;
+                Some(Query::Intersection(vec![chain, neg.negate()]))
+            }
+            Pni => {
+                // I(N(2p), 1p): v answers the 1p branch; the negated 2p
+                // chain is sampled elsewhere and must miss v.
+                let (h1, r1) = self.edge_into(v, rng)?;
+                for _ in 0..self.max_tries {
+                    let other = self.random_triple(rng)?;
+                    if let Some(chain) = self.backward_chain(other.t, 2, rng) {
+                        let chain_answers = answers(&chain, self.graph);
+                        if !chain_answers.contains(v) {
+                            return Some(Query::Intersection(vec![
+                                chain.negate(),
+                                Query::atom(h1, r1),
+                            ]));
+                        }
+                    }
+                }
+                None
+            }
+            Pip => {
+                // P[r](I(2p, 1p)) grounded at t.h.
+                let chain = self.backward_chain(t.h, 2, rng)?;
+                let (h2, r2) = self.edge_into(t.h, rng)?;
+                Some(Query::Intersection(vec![chain, Query::atom(h2, r2)]).project(t.r))
+            }
+            P3ip => {
+                let chain = self.backward_chain(t.h, 2, rng)?;
+                let branches = self.distinct_edges_into(t.h, 2, rng)?;
+                let mut parts = vec![chain];
+                parts.extend(branches);
+                Some(Query::Intersection(parts).project(t.r))
+            }
+            Ipp2 | Ippu2 | Ippd2 | Ipp3 | Ippu3 | Ippd3 => {
+                // Core: P[rb](P[ra](I(…))) — intersection at u, then two hops
+                // u −ra→ m −rb→ v.
+                let m = t.h; // t: m −rb→ v
+                let (u, ra) = self.edge_into(m, rng)?;
+                let k = match structure {
+                    Ipp2 | Ippu2 | Ippd2 => 2,
+                    _ => 3,
+                };
+                let branches = self.distinct_edges_into(u, k, rng)?;
+                let core = Query::Intersection(branches).project(ra).project(t.r);
+                match structure {
+                    Ipp2 | Ipp3 => Some(core),
+                    Ippu2 | Ippu3 => {
+                        let other = self.random_atom(None, rng)?;
+                        Some(Query::Union(vec![core, other]))
+                    }
+                    Ippd2 | Ippd3 => {
+                        let sub = self.random_atom(Some(v), rng)?;
+                        Some(Query::Difference(vec![core, sub]))
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Random negative entities for training: uniformly sampled entities not
+    /// in `positives`.
+    pub fn negatives(
+        &self,
+        positives: &crate::set::EntitySet,
+        m: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<EntityId> {
+        let n = self.graph.n_entities();
+        let mut out = Vec::with_capacity(m);
+        let mut guard = 0;
+        while out.len() < m && guard < m * 50 {
+            guard += 1;
+            let e = EntityId(rng.gen_range(0..n as u32));
+            if !positives.contains(e) {
+                out.push(e);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halk_kg::{generate, SynthConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph() -> Graph {
+        generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(5))
+    }
+
+    #[test]
+    fn every_structure_is_sampleable() {
+        let g = graph();
+        let sampler = Sampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(1);
+        for s in Structure::all() {
+            let q = sampler.sample(s, &mut rng);
+            assert!(q.is_some(), "structure {s} could not be grounded");
+        }
+    }
+
+    #[test]
+    fn samples_have_nonempty_answers() {
+        let g = graph();
+        let sampler = Sampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(2);
+        for s in Structure::all() {
+            for q in sampler.sample_many(s, 5, &mut rng) {
+                let ans = answers(&q.query, &g);
+                assert!(!ans.is_empty(), "{s}: empty answers for {}", q.query.render());
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_query_matches_structure_shape() {
+        let g = graph();
+        let sampler = Sampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(3);
+        for s in Structure::all() {
+            let q = sampler.sample(s, &mut rng).expect("groundable");
+            assert_eq!(q.structure, s);
+            assert_eq!(q.query.has_negation(), s.has_negation(), "{s}");
+            assert_eq!(q.query.has_difference(), s.has_difference(), "{s}");
+            assert_eq!(q.query.has_union(), s.has_union(), "{s}");
+            assert_eq!(q.query.anchors().len(), s.n_anchors(), "{s}: anchors");
+        }
+    }
+
+    #[test]
+    fn chain_depths_match_names() {
+        let g = graph();
+        let sampler = Sampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(4);
+        let d1 = sampler.sample(Structure::P1, &mut rng).unwrap().query.depth();
+        let d2 = sampler.sample(Structure::P2, &mut rng).unwrap().query.depth();
+        let d3 = sampler.sample(Structure::P3, &mut rng).unwrap().query.depth();
+        assert_eq!((d1, d2, d3), (1, 2, 3));
+    }
+
+    #[test]
+    fn sample_many_dedups() {
+        let g = graph();
+        let sampler = Sampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(6);
+        let qs = sampler.sample_many(Structure::P1, 20, &mut rng);
+        for (i, a) in qs.iter().enumerate() {
+            for b in &qs[i + 1..] {
+                assert_ne!(a, b, "duplicate sampled query");
+            }
+        }
+        assert!(qs.len() >= 10);
+    }
+
+    #[test]
+    fn negatives_avoid_positives() {
+        let g = graph();
+        let sampler = Sampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(7);
+        let q = sampler.sample(Structure::P2, &mut rng).unwrap();
+        let pos = answers(&q.query, &g);
+        let negs = sampler.negatives(&pos, 32, &mut rng);
+        assert_eq!(negs.len(), 32);
+        for e in negs {
+            assert!(!pos.contains(e));
+        }
+    }
+
+    #[test]
+    fn negation_structures_keep_answer_caps_loose() {
+        let g = graph();
+        let sampler = Sampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(8);
+        // 2in answer sets may be large but never the full universe.
+        for q in sampler.sample_many(Structure::In2, 5, &mut rng) {
+            let ans = answers(&q.query, &g);
+            assert!(ans.len() < g.n_entities());
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Dense entity sets over a fixed universe.
+//!
+//! The exact answer engine manipulates entity sets heavily (unions for
+//! projection, intersections, complements for negation). With benchmark
+//! universes of a few thousand entities, a fixed-width bitset is both the
+//! fastest and the simplest representation, and — crucially for the paper —
+//! it can represent the *universal set*, which the negation operator needs
+//! and which box-embedding methods cannot define (§I).
+
+use halk_kg::EntityId;
+
+/// A set of entities over a universe `0..n`, stored as a bitset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EntitySet {
+    n: usize,
+    words: Vec<u64>,
+}
+
+impl EntitySet {
+    /// The empty set over a universe of `n` entities.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            n,
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// The universal set over `n` entities.
+    pub fn full(n: usize) -> Self {
+        let mut s = Self {
+            n,
+            words: vec![u64::MAX; n.div_ceil(64)],
+        };
+        s.trim();
+        s
+    }
+
+    /// A singleton set.
+    pub fn singleton(n: usize, e: EntityId) -> Self {
+        let mut s = Self::empty(n);
+        s.insert(e);
+        s
+    }
+
+    /// Builds a set from an iterator of entities.
+    pub fn from_iter(n: usize, it: impl IntoIterator<Item = EntityId>) -> Self {
+        let mut s = Self::empty(n);
+        for e in it {
+            s.insert(e);
+        }
+        s
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.n
+    }
+
+    /// Inserts an entity.
+    ///
+    /// # Panics
+    /// If the entity is outside the universe (debug builds).
+    #[inline]
+    pub fn insert(&mut self, e: EntityId) {
+        debug_assert!(e.index() < self.n, "entity {e} outside universe {}", self.n);
+        self.words[e.index() / 64] |= 1 << (e.index() % 64);
+    }
+
+    /// Removes an entity.
+    #[inline]
+    pub fn remove(&mut self, e: EntityId) {
+        if e.index() < self.n {
+            self.words[e.index() / 64] &= !(1 << (e.index() % 64));
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, e: EntityId) -> bool {
+        e.index() < self.n && self.words[e.index() / 64] & (1 << (e.index() % 64)) != 0
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &EntitySet) {
+        self.assert_same(other);
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &EntitySet) {
+        self.assert_same(other);
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place difference (`self \ other`).
+    pub fn difference_with(&mut self, other: &EntitySet) {
+        self.assert_same(other);
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// The complement with respect to the universe — the closed-form
+    /// "universal set minus this" the negation operator denotes.
+    pub fn complement(&self) -> EntitySet {
+        let mut out = Self {
+            n: self.n,
+            words: self.words.iter().map(|w| !w).collect(),
+        };
+        out.trim();
+        out
+    }
+
+    /// Iterates members in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = EntityId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(EntityId((wi * 64) as u32 + b))
+                }
+            })
+        })
+    }
+
+    /// Members as a sorted vector.
+    pub fn to_vec(&self) -> Vec<EntityId> {
+        self.iter().collect()
+    }
+
+    /// Jaccard similarity with another set (1.0 for two empty sets).
+    pub fn jaccard(&self, other: &EntitySet) -> f64 {
+        self.assert_same(other);
+        let mut inter = 0usize;
+        let mut uni = 0usize;
+        for (&a, &b) in self.words.iter().zip(&other.words) {
+            inter += (a & b).count_ones() as usize;
+            uni += (a | b).count_ones() as usize;
+        }
+        if uni == 0 {
+            1.0
+        } else {
+            inter as f64 / uni as f64
+        }
+    }
+
+    fn trim(&mut self) {
+        let extra = self.words.len() * 64 - self.n;
+        if extra > 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= u64::MAX >> extra;
+            }
+        }
+    }
+
+    fn assert_same(&self, other: &EntitySet) {
+        assert_eq!(self.n, other.n, "entity sets over different universes");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(n: usize, ids: &[u32]) -> EntitySet {
+        EntitySet::from_iter(n, ids.iter().map(|&i| EntityId(i)))
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = EntitySet::empty(100);
+        assert!(s.is_empty());
+        s.insert(EntityId(7));
+        s.insert(EntityId(64));
+        assert!(s.contains(EntityId(7)) && s.contains(EntityId(64)));
+        assert_eq!(s.len(), 2);
+        s.remove(EntityId(7));
+        assert!(!s.contains(EntityId(7)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn full_set_has_exactly_universe() {
+        let s = EntitySet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(EntityId(69)));
+        assert!(!s.contains(EntityId(70)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = set(10, &[1, 2, 3]);
+        let b = set(10, &[2, 3, 4]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_vec(), vec![EntityId(1), EntityId(2), EntityId(3), EntityId(4)]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.to_vec(), vec![EntityId(2), EntityId(3)]);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.to_vec(), vec![EntityId(1)]);
+    }
+
+    #[test]
+    fn complement_respects_universe() {
+        let a = set(66, &[0, 65]);
+        let c = a.complement();
+        assert_eq!(c.len(), 64);
+        assert!(!c.contains(EntityId(0)) && !c.contains(EntityId(65)));
+        assert!(c.contains(EntityId(64)));
+        // Double complement is identity.
+        assert_eq!(c.complement(), a);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s = set(200, &[199, 0, 63, 64, 128]);
+        let v: Vec<u32> = s.iter().map(|e| e.0).collect();
+        assert_eq!(v, vec![0, 63, 64, 128, 199]);
+    }
+
+    #[test]
+    fn jaccard_values() {
+        let a = set(10, &[1, 2]);
+        let b = set(10, &[2, 3]);
+        assert!((a.jaccard(&b) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(EntitySet::empty(10).jaccard(&EntitySet::empty(10)), 1.0);
+        assert_eq!(a.jaccard(&a), 1.0);
+    }
+
+    #[test]
+    fn singleton() {
+        let s = EntitySet::singleton(10, EntityId(5));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(EntityId(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "different universes")]
+    fn mismatched_universes_panic() {
+        let mut a = EntitySet::empty(10);
+        let b = EntitySet::empty(20);
+        a.union_with(&b);
+    }
+}

@@ -1,0 +1,214 @@
+//! The named query structures of the paper's workload.
+//!
+//! §IV-A: 16 basic structures — 12 without negation (1p 2p 3p 2i 3i ip pi 2u
+//! up 2d 3d dp, from NewLook) and 4 with negation (2in 3in pin pni, from
+//! ConE/MLPMix) — plus the 6 large structures of the pruning experiment
+//! (§IV-D) and the size-graded structures of Table VI (pip, p3ip). Complex
+//! structures (ip, pi, 2u, up, dp) are evaluation-only: they test
+//! generalization beyond trained shapes.
+
+use serde::{Deserialize, Serialize};
+
+/// A query structure (shape) from the paper's workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)] // variants are the paper's own opaque structure names
+pub enum Structure {
+    P1,
+    P2,
+    P3,
+    I2,
+    I3,
+    Ip,
+    Pi,
+    U2,
+    Up,
+    D2,
+    D3,
+    Dp,
+    In2,
+    In3,
+    Pin,
+    Pni,
+    Pip,
+    P3ip,
+    Ipp2,
+    Ippu2,
+    Ippd2,
+    Ipp3,
+    Ippu3,
+    Ippd3,
+}
+
+impl Structure {
+    /// The paper's name for the structure (table row/column label).
+    pub fn name(self) -> &'static str {
+        use Structure::*;
+        match self {
+            P1 => "1p",
+            P2 => "2p",
+            P3 => "3p",
+            I2 => "2i",
+            I3 => "3i",
+            Ip => "ip",
+            Pi => "pi",
+            U2 => "2u",
+            Up => "up",
+            D2 => "2d",
+            D3 => "3d",
+            Dp => "dp",
+            In2 => "2in",
+            In3 => "3in",
+            Pin => "pin",
+            Pni => "pni",
+            Pip => "pip",
+            P3ip => "p3ip",
+            Ipp2 => "2ipp",
+            Ippu2 => "2ippu",
+            Ippd2 => "2ippd",
+            Ipp3 => "3ipp",
+            Ippu3 => "3ippu",
+            Ippd3 => "3ippd",
+        }
+    }
+
+    /// Looks a structure up by its paper name.
+    pub fn by_name(name: &str) -> Option<Structure> {
+        Self::all().into_iter().find(|s| s.name() == name)
+    }
+
+    /// Every structure this crate knows.
+    pub fn all() -> Vec<Structure> {
+        use Structure::*;
+        vec![
+            P1, P2, P3, I2, I3, Ip, Pi, U2, Up, D2, D3, Dp, In2, In3, Pin, Pni, Pip, P3ip,
+            Ipp2, Ippu2, Ippd2, Ipp3, Ippu3, Ippd3,
+        ]
+    }
+
+    /// The 12 non-negation structures of Tables I–II, in table column order.
+    pub fn table12() -> Vec<Structure> {
+        use Structure::*;
+        vec![P1, P2, P3, I2, I3, Ip, Pi, U2, Up, D2, D3, Dp]
+    }
+
+    /// The 4 negation structures of Tables III–IV, in table column order.
+    pub fn table34() -> Vec<Structure> {
+        use Structure::*;
+        vec![In2, In3, Pni, Pin]
+    }
+
+    /// Structures seen during training (§IV-A: ip, pi, 2u, up, dp are held
+    /// out for generalization testing).
+    pub fn training() -> Vec<Structure> {
+        use Structure::*;
+        vec![P1, P2, P3, I2, I3, D2, D3, In2, In3, Pin, Pni]
+    }
+
+    /// The 6 large structures of the pruning experiment (§IV-D / Fig. 6a).
+    pub fn pruning6() -> Vec<Structure> {
+        use Structure::*;
+        vec![Ipp2, Ippu2, Ippd2, Ipp3, Ippu3, Ippd3]
+    }
+
+    /// Table VI's (query size, example structure) ladder.
+    pub fn scalability_ladder() -> Vec<(usize, Structure)> {
+        use Structure::*;
+        vec![(1, P1), (2, P2), (3, Pi), (4, Pip), (5, P3ip)]
+    }
+
+    /// Whether the structure is only seen at evaluation time.
+    pub fn eval_only(self) -> bool {
+        !Self::training().contains(&self)
+    }
+
+    /// Whether the structure contains a negation operator.
+    pub fn has_negation(self) -> bool {
+        use Structure::*;
+        matches!(self, In2 | In3 | Pin | Pni)
+    }
+
+    /// Whether the structure contains a difference operator.
+    pub fn has_difference(self) -> bool {
+        use Structure::*;
+        matches!(self, D2 | D3 | Dp | Ippd2 | Ippd3)
+    }
+
+    /// Whether the structure contains a union operator.
+    pub fn has_union(self) -> bool {
+        use Structure::*;
+        matches!(self, U2 | Up | Ippu2 | Ippu3)
+    }
+
+    /// Number of anchor entities in the template.
+    pub fn n_anchors(self) -> usize {
+        use Structure::*;
+        match self {
+            P1 | P2 | P3 => 1,
+            I2 | Ip | U2 | Up | D2 | Dp | In2 | Pin | Pni | Pi | Pip | Ipp2 => 2,
+            I3 | D3 | In3 | P3ip | Ippu2 | Ippd2 | Ipp3 => 3,
+            Ippu3 | Ippd3 => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for Structure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for s in Structure::all() {
+            assert_eq!(Structure::by_name(s.name()), Some(s));
+        }
+        assert_eq!(Structure::by_name("nope"), None);
+    }
+
+    #[test]
+    fn table_groups_have_paper_cardinalities() {
+        assert_eq!(Structure::table12().len(), 12);
+        assert_eq!(Structure::table34().len(), 4);
+        assert_eq!(Structure::pruning6().len(), 6);
+        assert_eq!(Structure::scalability_ladder().len(), 5);
+    }
+
+    #[test]
+    fn eval_only_matches_paper_list() {
+        let held_out: Vec<&str> = Structure::all()
+            .into_iter()
+            .filter(|s| s.eval_only())
+            .map(|s| s.name())
+            .collect();
+        for name in ["ip", "pi", "2u", "up", "dp"] {
+            assert!(held_out.contains(&name), "{name} should be eval-only");
+        }
+        for name in ["1p", "2p", "3p", "2i", "3i", "2d", "3d", "2in", "3in", "pin", "pni"] {
+            assert!(!held_out.contains(&name), "{name} should be trained");
+        }
+    }
+
+    #[test]
+    fn feature_flags_consistent() {
+        assert!(Structure::In2.has_negation());
+        assert!(!Structure::In2.has_difference());
+        assert!(Structure::Dp.has_difference());
+        assert!(Structure::Up.has_union());
+        assert!(Structure::Ippd3.has_difference());
+        assert!(Structure::Ippu2.has_union());
+        assert!(!Structure::P3.has_negation());
+    }
+
+    #[test]
+    fn scalability_sizes_ascend() {
+        let ladder = Structure::scalability_ladder();
+        for w in ladder.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        assert_eq!(ladder[0], (1, Structure::P1));
+    }
+}

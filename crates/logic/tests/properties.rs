@@ -1,0 +1,123 @@
+//! Property-based tests for the logic crate: set algebra laws, DNF
+//! equivalence on random queries, and sampler guarantees.
+
+use halk_kg::{generate, EntityId, Graph, RelationId, SynthConfig};
+use halk_logic::{answers, to_dnf, EntitySet, Query, Sampler, Structure};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const UNIVERSE: usize = 128;
+
+fn any_set() -> impl Strategy<Value = EntitySet> {
+    prop::collection::vec(0u32..UNIVERSE as u32, 0..40)
+        .prop_map(|ids| EntitySet::from_iter(UNIVERSE, ids.into_iter().map(EntityId)))
+}
+
+proptest! {
+    #[test]
+    fn union_is_commutative_and_idempotent(a in any_set(), b in any_set()) {
+        let mut ab = a.clone();
+        ab.union_with(&b);
+        let mut ba = b.clone();
+        ba.union_with(&a);
+        prop_assert_eq!(&ab, &ba);
+        let mut aa = a.clone();
+        aa.union_with(&a);
+        prop_assert_eq!(&aa, &a);
+    }
+
+    #[test]
+    fn de_morgan(a in any_set(), b in any_set()) {
+        // ¬(a ∪ b) == ¬a ∩ ¬b
+        let mut un = a.clone();
+        un.union_with(&b);
+        let lhs = un.complement();
+        let mut rhs = a.complement();
+        rhs.intersect_with(&b.complement());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn difference_is_intersection_with_complement(a in any_set(), b in any_set()) {
+        let mut diff = a.clone();
+        diff.difference_with(&b);
+        let mut via_comp = a.clone();
+        via_comp.intersect_with(&b.complement());
+        prop_assert_eq!(diff, via_comp);
+    }
+
+    #[test]
+    fn jaccard_bounds_and_identity(a in any_set(), b in any_set()) {
+        let j = a.jaccard(&b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(a.jaccard(&a), 1.0);
+    }
+
+    #[test]
+    fn set_len_after_union_bounds(a in any_set(), b in any_set()) {
+        let mut un = a.clone();
+        un.union_with(&b);
+        prop_assert!(un.len() >= a.len().max(b.len()));
+        prop_assert!(un.len() <= a.len() + b.len());
+    }
+}
+
+/// Random small queries over a fixed toy graph for DNF/semantics fuzzing.
+fn toy_graph() -> Graph {
+    generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(77))
+}
+
+fn arb_query(entities: u32, relations: u32) -> impl Strategy<Value = Query> {
+    let anchor = (0..entities, 0..relations)
+        .prop_map(|(e, r)| Query::atom(EntityId(e), RelationId(r)));
+    anchor.prop_recursive(3, 24, 3, move |inner| {
+        prop_oneof![
+            (inner.clone(), 0..relations).prop_map(|(q, r)| q.project(RelationId(r))),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Query::Intersection),
+            prop::collection::vec(inner.clone(), 2..3).prop_map(Query::Union),
+            prop::collection::vec(inner.clone(), 2..3).prop_map(Query::Difference),
+            inner.prop_map(|q| q.negate()),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dnf_equivalence_on_random_queries(q in arb_query(700, 20)) {
+        let g = toy_graph();
+        let direct = answers(&q, &g);
+        let mut via = EntitySet::empty(g.n_entities());
+        for b in to_dnf(&q) {
+            prop_assert!(!b.has_union());
+            via.union_with(&answers(&b, &g));
+        }
+        prop_assert_eq!(direct, via);
+    }
+
+    #[test]
+    fn query_metadata_consistent(q in arb_query(700, 20)) {
+        prop_assert!(q.depth() >= 1);
+        prop_assert!(q.n_ops() >= q.depth());
+        prop_assert_eq!(q.anchors().is_empty(), false);
+        // render never panics and mentions every anchor
+        let r = q.render();
+        for a in q.anchors() {
+            prop_assert!(r.contains(&a.to_string()));
+        }
+    }
+}
+
+#[test]
+fn sampler_always_yields_nonempty_answer_sets() {
+    let g = toy_graph();
+    let sampler = Sampler::new(&g);
+    let mut rng = StdRng::seed_from_u64(5);
+    for s in Structure::all() {
+        for gq in sampler.sample_many(s, 3, &mut rng) {
+            assert!(!answers(&gq.query, &g).is_empty(), "{s}");
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! GFinder-style approximate subgraph matching (the paper's
+//! subgraph-matching competitor and pruning consumer, §IV-D/E/G).
+//!
+//! [`pattern`] flattens computation trees into query-graph patterns;
+//! [`matcher`] runs a best-effort backtracking join over a per-query dynamic
+//! candidate index. [`answer_accuracy`] provides the answer-set accuracy measure
+//! the Table VI / Fig. 6a comparisons report.
+
+pub mod matcher;
+pub mod pattern;
+
+pub use matcher::{MatchConfig, Matcher};
+pub use pattern::{flatten, Pattern, PatternQuery};
+
+use halk_kg::EntityId;
+use halk_logic::EntitySet;
+
+/// Answer-set accuracy of a ranked prediction against ground truth: the
+/// fraction of true answers retrieved within the top-`|truth|` predictions
+/// (recall@|truth|, the measure behind the paper's "Acc" rows).
+pub fn answer_accuracy(predicted: &[EntityId], truth: &EntitySet) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let k = truth.len();
+    let hits = predicted
+        .iter()
+        .take(k)
+        .filter(|e| truth.contains(**e))
+        .count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_perfect_and_partial() {
+        let truth = EntitySet::from_iter(10, [EntityId(1), EntityId(2)]);
+        assert_eq!(
+            answer_accuracy(&[EntityId(1), EntityId(2), EntityId(3)], &truth),
+            1.0
+        );
+        assert_eq!(answer_accuracy(&[EntityId(1), EntityId(5)], &truth), 0.5);
+        assert_eq!(answer_accuracy(&[], &truth), 0.0);
+    }
+
+    #[test]
+    fn accuracy_empty_truth_is_one() {
+        let truth = EntitySet::empty(10);
+        assert_eq!(answer_accuracy(&[EntityId(0)], &truth), 1.0);
+    }
+
+    #[test]
+    fn accuracy_only_counts_top_k() {
+        // Truth has 1 answer; it appears at position 2 → not in top-1.
+        let truth = EntitySet::from_iter(10, [EntityId(7)]);
+        assert_eq!(answer_accuracy(&[EntityId(3), EntityId(7)], &truth), 0.0);
+    }
+}

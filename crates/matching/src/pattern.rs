@@ -1,0 +1,276 @@
+//! Flattening computation trees into query-graph patterns.
+//!
+//! Subgraph matchers operate on the *logical query graph* (Fig. 1a of the
+//! paper), not the computation tree: variables, labeled edges between them,
+//! and grounded anchors. This module flattens each union-free conjunctive
+//! branch into a [`Pattern`]; difference subtrahends and negated sub-queries
+//! become separate *exclusion patterns* whose matched targets are removed
+//! from the result (exact set semantics on whatever graph the matcher
+//! sees).
+
+use halk_kg::{EntityId, RelationId};
+use halk_logic::Query;
+
+/// A variable node of the pattern (index into [`Pattern::n_vars`]).
+pub type VarId = usize;
+
+/// One labeled edge of the query graph: `from ─rel→ to`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternEdge {
+    /// Source variable.
+    pub from: VarId,
+    /// Edge label.
+    pub rel: RelationId,
+    /// Target variable.
+    pub to: VarId,
+}
+
+/// A conjunctive query-graph pattern.
+#[derive(Debug, Clone, Default)]
+pub struct Pattern {
+    /// Number of variables (0..n_vars).
+    pub n_vars: usize,
+    /// Variables pinned to concrete entities (the anchors).
+    pub pinned: Vec<(VarId, EntityId)>,
+    /// Edge constraints.
+    pub edges: Vec<PatternEdge>,
+    /// The answer variable.
+    pub target: VarId,
+}
+
+impl Pattern {
+    fn new_var(&mut self) -> VarId {
+        self.n_vars += 1;
+        self.n_vars - 1
+    }
+
+    /// Variables in a dependency-friendly order: pinned first, then by first
+    /// appearance as an edge target/source reachable from pinned ones.
+    pub fn search_order(&self) -> Vec<VarId> {
+        let mut placed = vec![false; self.n_vars];
+        let mut order = Vec::with_capacity(self.n_vars);
+        for &(v, _) in &self.pinned {
+            if !placed[v] {
+                placed[v] = true;
+                order.push(v);
+            }
+        }
+        // Repeatedly add variables adjacent to already-placed ones.
+        loop {
+            let mut progressed = false;
+            for e in &self.edges {
+                if placed[e.from] && !placed[e.to] {
+                    placed[e.to] = true;
+                    order.push(e.to);
+                    progressed = true;
+                } else if placed[e.to] && !placed[e.from] {
+                    placed[e.from] = true;
+                    order.push(e.from);
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        // Disconnected leftovers (shouldn't happen for well-formed queries).
+        for v in 0..self.n_vars {
+            if !placed[v] {
+                order.push(v);
+            }
+        }
+        order
+    }
+}
+
+/// A pattern plus the exclusion patterns contributed by difference and
+/// negation operators.
+#[derive(Debug, Clone)]
+pub struct PatternQuery {
+    /// The positive conjunctive pattern.
+    pub pattern: Pattern,
+    /// Patterns whose matched targets are excluded from the answer.
+    pub exclusions: Vec<Pattern>,
+}
+
+/// Flattens one union-free conjunctive query into a [`PatternQuery`].
+///
+/// # Panics
+/// If the query still contains a union (run DNF first).
+pub fn flatten(query: &Query) -> PatternQuery {
+    let mut pattern = Pattern::default();
+    let mut exclusions = Vec::new();
+    let target = build(query, &mut pattern, &mut exclusions);
+    pattern.target = target;
+    PatternQuery {
+        pattern,
+        exclusions,
+    }
+}
+
+/// Recursively builds pattern nodes; returns the variable representing the
+/// sub-query's answers.
+fn build(q: &Query, p: &mut Pattern, exclusions: &mut Vec<Pattern>) -> VarId {
+    match q {
+        Query::Anchor(e) => {
+            let v = p.new_var();
+            p.pinned.push((v, *e));
+            v
+        }
+        Query::Projection { rel, input } => {
+            let from = build(input, p, exclusions);
+            let to = p.new_var();
+            p.edges.push(PatternEdge {
+                from,
+                rel: *rel,
+                to,
+            });
+            to
+        }
+        Query::Intersection(qs) => {
+            // All branches share the same output variable: build the first
+            // branch, then alias the rest by rewriting their target var.
+            let shared = build(&qs[0], p, exclusions);
+            for sub in &qs[1..] {
+                match sub {
+                    Query::Negation(inner) => {
+                        // I(…, ¬B): matched B-targets are excluded.
+                        exclusions.push(standalone(inner));
+                    }
+                    _ => {
+                        let v = build(sub, p, exclusions);
+                        alias(p, v, shared);
+                    }
+                }
+            }
+            shared
+        }
+        Query::Difference(qs) => {
+            let out = build(&qs[0], p, exclusions);
+            for sub in &qs[1..] {
+                exclusions.push(standalone(sub));
+            }
+            out
+        }
+        Query::Negation(inner) => {
+            // A bare negation: everything except the matched inner targets.
+            // Representable only as an exclusion over the full universe; the
+            // matcher special-cases an empty positive pattern.
+            exclusions.push(standalone(inner));
+            let v = p.new_var();
+            v
+        }
+        Query::Union(_) => panic!("flatten requires union-free queries (run DNF first)"),
+    }
+}
+
+/// Builds a self-contained pattern for an exclusion sub-query.
+fn standalone(q: &Query) -> Pattern {
+    let mut p = Pattern::default();
+    let mut nested = Vec::new();
+    let target = build(q, &mut p, &mut nested);
+    p.target = target;
+    // Nested exclusions inside exclusions (e.g. a − (b − c)) are rare in the
+    // workload; fold them by ignoring the inner exclusion (a conservative
+    // over-exclusion never adds false positives to the outer answer).
+    p
+}
+
+/// Rewrites every occurrence of variable `from` to `to` (merging the output
+/// variables of intersection branches).
+fn alias(p: &mut Pattern, from: VarId, to: VarId) {
+    for e in &mut p.edges {
+        if e.from == from {
+            e.from = to;
+        }
+        if e.to == from {
+            e.to = to;
+        }
+    }
+    for pin in &mut p.pinned {
+        if pin.0 == from {
+            pin.0 = to;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halk_kg::EntityId;
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+    fn r(i: u32) -> RelationId {
+        RelationId(i)
+    }
+
+    #[test]
+    fn flatten_1p() {
+        let q = Query::atom(e(3), r(1));
+        let pq = flatten(&q);
+        assert_eq!(pq.pattern.n_vars, 2);
+        assert_eq!(pq.pattern.pinned, vec![(0, e(3))]);
+        assert_eq!(pq.pattern.edges.len(), 1);
+        assert_eq!(pq.pattern.target, 1);
+        assert!(pq.exclusions.is_empty());
+    }
+
+    #[test]
+    fn flatten_2p_chain() {
+        let q = Query::atom(e(0), r(0)).project(r(1));
+        let pq = flatten(&q);
+        assert_eq!(pq.pattern.edges.len(), 2);
+        // Chain: anchor -> v1 -> v2 (target).
+        assert_eq!(pq.pattern.edges[0].to, pq.pattern.edges[1].from);
+        assert_eq!(pq.pattern.target, pq.pattern.edges[1].to);
+    }
+
+    #[test]
+    fn flatten_intersection_merges_targets() {
+        let q = Query::Intersection(vec![Query::atom(e(0), r(0)), Query::atom(e(1), r(1))]);
+        let pq = flatten(&q);
+        // Both edges point at the shared target variable.
+        assert_eq!(pq.pattern.edges[0].to, pq.pattern.edges[1].to);
+        assert_eq!(pq.pattern.target, pq.pattern.edges[0].to);
+        assert_eq!(pq.pattern.pinned.len(), 2);
+    }
+
+    #[test]
+    fn flatten_difference_produces_exclusions() {
+        let q = Query::Difference(vec![Query::atom(e(0), r(0)), Query::atom(e(1), r(0))]);
+        let pq = flatten(&q);
+        assert_eq!(pq.exclusions.len(), 1);
+        assert_eq!(pq.exclusions[0].pinned, vec![(0, e(1))]);
+    }
+
+    #[test]
+    fn flatten_negation_in_intersection() {
+        let q = Query::Intersection(vec![
+            Query::atom(e(0), r(0)),
+            Query::atom(e(1), r(1)).negate(),
+        ]);
+        let pq = flatten(&q);
+        assert_eq!(pq.pattern.edges.len(), 1);
+        assert_eq!(pq.exclusions.len(), 1);
+    }
+
+    #[test]
+    fn search_order_starts_with_anchors() {
+        let q = Query::Intersection(vec![Query::atom(e(0), r(0)), Query::atom(e(1), r(1))])
+            .project(r(2));
+        let pq = flatten(&q);
+        let order = pq.pattern.search_order();
+        assert_eq!(order.len(), pq.pattern.n_vars);
+        let pinned: Vec<VarId> = pq.pattern.pinned.iter().map(|&(v, _)| v).collect();
+        assert!(pinned.contains(&order[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "union-free")]
+    fn flatten_rejects_unions() {
+        let q = Query::Union(vec![Query::atom(e(0), r(0)), Query::atom(e(1), r(0))]);
+        let _ = flatten(&q);
+    }
+}

@@ -1,0 +1,68 @@
+//! Weight initializers.
+//!
+//! The paper initializes entity and relation embeddings from a uniform
+//! distribution (§IV-A) and uses standard MLPs; we provide the matching
+//! uniform initializer plus Xavier-uniform for layer weights.
+
+use crate::tensor::Tensor;
+use rand::Rng;
+
+/// Uniform `U(lo, hi)` initializer.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    Tensor::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect(),
+    )
+}
+
+/// Xavier/Glorot uniform: `U(−a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(fan_in, fan_out, -a, a, rng)
+}
+
+/// Uniform angles in `[0, 2π)` — the natural initializer for point
+/// embeddings on the circle.
+pub fn uniform_angles(rows: usize, cols: usize, rng: &mut impl Rng) -> Tensor {
+    uniform(rows, cols, 0.0, std::f32::consts::TAU, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = uniform(10, 10, -0.5, 0.5, &mut rng);
+        assert!(t.data.iter().all(|&x| (-0.5..0.5).contains(&x)));
+    }
+
+    #[test]
+    fn xavier_scale_shrinks_with_width() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let narrow = xavier_uniform(4, 4, &mut rng);
+        let wide = xavier_uniform(400, 400, &mut rng);
+        assert!(wide.max_abs() < narrow.max_abs());
+    }
+
+    #[test]
+    fn angles_cover_circle() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = uniform_angles(100, 4, &mut rng);
+        assert!(t.data.iter().all(|&x| (0.0..std::f32::consts::TAU).contains(&x)));
+        // With 400 samples we should see both halves of the circle.
+        assert!(t.data.iter().any(|&x| x < std::f32::consts::PI));
+        assert!(t.data.iter().any(|&x| x > std::f32::consts::PI));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = uniform(3, 3, 0.0, 1.0, &mut StdRng::seed_from_u64(1));
+        let b = uniform(3, 3, 0.0, 1.0, &mut StdRng::seed_from_u64(1));
+        assert_eq!(a.data, b.data);
+    }
+}

@@ -1,0 +1,28 @@
+//! Minimal neural-network substrate for the HaLk reproduction.
+//!
+//! The paper trains its operators with PyTorch on GPUs; the Rust ecosystem
+//! offers no comparable mature framework, so this crate implements the small
+//! slice actually needed — dense `f32` tensors, a define-by-run reverse-mode
+//! autodiff [`tape::Tape`], [`layers::Mlp`] stacks, Adam — from scratch, with
+//! finite-difference [`gradcheck`] coverage for every op.
+//!
+//! Design points (see DESIGN.md §3):
+//! * ops are a closed enum, so backward is a match loop with no dynamic
+//!   dispatch or boxed closures;
+//! * parameters live in a persistent [`params::ParamStore`]; tapes are
+//!   cheap per-batch objects; embedding lookups ([`tape::Tape::gather`])
+//!   scatter gradients sparsely;
+//! * everything is deterministic under a seeded `rand::rngs::StdRng`.
+
+pub mod checkpoint;
+pub mod gradcheck;
+pub mod init;
+pub mod layers;
+pub mod params;
+pub mod tape;
+pub mod tensor;
+
+pub use layers::{Act, Linear, Mlp};
+pub use params::{ParamId, ParamStore};
+pub use tape::{Tape, Var};
+pub use tensor::Tensor;

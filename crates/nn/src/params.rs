@@ -1,0 +1,278 @@
+//! Parameter storage and optimizers.
+//!
+//! All trainable state — embedding tables and layer weights alike — lives in
+//! one [`ParamStore`]. The autodiff tape reads parameter values at
+//! graph-construction time and scatters gradients back here; the optimizer
+//! then walks the store once per step. Keeping parameters out of the tape
+//! means tapes are cheap, short-lived objects rebuilt every batch
+//! (define-by-run), while the store persists for the whole training run.
+
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Opaque handle to one parameter tensor inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ParamId(pub(crate) usize);
+
+// (field stays crate-private: ids are only minted by a ParamStore)
+
+impl ParamId {
+    /// Index of the parameter inside its store (stable for the store's life).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Owns every trainable tensor plus its gradient accumulator and Adam moment
+/// estimates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParamStore {
+    values: Vec<Tensor>,
+    grads: Vec<Tensor>,
+    adam_m: Vec<Tensor>,
+    adam_v: Vec<Tensor>,
+    /// Adam time step (number of optimizer steps taken).
+    step: u64,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self {
+            values: Vec::new(),
+            grads: Vec::new(),
+            adam_m: Vec::new(),
+            adam_v: Vec::new(),
+            step: 0,
+        }
+    }
+
+    /// Registers a tensor as a trainable parameter, returning its handle.
+    pub fn add(&mut self, init: Tensor) -> ParamId {
+        let id = ParamId(self.values.len());
+        self.grads.push(Tensor::zeros(init.rows, init.cols));
+        self.adam_m.push(Tensor::zeros(init.rows, init.cols));
+        self.adam_v.push(Tensor::zeros(init.rows, init.cols));
+        self.values.push(init);
+        id
+    }
+
+    /// Number of registered parameters (tensors, not scalars).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total scalar parameter count across all tensors.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Tensor::len).sum()
+    }
+
+    /// Read access to a parameter's current value.
+    pub fn value(&self, id: ParamId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutable access to a parameter's value (used by tests and loaders; the
+    /// training path goes through gradients + optimizer steps).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// Read access to a parameter's gradient accumulator.
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+
+    /// Accumulates `g` into the gradient of `id`.
+    pub fn accumulate_grad(&mut self, id: ParamId, g: &Tensor) {
+        self.grads[id.0].add_assign(g);
+    }
+
+    /// Accumulates `g_row` into row `row` of the gradient of `id`
+    /// (sparse scatter for embedding lookups).
+    pub fn accumulate_grad_row(&mut self, id: ParamId, row: usize, g_row: &[f32]) {
+        let grad = &mut self.grads[id.0];
+        debug_assert_eq!(g_row.len(), grad.cols);
+        let dst = grad.row_mut(row);
+        for (d, &g) in dst.iter_mut().zip(g_row) {
+            *d += g;
+        }
+    }
+
+    /// Zeroes every gradient accumulator (call once per batch).
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.fill_zero();
+        }
+    }
+
+    /// Global-norm gradient clipping; returns the pre-clip norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let total: f32 = self
+            .grads
+            .iter()
+            .map(|g| g.data.iter().map(|x| x * x).sum::<f32>())
+            .sum::<f32>()
+            .sqrt();
+        if total > max_norm && total > 0.0 {
+            let s = max_norm / total;
+            for g in &mut self.grads {
+                g.scale_assign(s);
+            }
+        }
+        total
+    }
+
+    /// One Adam step (Kingma & Ba 2015 — the optimizer of §IV-A) over every
+    /// parameter, consuming the accumulated gradients.
+    pub fn adam_step(&mut self, lr: f32) {
+        self.adam_step_with(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// Adam with explicit hyper-parameters.
+    pub fn adam_step_with(&mut self, lr: f32, beta1: f32, beta2: f32, eps: f32) {
+        self.step += 1;
+        let t = self.step as f32;
+        let bc1 = 1.0 - beta1.powf(t);
+        let bc2 = 1.0 - beta2.powf(t);
+        for i in 0..self.values.len() {
+            let g = &self.grads[i];
+            let m = &mut self.adam_m[i];
+            let v = &mut self.adam_v[i];
+            let p = &mut self.values[i];
+            for j in 0..g.data.len() {
+                let gj = g.data[j];
+                m.data[j] = beta1 * m.data[j] + (1.0 - beta1) * gj;
+                v.data[j] = beta2 * v.data[j] + (1.0 - beta2) * gj * gj;
+                let mhat = m.data[j] / bc1;
+                let vhat = v.data[j] / bc2;
+                p.data[j] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+
+    /// Plain SGD step (used by gradient-checking tests where Adam's state
+    /// would obscure the result).
+    pub fn sgd_step(&mut self, lr: f32) {
+        for i in 0..self.values.len() {
+            let g = self.grads[i].clone();
+            self.values[i].add_scaled_assign(&g, -lr);
+        }
+    }
+
+    /// Number of optimizer steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.step
+    }
+
+    /// Views of (value, Adam m, Adam v) for checkpointing.
+    pub fn checkpoint_views(&self, id: ParamId) -> (&Tensor, &Tensor, &Tensor) {
+        (&self.values[id.0], &self.adam_m[id.0], &self.adam_v[id.0])
+    }
+
+    /// Restores Adam moment estimates (checkpoint loading).
+    ///
+    /// # Panics
+    /// If shapes do not match the parameter.
+    pub fn restore_adam_state(&mut self, id: ParamId, m: Tensor, v: Tensor) {
+        let p = &self.values[id.0];
+        assert_eq!((m.rows, m.cols), (p.rows, p.cols), "adam m shape mismatch");
+        assert_eq!((v.rows, v.cols), (p.rows, p.cols), "adam v shape mismatch");
+        self.adam_m[id.0] = m;
+        self.adam_v[id.0] = v;
+    }
+
+    /// Restores the optimizer step counter (checkpoint loading).
+    pub fn restore_step(&mut self, step: u64) {
+        self.step = step;
+    }
+}
+
+impl Default for ParamStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_access() {
+        let mut s = ParamStore::new();
+        let id = s.add(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        assert_eq!(s.value(id).data, vec![1.0, 2.0]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.num_scalars(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn grad_accumulation_and_zero() {
+        let mut s = ParamStore::new();
+        let id = s.add(Tensor::zeros(2, 2));
+        s.accumulate_grad(id, &Tensor::full(2, 2, 1.0));
+        s.accumulate_grad(id, &Tensor::full(2, 2, 0.5));
+        assert_eq!(s.grad(id).data, vec![1.5; 4]);
+        s.zero_grads();
+        assert_eq!(s.grad(id).data, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn sparse_row_accumulation() {
+        let mut s = ParamStore::new();
+        let id = s.add(Tensor::zeros(3, 2));
+        s.accumulate_grad_row(id, 1, &[1.0, 2.0]);
+        s.accumulate_grad_row(id, 1, &[1.0, 0.0]);
+        assert_eq!(s.grad(id).row(1), &[2.0, 2.0]);
+        assert_eq!(s.grad(id).row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        // Minimize f(p) = p² by hand-fed gradient 2p.
+        let mut s = ParamStore::new();
+        let id = s.add(Tensor::scalar(1.0));
+        for _ in 0..100 {
+            s.zero_grads();
+            let p = s.value(id).item();
+            s.accumulate_grad(id, &Tensor::scalar(2.0 * p));
+            s.sgd_step(0.1);
+        }
+        assert!(s.value(id).item().abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut s = ParamStore::new();
+        let id = s.add(Tensor::scalar(5.0));
+        for _ in 0..500 {
+            s.zero_grads();
+            let p = s.value(id).item();
+            s.accumulate_grad(id, &Tensor::scalar(2.0 * p));
+            s.adam_step(0.05);
+        }
+        assert!(s.value(id).item().abs() < 1e-2, "p = {}", s.value(id).item());
+        assert_eq!(s.steps_taken(), 500);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut s = ParamStore::new();
+        let id = s.add(Tensor::zeros(1, 2));
+        s.accumulate_grad(id, &Tensor::from_vec(1, 2, vec![3.0, 4.0]));
+        let pre = s.clip_grad_norm(1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((s.grad(id).l2_norm() - 1.0).abs() < 1e-5);
+        // Already under the cap: untouched.
+        let pre2 = s.clip_grad_norm(10.0);
+        assert!((pre2 - 1.0).abs() < 1e-5);
+        assert!((s.grad(id).l2_norm() - 1.0).abs() < 1e-5);
+    }
+}

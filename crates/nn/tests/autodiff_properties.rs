@@ -1,0 +1,179 @@
+//! Property-based gradient checks: every differentiable tape op is verified
+//! against central finite differences on random inputs. This is the
+//! substrate-level guarantee that lets the model crates trust backward()
+//! without per-equation derivations.
+
+use halk_nn::gradcheck::check_gradients;
+use halk_nn::tensor::Tensor;
+use halk_nn::{ParamStore, Tape, Var};
+use proptest::prelude::*;
+
+/// Values kept away from regions where f32 finite differences are unreliable
+/// (saturation, kinks, poles).
+fn smooth_vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec((-2.0f32..2.0).prop_filter("away from relu/abs kink", |x| x.abs() > 0.05), n)
+}
+
+fn store_with(vals: &[f32], rows: usize, cols: usize) -> (ParamStore, halk_nn::ParamId) {
+    let mut s = ParamStore::new();
+    let id = s.add(Tensor::from_vec(rows, cols, vals.to_vec()));
+    (s, id)
+}
+
+fn assert_grad_ok(
+    mut store: ParamStore,
+    id: halk_nn::ParamId,
+    f: impl Fn(&mut Tape, &ParamStore) -> Var,
+) -> Result<(), TestCaseError> {
+    let r = check_gradients(&mut store, &[id], 1e-3, f);
+    prop_assert!(r.max_rel_err < 3e-2, "rel err {}", r.max_rel_err);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn grad_unary_chain(vals in smooth_vals(6)) {
+        let (s, id) = store_with(&vals, 2, 3);
+        assert_grad_ok(s, id, |t, s| {
+            let x = t.param(s, id);
+            let a = t.tanh(x);
+            let b = t.sin(a);
+            let c = t.sigmoid(b);
+            t.mean_all(c)
+        })?;
+    }
+
+    #[test]
+    fn grad_cos_exp(vals in smooth_vals(4)) {
+        let (s, id) = store_with(&vals, 1, 4);
+        assert_grad_ok(s, id, |t, s| {
+            let x = t.param(s, id);
+            let a = t.cos(x);
+            let b = t.exp(a);
+            t.sum_all(b)
+        })?;
+    }
+
+    #[test]
+    fn grad_softplus_abs(vals in smooth_vals(4)) {
+        let (s, id) = store_with(&vals, 2, 2);
+        assert_grad_ok(s, id, |t, s| {
+            let x = t.param(s, id);
+            let a = t.abs(x);
+            let b = t.softplus(a);
+            t.mean_all(b)
+        })?;
+    }
+
+    #[test]
+    fn grad_binary_ops(vals in smooth_vals(4), other in smooth_vals(4)) {
+        let (s, id) = store_with(&vals, 2, 2);
+        let o = Tensor::from_vec(2, 2, other.iter().map(|x| x + 3.0).collect());
+        assert_grad_ok(s, id, move |t, s| {
+            let x = t.param(s, id);
+            let c = t.input(o.clone());
+            let a = t.mul(x, c);
+            let b = t.div(a, c);
+            let d = t.sub(b, c);
+            let e = t.add(d, x);
+            t.mean_all(e)
+        })?;
+    }
+
+    #[test]
+    fn grad_matmul(vals in smooth_vals(6)) {
+        let (s, id) = store_with(&vals, 2, 3);
+        assert_grad_ok(s, id, |t, s| {
+            let w = t.param(s, id);
+            let x = t.input(Tensor::from_vec(2, 2, vec![0.5, -1.0, 1.5, 0.3]));
+            let y = t.matmul(x, w);
+            let sq = t.mul(y, y);
+            t.mean_all(sq)
+        })?;
+    }
+
+    #[test]
+    fn grad_broadcast_rows(vals in smooth_vals(3)) {
+        let (s, id) = store_with(&vals, 1, 3);
+        assert_grad_ok(s, id, |t, s| {
+            let row = t.param(s, id);
+            let x = t.input(Tensor::from_vec(2, 3, vec![1., 2., 3., -1., 0.5, 2.0]));
+            let a = t.add_row(x, row);
+            let b = t.mul_row(a, row);
+            t.mean_all(b)
+        })?;
+    }
+
+    #[test]
+    fn grad_atan2(vals in smooth_vals(3)) {
+        // Keep the radius healthy so atan2 is smooth.
+        let shifted: Vec<f32> = vals.iter().map(|v| v + 3.0).collect();
+        let (s, id) = store_with(&shifted, 1, 3);
+        assert_grad_ok(s, id, |t, s| {
+            let x = t.param(s, id);
+            let y = t.sin(x);
+            let c = t.cos(x);
+            let theta = t.atan2(y, c);
+            t.mean_all(theta)
+        })?;
+    }
+
+    #[test]
+    fn grad_concat_slice(vals in smooth_vals(4)) {
+        let (s, id) = store_with(&vals, 2, 2);
+        assert_grad_ok(s, id, |t, s| {
+            let x = t.param(s, id);
+            let y = t.tanh(x);
+            let cat = t.concat_cols(&[x, y]);
+            let sl = t.slice_cols(cat, 1, 3);
+            t.mean_all(sl)
+        })?;
+    }
+
+    #[test]
+    fn grad_min_max(vals in smooth_vals(4)) {
+        let (s, id) = store_with(&vals, 1, 4);
+        assert_grad_ok(s, id, |t, s| {
+            let x = t.param(s, id);
+            let c = t.constant(1, 4, 0.4);
+            let mn = t.min(x, c);
+            let mx = t.max(x, c);
+            let sum = t.add(mn, mx);
+            t.mean_all(sum)
+        })?;
+    }
+
+    #[test]
+    fn grad_log_sigmoid(vals in smooth_vals(4)) {
+        let (s, id) = store_with(&vals, 1, 4);
+        assert_grad_ok(s, id, |t, s| {
+            let x = t.param(s, id);
+            let ls = t.log_sigmoid(x);
+            let n = t.neg(ls);
+            t.mean_all(n)
+        })?;
+    }
+
+    #[test]
+    fn grad_sum_cols_l1(vals in smooth_vals(6)) {
+        let (s, id) = store_with(&vals, 2, 3);
+        assert_grad_ok(s, id, |t, s| {
+            let x = t.param(s, id);
+            let l1 = t.l1_rows(x);
+            t.mean_all(l1)
+        })?;
+    }
+
+    #[test]
+    fn grad_gather_deep(vals in smooth_vals(8)) {
+        let (s, id) = store_with(&vals, 4, 2);
+        assert_grad_ok(s, id, |t, s| {
+            let rows = t.gather(s, id, &[3, 1, 1, 0]);
+            let a = t.tanh(rows);
+            let b = t.mul(a, rows);
+            t.mean_all(b)
+        })?;
+    }
+}

@@ -1,0 +1,247 @@
+//! The query Adaptor (§IV-F, Fig. 7b): graph patterns → the five logical
+//! operators.
+//!
+//! The Adaptor turns a parsed SPARQL `SELECT` into a computation tree for
+//! the target variable: joined triple patterns become projections feeding
+//! intersections, `UNION` blocks become the union operator, `MINUS` becomes
+//! difference, and `FILTER NOT EXISTS` becomes negation — exactly the
+//! mapping the paper illustrates and the reason supporting all five
+//! operators matters in practice.
+//!
+//! Supported shape: patterns must flow *towards* the target (each variable
+//! is the object of its defining triples), and the join graph must be
+//! acyclic — the computation-graph restriction of §II-A.
+
+use crate::parser::{Group, SelectQuery, Term};
+use halk_kg::{EntityId, RelationId};
+use halk_logic::Query;
+use std::fmt;
+
+/// Errors from the pattern → operator mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdaptError {
+    /// A variable has no defining triple (it never appears as an object).
+    UnboundVariable(String),
+    /// The join graph contains a cycle through the named variable.
+    CyclicPattern(String),
+    /// A `MINUS` / `UNION` / `FILTER NOT EXISTS` block does not constrain
+    /// the same variable it is attached to.
+    BlockTargetMismatch(String),
+    /// A triple uses an entity in object position (only variables flow).
+    GroundObject,
+}
+
+impl fmt::Display for AdaptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdaptError::UnboundVariable(v) => write!(f, "variable ?{v} has no defining triple"),
+            AdaptError::CyclicPattern(v) => write!(f, "cyclic pattern through ?{v}"),
+            AdaptError::BlockTargetMismatch(v) => {
+                write!(f, "algebra block does not bind the attachment variable ?{v}")
+            }
+            AdaptError::GroundObject => write!(f, "object positions must be variables"),
+        }
+    }
+}
+
+impl std::error::Error for AdaptError {}
+
+/// Maps a parsed query to a logical computation tree (the paper's Fig. 1b
+/// artifact) rooted at the SELECT variable.
+///
+/// `MINUS` blocks subtract from the SELECT variable; `UNION` and
+/// `FILTER NOT EXISTS` blocks attach to whichever variable their own
+/// patterns bind (normally the target). Every block must bind the variable
+/// it is checked against or the mapping fails.
+pub fn adapt(q: &SelectQuery) -> Result<Query, AdaptError> {
+    let group = &q.where_clause;
+    let positive = build_var(group, &q.target, &mut Vec::new())?;
+    if group.minus.is_empty() {
+        return Ok(positive);
+    }
+    let mut parts = vec![positive];
+    for m in &group.minus {
+        if !binds(m, &q.target) {
+            return Err(AdaptError::BlockTargetMismatch(q.target.clone()));
+        }
+        parts.push(build_var(m, &q.target, &mut Vec::new())?);
+    }
+    Ok(Query::Difference(parts))
+}
+
+/// Whether a group binds `var` (has a triple with `?var` in object
+/// position, directly or in nested algebra blocks).
+fn binds(group: &Group, var: &str) -> bool {
+    group
+        .triples
+        .iter()
+        .any(|t| matches!(&t.object, Term::Var(v) if v == var))
+        || group.unions.iter().flatten().any(|g| binds(g, var))
+        || group.minus.iter().any(|g| binds(g, var))
+        || group.not_exists.iter().any(|g| binds(g, var))
+}
+
+/// Builds the computation tree for `var` within `group`.
+fn build_var(group: &Group, var: &str, in_progress: &mut Vec<String>) -> Result<Query, AdaptError> {
+    if in_progress.iter().any(|v| v == var) {
+        return Err(AdaptError::CyclicPattern(var.to_string()));
+    }
+    in_progress.push(var.to_string());
+
+    let result = (|| {
+        // Defining triples: (subject, rel, ?var).
+        let mut branches: Vec<Query> = Vec::new();
+        for t in &group.triples {
+            match (&t.subject, &t.object) {
+                (_, Term::Entity(_)) => return Err(AdaptError::GroundObject),
+                (subj, Term::Var(obj)) if obj == var => {
+                    let rel = RelationId(t.relation);
+                    let q = match subj {
+                        Term::Entity(e) => Query::atom(EntityId(*e), rel),
+                        Term::Var(sv) => build_var(group, sv, in_progress)?.project(rel),
+                    };
+                    branches.push(q);
+                }
+                _ => {} // triple defines another variable; reached recursively
+            }
+        }
+
+        // Algebra blocks that bind this variable.
+        for alts in &group.unions {
+            if !alts.iter().any(|g| binds(g, var)) {
+                continue;
+            }
+            let mut unioned = Vec::with_capacity(alts.len());
+            for alt in alts {
+                if !binds(alt, var) {
+                    return Err(AdaptError::BlockTargetMismatch(var.to_string()));
+                }
+                unioned.push(build_var(alt, var, &mut Vec::new())?);
+            }
+            branches.push(Query::Union(unioned));
+        }
+        for ne in &group.not_exists {
+            if !binds(ne, var) {
+                continue;
+            }
+            let inner = build_var(ne, var, &mut Vec::new())?;
+            branches.push(inner.negate());
+        }
+
+        if branches.is_empty() {
+            return Err(AdaptError::UnboundVariable(var.to_string()));
+        }
+        Ok(if branches.len() == 1 {
+            branches.into_iter().next().expect("one branch")
+        } else {
+            Query::Intersection(branches)
+        })
+    })();
+
+    in_progress.pop();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn adapt_str(s: &str) -> Result<Query, AdaptError> {
+        adapt(&parse(s).expect("parses"))
+    }
+
+    #[test]
+    fn single_triple_is_1p() {
+        let q = adapt_str("SELECT ?x WHERE { e:3 r:1 ?x . }").unwrap();
+        assert_eq!(q.render(), "P[r1](e3)");
+    }
+
+    #[test]
+    fn chain_becomes_nested_projection() {
+        let q = adapt_str("SELECT ?x WHERE { e:0 r:1 ?m . ?m r:2 ?x . }").unwrap();
+        assert_eq!(q.render(), "P[r2](P[r1](e0))");
+    }
+
+    #[test]
+    fn fig1_movie_query_shape() {
+        // "Films directed by Oscar-winning American directors": two anchors
+        // join on the director variable, then project to films (Fig. 1).
+        let q = adapt_str(
+            "SELECT ?film WHERE { e:100 r:0 ?d . e:101 r:1 ?d . ?d r:2 ?film . }",
+        )
+        .unwrap();
+        assert_eq!(q.render(), "P[r2](I(P[r0](e100), P[r1](e101)))");
+    }
+
+    #[test]
+    fn union_blocks_map_to_union() {
+        let q = adapt_str(
+            "SELECT ?x WHERE { { e:1 r:0 ?x . } UNION { e:2 r:0 ?x . } }",
+        )
+        .unwrap();
+        assert_eq!(q.render(), "U(P[r0](e1), P[r0](e2))");
+    }
+
+    #[test]
+    fn minus_maps_to_difference() {
+        let q = adapt_str(
+            "SELECT ?x WHERE { e:1 r:0 ?x . MINUS { e:2 r:1 ?x . } }",
+        )
+        .unwrap();
+        assert_eq!(q.render(), "D(P[r0](e1), P[r1](e2))");
+    }
+
+    #[test]
+    fn not_exists_maps_to_negation() {
+        let q = adapt_str(
+            "SELECT ?x WHERE { e:1 r:0 ?x . FILTER NOT EXISTS { e:2 r:1 ?x . } }",
+        )
+        .unwrap();
+        assert_eq!(q.render(), "I(P[r0](e1), N(P[r1](e2)))");
+    }
+
+    #[test]
+    fn all_five_operators_in_one_query() {
+        let q = adapt_str(
+            "SELECT ?x WHERE {
+                ?d r:2 ?x .
+                e:1 r:0 ?d .
+                { e:3 r:3 ?x . } UNION { e:4 r:3 ?x . }
+                MINUS { e:5 r:4 ?x . }
+                FILTER NOT EXISTS { e:6 r:5 ?x . }
+             }",
+        )
+        .unwrap();
+        assert!(q.has_union() && q.has_difference() && q.has_negation());
+        assert!(q.render().contains("P[r2](P[r0](e1))"));
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let err = adapt_str("SELECT ?x WHERE { ?y r:0 ?x . }").unwrap_err();
+        assert_eq!(err, AdaptError::UnboundVariable("y".into()));
+    }
+
+    #[test]
+    fn cyclic_pattern_errors() {
+        let err = adapt_str("SELECT ?x WHERE { ?x r:0 ?y . ?y r:1 ?x . }").unwrap_err();
+        assert!(matches!(err, AdaptError::CyclicPattern(_)));
+    }
+
+    #[test]
+    fn ground_object_errors() {
+        // Entities in object position are not part of the Adaptor's subset.
+        let parsed = parse("SELECT ?x WHERE { ?x r:0 e:5 . }").unwrap();
+        assert_eq!(adapt(&parsed).unwrap_err(), AdaptError::GroundObject);
+    }
+
+    #[test]
+    fn block_must_bind_target() {
+        let err = adapt_str(
+            "SELECT ?x WHERE { e:1 r:0 ?x . MINUS { e:2 r:1 ?z . } }",
+        )
+        .unwrap_err();
+        assert!(matches!(err, AdaptError::BlockTargetMismatch(_)));
+    }
+}

@@ -1,0 +1,107 @@
+//! SPARQL front-end for the HaLk reproduction (§IV-F, Fig. 7).
+//!
+//! The paper demonstrates HaLk "integrated into the broad landscape of
+//! query answering as the query executor": a SPARQL query is parsed, the
+//! **Adaptor** maps its graph patterns onto the five logical operators, and
+//! any query executor — HaLk, a baseline, the exact engine or the matcher —
+//! answers the resulting computation tree. This crate provides the parser
+//! ([`parser`]) for the demonstrated subset (basic graph patterns, `UNION`,
+//! `MINUS`, `FILTER NOT EXISTS`) and the Adaptor ([`adaptor`]).
+
+pub mod adaptor;
+pub mod lexer;
+pub mod parser;
+
+pub use adaptor::{adapt, AdaptError};
+pub use parser::{parse, ParseError, SelectQuery};
+
+use halk_logic::Query;
+
+/// Convenience: parse a SPARQL string and adapt it to a logical query in
+/// one call.
+pub fn sparql_to_query(input: &str) -> Result<Query, SparqlError> {
+    let parsed = parse(input)?;
+    Ok(adapt(&parsed)?)
+}
+
+/// Any error from the SPARQL front-end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SparqlError {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// The pattern cannot be mapped onto the operator set.
+    Adapt(AdaptError),
+}
+
+impl std::fmt::Display for SparqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SparqlError::Parse(e) => write!(f, "{e}"),
+            SparqlError::Adapt(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SparqlError {}
+
+impl From<ParseError> for SparqlError {
+    fn from(e: ParseError) -> Self {
+        SparqlError::Parse(e)
+    }
+}
+
+impl From<AdaptError> for SparqlError {
+    fn from(e: AdaptError) -> Self {
+        SparqlError::Adapt(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halk_kg::{Graph, Triple};
+    use halk_logic::answers;
+
+    #[test]
+    fn end_to_end_sparql_on_exact_engine() {
+        // Fig. 7 shape on a toy graph: directors who won an award (r0 from
+        // e0) and are American (r1 from e5), projected to their films (r2).
+        let g = Graph::from_triples(
+            8,
+            3,
+            vec![
+                Triple::new(0, 0, 2), // e0 -award-> director 2
+                Triple::new(0, 0, 3),
+                Triple::new(5, 1, 2), // e5 -nationality⁻¹-> director 2
+                Triple::new(2, 2, 6), // director 2 -directed-> film 6
+                Triple::new(3, 2, 7),
+            ],
+        );
+        let q = sparql_to_query(
+            "SELECT ?film WHERE { e:0 r:0 ?d . e:5 r:1 ?d . ?d r:2 ?film . }",
+        )
+        .unwrap();
+        let ans = answers(&q, &g);
+        assert_eq!(ans.to_vec(), vec![halk_kg::EntityId(6)]);
+    }
+
+    #[test]
+    fn error_types_propagate() {
+        assert!(matches!(
+            sparql_to_query("SELECT WHERE { }"),
+            Err(SparqlError::Parse(_))
+        ));
+        assert!(matches!(
+            sparql_to_query("SELECT ?x WHERE { ?y r:0 ?x . }"),
+            Err(SparqlError::Adapt(_))
+        ));
+    }
+
+    #[test]
+    fn display_formats_both_errors() {
+        let e1 = sparql_to_query("SELECT").unwrap_err();
+        assert!(e1.to_string().contains("parse error"));
+        let e2 = sparql_to_query("SELECT ?x WHERE { ?y r:0 ?x . }").unwrap_err();
+        assert!(e2.to_string().contains("no defining triple"));
+    }
+}

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of EXPERIMENTS.md in one pass.
+# Scale via HALK_SCALE / HALK_STEPS (see crates/bench/src/scale.rs).
+set -uo pipefail
+cd "$(dirname "$0")/.."
+BINS=(exp_table1_2 exp_table3_4 exp_table5_ablation exp_fig6a_pruning
+      exp_fig6b_offline exp_fig6c_online exp_table6_scalability
+      exp_fig7_sparql exp_ablation_distance)
+for b in "${BINS[@]}"; do
+  echo "=== $b ==="
+  cargo run --release -q -p halk-bench --bin "$b" || echo "!! $b failed"
+done
+echo "all experiment outputs in results/"

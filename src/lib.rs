@@ -1,0 +1,15 @@
+//! Umbrella crate for the HaLk reproduction workspace.
+//!
+//! Re-exports every sub-crate under one roof so the examples in
+//! `examples/` and the integration tests in `tests/` can depend on a single
+//! package. Library users should normally depend on the individual crates
+//! (`halk-core`, `halk-kg`, …) directly.
+
+pub use halk_baselines as baselines;
+pub use halk_core as core;
+pub use halk_geometry as geometry;
+pub use halk_kg as kg;
+pub use halk_logic as logic;
+pub use halk_matching as matching;
+pub use halk_nn as nn;
+pub use halk_sparql as sparql;

@@ -1,0 +1,102 @@
+//! Integration: the full training-and-evaluation pipeline across all four
+//! models, at smoke scale (seconds, debug-build friendly).
+
+use halk::baselines::{ConeModel, MlpMixModel, NewLookModel};
+use halk::core::{evaluate_structure, train_model, HalkConfig, HalkModel, QueryModel, TrainConfig};
+use halk::kg::{generate, DatasetSplit, SynthConfig};
+use halk::logic::Structure;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn split() -> DatasetSplit {
+    let mut rng = StdRng::seed_from_u64(11);
+    let full = generate(&SynthConfig::fb237_like(), &mut rng);
+    DatasetSplit::nested(&full, 0.8, 0.1, &mut rng)
+}
+
+fn smoke_train(model: &mut dyn QueryModel, split: &DatasetSplit) -> f32 {
+    let tc = TrainConfig {
+        steps: 60,
+        batch_size: 16,
+        negatives: 4,
+        queries_per_structure: 40,
+        ..TrainConfig::default()
+    };
+    train_model(model, &split.train, &Structure::training(), &tc).tail_loss()
+}
+
+#[test]
+fn every_model_trains_and_evaluates_end_to_end() {
+    let split = split();
+    let cfg = HalkConfig::tiny();
+    let mut models: Vec<Box<dyn QueryModel>> = vec![
+        Box::new(HalkModel::new(&split.train, cfg.clone())),
+        Box::new(ConeModel::new(&split.train, cfg.clone())),
+        Box::new(NewLookModel::new(&split.train, cfg.clone())),
+        Box::new(MlpMixModel::new(&split.train, cfg)),
+    ];
+    for model in &mut models {
+        let tail = smoke_train(model.as_mut(), &split);
+        assert!(tail.is_finite(), "{}: diverged", model.name());
+        // Evaluate one supported structure per model.
+        let s = if model.supports(Structure::D2) {
+            Structure::D2
+        } else {
+            Structure::In2
+        };
+        let cell = evaluate_structure(model.as_ref(), &split, s, 3, 21);
+        assert!(cell.n_queries > 0, "{}: nothing evaluated", model.name());
+        assert!(
+            (0.0..=1.0).contains(&cell.metrics.mrr),
+            "{}: bad MRR",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn halk_is_the_only_model_covering_all_structures() {
+    let split = split();
+    let cfg = HalkConfig::tiny();
+    let halk = HalkModel::new(&split.train, cfg.clone());
+    let cone = ConeModel::new(&split.train, cfg.clone());
+    let newlook = NewLookModel::new(&split.train, cfg.clone());
+    let mlp = MlpMixModel::new(&split.train, cfg);
+    for s in Structure::all() {
+        assert!(halk.supports(s), "HaLk must support {s}");
+    }
+    let full_coverage = |m: &dyn QueryModel| Structure::all().iter().all(|&s| m.supports(s));
+    assert!(!full_coverage(&cone));
+    assert!(!full_coverage(&newlook));
+    assert!(!full_coverage(&mlp));
+}
+
+#[test]
+fn ablation_variants_train() {
+    use halk::core::Ablation;
+    let split = split();
+    for ablation in [Ablation::V1, Ablation::V2, Ablation::V3] {
+        let cfg = HalkConfig::tiny().with_ablation(ablation);
+        let mut model = HalkModel::new(&split.train, cfg);
+        let tail = smoke_train(&mut model, &split);
+        assert!(tail.is_finite(), "{ablation:?} diverged");
+    }
+}
+
+#[test]
+fn training_is_deterministic_under_fixed_seeds() {
+    let split = split();
+    let run = || {
+        let mut m = HalkModel::new(&split.train, HalkConfig::tiny());
+        let tc = TrainConfig {
+            steps: 20,
+            batch_size: 8,
+            negatives: 4,
+            queries_per_structure: 20,
+            ..TrainConfig::default()
+        };
+        let stats = train_model(&mut m, &split.train, &[Structure::P1], &tc);
+        stats.losses
+    };
+    assert_eq!(run(), run());
+}

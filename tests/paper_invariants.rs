@@ -1,0 +1,139 @@
+//! Integration: geometric invariants the paper claims for HaLk's operators,
+//! checked on a live model (untrained and trained — they must hold by
+//! construction, not by luck of the optimizer).
+
+use halk::core::{train_model, Ablation, HalkConfig, HalkModel, TrainConfig};
+use halk::geometry::angle::abs_delta;
+use halk::kg::{generate, Graph, SynthConfig};
+use halk::logic::{Query, Sampler, Structure};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::f32::consts::{PI, TAU};
+
+fn setup() -> (Graph, HalkModel) {
+    let g = generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(31));
+    let model = HalkModel::new(&g, HalkConfig::tiny());
+    (g, model)
+}
+
+fn trained() -> (Graph, HalkModel) {
+    let (g, mut model) = setup();
+    let tc = TrainConfig {
+        steps: 80,
+        batch_size: 8,
+        negatives: 4,
+        queries_per_structure: 30,
+        ..TrainConfig::default()
+    };
+    train_model(&mut model, &g, &Structure::training(), &tc);
+    (g, model)
+}
+
+/// §III-C: the difference result is a subset of the minuend, so its
+/// arclength can never exceed the minuend's (Eq. 8's cardinality
+/// constraint) — closed form, holds for any parameters.
+#[test]
+fn difference_arclength_capped_by_minuend() {
+    for (g, model) in [setup(), trained()] {
+        let sampler = Sampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(32);
+        for _ in 0..5 {
+            let b1 = sampler.sample(Structure::P1, &mut rng).expect("1p").query;
+            let b2 = sampler.sample(Structure::P1, &mut rng).expect("1p").query;
+            let minuend_arcs = &model.embed_query(&b1)[0];
+            let diff = Query::Difference(vec![b1.clone(), b2]);
+            let diff_arcs = &model.embed_query(&diff)[0];
+            for (m, d) in minuend_arcs.iter().zip(diff_arcs) {
+                assert!(
+                    d.len <= m.len + 1e-4,
+                    "difference arc ({}) longer than minuend ({})",
+                    d.len,
+                    m.len
+                );
+            }
+        }
+    }
+}
+
+/// Eq. 11: the intersection arclength is capped by the *minimum* input
+/// arclength — the cardinality constraint, again closed form.
+#[test]
+fn intersection_arclength_capped_by_min_input() {
+    for (g, model) in [setup(), trained()] {
+        let sampler = Sampler::new(&g);
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..5 {
+            let b1 = sampler.sample(Structure::P1, &mut rng).expect("1p").query;
+            let b2 = sampler.sample(Structure::P1, &mut rng).expect("1p").query;
+            let a1 = &model.embed_query(&b1)[0];
+            let a2 = &model.embed_query(&b2)[0];
+            let inter = Query::Intersection(vec![b1.clone(), b2.clone()]);
+            let ai = &model.embed_query(&inter)[0];
+            for ((x, y), i) in a1.iter().zip(a2).zip(ai) {
+                assert!(i.len <= x.len.min(y.len) + 1e-4);
+            }
+        }
+    }
+}
+
+/// Eq. 13 under the V2 ablation (pure linear negation): the arc and its
+/// complement tile the circle and their centers are antipodal.
+#[test]
+fn linear_negation_is_exact_complement() {
+    let g = generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(34));
+    let model = HalkModel::new(&g, HalkConfig::tiny().with_ablation(Ablation::V2));
+    let sampler = Sampler::new(&g);
+    let mut rng = StdRng::seed_from_u64(35);
+    for _ in 0..5 {
+        let q = sampler.sample(Structure::P2, &mut rng).expect("2p").query;
+        let arcs = model.embed_query(&q);
+        let neg_arcs = model.embed_query(&q.clone().negate());
+        for (a, n) in arcs[0].iter().zip(&neg_arcs[0]) {
+            assert!((a.len + n.len - TAU).abs() < 1e-3);
+            assert!((abs_delta(a.center, n.center) - PI).abs() < 1e-3);
+        }
+    }
+}
+
+/// Every arc any operator produces stays in the legal parameter ranges:
+/// finite center, arclength within [0, 2πρ].
+#[test]
+fn all_operators_produce_legal_arcs() {
+    let (g, model) = trained();
+    let sampler = Sampler::new(&g);
+    let mut rng = StdRng::seed_from_u64(36);
+    for s in Structure::all() {
+        let gq = sampler.sample(s, &mut rng).expect("groundable");
+        for branch in model.embed_query(&gq.query) {
+            for arc in branch {
+                assert!(arc.center.is_finite(), "{s}: non-finite center");
+                assert!(
+                    (0.0..=TAU + 1e-4).contains(&arc.len),
+                    "{s}: arclength {} out of range",
+                    arc.len
+                );
+            }
+        }
+    }
+}
+
+/// §III-F: the union operator is non-parametric — embedding a union yields
+/// exactly the embeddings of its branches.
+#[test]
+fn union_embedding_is_branch_embeddings() {
+    let (g, model) = setup();
+    let sampler = Sampler::new(&g);
+    let mut rng = StdRng::seed_from_u64(37);
+    let b1 = sampler.sample(Structure::P1, &mut rng).expect("1p").query;
+    let b2 = sampler.sample(Structure::P1, &mut rng).expect("1p").query;
+    let union = Query::Union(vec![b1.clone(), b2.clone()]);
+    let got = model.embed_query(&union);
+    let expect = [&model.embed_query(&b1)[0], &model.embed_query(&b2)[0]];
+    assert_eq!(got.len(), 2);
+    for (branch, exp) in got.iter().zip(expect) {
+        for (a, e) in branch.iter().zip(exp.iter()) {
+            assert!((a.center - e.center).abs() < 1e-5);
+            assert!((a.len - e.len).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Integration: persistence round-trips across crates — TSV graphs through
+//! the CLI-facing API, binary model checkpoints, and JSON configs.
+
+use halk::core::{train_model, HalkConfig, HalkModel, QueryModel, TrainConfig};
+use halk::kg::{generate, tsv, SynthConfig};
+use halk::logic::{Query, Sampler, Structure};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("halk_persistence_tests").join(name);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn graph_tsv_roundtrip_preserves_query_answers() {
+    let g = generate(&SynthConfig::nell_like(), &mut StdRng::seed_from_u64(1));
+    let path = tmp_dir("tsv").join("g.tsv");
+    tsv::save(&g, &path).expect("save");
+    let g2 = tsv::load(&path).expect("load");
+
+    // Answers to sampled queries are identical on the reloaded graph.
+    let sampler = Sampler::new(&g);
+    let mut rng = StdRng::seed_from_u64(2);
+    for s in [Structure::P2, Structure::I2, Structure::D2, Structure::In2] {
+        let gq = sampler.sample(s, &mut rng).expect("groundable");
+        assert_eq!(
+            halk::logic::answers(&gq.query, &g),
+            halk::logic::answers(&gq.query, &g2),
+            "{s}"
+        );
+    }
+}
+
+#[test]
+fn trained_model_checkpoint_resumes_training_identically() {
+    let g = generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(3));
+    let tc = TrainConfig {
+        steps: 25,
+        batch_size: 8,
+        negatives: 4,
+        queries_per_structure: 20,
+        ..TrainConfig::default()
+    };
+    // Path A: train 25 steps, checkpoint, train 25 more.
+    let mut a = HalkModel::new(&g, HalkConfig::tiny());
+    train_model(&mut a, &g, &[Structure::P1], &tc);
+    let dir = tmp_dir("resume");
+    a.save(&dir).expect("save");
+    let mut a2 = HalkModel::load(&g, &dir).expect("load");
+    let tc2 = TrainConfig {
+        seed: 99,
+        ..tc.clone()
+    };
+    let stats_resumed = train_model(&mut a2, &g, &[Structure::P1], &tc2);
+    // Path B: continue the original in memory with the same second-phase seed.
+    let stats_continued = train_model(&mut a, &g, &[Structure::P1], &tc2);
+    assert_eq!(stats_resumed.losses, stats_continued.losses);
+}
+
+#[test]
+fn checkpoint_scores_are_bit_identical() {
+    let g = generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(4));
+    let mut model = HalkModel::new(&g, HalkConfig::tiny());
+    let tc = TrainConfig {
+        steps: 15,
+        batch_size: 8,
+        negatives: 4,
+        queries_per_structure: 15,
+        ..TrainConfig::default()
+    };
+    train_model(&mut model, &g, &[Structure::P1, Structure::I2], &tc);
+    let dir = tmp_dir("scores");
+    model.save(&dir).expect("save");
+    let restored = HalkModel::load(&g, &dir).expect("load");
+    let t = g.triples()[5];
+    let q = Query::atom(t.h, t.r).project(t.r);
+    assert_eq!(model.score_all(&q), restored.score_all(&q));
+    assert_eq!(model.n_entities(), restored.n_entities());
+}
+
+#[test]
+fn config_json_in_checkpoint_is_readable() {
+    let g = generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(5));
+    let model = HalkModel::new(&g, HalkConfig::tiny());
+    let dir = tmp_dir("config");
+    model.save(&dir).expect("save");
+    let raw = std::fs::read_to_string(dir.join("config.json")).expect("readable");
+    let parsed: serde_json::Value = serde_json::from_str(&raw).expect("valid json");
+    assert_eq!(parsed["dim"], 8);
+    assert!(parsed["gamma"].as_f64().is_some());
+}
