@@ -307,4 +307,12 @@ impl QueryModel for ConeModel {
     fn n_entities(&self) -> usize {
         self.n_entities
     }
+
+    fn param_store(&self) -> Option<&halk_nn::ParamStore> {
+        Some(&self.store)
+    }
+
+    fn param_store_mut(&mut self) -> Option<&mut halk_nn::ParamStore> {
+        Some(&mut self.store)
+    }
 }

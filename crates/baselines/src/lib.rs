@@ -43,12 +43,7 @@ mod tests {
         ]
     }
 
-    fn batch(
-        g: &Graph,
-        s: Structure,
-        n: usize,
-        seed: u64,
-    ) -> Vec<halk_core::TrainExample> {
+    fn batch(g: &Graph, s: Structure, n: usize, seed: u64) -> Vec<halk_core::TrainExample> {
         let sampler = Sampler::new(g);
         let mut rng = StdRng::seed_from_u64(seed);
         sampler
@@ -91,7 +86,11 @@ mod tests {
                 }
                 let b = batch(&g, s, 4, 5);
                 let loss = m.train_batch(&b);
-                assert!(loss.is_finite() && loss > 0.0, "{} on {s}: {loss}", m.name());
+                assert!(
+                    loss.is_finite() && loss > 0.0,
+                    "{} on {s}: {loss}",
+                    m.name()
+                );
             }
         }
     }
@@ -116,10 +115,7 @@ mod tests {
     fn unsupported_queries_score_infinite() {
         let g = graph();
         let t = g.triples()[0];
-        let diff = Query::Difference(vec![
-            Query::atom(t.h, t.r),
-            Query::atom(t.t, t.r),
-        ]);
+        let diff = Query::Difference(vec![Query::atom(t.h, t.r), Query::atom(t.t, t.r)]);
         let cone = ConeModel::new(&g, HalkConfig::tiny());
         assert!(cone.score_all(&diff).iter().all(|s| s.is_infinite()));
         let neg = Query::atom(t.h, t.r).negate();

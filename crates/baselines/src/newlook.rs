@@ -140,7 +140,13 @@ impl NewLookModel {
         acc.expect("nonempty")
     }
 
-    fn deepsets_factor(&self, tape: &mut Tape, inner_net: &Mlp, outer_net: &Mlp, ins: &[Var]) -> Var {
+    fn deepsets_factor(
+        &self,
+        tape: &mut Tape,
+        inner_net: &Mlp,
+        outer_net: &Mlp,
+        ins: &[Var],
+    ) -> Var {
         let mut acc = ins[0];
         for &v in &ins[1..] {
             acc = tape.add(acc, v);
@@ -305,5 +311,13 @@ impl QueryModel for NewLookModel {
 
     fn n_entities(&self) -> usize {
         self.n_entities
+    }
+
+    fn param_store(&self) -> Option<&halk_nn::ParamStore> {
+        Some(&self.store)
+    }
+
+    fn param_store_mut(&mut self) -> Option<&mut halk_nn::ParamStore> {
+        Some(&mut self.store)
     }
 }

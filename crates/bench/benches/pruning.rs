@@ -33,13 +33,17 @@ fn bench_pruned_vs_unpruned(c: &mut Criterion) {
                 Matcher::new(&small).answer(&gq.query)
             });
         });
-        group.bench_with_input(BenchmarkId::new("match_only_pruned", s.name()), &gq, |b, gq| {
-            // Matching cost alone once the induced graph exists.
-            let cands = candidate_set(&model, &gq.query, 20);
-            let small = induced_graph(&g, &cands);
-            let matcher = Matcher::new(&small);
-            b.iter(|| matcher.answer(&gq.query));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("match_only_pruned", s.name()),
+            &gq,
+            |b, gq| {
+                // Matching cost alone once the induced graph exists.
+                let cands = candidate_set(&model, &gq.query, 20);
+                let small = induced_graph(&g, &cands);
+                let matcher = Matcher::new(&small);
+                b.iter(|| matcher.answer(&gq.query));
+            },
+        );
     }
     group.finish();
 }

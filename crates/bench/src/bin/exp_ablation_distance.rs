@@ -37,8 +37,8 @@ fn main() {
     let structures = [Structure::P1, Structure::P2, Structure::I2, Structure::D2];
     let cols: Vec<&str> = structures.iter().map(|s| s.name()).collect();
     let mut mrr = Table::new("Eq. 16 reading ablation (MRR %)", &cols).percentages();
-    let mut mean_len = Table::new("Mean learned arc length (rad, of 2π≈6.28)", &["1p arcs"])
-        .precision(2);
+    let mut mean_len =
+        Table::new("Mean learned arc length (rad, of 2π≈6.28)", &["1p arcs"]).precision(2);
 
     let mut json_rows = Vec::new();
     for (label, mode) in [
@@ -53,8 +53,13 @@ fn main() {
             &fb237.split.train,
             &Structure::training(),
             &scale.train_config(),
+        )
+        .expect("training failed");
+        eprintln!(
+            "  trained {label} in {:.1?} (tail loss {:.3})",
+            stats.wall,
+            stats.tail_loss()
         );
-        eprintln!("  trained {label} in {:.1?} (tail loss {:.3})", stats.wall, stats.tail_loss());
 
         let row = evaluate_table(
             &model,

@@ -19,7 +19,10 @@ use serde_json::json;
 
 fn main() {
     let scale = Scale::from_env();
-    eprintln!("Fig. 7 (SPARQL executor, FB237) at scale '{}'", scale.name());
+    eprintln!(
+        "Fig. 7 (SPARQL executor, FB237) at scale '{}'",
+        scale.name()
+    );
     let fb237 = Dataset::standard_suite(&mut StdRng::seed_from_u64(scale.seed))
         .into_iter()
         .find(|d| d.name == "FB237")
@@ -66,7 +69,8 @@ fn main() {
         &fb237.split.train,
         &Structure::training(),
         &scale.train_config(),
-    );
+    )
+    .expect("training failed");
     let scores = halk.score_all(&query);
     let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
     idx.sort_by(|&a, &b| {

@@ -28,16 +28,10 @@ fn main() {
         eprintln!("dataset {}:", dataset.name);
         let suite = train_suite(&dataset.split, &scale, &ModelKind::all());
 
-        let mut mrr_table = Table::new(
-            format!("Table I (MRR %) — {}", dataset.name),
-            &columns,
-        )
-        .percentages();
-        let mut hit3_table = Table::new(
-            format!("Table II (Hit@3 %) — {}", dataset.name),
-            &columns,
-        )
-        .percentages();
+        let mut mrr_table =
+            Table::new(format!("Table I (MRR %) — {}", dataset.name), &columns).percentages();
+        let mut hit3_table =
+            Table::new(format!("Table II (Hit@3 %) — {}", dataset.name), &columns).percentages();
 
         for trained in &suite {
             let row = evaluate_table(
@@ -49,8 +43,10 @@ fn main() {
             );
             let mut mrr_cells: Vec<Option<f64>> =
                 row.iter().map(|(_, c)| c.map(|c| c.metrics.mrr)).collect();
-            let mut hit3_cells: Vec<Option<f64>> =
-                row.iter().map(|(_, c)| c.map(|c| c.metrics.hits3)).collect();
+            let mut hit3_cells: Vec<Option<f64>> = row
+                .iter()
+                .map(|(_, c)| c.map(|c| c.metrics.hits3))
+                .collect();
             mrr_cells.push(Some(row_average(&row, |m| m.mrr)));
             hit3_cells.push(Some(row_average(&row, |m| m.hits3)));
             mrr_table.push_row(trained.name(), mrr_cells);

@@ -48,8 +48,10 @@ fn main() {
             );
             let mut mrr_cells: Vec<Option<f64>> =
                 row.iter().map(|(_, c)| c.map(|c| c.metrics.mrr)).collect();
-            let mut hit3_cells: Vec<Option<f64>> =
-                row.iter().map(|(_, c)| c.map(|c| c.metrics.hits3)).collect();
+            let mut hit3_cells: Vec<Option<f64>> = row
+                .iter()
+                .map(|(_, c)| c.map(|c| c.metrics.hits3))
+                .collect();
             mrr_cells.push(Some(row_average(&row, |m| m.mrr)));
             hit3_cells.push(Some(row_average(&row, |m| m.hits3)));
             mrr_table.push_row(trained.name(), mrr_cells);

@@ -56,7 +56,8 @@ fn main() {
             &nell.split.train,
             &Structure::training(),
             &scale.train_config(),
-        );
+        )
+        .expect("training failed");
         eprintln!(
             "  trained HaLk{:?} in {:.1?} (tail loss {:.3})",
             ablation,
@@ -86,7 +87,9 @@ fn main() {
             );
             hit3.push_row(
                 name.clone(),
-                row.iter().map(|(_, c)| c.map(|c| c.metrics.hits3)).collect(),
+                row.iter()
+                    .map(|(_, c)| c.map(|c| c.metrics.hits3))
+                    .collect(),
             );
             mrr.push_row(
                 name,

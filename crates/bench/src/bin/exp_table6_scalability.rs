@@ -37,7 +37,8 @@ fn main() {
         &nell.split.train,
         &Structure::training(),
         &scale.train_config(),
-    );
+    )
+    .expect("training failed");
     eprintln!("  trained HaLk in {:.1?}", stats.wall);
 
     let matcher = Matcher::new(&nell.split.train);

@@ -98,6 +98,7 @@ impl Scale {
             p1_weight: 3,
             seed: self.seed ^ 0x7EA1,
             log_every: 0,
+            ..TrainConfig::default()
         }
     }
 

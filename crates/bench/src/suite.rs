@@ -84,7 +84,13 @@ pub fn train_suite(split: &DatasetSplit, scale: &Scale, kinds: &[ModelKind]) -> 
         .iter()
         .map(|&k| {
             let mut model = k.build(split, scale);
-            let stats = train_model(model.as_mut(), &split.train, &structures, &scale.train_config());
+            let stats = train_model(
+                model.as_mut(),
+                &split.train,
+                &structures,
+                &scale.train_config(),
+            )
+            .expect("training failed");
             eprintln!(
                 "  trained {:8} in {:6.1?} (tail loss {:.3})",
                 model.name(),

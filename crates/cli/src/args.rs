@@ -52,7 +52,9 @@ impl Args {
         let mut flags = BTreeMap::new();
         while let Some(tok) = it.next() {
             if let Some(key) = tok.strip_prefix("--") {
-                let value = it.next().ok_or_else(|| ArgError::MissingValue(key.into()))?;
+                let value = it
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(key.into()))?;
                 flags.insert(key.to_string(), value);
             } else {
                 return Err(ArgError::UnexpectedPositional(tok));
@@ -82,9 +84,7 @@ impl Args {
     ) -> Result<T, ArgError> {
         match self.flags.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError::BadValue(key, v.clone())),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue(key, v.clone())),
         }
     }
 }

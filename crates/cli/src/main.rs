@@ -4,35 +4,108 @@
 //! halk gen   --dataset fb15k|fb237|nell --out graph.tsv [--seed N]
 //! halk stats --graph graph.tsv
 //! halk train --graph graph.tsv --out model_dir [--steps N] [--dim N] [--seed N]
+//!            [--checkpoint-every N] [--checkpoint-dir DIR]
+//!            [--keep-checkpoints K] [--resume FILE]
 //! halk ask   --graph graph.tsv --sparql 'SELECT ?x WHERE { e:0 r:0 ?x . }'
 //!            [--model model_dir] [--engine exact|halk|match] [--top N]
 //! halk help
 //! ```
+//!
+//! Every failure path surfaces as a typed [`CliError`] printed to stderr
+//! with a nonzero exit code (2 for usage errors, 1 for everything else) —
+//! the binary never panics on bad input.
 
 mod args;
 
 use args::{ArgError, Args};
-use halk_core::{train_model, HalkConfig, HalkModel, TrainConfig};
+use halk_core::{train_model, HalkConfig, HalkModel, TrainConfig, TrainError};
 use halk_kg::{generate, stats::GraphStats, tsv, Graph, SynthConfig};
 use halk_logic::{answers, Structure};
 use halk_matching::Matcher;
-use halk_sparql::sparql_to_query;
-use std::path::Path;
+use halk_sparql::{sparql_to_query, SparqlError};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+/// Every way a `halk` invocation can fail.
+#[derive(Debug)]
+enum CliError {
+    /// Command-line syntax or flag errors.
+    Args(ArgError),
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// A graph file could not be read or parsed.
+    Graph { path: String, error: io::Error },
+    /// Training failed (checkpoint/resume problems, nothing trainable, …).
+    Train(TrainError),
+    /// A model directory could not be written or read.
+    Model { dir: String, error: io::Error },
+    /// The SPARQL query could not be understood.
+    Sparql(SparqlError),
+    /// Any other IO failure, with the path involved.
+    Io { path: String, error: io::Error },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown subcommand '{c}' (try `halk help`)")
+            }
+            CliError::Graph { path, error } => write!(f, "cannot read graph {path}: {error}"),
+            CliError::Train(e) => write!(f, "training failed: {e}"),
+            CliError::Model { dir, error } => write!(f, "model directory {dir}: {error}"),
+            CliError::Sparql(e) => write!(f, "bad SPARQL query: {e}"),
+            CliError::Io { path, error } => write!(f, "{path}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<TrainError> for CliError {
+    fn from(e: TrainError) -> Self {
+        CliError::Train(e)
+    }
+}
+
+impl From<SparqlError> for CliError {
+    fn from(e: SparqlError) -> Self {
+        CliError::Sparql(e)
+    }
+}
+
+impl CliError {
+    /// Usage mistakes exit with 2, operational failures with 1.
+    fn exit_code(&self) -> ExitCode {
+        match self {
+            CliError::Args(_) | CliError::UnknownCommand(_) => ExitCode::from(2),
+            _ => ExitCode::FAILURE,
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match run(argv) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {e}");
+            e.exit_code()
         }
     }
 }
 
-fn run(argv: Vec<String>) -> Result<(), String> {
-    let args = Args::parse(argv).map_err(|e| e.to_string())?;
+fn run(argv: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(argv)?;
     match args.command.as_str() {
         "gen" => cmd_gen(&args),
         "stats" => cmd_stats(&args),
@@ -42,9 +115,8 @@ fn run(argv: Vec<String>) -> Result<(), String> {
             print!("{}", HELP);
             Ok(())
         }
-        other => Err(format!("unknown subcommand '{other}' (try `halk help`)").into()),
+        other => Err(CliError::UnknownCommand(other.to_string())),
     }
-    .map_err(|e: Box<dyn std::error::Error>| e.to_string())
 }
 
 const HELP: &str = "\
@@ -54,17 +126,24 @@ USAGE:
   halk gen   --dataset fb15k|fb237|nell --out graph.tsv [--seed N]
   halk stats --graph graph.tsv
   halk train --graph graph.tsv --out model_dir [--steps N] [--dim N] [--seed N]
+             [--checkpoint-every N]   write a checkpoint every N steps
+             [--checkpoint-dir DIR]   where to put them (default: OUT/checkpoints)
+             [--keep-checkpoints K]   rotate, keeping the last K (default 3)
+             [--resume FILE]          resume a run from a checkpoint file
   halk ask   --graph graph.tsv --sparql QUERY
              [--model model_dir] [--engine exact|halk|match] [--top N]
   halk help
 ";
 
-fn load_graph(args: &Args) -> Result<Graph, String> {
-    let path = args.required("graph").map_err(|e| e.to_string())?;
-    tsv::load(Path::new(path)).map_err(|e| format!("cannot read graph {path}: {e}"))
+fn load_graph(args: &Args) -> Result<Graph, CliError> {
+    let path = args.required("graph")?;
+    tsv::load(Path::new(path)).map_err(|error| CliError::Graph {
+        path: path.to_string(),
+        error,
+    })
 }
 
-fn cmd_gen(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_gen(args: &Args) -> Result<(), CliError> {
     let dataset = args.required("dataset")?;
     let out = args.required("out")?;
     let seed: u64 = args.parsed_or("seed", 40)?;
@@ -76,7 +155,10 @@ fn cmd_gen(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     };
     use rand::SeedableRng;
     let g = generate(&cfg, &mut rand::rngs::StdRng::seed_from_u64(seed));
-    tsv::save(&g, Path::new(out))?;
+    tsv::save(&g, Path::new(out)).map_err(|error| CliError::Io {
+        path: out.to_string(),
+        error,
+    })?;
     println!(
         "wrote {out}: {} entities, {} relations, {} triples",
         g.n_entities(),
@@ -86,7 +168,7 @@ fn cmd_gen(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_stats(args: &Args) -> Result<(), CliError> {
     let g = load_graph(args)?;
     let s = GraphStats::compute(&g);
     println!("entities          {}", s.n_entities);
@@ -99,12 +181,21 @@ fn cmd_stats(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn cmd_train(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_train(args: &Args) -> Result<(), CliError> {
     let g = load_graph(args)?;
     let out = args.required("out")?;
     let steps: usize = args.parsed_or("steps", 3000)?;
     let dim: usize = args.parsed_or("dim", 32)?;
     let seed: u64 = args.parsed_or("seed", 7)?;
+    let checkpoint_every: usize = args.parsed_or("checkpoint-every", 0)?;
+    let keep_checkpoints: usize = args.parsed_or("keep-checkpoints", 3)?;
+    let checkpoint_dir = match args.optional("checkpoint-dir") {
+        Some(dir) => Some(PathBuf::from(dir)),
+        None if checkpoint_every > 0 => Some(Path::new(out).join("checkpoints")),
+        None => None,
+    };
+    let resume_from = args.optional("resume").map(PathBuf::from);
+
     let cfg = HalkConfig {
         dim,
         hidden: 2 * dim,
@@ -117,20 +208,35 @@ fn cmd_train(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         steps,
         log_every: (steps / 10).max(1),
         seed,
+        checkpoint_every,
+        checkpoint_dir,
+        keep_checkpoints,
+        resume_from,
         ..TrainConfig::default()
     };
-    let stats = train_model(&mut model, &g, &Structure::training(), &tc);
-    model.save(Path::new(out))?;
+    let stats = train_model(&mut model, &g, &Structure::training(), &tc)?;
+    model
+        .save(Path::new(out))
+        .map_err(|error| CliError::Model {
+            dir: out.to_string(),
+            error,
+        })?;
+    if stats.start_step > 0 {
+        println!("resumed at step {}", stats.start_step);
+    }
+    if stats.rollbacks > 0 {
+        println!("recovered from {} diverged step(s)", stats.rollbacks);
+    }
     println!(
         "trained {} steps in {:.1?} (tail loss {:.3}); model saved to {out}",
-        steps,
+        steps - stats.start_step,
         stats.wall,
         stats.tail_loss()
     );
     Ok(())
 }
 
-fn cmd_ask(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_ask(args: &Args) -> Result<(), CliError> {
     let g = load_graph(args)?;
     let sparql = args.required("sparql")?;
     let engine = args.optional("engine").unwrap_or("exact");
@@ -146,7 +252,10 @@ fn cmd_ask(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
         "halk" => {
             let dir = args.required("model")?;
-            let model = HalkModel::load(&g, Path::new(dir))?;
+            let model = HalkModel::load(&g, Path::new(dir)).map_err(|error| CliError::Model {
+                dir: dir.to_string(),
+                error,
+            })?;
             let scores = model.score_all(&query);
             let mut ranked: Vec<u32> = (0..scores.len() as u32).collect();
             ranked.sort_by(|&a, &b| {
@@ -181,7 +290,7 @@ mod tests {
         dir.join(name)
     }
 
-    fn run_line(line: &str) -> Result<(), String> {
+    fn run_line(line: &str) -> Result<(), CliError> {
         run(line.split_whitespace().map(str::to_string).collect())
     }
 
@@ -206,8 +315,10 @@ mod tests {
 
     #[test]
     fn unknown_subcommand_fails() {
-        assert!(run_line("frobnicate").is_err());
-        assert!(run_line("").is_err());
+        let err = run_line("frobnicate").unwrap_err();
+        assert!(matches!(err, CliError::UnknownCommand(_)));
+        assert_eq!(err.exit_code(), ExitCode::from(2));
+        assert!(matches!(run_line("").unwrap_err(), CliError::Args(_)));
     }
 
     #[test]
@@ -225,7 +336,34 @@ mod tests {
             "halk".into(),
         ])
         .unwrap_err();
-        assert!(err.contains("--model"), "{err}");
+        assert!(err.to_string().contains("--model"), "{err}");
+    }
+
+    #[test]
+    fn missing_graph_file_is_a_graph_error_not_a_panic() {
+        let err = run_line("stats --graph /definitely/not/there.tsv").unwrap_err();
+        assert!(matches!(err, CliError::Graph { .. }));
+        assert_eq!(err.exit_code(), ExitCode::FAILURE);
+    }
+
+    #[test]
+    fn bad_resume_checkpoint_is_a_train_error() {
+        let g = tmp("g3.tsv");
+        let gs = g.to_str().unwrap();
+        run_line(&format!("gen --dataset nell --out {gs} --seed 5")).unwrap();
+        let bogus = tmp("bogus.ckpt");
+        std::fs::write(&bogus, b"garbage").unwrap();
+        let out = tmp("model_resume_err");
+        let err = run_line(&format!(
+            "train --graph {gs} --out {} --steps 5 --resume {}",
+            out.display(),
+            bogus.display()
+        ))
+        .unwrap_err();
+        assert!(
+            matches!(err, CliError::Train(TrainError::Resume { .. })),
+            "{err}"
+        );
     }
 
     #[test]
@@ -236,6 +374,6 @@ mod tests {
     #[test]
     fn bad_dataset_rejected() {
         let err = run_line("gen --dataset wikidata --out /tmp/x.tsv").unwrap_err();
-        assert!(err.contains("dataset"), "{err}");
+        assert!(err.to_string().contains("dataset"), "{err}");
     }
 }

@@ -150,7 +150,11 @@ mod tests {
     #[test]
     fn chord_matches_reference_and_is_periodic() {
         let mut t = Tape::new();
-        let a = t.input(Tensor::from_vec(1, 2, vec![0.2, 0.2 + std::f32::consts::TAU]));
+        let a = t.input(Tensor::from_vec(
+            1,
+            2,
+            vec![0.2, 0.2 + std::f32::consts::TAU],
+        ));
         let b = t.input(Tensor::from_vec(1, 2, vec![6.0, 6.0]));
         let c = chord(&mut t, a, b, 1.0);
         let expect = halk_geometry::chord(0.2, 6.0, 1.0);

@@ -8,7 +8,9 @@
 
 use crate::qmodel::QueryModel;
 use halk_kg::split::DatasetSplit;
-use halk_logic::{answer_split, filtered_ranks, MetricsAccumulator, RankMetrics, Sampler, Structure};
+use halk_logic::{
+    answer_split, filtered_ranks, MetricsAccumulator, RankMetrics, Sampler, Structure,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
@@ -81,7 +83,10 @@ pub fn evaluate_table<M: QueryModel + ?Sized>(
         .iter()
         .map(|&s| {
             if model.supports(s) {
-                (s, Some(evaluate_structure(model, split, s, n_queries, seed)))
+                (
+                    s,
+                    Some(evaluate_structure(model, split, s, n_queries, seed)),
+                )
             } else {
                 (s, None)
             }
@@ -156,7 +161,7 @@ mod tests {
         let mut tc = TrainConfig::tiny();
         tc.steps = 1200;
         tc.batch_size = 16;
-        train_model(&mut trained, &split.train, &[Structure::P1], &tc);
+        train_model(&mut trained, &split.train, &[Structure::P1], &tc).unwrap();
 
         let rank_on_train = |model: &HalkModel| {
             let sampler = halk_logic::Sampler::new(&split.train);
@@ -200,13 +205,7 @@ mod tests {
         }
         let (split, model) = setup();
         let wrapped = NoDiff(model);
-        let row = evaluate_table(
-            &wrapped,
-            &split,
-            &[Structure::P1, Structure::D2],
-            2,
-            3,
-        );
+        let row = evaluate_table(&wrapped, &split, &[Structure::P1, Structure::D2], 2, 3);
         assert!(row[0].1.is_some());
         assert!(row[1].1.is_none());
         assert!(row_average(&row, |m| m.mrr) >= 0.0);

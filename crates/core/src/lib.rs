@@ -23,7 +23,7 @@
 //!
 //! let graph = generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(1));
 //! let mut model = HalkModel::new(&graph, HalkConfig::tiny());
-//! train_model(&mut model, &graph, &[Structure::P1], &TrainConfig::tiny());
+//! train_model(&mut model, &graph, &[Structure::P1], &TrainConfig::tiny()).unwrap();
 //! let scores = model.score_all(&halk_logic::Query::atom(
 //!     graph.triples()[0].h,
 //!     graph.triples()[0].r,
@@ -46,4 +46,4 @@ pub use eval::{evaluate_structure, evaluate_table, EvalCell};
 pub use lsh::EntityLsh;
 pub use model::HalkModel;
 pub use qmodel::{QueryModel, TrainExample};
-pub use train::{train_model, TrainConfig, TrainStats};
+pub use train::{train_model, TrainConfig, TrainError, TrainStats};

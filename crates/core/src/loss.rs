@@ -23,7 +23,10 @@ pub fn margin_loss(
     neg_penalties: Option<&[Var]>,
     gamma: f32,
 ) -> Var {
-    assert!(!d_negs.is_empty(), "margin loss needs at least one negative");
+    assert!(
+        !d_negs.is_empty(),
+        "margin loss needs at least one negative"
+    );
     if let Some(ps) = neg_penalties {
         assert_eq!(ps.len(), d_negs.len());
     }

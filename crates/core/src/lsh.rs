@@ -58,10 +58,7 @@ impl EntityLsh {
             }
             for (t, plane) in planes.iter().enumerate() {
                 let sig = signature(plane, &lifted, n_bits);
-                tables[t]
-                    .entry(sig)
-                    .or_insert_with(Vec::new)
-                    .push(e as u32);
+                tables[t].entry(sig).or_insert_with(Vec::new).push(e as u32);
             }
         }
         Self {

@@ -201,7 +201,10 @@ impl HalkModel {
                     .iter()
                     .map(|q| match q {
                         Query::Anchor(e) => e.0,
-                        other => panic!("heterogeneous batch: expected anchor, got {}", other.render()),
+                        other => panic!(
+                            "heterogeneous batch: expected anchor, got {}",
+                            other.render()
+                        ),
                     })
                     .collect();
                 let center = tape.gather(&self.store, self.ent_center, &ids);
@@ -589,7 +592,11 @@ impl HalkModel {
                 let mut m = Tensor::zeros(pv.rows, pv.cols);
                 for i in 0..m.data.len() {
                     let a = Arc::new(cv.data[i], lv.data[i].max(0.0), rho);
-                    m.data[i] = if a.contains_angle(pv.data[i]) { 0.0 } else { 1.0 };
+                    m.data[i] = if a.contains_angle(pv.data[i]) {
+                        0.0
+                    } else {
+                        1.0
+                    };
                 }
                 let mask = tape.input(m);
                 tape.mul(mask, d_o_raw)
@@ -763,8 +770,14 @@ mod tests {
             let c = tape.value(arc.center);
             let l = tape.value(arc.len);
             assert_eq!((c.rows, c.cols), (1, model.cfg.dim), "{s}");
-            assert!(c.data.iter().all(|v| v.is_finite()), "{s}: non-finite center");
-            assert!(l.data.iter().all(|v| v.is_finite() && *v >= -1e-4), "{s}: bad length");
+            assert!(
+                c.data.iter().all(|v| v.is_finite()),
+                "{s}: non-finite center"
+            );
+            assert!(
+                l.data.iter().all(|v| v.is_finite() && *v >= -1e-4),
+                "{s}: bad length"
+            );
         }
     }
 
@@ -892,7 +905,7 @@ mod tests {
 
     #[test]
     fn save_load_roundtrip_preserves_scores() {
-        let (g, mut model) = setup();
+        let (g, model) = setup();
         // Nudge parameters off their init so the test is not vacuous.
         let sampler = Sampler::new(&g);
         let mut rng = StdRng::seed_from_u64(77);
@@ -907,7 +920,7 @@ mod tests {
 
     #[test]
     fn load_rejects_mismatched_graph() {
-        let (g, model) = setup();
+        let (_g, model) = setup();
         let dir = std::env::temp_dir().join("halk_model_ckpt_test2");
         model.save(&dir).expect("save");
         let other = generate(&SynthConfig::nell_like(), &mut StdRng::seed_from_u64(1));

@@ -10,7 +10,7 @@ use crate::config::HalkConfig;
 use crate::model::HalkModel;
 use halk_kg::EntityId;
 use halk_logic::{Query, Structure};
-use halk_nn::Tape;
+use halk_nn::{ParamStore, Tape};
 
 /// One training example: a grounded query, one positive answer and `m`
 /// negative entities (the negative-sampling trick of §III-G).
@@ -43,6 +43,20 @@ pub trait QueryModel {
 
     /// Universe size (length of `score_all` results).
     fn n_entities(&self) -> usize;
+
+    /// The parameter store backing this model, if it exposes one. Models
+    /// that do get generic checkpoint/resume and divergence rollback from
+    /// the training loop for free.
+    fn param_store(&self) -> Option<&ParamStore> {
+        None
+    }
+
+    /// Mutable access to the backing parameter store (see [`param_store`]).
+    ///
+    /// [`param_store`]: QueryModel::param_store
+    fn param_store_mut(&mut self) -> Option<&mut ParamStore> {
+        None
+    }
 }
 
 impl QueryModel for HalkModel {
@@ -120,6 +134,14 @@ impl QueryModel for HalkModel {
 
     fn n_entities(&self) -> usize {
         HalkModel::n_entities(self)
+    }
+
+    fn param_store(&self) -> Option<&ParamStore> {
+        Some(&self.store)
+    }
+
+    fn param_store_mut(&mut self) -> Option<&mut ParamStore> {
+        Some(&mut self.store)
     }
 }
 

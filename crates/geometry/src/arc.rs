@@ -426,7 +426,9 @@ mod tests {
         assert!(abs_delta(p.start(), 1.5) < 1e-4);
         assert!(abs_delta(p.end(), 2.0) < 1e-4);
         // Disjoint.
-        assert!(big.intersect_exact(&Arc::from_endpoints(3.0, 4.0, R)).is_none());
+        assert!(big
+            .intersect_exact(&Arc::from_endpoints(3.0, 4.0, R))
+            .is_none());
     }
 
     #[test]

@@ -186,7 +186,10 @@ mod tests {
         let d = a.difference_lossy(&b);
         let true_left_covered = d.contains(-1.0);
         let true_right_covered = d.contains(1.0);
-        assert!(true_left_covered ^ true_right_covered, "one side must be lost");
+        assert!(
+            true_left_covered ^ true_right_covered,
+            "one side must be lost"
+        );
     }
 
     #[test]

@@ -59,7 +59,10 @@ impl ConeSeg {
     /// This is the *linear* negation the HaLk paper contrasts with its
     /// learned negation operator.
     pub fn complement(&self) -> ConeSeg {
-        ConeSeg::new(self.axis + std::f32::consts::PI, std::f32::consts::PI - self.ap)
+        ConeSeg::new(
+            self.axis + std::f32::consts::PI,
+            std::f32::consts::PI - self.ap,
+        )
     }
 
     /// ConE's outside distance `d_con,o`: raw angular gap from the nearest

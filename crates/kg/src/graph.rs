@@ -253,7 +253,11 @@ mod tests {
         let g = Graph::from_triples(
             2,
             1,
-            vec![Triple::new(0, 0, 1), Triple::new(0, 0, 1), Triple::new(0, 0, 1)],
+            vec![
+                Triple::new(0, 0, 1),
+                Triple::new(0, 0, 1),
+                Triple::new(0, 0, 1),
+            ],
         );
         assert_eq!(g.n_triples(), 1);
     }

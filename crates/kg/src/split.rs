@@ -188,11 +188,7 @@ mod tests {
             assert!(s.train.degree(e) > 0, "entity {e} unseen in train");
         }
         for r in s.test.relations() {
-            let any = s
-                .train
-                .triples()
-                .iter()
-                .any(|t| t.r == r);
+            let any = s.train.triples().iter().any(|t| t.r == r);
             assert!(any, "relation {r} unseen in train");
         }
     }

@@ -45,10 +45,7 @@ impl GraphStats {
                 if r2 == r {
                     return false;
                 }
-                let hits = triples
-                    .iter()
-                    .filter(|t| g.has(t.t, r2, t.h))
-                    .count();
+                let hits = triples.iter().filter(|t| g.has(t.t, r2, t.h)).count();
                 hits * 10 >= triples.len() * 8
             });
             if found_twin {
@@ -62,7 +59,7 @@ impl GraphStats {
             n_triples: g.n_triples(),
             avg_degree: avg,
             max_degree: degs.last().copied().unwrap_or(0),
-            median_degree: degs[degs.len() / 2.max(1) - if degs.len() > 1 { 0 } else { 0 }],
+            median_degree: degs.get(degs.len() / 2).copied().unwrap_or(0),
             inverse_leakage: if measured == 0 {
                 0.0
             } else {

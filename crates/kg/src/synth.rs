@@ -174,11 +174,7 @@ pub fn generate(cfg: &SynthConfig, rng: &mut impl Rng) -> Graph {
     let total_relations = if cfg.inverse_twins {
         let base: Vec<Triple> = triples.clone();
         for t in base {
-            triples.push(Triple::new(
-                t.t.0,
-                t.r.0 + cfg.n_relations as u32,
-                t.h.0,
-            ));
+            triples.push(Triple::new(t.t.0, t.r.0 + cfg.n_relations as u32, t.h.0));
         }
         cfg.n_relations * 2
     } else {

@@ -17,9 +17,11 @@ pub fn save(graph: &Graph, path: &Path) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads a graph written by [`save`]. Lines starting with `#` other than the
-/// header are ignored; malformed lines produce an error naming the line
-/// number.
+/// Reads a graph written by [`save`]. `#`-comment lines other than the shape
+/// header are ignored. Malformed lines, a duplicate shape header, or ids
+/// exceeding the header-declared entity/relation counts all produce an
+/// `InvalidData` error naming the (1-based) line number — a corrupted file
+/// never loads as a silently-wrong graph.
 pub fn load(path: &Path) -> io::Result<Graph> {
     let f = std::fs::File::open(path)?;
     let reader = io::BufReader::new(f);
@@ -34,11 +36,16 @@ pub fn load(path: &Path) -> io::Result<Graph> {
             continue;
         }
         if let Some(rest) = line.strip_prefix('#') {
-            if !have_header {
-                let mut it = rest.split_whitespace();
-                if let (Some(e), Some(r)) = (it.next(), it.next()) {
-                    n_entities = e.parse().map_err(|_| bad_line(lineno))?;
-                    n_relations = r.parse().map_err(|_| bad_line(lineno))?;
+            let mut it = rest.split_whitespace();
+            if let (Some(e), Some(r)) = (it.next(), it.next()) {
+                // Only a pair of integers counts as a shape header; anything
+                // else after `#` is a free-form comment.
+                if let (Ok(e), Ok(r)) = (e.parse::<usize>(), r.parse::<usize>()) {
+                    if have_header {
+                        return Err(bad(lineno, "duplicate shape header"));
+                    }
+                    n_entities = e;
+                    n_relations = r;
                     have_header = true;
                 }
             }
@@ -50,9 +57,26 @@ pub fn load(path: &Path) -> io::Result<Graph> {
             it.next().ok_or_else(|| bad_line(lineno))?,
             it.next().ok_or_else(|| bad_line(lineno))?,
         );
+        if it.next().is_some() {
+            return Err(bad(lineno, "expected exactly 3 tab-separated fields"));
+        }
         let h: u32 = h.parse().map_err(|_| bad_line(lineno))?;
         let r: u32 = r.parse().map_err(|_| bad_line(lineno))?;
         let t: u32 = t.parse().map_err(|_| bad_line(lineno))?;
+        if have_header {
+            if h as usize >= n_entities || t as usize >= n_entities {
+                return Err(bad(
+                    lineno,
+                    &format!("entity id out of range (header declares {n_entities} entities)"),
+                ));
+            }
+            if r as usize >= n_relations {
+                return Err(bad(
+                    lineno,
+                    &format!("relation id out of range (header declares {n_relations} relations)"),
+                ));
+            }
+        }
         triples.push(Triple::new(h, r, t));
     }
     if !have_header {
@@ -62,15 +86,23 @@ pub fn load(path: &Path) -> io::Result<Graph> {
             .map(|t| t.h.0.max(t.t.0) as usize + 1)
             .max()
             .unwrap_or(0);
-        n_relations = triples.iter().map(|t| t.r.0 as usize + 1).max().unwrap_or(0);
+        n_relations = triples
+            .iter()
+            .map(|t| t.r.0 as usize + 1)
+            .max()
+            .unwrap_or(0);
     }
     Ok(Graph::from_triples(n_entities, n_relations, triples))
 }
 
 fn bad_line(lineno: usize) -> io::Error {
+    bad(lineno, "malformed TSV")
+}
+
+fn bad(lineno: usize, what: &str) -> io::Error {
     io::Error::new(
         io::ErrorKind::InvalidData,
-        format!("malformed TSV at line {}", lineno + 1),
+        format!("{what} at line {}", lineno + 1),
     )
 }
 
@@ -114,5 +146,56 @@ mod tests {
         std::fs::write(&path, "0\t0\t1\nnot a triple\n").unwrap();
         let err = load(&path).unwrap_err();
         assert!(err.to_string().contains("line 2"), "{err}");
+    }
+
+    fn load_str(name: &str, content: &str) -> io::Result<Graph> {
+        let dir = std::env::temp_dir().join("halk_kg_tsv_harden");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        load(&path)
+    }
+
+    #[test]
+    fn entity_id_beyond_header_is_rejected() {
+        let err = load_str("oob_e.tsv", "# 3 2\n0\t0\t1\n0\t1\t7\n").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(msg.contains("entity id") && msg.contains("line 3"), "{msg}");
+    }
+
+    #[test]
+    fn relation_id_beyond_header_is_rejected() {
+        let err = load_str("oob_r.tsv", "# 3 2\n0\t5\t1\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("relation id") && msg.contains("line 2"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn duplicate_header_is_rejected() {
+        let err = load_str("dup.tsv", "# 3 2\n0\t0\t1\n# 9 9\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("duplicate") && msg.contains("line 3"), "{msg}");
+    }
+
+    #[test]
+    fn extra_fields_are_rejected() {
+        let err = load_str("wide.tsv", "0\t0\t1\t5\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("3 tab-separated") && msg.contains("line 1"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn freeform_comments_are_ignored() {
+        let g = load_str("cmt.tsv", "# generated by halk\n# 2 1\n0\t0\t1\n").unwrap();
+        assert_eq!(g.n_entities(), 2);
+        assert_eq!(g.n_relations(), 1);
+        assert_eq!(g.n_triples(), 1);
     }
 }

@@ -7,18 +7,25 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn arb_config() -> impl Strategy<Value = SynthConfig> {
-    (60usize..200, 4usize..12, 3usize..8, 200usize..900, any::<bool>()).prop_map(
-        |(n_entities, n_relations, n_types, n_triples, inverse)| SynthConfig {
-            n_entities,
-            n_relations,
-            n_types,
-            n_triples,
-            pairs_per_relation: 2,
-            inverse_twins: inverse,
-            hierarchy: false,
-            skew: 0.5,
-        },
+    (
+        60usize..200,
+        4usize..12,
+        3usize..8,
+        200usize..900,
+        any::<bool>(),
     )
+        .prop_map(
+            |(n_entities, n_relations, n_types, n_triples, inverse)| SynthConfig {
+                n_entities,
+                n_relations,
+                n_types,
+                n_triples,
+                pairs_per_relation: 2,
+                inverse_twins: inverse,
+                hierarchy: false,
+                skew: 0.5,
+            },
+        )
 }
 
 proptest! {

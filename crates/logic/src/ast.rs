@@ -142,13 +142,22 @@ impl Query {
             Query::Projection { rel, input } => format!("P[{rel}]({})", input.render()),
             Query::Negation(q) => format!("N({})", q.render()),
             Query::Intersection(qs) => {
-                format!("I({})", qs.iter().map(Query::render).collect::<Vec<_>>().join(", "))
+                format!(
+                    "I({})",
+                    qs.iter().map(Query::render).collect::<Vec<_>>().join(", ")
+                )
             }
             Query::Union(qs) => {
-                format!("U({})", qs.iter().map(Query::render).collect::<Vec<_>>().join(", "))
+                format!(
+                    "U({})",
+                    qs.iter().map(Query::render).collect::<Vec<_>>().join(", ")
+                )
             }
             Query::Difference(qs) => {
-                format!("D({})", qs.iter().map(Query::render).collect::<Vec<_>>().join(", "))
+                format!(
+                    "D({})",
+                    qs.iter().map(Query::render).collect::<Vec<_>>().join(", ")
+                )
             }
         }
     }

@@ -20,10 +20,9 @@ use crate::ast::Query;
 pub fn to_dnf(query: &Query) -> Vec<Query> {
     match query {
         Query::Anchor(_) => vec![query.clone()],
-        Query::Projection { rel, input } => to_dnf(input)
-            .into_iter()
-            .map(|b| b.project(*rel))
-            .collect(),
+        Query::Projection { rel, input } => {
+            to_dnf(input).into_iter().map(|b| b.project(*rel)).collect()
+        }
         Query::Union(qs) => qs.iter().flat_map(to_dnf).collect(),
         Query::Intersection(qs) => {
             let branch_sets: Vec<Vec<Query>> = qs.iter().map(to_dnf).collect();
@@ -50,7 +49,9 @@ pub fn to_dnf(query: &Query) -> Vec<Query> {
             // ¬(b ∪ c) = ¬b ∧ ¬c.
             let inner_branches = to_dnf(inner);
             if inner_branches.len() == 1 {
-                vec![Query::Negation(Box::new(inner_branches.into_iter().next().expect("one branch")))]
+                vec![Query::Negation(Box::new(
+                    inner_branches.into_iter().next().expect("one branch"),
+                ))]
             } else {
                 vec![Query::Intersection(
                     inner_branches

@@ -138,12 +138,7 @@ impl<'g> Sampler<'g> {
     }
 
     /// `k` distinct single-hop branches into `v` (for intersections).
-    fn distinct_edges_into(
-        &self,
-        v: EntityId,
-        k: usize,
-        rng: &mut impl Rng,
-    ) -> Option<Vec<Query>> {
+    fn distinct_edges_into(&self, v: EntityId, k: usize, rng: &mut impl Rng) -> Option<Vec<Query>> {
         let mut seen: Vec<(EntityId, RelationId)> = Vec::with_capacity(k);
         for _ in 0..self.max_tries {
             if seen.len() == k {
@@ -350,7 +345,11 @@ mod tests {
         for s in Structure::all() {
             for q in sampler.sample_many(s, 5, &mut rng) {
                 let ans = answers(&q.query, &g);
-                assert!(!ans.is_empty(), "{s}: empty answers for {}", q.query.render());
+                assert!(
+                    !ans.is_empty(),
+                    "{s}: empty answers for {}",
+                    q.query.render()
+                );
             }
         }
     }
@@ -375,9 +374,21 @@ mod tests {
         let g = graph();
         let sampler = Sampler::new(&g);
         let mut rng = StdRng::seed_from_u64(4);
-        let d1 = sampler.sample(Structure::P1, &mut rng).unwrap().query.depth();
-        let d2 = sampler.sample(Structure::P2, &mut rng).unwrap().query.depth();
-        let d3 = sampler.sample(Structure::P3, &mut rng).unwrap().query.depth();
+        let d1 = sampler
+            .sample(Structure::P1, &mut rng)
+            .unwrap()
+            .query
+            .depth();
+        let d2 = sampler
+            .sample(Structure::P2, &mut rng)
+            .unwrap()
+            .query
+            .depth();
+        let d3 = sampler
+            .sample(Structure::P3, &mut rng)
+            .unwrap()
+            .query
+            .depth();
         assert_eq!((d1, d2, d3), (1, 2, 3));
     }
 

@@ -211,7 +211,10 @@ mod tests {
         let b = set(10, &[2, 3, 4]);
         let mut u = a.clone();
         u.union_with(&b);
-        assert_eq!(u.to_vec(), vec![EntityId(1), EntityId(2), EntityId(3), EntityId(4)]);
+        assert_eq!(
+            u.to_vec(),
+            vec![EntityId(1), EntityId(2), EntityId(3), EntityId(4)]
+        );
         let mut i = a.clone();
         i.intersect_with(&b);
         assert_eq!(i.to_vec(), vec![EntityId(2), EntityId(3)]);

@@ -80,8 +80,8 @@ impl Structure {
     pub fn all() -> Vec<Structure> {
         use Structure::*;
         vec![
-            P1, P2, P3, I2, I3, Ip, Pi, U2, Up, D2, D3, Dp, In2, In3, Pin, Pni, Pip, P3ip,
-            Ipp2, Ippu2, Ippd2, Ipp3, Ippu3, Ippd3,
+            P1, P2, P3, I2, I3, Ip, Pi, U2, Up, D2, D3, Dp, In2, In3, Pin, Pni, Pip, P3ip, Ipp2,
+            Ippu2, Ippd2, Ipp3, Ippu3, Ippd3,
         ]
     }
 
@@ -187,7 +187,9 @@ mod tests {
         for name in ["ip", "pi", "2u", "up", "dp"] {
             assert!(held_out.contains(&name), "{name} should be eval-only");
         }
-        for name in ["1p", "2p", "3p", "2i", "3i", "2d", "3d", "2in", "3in", "pin", "pni"] {
+        for name in [
+            "1p", "2p", "3p", "2i", "3i", "2d", "3d", "2in", "3in", "pin", "pni",
+        ] {
             assert!(!held_out.contains(&name), "{name} should be trained");
         }
     }

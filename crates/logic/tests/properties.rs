@@ -69,8 +69,8 @@ fn toy_graph() -> Graph {
 }
 
 fn arb_query(entities: u32, relations: u32) -> impl Strategy<Value = Query> {
-    let anchor = (0..entities, 0..relations)
-        .prop_map(|(e, r)| Query::atom(EntityId(e), RelationId(r)));
+    let anchor =
+        (0..entities, 0..relations).prop_map(|(e, r)| Query::atom(EntityId(e), RelationId(r)));
     anchor.prop_recursive(3, 24, 3, move |inner| {
         prop_oneof![
             (inner.clone(), 0..relations).prop_map(|(q, r)| q.project(RelationId(r))),

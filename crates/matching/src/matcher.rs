@@ -195,7 +195,11 @@ impl<'g> Matcher<'g> {
                 }
             }
             // Beam prune: keep the best partial assignments.
-            next.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+            next.sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             next.truncate(self.cfg.beam);
             beam = next;
             if beam.is_empty() {

@@ -74,8 +74,8 @@ impl Pattern {
             }
         }
         // Disconnected leftovers (shouldn't happen for well-formed queries).
-        for v in 0..self.n_vars {
-            if !placed[v] {
+        for (v, done) in placed.iter().enumerate() {
+            if !done {
                 order.push(v);
             }
         }
@@ -157,8 +157,7 @@ fn build(q: &Query, p: &mut Pattern, exclusions: &mut Vec<Pattern>) -> VarId {
             // Representable only as an exclusion over the full universe; the
             // matcher special-cases an empty positive pattern.
             exclusions.push(standalone(inner));
-            let v = p.new_var();
-            v
+            p.new_var()
         }
         Query::Union(_) => panic!("flatten requires union-free queries (run DNF first)"),
     }

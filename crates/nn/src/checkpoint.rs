@@ -5,19 +5,31 @@
 //! can ship without the training graph. JSON (serde) stays available for
 //! debugging; this format is ~4 bytes/scalar instead of ~12.
 //!
-//! Layout: `magic "HALKCKPT" | version u32 | step u64 | n_params u32 |`
-//! then per parameter `rows u32 | cols u32 | values f32* | grad-less Adam
-//! m f32* | v f32*`.
+//! Version 2 layout: `magic "HALKCKPT" | version u32 | step u64 |
+//! n_params u32 |` then per parameter `rows u32 | cols u32 | values f32* |
+//! Adam m f32* | v f32*`, followed by a trailing `crc32 u32` (IEEE) over
+//! every preceding byte including the magic. Version 1 files — the same
+//! layout without the checksum — remain readable.
+//!
+//! [`save_file`] is crash-safe: the checkpoint is written to a sibling
+//! temporary file, fsynced, and atomically renamed over the destination, so
+//! a crash mid-save leaves either the old file or the new one, never a
+//! torn mixture. The [`fault`] module provides an injectable IO layer used
+//! by the robustness tests (partial writes, bit flips, transient errors);
+//! transient errors are retried with bounded backoff.
 
 use crate::params::ParamStore;
 use crate::tensor::Tensor;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 const MAGIC: &[u8; 8] = b"HALKCKPT";
-const VERSION: u32 = 1;
+/// Current (written) format version.
+pub const VERSION: u32 = 2;
+/// Legacy checksum-less format, still accepted by [`from_bytes`].
+pub const VERSION_V1: u32 = 1;
 
 /// Errors produced while decoding a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,6 +40,10 @@ pub enum CheckpointError {
     BadVersion(u32),
     /// The buffer ended before the declared content.
     Truncated,
+    /// Bytes remain after the declared content.
+    TrailingBytes,
+    /// The v2 trailing CRC32 does not match the payload.
+    ChecksumMismatch { stored: u32, computed: u32 },
 }
 
 impl fmt::Display for CheckpointError {
@@ -36,90 +52,344 @@ impl fmt::Display for CheckpointError {
             CheckpointError::BadMagic => write!(f, "not a HaLk checkpoint (bad magic)"),
             CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
             CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::TrailingBytes => write!(f, "checkpoint has trailing bytes"),
+            CheckpointError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checkpoint corrupted: stored crc32 {stored:#010x}, computed {computed:#010x}"
+            ),
         }
     }
 }
 
 impl std::error::Error for CheckpointError {}
 
-/// Serializes a store (values + optimizer state) to bytes.
-pub fn to_bytes(store: &ParamStore) -> Bytes {
-    let mut buf = BytesMut::with_capacity(16 + store.num_scalars() * 12);
-    buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
-    buf.put_u64_le(store.steps_taken());
-    buf.put_u32_le(store.len() as u32);
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320), bitwise.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn encode(store: &ParamStore, version: u32) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(28 + store.num_scalars() * 12);
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&version.to_le_bytes());
+    buf.extend_from_slice(&store.steps_taken().to_le_bytes());
+    buf.extend_from_slice(&(store.len() as u32).to_le_bytes());
     for i in 0..store.len() {
         let id = crate::params::ParamId(i);
         let (value, m, v) = store.checkpoint_views(id);
-        buf.put_u32_le(value.rows as u32);
-        buf.put_u32_le(value.cols as u32);
-        for &x in &value.data {
-            buf.put_f32_le(x);
-        }
-        for &x in &m.data {
-            buf.put_f32_le(x);
-        }
-        for &x in &v.data {
-            buf.put_f32_le(x);
+        buf.extend_from_slice(&(value.rows as u32).to_le_bytes());
+        buf.extend_from_slice(&(value.cols as u32).to_le_bytes());
+        for t in [value, m, v] {
+            for &x in &t.data {
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
         }
     }
-    buf.freeze()
+    if version >= 2 {
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+    }
+    buf
 }
 
-/// Restores a store from bytes produced by [`to_bytes`].
-pub fn from_bytes(mut buf: &[u8]) -> Result<ParamStore, CheckpointError> {
-    if buf.remaining() < 8 || &buf[..8] != MAGIC {
+/// Serializes a store (values + optimizer state) to v2 bytes.
+pub fn to_bytes(store: &ParamStore) -> Vec<u8> {
+    encode(store, VERSION)
+}
+
+/// Serializes in the legacy v1 (checksum-less) layout. Kept so
+/// compatibility tests can fabricate v1 inputs; new code should use
+/// [`to_bytes`].
+pub fn to_bytes_v1(store: &ParamStore) -> Vec<u8> {
+    encode(store, VERSION_V1)
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self.pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32_le(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64_le(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32_vec(&mut self, n: usize) -> Result<Vec<f32>, CheckpointError> {
+        let raw = self.take(n.checked_mul(4).ok_or(CheckpointError::Truncated)?)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+/// Restores a store from bytes produced by [`to_bytes`] (v2) or a legacy
+/// v1 writer. Never panics on malformed input: every defect maps to a
+/// typed [`CheckpointError`].
+pub fn from_bytes(buf: &[u8]) -> Result<ParamStore, CheckpointError> {
+    if buf.len() < 8 || &buf[..8] != MAGIC {
         return Err(CheckpointError::BadMagic);
     }
-    buf.advance(8);
-    if buf.remaining() < 4 {
+    if buf.len() < 12 {
         return Err(CheckpointError::Truncated);
     }
-    let version = buf.get_u32_le();
-    if version != VERSION {
-        return Err(CheckpointError::BadVersion(version));
-    }
-    if buf.remaining() < 12 {
-        return Err(CheckpointError::Truncated);
-    }
-    let step = buf.get_u64_le();
-    let n_params = buf.get_u32_le() as usize;
+    let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    let payload = match version {
+        VERSION_V1 => buf,
+        VERSION => {
+            // Verify the trailing checksum before trusting any of the
+            // payload structure.
+            if buf.len() < 16 {
+                return Err(CheckpointError::Truncated);
+            }
+            let body = &buf[..buf.len() - 4];
+            let stored = u32::from_le_bytes(buf[buf.len() - 4..].try_into().unwrap());
+            let computed = crc32(body);
+            if stored != computed {
+                return Err(CheckpointError::ChecksumMismatch { stored, computed });
+            }
+            body
+        }
+        other => return Err(CheckpointError::BadVersion(other)),
+    };
+
+    let mut cur = Cursor {
+        buf: payload,
+        pos: 12,
+    };
+    let step = cur.u64_le()?;
+    let n_params = cur.u32_le()? as usize;
 
     let mut store = ParamStore::new();
     for _ in 0..n_params {
-        if buf.remaining() < 8 {
-            return Err(CheckpointError::Truncated);
-        }
-        let rows = buf.get_u32_le() as usize;
-        let cols = buf.get_u32_le() as usize;
-        let n = rows * cols;
-        if buf.remaining() < n * 12 {
-            return Err(CheckpointError::Truncated);
-        }
-        let read_tensor = |buf: &mut &[u8]| {
-            let data: Vec<f32> = (0..n).map(|_| buf.get_f32_le()).collect();
-            Tensor::from_vec(rows, cols, data)
-        };
-        let value = read_tensor(&mut buf);
-        let m = read_tensor(&mut buf);
-        let v = read_tensor(&mut buf);
+        let rows = cur.u32_le()? as usize;
+        let cols = cur.u32_le()? as usize;
+        let n = rows.checked_mul(cols).ok_or(CheckpointError::Truncated)?;
+        let value = Tensor::from_vec(rows, cols, cur.f32_vec(n)?);
+        let m = Tensor::from_vec(rows, cols, cur.f32_vec(n)?);
+        let v = Tensor::from_vec(rows, cols, cur.f32_vec(n)?);
         let id = store.add(value);
         store.restore_adam_state(id, m, v);
+    }
+    if cur.remaining() != 0 {
+        return Err(CheckpointError::TrailingBytes);
     }
     store.restore_step(step);
     Ok(store)
 }
 
-/// Writes a checkpoint file.
-pub fn save_file(store: &ParamStore, path: &Path) -> io::Result<()> {
-    std::fs::write(path, to_bytes(store))
+/// Retry policy for transient IO errors during [`save_file_with`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). Must be at least 1.
+    pub max_attempts: u32,
+    /// Base backoff; attempt `k` sleeps `backoff * k` before retrying.
+    pub backoff: Duration,
 }
 
-/// Reads a checkpoint file.
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn temp_sibling(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "checkpoint".to_string());
+    path.with_file_name(format!(".{name}.tmp"))
+}
+
+/// Writes a checkpoint file crash-safely: temp sibling + fsync + atomic
+/// rename, retrying transient IO errors per the default [`RetryPolicy`].
+pub fn save_file(store: &ParamStore, path: &Path) -> io::Result<()> {
+    save_file_with(store, path, &RetryPolicy::default(), &mut fault::RealIo)
+}
+
+/// [`save_file`] with an explicit retry policy and IO layer (the latter so
+/// tests can inject faults).
+pub fn save_file_with(
+    store: &ParamStore,
+    path: &Path,
+    policy: &RetryPolicy,
+    io: &mut dyn fault::CheckpointIo,
+) -> io::Result<()> {
+    let data = to_bytes(store);
+    let tmp = temp_sibling(path);
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let result = io
+            .write_file(&tmp, &data)
+            .and_then(|()| io.rename(&tmp, path))
+            .and_then(|()| match path.parent() {
+                Some(dir) if !dir.as_os_str().is_empty() => io.sync_dir(dir),
+                _ => Ok(()),
+            });
+        match result {
+            Ok(()) => return Ok(()),
+            Err(e) if is_transient(&e) && attempt < policy.max_attempts.max(1) => {
+                let _ = std::fs::remove_file(&tmp);
+                std::thread::sleep(policy.backoff.saturating_mul(attempt));
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// Reads a checkpoint file; decode defects surface as
+/// `io::ErrorKind::InvalidData` wrapping the [`CheckpointError`].
 pub fn load_file(path: &Path) -> io::Result<ParamStore> {
     let data = std::fs::read(path)?;
     from_bytes(&data).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Injectable IO layer for checkpoint writes, plus fault-injecting
+/// implementations used by the robustness tests.
+pub mod fault {
+    use std::fs;
+    use std::io::{self, Write};
+    use std::path::Path;
+
+    /// The three filesystem operations `save_file` performs, in order.
+    pub trait CheckpointIo {
+        /// Create `path`, write `data` fully, and fsync it.
+        fn write_file(&mut self, path: &Path, data: &[u8]) -> io::Result<()>;
+        /// Atomically rename `from` onto `to`.
+        fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()>;
+        /// Fsync the directory entry so the rename is durable.
+        fn sync_dir(&mut self, dir: &Path) -> io::Result<()>;
+    }
+
+    /// The real filesystem.
+    pub struct RealIo;
+
+    impl CheckpointIo for RealIo {
+        fn write_file(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+            let mut f = fs::File::create(path)?;
+            f.write_all(data)?;
+            f.sync_all()
+        }
+
+        fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+            fs::rename(from, to)
+        }
+
+        fn sync_dir(&mut self, dir: &Path) -> io::Result<()> {
+            // Directory fsync is a durability nicety; not every platform
+            // allows opening a directory, so fall back to a no-op there.
+            match fs::File::open(dir) {
+                Ok(d) => d.sync_all().or(Ok(())),
+                Err(_) => Ok(()),
+            }
+        }
+    }
+
+    /// Scripted faults layered over [`RealIo`].
+    #[derive(Default)]
+    pub struct FaultyIo {
+        /// Fail this many leading `write_file` calls with a transient
+        /// (retryable) error before succeeding.
+        pub transient_write_failures: u32,
+        /// On the next `write_file`, persist only this many bytes and then
+        /// fail hard — simulates a crash mid-write.
+        pub partial_write_then_crash: Option<usize>,
+        /// Flip this bit (byte offset * 8 + bit index, taken modulo the
+        /// buffer length) in the written data — simulates silent media
+        /// corruption.
+        pub flip_bit: Option<u64>,
+        /// Fail this many leading `rename` calls with a transient error.
+        pub transient_rename_failures: u32,
+        /// Observed operation counts, for assertions.
+        pub writes: u32,
+        pub renames: u32,
+    }
+
+    impl FaultyIo {
+        fn transient(msg: &str) -> io::Error {
+            io::Error::new(io::ErrorKind::Interrupted, msg.to_string())
+        }
+    }
+
+    impl CheckpointIo for FaultyIo {
+        fn write_file(&mut self, path: &Path, data: &[u8]) -> io::Result<()> {
+            self.writes += 1;
+            if self.transient_write_failures > 0 {
+                self.transient_write_failures -= 1;
+                return Err(Self::transient("injected transient write failure"));
+            }
+            if let Some(keep) = self.partial_write_then_crash.take() {
+                let keep = keep.min(data.len());
+                let mut f = fs::File::create(path)?;
+                f.write_all(&data[..keep])?;
+                f.sync_all()?;
+                return Err(io::Error::other("injected crash after partial write"));
+            }
+            if let Some(bit) = self.flip_bit.take() {
+                let mut corrupt = data.to_vec();
+                if !corrupt.is_empty() {
+                    let idx = (bit / 8) as usize % corrupt.len();
+                    corrupt[idx] ^= 1 << (bit % 8);
+                }
+                return RealIo.write_file(path, &corrupt);
+            }
+            RealIo.write_file(path, data)
+        }
+
+        fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+            self.renames += 1;
+            if self.transient_rename_failures > 0 {
+                self.transient_rename_failures -= 1;
+                return Err(Self::transient("injected transient rename failure"));
+            }
+            RealIo.rename(from, to)
+        }
+
+        fn sync_dir(&mut self, dir: &Path) -> io::Result<()> {
+            RealIo.sync_dir(dir)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -143,20 +413,36 @@ mod tests {
         s
     }
 
+    fn stores_equal(a: &ParamStore, b: &ParamStore) -> bool {
+        a.len() == b.len()
+            && a.steps_taken() == b.steps_taken()
+            && (0..a.len()).all(|i| {
+                let id = crate::params::ParamId(i);
+                a.checkpoint_views(id) == b.checkpoint_views(id)
+            })
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
     #[test]
     fn roundtrip_preserves_everything() {
         let s = sample_store();
         let restored = from_bytes(&to_bytes(&s)).unwrap();
-        assert_eq!(restored.len(), s.len());
-        assert_eq!(restored.steps_taken(), s.steps_taken());
-        for i in 0..s.len() {
-            let id = crate::params::ParamId(i);
-            assert_eq!(restored.value(id), s.value(id));
-            let (_, m1, v1) = s.checkpoint_views(id);
-            let (_, m2, v2) = restored.checkpoint_views(id);
-            assert_eq!(m1, m2);
-            assert_eq!(v1, v2);
-        }
+        assert!(stores_equal(&s, &restored));
+    }
+
+    #[test]
+    fn v1_buffers_still_load() {
+        let s = sample_store();
+        let v1 = to_bytes_v1(&s);
+        assert_eq!(u32::from_le_bytes(v1[8..12].try_into().unwrap()), 1);
+        let restored = from_bytes(&v1).unwrap();
+        assert!(stores_equal(&s, &restored));
     }
 
     #[test]
@@ -177,16 +463,47 @@ mod tests {
 
     #[test]
     fn bad_inputs_rejected() {
-        assert_eq!(from_bytes(b"nonsense").unwrap_err(), CheckpointError::BadMagic);
-        let mut data = to_bytes(&sample_store()).to_vec();
-        data.truncate(data.len() - 5);
-        assert_eq!(from_bytes(&data).unwrap_err(), CheckpointError::Truncated);
-        let mut versioned = to_bytes(&sample_store()).to_vec();
+        assert_eq!(
+            from_bytes(b"nonsense").unwrap_err(),
+            CheckpointError::BadMagic
+        );
+
+        let mut truncated = to_bytes(&sample_store());
+        truncated.truncate(truncated.len() - 5);
+        assert!(matches!(
+            from_bytes(&truncated).unwrap_err(),
+            CheckpointError::ChecksumMismatch { .. }
+        ));
+
+        let mut versioned = to_bytes(&sample_store());
         versioned[8] = 99;
         assert_eq!(
             from_bytes(&versioned).unwrap_err(),
             CheckpointError::BadVersion(99)
         );
+
+        // v1 truncation has no checksum to catch it, so it must surface as
+        // a structural error instead.
+        let mut v1 = to_bytes_v1(&sample_store());
+        v1.truncate(v1.len() - 5);
+        assert_eq!(from_bytes(&v1).unwrap_err(), CheckpointError::Truncated);
+        let mut v1_extra = to_bytes_v1(&sample_store());
+        v1_extra.extend_from_slice(&[0, 0, 0]);
+        assert_eq!(
+            from_bytes(&v1_extra).unwrap_err(),
+            CheckpointError::TrailingBytes
+        );
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_a_checksum_mismatch() {
+        let mut data = to_bytes(&sample_store());
+        let mid = data.len() / 2;
+        data[mid] ^= 0x40;
+        assert!(matches!(
+            from_bytes(&data).unwrap_err(),
+            CheckpointError::ChecksumMismatch { .. }
+        ));
     }
 
     #[test]
@@ -197,6 +514,91 @@ mod tests {
         let s = sample_store();
         save_file(&s, &path).unwrap();
         let restored = load_file(&path).unwrap();
-        assert_eq!(restored.value(crate::params::ParamId(0)), s.value(crate::params::ParamId(0)));
+        assert!(stores_equal(&s, &restored));
+        // The temp sibling must not linger after a successful save.
+        assert!(!temp_sibling(&path).exists());
+    }
+
+    #[test]
+    fn transient_write_errors_are_retried() {
+        let dir = std::env::temp_dir().join("halk_ckpt_retry");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        let s = sample_store();
+        let mut io = fault::FaultyIo {
+            transient_write_failures: 2,
+            ..Default::default()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::ZERO,
+        };
+        save_file_with(&s, &path, &policy, &mut io).unwrap();
+        assert_eq!(io.writes, 3);
+        assert!(stores_equal(&s, &load_file(&path).unwrap()));
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let dir = std::env::temp_dir().join("halk_ckpt_retry_budget");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        let mut io = fault::FaultyIo {
+            transient_write_failures: 10,
+            ..Default::default()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff: Duration::ZERO,
+        };
+        let err = save_file_with(&sample_store(), &path, &policy, &mut io).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(io.writes, 3);
+    }
+
+    #[test]
+    fn crash_mid_write_leaves_previous_checkpoint_intact() {
+        let dir = std::env::temp_dir().join("halk_ckpt_crash");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+
+        let old = sample_store();
+        save_file(&old, &path).unwrap();
+
+        let mut newer = sample_store();
+        newer.zero_grads();
+        newer.accumulate_grad(crate::params::ParamId(0), &Tensor::full(3, 4, 0.3));
+        newer.adam_step(0.05);
+
+        let mut io = fault::FaultyIo {
+            partial_write_then_crash: Some(10),
+            ..Default::default()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        };
+        save_file_with(&newer, &path, &policy, &mut io).unwrap_err();
+        // The destination still holds the complete previous checkpoint.
+        assert!(stores_equal(&old, &load_file(&path).unwrap()));
+    }
+
+    #[test]
+    fn bit_flip_on_disk_is_detected_at_load() {
+        let dir = std::env::temp_dir().join("halk_ckpt_flip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        let mut io = fault::FaultyIo {
+            flip_bit: Some(997),
+            ..Default::default()
+        };
+        let policy = RetryPolicy {
+            max_attempts: 1,
+            backoff: Duration::ZERO,
+        };
+        save_file_with(&sample_store(), &path, &policy, &mut io).unwrap();
+        let err = load_file(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 }

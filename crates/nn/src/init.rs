@@ -53,7 +53,10 @@ mod tests {
     fn angles_cover_circle() {
         let mut rng = StdRng::seed_from_u64(9);
         let t = uniform_angles(100, 4, &mut rng);
-        assert!(t.data.iter().all(|&x| (0.0..std::f32::consts::TAU).contains(&x)));
+        assert!(t
+            .data
+            .iter()
+            .all(|&x| (0.0..std::f32::consts::TAU).contains(&x)));
         // With 400 samples we should see both halves of the circle.
         assert!(t.data.iter().any(|&x| x < std::f32::consts::PI));
         assert!(t.data.iter().any(|&x| x > std::f32::consts::PI));

@@ -124,12 +124,18 @@ impl Mlp {
 
     /// Output width.
     pub fn out_dim(&self) -> usize {
-        self.layers.last().expect("mlp has at least one layer").out_dim
+        self.layers
+            .last()
+            .expect("mlp has at least one layer")
+            .out_dim
     }
 
     /// Input width.
     pub fn in_dim(&self) -> usize {
-        self.layers.first().expect("mlp has at least one layer").in_dim
+        self.layers
+            .first()
+            .expect("mlp has at least one layer")
+            .in_dim
     }
 }
 

@@ -170,6 +170,27 @@ impl ParamStore {
         self.step
     }
 
+    /// True when every parameter value is finite (no NaN/Inf). Used by the
+    /// training loop's divergence guard; gradients and Adam moments are not
+    /// inspected because a non-finite moment always poisons the values on
+    /// the next step anyway.
+    pub fn all_finite(&self) -> bool {
+        self.values
+            .iter()
+            .all(|t| t.data.iter().all(|x| x.is_finite()))
+    }
+
+    /// True when `other` registers the same parameters with the same
+    /// shapes, in order (a checkpoint of one can restore the other).
+    pub fn same_shapes(&self, other: &ParamStore) -> bool {
+        self.values.len() == other.values.len()
+            && self
+                .values
+                .iter()
+                .zip(&other.values)
+                .all(|(a, b)| (a.rows, a.cols) == (b.rows, b.cols))
+    }
+
     /// Views of (value, Adam m, Adam v) for checkpointing.
     pub fn checkpoint_views(&self, id: ParamId) -> (&Tensor, &Tensor, &Tensor) {
         (&self.values[id.0], &self.adam_m[id.0], &self.adam_v[id.0])
@@ -258,8 +279,32 @@ mod tests {
             s.accumulate_grad(id, &Tensor::scalar(2.0 * p));
             s.adam_step(0.05);
         }
-        assert!(s.value(id).item().abs() < 1e-2, "p = {}", s.value(id).item());
+        assert!(
+            s.value(id).item().abs() < 1e-2,
+            "p = {}",
+            s.value(id).item()
+        );
         assert_eq!(s.steps_taken(), 500);
+    }
+
+    #[test]
+    fn finiteness_and_shape_checks() {
+        let mut s = ParamStore::new();
+        let id = s.add(Tensor::from_vec(1, 2, vec![1.0, 2.0]));
+        assert!(s.all_finite());
+        s.value_mut(id).data[1] = f32::NAN;
+        assert!(!s.all_finite());
+        s.value_mut(id).data[1] = f32::INFINITY;
+        assert!(!s.all_finite());
+
+        let mut t = ParamStore::new();
+        t.add(Tensor::zeros(1, 2));
+        assert!(s.same_shapes(&t));
+        t.add(Tensor::zeros(3, 3));
+        assert!(!s.same_shapes(&t));
+        let mut u = ParamStore::new();
+        u.add(Tensor::zeros(2, 1));
+        assert!(!s.same_shapes(&u));
     }
 
     #[test]

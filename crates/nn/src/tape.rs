@@ -25,7 +25,10 @@ enum Op {
     /// A whole parameter tensor.
     Param(ParamId),
     /// Selected rows of a parameter tensor (embedding lookup).
-    Gather { param: ParamId, indices: Vec<u32> },
+    Gather {
+        param: ParamId,
+        indices: Vec<u32>,
+    },
     Add(Var, Var),
     Sub(Var, Var),
     Mul(Var, Var),
@@ -144,21 +147,27 @@ impl Tape {
     /// Elementwise `a + b` (same shape).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         self.assert_same(a, b, "add");
-        let t = self.nodes[a.0].data.zip_map(&self.nodes[b.0].data, |x, y| x + y);
+        let t = self.nodes[a.0]
+            .data
+            .zip_map(&self.nodes[b.0].data, |x, y| x + y);
         self.push(t, Op::Add(a, b))
     }
 
     /// Elementwise `a - b` (same shape).
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
         self.assert_same(a, b, "sub");
-        let t = self.nodes[a.0].data.zip_map(&self.nodes[b.0].data, |x, y| x - y);
+        let t = self.nodes[a.0]
+            .data
+            .zip_map(&self.nodes[b.0].data, |x, y| x - y);
         self.push(t, Op::Sub(a, b))
     }
 
     /// Elementwise `a * b` (same shape).
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         self.assert_same(a, b, "mul");
-        let t = self.nodes[a.0].data.zip_map(&self.nodes[b.0].data, |x, y| x * y);
+        let t = self.nodes[a.0]
+            .data
+            .zip_map(&self.nodes[b.0].data, |x, y| x * y);
         self.push(t, Op::Mul(a, b))
     }
 
@@ -166,7 +175,9 @@ impl Tape {
     /// zero (the models guarantee this with `exp`/`+ε` constructions).
     pub fn div(&mut self, a: Var, b: Var) -> Var {
         self.assert_same(a, b, "div");
-        let t = self.nodes[a.0].data.zip_map(&self.nodes[b.0].data, |x, y| x / y);
+        let t = self.nodes[a.0]
+            .data
+            .zip_map(&self.nodes[b.0].data, |x, y| x / y);
         self.push(t, Op::Div(a, b))
     }
 
@@ -174,7 +185,11 @@ impl Tape {
     pub fn add_row(&mut self, a: Var, row: Var) -> Var {
         let (ar, ac) = self.shape(a);
         let (rr, rc) = self.shape(row);
-        assert_eq!((rr, rc), (1, ac), "add_row: row must be 1x{ac}, got {rr}x{rc}");
+        assert_eq!(
+            (rr, rc),
+            (1, ac),
+            "add_row: row must be 1x{ac}, got {rr}x{rc}"
+        );
         let rowt = &self.nodes[row.0].data;
         let mut out = self.nodes[a.0].data.clone();
         for r in 0..ar {
@@ -190,7 +205,11 @@ impl Tape {
     pub fn mul_row(&mut self, a: Var, row: Var) -> Var {
         let (ar, ac) = self.shape(a);
         let (rr, rc) = self.shape(row);
-        assert_eq!((rr, rc), (1, ac), "mul_row: row must be 1x{ac}, got {rr}x{rc}");
+        assert_eq!(
+            (rr, rc),
+            (1, ac),
+            "mul_row: row must be 1x{ac}, got {rr}x{rc}"
+        );
         let rowt = &self.nodes[row.0].data;
         let mut out = self.nodes[a.0].data.clone();
         for r in 0..ar {
@@ -211,21 +230,27 @@ impl Tape {
     /// Elementwise minimum.
     pub fn min(&mut self, a: Var, b: Var) -> Var {
         self.assert_same(a, b, "min");
-        let t = self.nodes[a.0].data.zip_map(&self.nodes[b.0].data, f32::min);
+        let t = self.nodes[a.0]
+            .data
+            .zip_map(&self.nodes[b.0].data, f32::min);
         self.push(t, Op::Min(a, b))
     }
 
     /// Elementwise maximum.
     pub fn max(&mut self, a: Var, b: Var) -> Var {
         self.assert_same(a, b, "max");
-        let t = self.nodes[a.0].data.zip_map(&self.nodes[b.0].data, f32::max);
+        let t = self.nodes[a.0]
+            .data
+            .zip_map(&self.nodes[b.0].data, f32::max);
         self.push(t, Op::Max(a, b))
     }
 
     /// `atan2(y, x)` elementwise (`y` first, like `f32::atan2`).
     pub fn atan2(&mut self, y: Var, x: Var) -> Var {
         self.assert_same(y, x, "atan2");
-        let t = self.nodes[y.0].data.zip_map(&self.nodes[x.0].data, f32::atan2);
+        let t = self.nodes[y.0]
+            .data
+            .zip_map(&self.nodes[x.0].data, f32::atan2);
         self.push(t, Op::Atan2(y, x))
     }
 

@@ -106,7 +106,11 @@ impl Tensor {
     /// # Panics
     /// If the tensor is not `1×1`.
     pub fn item(&self) -> f32 {
-        assert_eq!((self.rows, self.cols), (1, 1), "item() on non-scalar tensor");
+        assert_eq!(
+            (self.rows, self.cols),
+            (1, 1),
+            "item() on non-scalar tensor"
+        );
         self.data[0]
     }
 

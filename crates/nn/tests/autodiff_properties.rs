@@ -11,7 +11,10 @@ use proptest::prelude::*;
 /// Values kept away from regions where f32 finite differences are unreliable
 /// (saturation, kinks, poles).
 fn smooth_vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
-    prop::collection::vec((-2.0f32..2.0).prop_filter("away from relu/abs kink", |x| x.abs() > 0.05), n)
+    prop::collection::vec(
+        (-2.0f32..2.0).prop_filter("away from relu/abs kink", |x| x.abs() > 0.05),
+        n,
+    )
 }
 
 fn store_with(vals: &[f32], rows: usize, cols: usize) -> (ParamStore, halk_nn::ParamId) {

@@ -1,0 +1,105 @@
+//! Property tests for the checkpoint codec: no input — valid, corrupted or
+//! random — may panic the decoder, and every single-byte corruption of a v2
+//! buffer is *detected* (typed error), never silently accepted.
+
+use halk_nn::checkpoint::{from_bytes, to_bytes, to_bytes_v1, CheckpointError};
+use halk_nn::{ParamStore, Tensor};
+use proptest::prelude::*;
+
+/// Builds a small store whose shape and contents are driven by the strategy
+/// inputs, then runs a few Adam steps so the optimizer state is non-trivial.
+fn build_store(rows: usize, cols: usize, fill: f32, steps: u8) -> ParamStore {
+    let mut store = ParamStore::new();
+    let a = store.add(Tensor::full(rows, cols, fill));
+    let b = store.add(Tensor::from_vec(
+        1,
+        cols,
+        (0..cols).map(|c| fill + c as f32).collect(),
+    ));
+    for s in 0..steps {
+        let g = Tensor::full(rows, cols, 0.1 + s as f32 * 0.01);
+        store.accumulate_grad(a, &g);
+        store.accumulate_grad(b, &Tensor::full(1, cols, 0.2));
+        store.adam_step(1e-2);
+        store.zero_grads();
+    }
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any single-byte corruption of a valid v2 buffer yields a typed
+    /// `CheckpointError` — never a panic, never a silently-wrong store.
+    #[test]
+    fn single_byte_corruption_is_always_detected(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        fill in -2.0f32..2.0,
+        steps in 0u8..4,
+        pos_seed in any::<u64>(),
+        delta in 1u16..256,
+    ) {
+        let store = build_store(rows, cols, fill, steps);
+        let buf = to_bytes(&store);
+        prop_assert!(from_bytes(&buf).is_ok());
+
+        let mut corrupted = buf.clone();
+        let pos = (pos_seed % buf.len() as u64) as usize;
+        corrupted[pos] = corrupted[pos].wrapping_add(delta as u8); // delta in 1..=255: always a real change
+        let err = from_bytes(&corrupted);
+        prop_assert!(err.is_err(), "corruption at byte {pos} went undetected");
+        // The error formats without panicking, too.
+        let _ = format!("{}", err.unwrap_err());
+    }
+
+    /// Truncating a v2 buffer anywhere is also detected.
+    #[test]
+    fn truncation_is_always_detected(
+        rows in 1usize..4,
+        cols in 1usize..4,
+        cut_seed in any::<u64>(),
+    ) {
+        let store = build_store(rows, cols, 0.5, 2);
+        let buf = to_bytes(&store);
+        let cut = (cut_seed % buf.len() as u64) as usize; // 0..len-1: always shorter
+        prop_assert!(from_bytes(&buf[..cut]).is_err());
+    }
+
+    /// Arbitrary byte soup never panics the decoder.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = from_bytes(&bytes);
+    }
+
+    /// Version-1 buffers (no trailing CRC) still load and round-trip the
+    /// parameter values and optimizer step counter.
+    #[test]
+    fn v1_buffers_still_load(
+        rows in 1usize..5,
+        cols in 1usize..5,
+        fill in -2.0f32..2.0,
+        steps in 0u8..4,
+    ) {
+        let store = build_store(rows, cols, fill, steps);
+        let v1 = to_bytes_v1(&store);
+        let restored = from_bytes(&v1).expect("v1 must stay readable");
+        prop_assert!(restored.same_shapes(&store));
+        prop_assert_eq!(restored.steps_taken(), store.steps_taken());
+        prop_assert_eq!(to_bytes(&restored), to_bytes(&store));
+    }
+}
+
+#[test]
+fn corruption_error_is_typed_not_stringly() {
+    let store = build_store(2, 3, 1.0, 1);
+    let mut buf = to_bytes(&store);
+    let last = buf.len() - 1;
+    buf[last] ^= 0xFF; // flip inside the CRC itself
+    match from_bytes(&buf) {
+        Err(CheckpointError::ChecksumMismatch { stored, computed }) => {
+            assert_ne!(stored, computed);
+        }
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}

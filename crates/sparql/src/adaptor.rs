@@ -37,7 +37,10 @@ impl fmt::Display for AdaptError {
             AdaptError::UnboundVariable(v) => write!(f, "variable ?{v} has no defining triple"),
             AdaptError::CyclicPattern(v) => write!(f, "cyclic pattern through ?{v}"),
             AdaptError::BlockTargetMismatch(v) => {
-                write!(f, "algebra block does not bind the attachment variable ?{v}")
+                write!(
+                    f,
+                    "algebra block does not bind the attachment variable ?{v}"
+                )
             }
             AdaptError::GroundObject => write!(f, "object positions must be variables"),
         }
@@ -167,37 +170,27 @@ mod tests {
     fn fig1_movie_query_shape() {
         // "Films directed by Oscar-winning American directors": two anchors
         // join on the director variable, then project to films (Fig. 1).
-        let q = adapt_str(
-            "SELECT ?film WHERE { e:100 r:0 ?d . e:101 r:1 ?d . ?d r:2 ?film . }",
-        )
-        .unwrap();
+        let q = adapt_str("SELECT ?film WHERE { e:100 r:0 ?d . e:101 r:1 ?d . ?d r:2 ?film . }")
+            .unwrap();
         assert_eq!(q.render(), "P[r2](I(P[r0](e100), P[r1](e101)))");
     }
 
     #[test]
     fn union_blocks_map_to_union() {
-        let q = adapt_str(
-            "SELECT ?x WHERE { { e:1 r:0 ?x . } UNION { e:2 r:0 ?x . } }",
-        )
-        .unwrap();
+        let q = adapt_str("SELECT ?x WHERE { { e:1 r:0 ?x . } UNION { e:2 r:0 ?x . } }").unwrap();
         assert_eq!(q.render(), "U(P[r0](e1), P[r0](e2))");
     }
 
     #[test]
     fn minus_maps_to_difference() {
-        let q = adapt_str(
-            "SELECT ?x WHERE { e:1 r:0 ?x . MINUS { e:2 r:1 ?x . } }",
-        )
-        .unwrap();
+        let q = adapt_str("SELECT ?x WHERE { e:1 r:0 ?x . MINUS { e:2 r:1 ?x . } }").unwrap();
         assert_eq!(q.render(), "D(P[r0](e1), P[r1](e2))");
     }
 
     #[test]
     fn not_exists_maps_to_negation() {
-        let q = adapt_str(
-            "SELECT ?x WHERE { e:1 r:0 ?x . FILTER NOT EXISTS { e:2 r:1 ?x . } }",
-        )
-        .unwrap();
+        let q = adapt_str("SELECT ?x WHERE { e:1 r:0 ?x . FILTER NOT EXISTS { e:2 r:1 ?x . } }")
+            .unwrap();
         assert_eq!(q.render(), "I(P[r0](e1), N(P[r1](e2)))");
     }
 
@@ -238,10 +231,7 @@ mod tests {
 
     #[test]
     fn block_must_bind_target() {
-        let err = adapt_str(
-            "SELECT ?x WHERE { e:1 r:0 ?x . MINUS { e:2 r:1 ?z . } }",
-        )
-        .unwrap_err();
+        let err = adapt_str("SELECT ?x WHERE { e:1 r:0 ?x . MINUS { e:2 r:1 ?z . } }").unwrap_err();
         assert!(matches!(err, AdaptError::BlockTargetMismatch(_)));
     }
 }

@@ -87,7 +87,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
             '?' => {
                 let start = i + 1;
                 let mut j = start;
-                while j < bytes.len() && (bytes[j] as char).is_alphanumeric() || j < bytes.len() && bytes[j] == b'_' {
+                while j < bytes.len() && (bytes[j] as char).is_alphanumeric()
+                    || j < bytes.len() && bytes[j] == b'_'
+                {
                     j += 1;
                 }
                 if j == start {
@@ -103,7 +105,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
                 let start = i;
                 let mut j = i;
                 while j < bytes.len()
-                    && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b':' || bytes[j] == b'_')
+                    && ((bytes[j] as char).is_alphanumeric()
+                        || bytes[j] == b':'
+                        || bytes[j] == b'_')
                 {
                     j += 1;
                 }

@@ -77,10 +77,8 @@ mod tests {
                 Triple::new(3, 2, 7),
             ],
         );
-        let q = sparql_to_query(
-            "SELECT ?film WHERE { e:0 r:0 ?d . e:5 r:1 ?d . ?d r:2 ?film . }",
-        )
-        .unwrap();
+        let q = sparql_to_query("SELECT ?film WHERE { e:0 r:0 ?d . e:5 r:1 ?d . ?d r:2 ?film . }")
+            .unwrap();
         let ans = answers(&q, &g);
         assert_eq!(ans.to_vec(), vec![halk_kg::EntityId(6)]);
     }

@@ -231,19 +231,13 @@ mod tests {
 
     #[test]
     fn parses_chain_and_join() {
-        let q = parse(
-            "SELECT ?f WHERE { e:10 r:0 ?d . e:11 r:1 ?d . ?d r:2 ?f . }",
-        )
-        .unwrap();
+        let q = parse("SELECT ?f WHERE { e:10 r:0 ?d . e:11 r:1 ?d . ?d r:2 ?f . }").unwrap();
         assert_eq!(q.where_clause.triples.len(), 3);
     }
 
     #[test]
     fn parses_union_blocks() {
-        let q = parse(
-            "SELECT ?x WHERE { { e:1 r:0 ?x . } UNION { e:2 r:0 ?x . } }",
-        )
-        .unwrap();
+        let q = parse("SELECT ?x WHERE { { e:1 r:0 ?x . } UNION { e:2 r:0 ?x . } }").unwrap();
         assert_eq!(q.where_clause.unions.len(), 1);
         assert_eq!(q.where_clause.unions[0].len(), 2);
     }
@@ -275,10 +269,9 @@ mod tests {
 
     #[test]
     fn nested_union_of_three() {
-        let q = parse(
-            "SELECT ?x WHERE { { e:1 r:0 ?x } UNION { e:2 r:0 ?x } UNION { e:3 r:0 ?x } }",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT ?x WHERE { { e:1 r:0 ?x } UNION { e:2 r:0 ?x } UNION { e:3 r:0 ?x } }")
+                .unwrap();
         assert_eq!(q.where_clause.unions[0].len(), 3);
     }
 }

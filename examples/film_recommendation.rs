@@ -91,7 +91,8 @@ fn main() {
         &g,
         &[Structure::P1, Structure::P2, Structure::I2, Structure::Ip],
         &tc,
-    );
+    )
+    .expect("training failed");
     let scores = model.score_all(&query);
     let mut ranked: Vec<u32> = (0..scores.len() as u32).collect();
     ranked.sort_by(|&a, &b| {
@@ -101,8 +102,16 @@ fn main() {
     });
     println!("\nHaLk executor (top 3 by arc distance):");
     for &e in ranked.iter().take(3) {
-        let mark = if exact.contains(EntityId(e)) { "✓" } else { " " };
-        println!("  {mark} {} (e{e}, distance {:.3})", name(e), scores[e as usize]);
+        let mark = if exact.contains(EntityId(e)) {
+            "✓"
+        } else {
+            " "
+        };
+        println!(
+            "  {mark} {} (e{e}, distance {:.3})",
+            name(e),
+            scores[e as usize]
+        );
     }
 
     // GFinder-style matcher.

@@ -21,7 +21,7 @@ fn main() {
         steps: 1500,
         ..TrainConfig::default()
     };
-    let stats = train_model(&mut model, &g, &Structure::training(), &tc);
+    let stats = train_model(&mut model, &g, &Structure::training(), &tc).expect("training failed");
     println!("trained in {:.1?}", stats.wall);
 
     // Persist and reload — the served model is the checkpointed one.

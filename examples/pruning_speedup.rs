@@ -28,7 +28,7 @@ fn main() {
         steps: 1500,
         ..TrainConfig::default()
     };
-    let stats = train_model(&mut model, &g, &Structure::training(), &tc);
+    let stats = train_model(&mut model, &g, &Structure::training(), &tc).expect("training failed");
     println!("HaLk trained in {:.1?}\n", stats.wall);
 
     let sampler = Sampler::new(&g);

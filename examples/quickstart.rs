@@ -33,7 +33,8 @@ fn main() {
         log_every: 500,
         ..TrainConfig::default()
     };
-    let stats = train_model(&mut model, &split.train, &Structure::training(), &tc);
+    let stats = train_model(&mut model, &split.train, &Structure::training(), &tc)
+        .expect("training failed");
     println!(
         "trained {} structures in {:.1?} (final loss {:.3})",
         stats.trained_structures.len(),
@@ -72,7 +73,13 @@ fn main() {
         } else {
             ""
         };
-        println!("  {:2}. e{:<4} (distance {:.3}) {}", i + 1, e, scores[e as usize], tag);
+        println!(
+            "  {:2}. e{:<4} (distance {:.3}) {}",
+            i + 1,
+            e,
+            scores[e as usize],
+            tag
+        );
     }
 
     // 5. The same model answers queries with negation, difference and union

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# The full pre-merge gate. Run from the repository root before every PR:
+#
+#   scripts/ci.sh
+#
+# Mirrors what CI enforces: a clean release build, the whole test suite,
+# a warning-free clippy pass, and canonical formatting.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+# --workspace matters: a bare `cargo build` here builds only the root
+# package, silently leaving e.g. the halk-cli binary stale.
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "ci: all checks passed"

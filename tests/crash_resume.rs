@@ -1,0 +1,152 @@
+//! Integration: kill-and-resume across crates. A training run that dies
+//! partway leaves rotated `step-*.ckpt` files behind; a fresh process picks
+//! the newest one, resumes at the recorded step, and finishes the original
+//! budget. Torn checkpoint files are rejected with a typed error instead of
+//! silently resuming from garbage.
+
+use halk::core::{train_model, HalkConfig, HalkModel, TrainConfig, TrainError};
+use halk::kg::{generate, SynthConfig};
+use halk::logic::{Query, Structure};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("halk_crash_resume_tests")
+        .join(name);
+    // Start clean so stale checkpoints from earlier runs can't leak in.
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn checkpoints_in(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("checkpoint dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ckpt"))
+        .collect();
+    // `step-{:08}` zero-padding makes lexicographic order chronological.
+    files.sort();
+    files
+}
+
+fn config(steps: usize, ckpt_dir: &PathBuf) -> TrainConfig {
+    TrainConfig {
+        steps,
+        batch_size: 8,
+        negatives: 4,
+        queries_per_structure: 20,
+        checkpoint_every: 10,
+        checkpoint_dir: Some(ckpt_dir.clone()),
+        keep_checkpoints: 2,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn killed_run_resumes_from_latest_checkpoint_and_finishes() {
+    let g = generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(11));
+    let ckpt_dir = tmp_dir("kill").join("checkpoints");
+
+    // Phase 1: the "killed" process — it meant to run 60 steps but only got
+    // through 35 before dying (modeled by a 35-step budget; the loop writes
+    // a final checkpoint at whatever step it stopped on).
+    let mut victim = HalkModel::new(&g, HalkConfig::tiny());
+    let stats = train_model(&mut victim, &g, &[Structure::P1], &config(35, &ckpt_dir)).unwrap();
+    assert_eq!(stats.start_step, 0);
+
+    // Rotation kept the budget bounded: at most keep+1 files (the last K
+    // periodic ones plus the final off-cadence checkpoint).
+    let files = checkpoints_in(&ckpt_dir);
+    assert!(
+        (1..=3).contains(&files.len()),
+        "rotation failed, found {files:?}"
+    );
+    let latest = files.last().unwrap().clone();
+    assert!(
+        latest.to_string_lossy().contains("step-00000035"),
+        "{latest:?}"
+    );
+
+    // Phase 2: a fresh process with the *original* 60-step budget resumes
+    // from the newest checkpoint and only trains the remaining steps.
+    let mut resumed = HalkModel::new(&g, HalkConfig::tiny());
+    let tc = TrainConfig {
+        resume_from: Some(latest),
+        ..config(60, &ckpt_dir)
+    };
+    let stats = train_model(&mut resumed, &g, &[Structure::P1], &tc).unwrap();
+    assert_eq!(stats.start_step, 35);
+    assert_eq!(stats.losses.len() + stats.rollbacks, 25);
+    assert!(stats.losses.iter().all(|l| l.is_finite()));
+    assert_eq!(resumed.store.steps_taken(), 60);
+
+    // The finished model is fully usable.
+    let t = g.triples()[0];
+    let scores = resumed.score_all(&Query::atom(t.h, t.r));
+    assert_eq!(scores.len(), g.n_entities());
+    assert!(scores.iter().all(|s| s.is_finite()));
+}
+
+#[test]
+fn torn_checkpoint_is_rejected_but_intact_one_still_resumes() {
+    let g = generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(12));
+    let ckpt_dir = tmp_dir("torn").join("checkpoints");
+
+    let mut victim = HalkModel::new(&g, HalkConfig::tiny());
+    train_model(&mut victim, &g, &[Structure::P1], &config(20, &ckpt_dir)).unwrap();
+    let files = checkpoints_in(&ckpt_dir);
+    let latest = files.last().unwrap().clone();
+
+    // Simulate a torn write: truncate a copy of the newest checkpoint.
+    let torn = ckpt_dir.join("torn.ckpt");
+    let bytes = std::fs::read(&latest).unwrap();
+    std::fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
+
+    let mut model = HalkModel::new(&g, HalkConfig::tiny());
+    let tc = TrainConfig {
+        resume_from: Some(torn),
+        ..config(30, &ckpt_dir)
+    };
+    let err = train_model(&mut model, &g, &[Structure::P1], &tc).unwrap_err();
+    assert!(matches!(err, TrainError::Resume { .. }), "{err}");
+
+    // The intact checkpoint (the one the atomic-rename protocol actually
+    // published) still resumes fine.
+    let tc = TrainConfig {
+        resume_from: Some(latest),
+        ..config(30, &ckpt_dir)
+    };
+    let stats = train_model(&mut model, &g, &[Structure::P1], &tc).unwrap();
+    assert_eq!(stats.start_step, 20);
+    assert_eq!(model.store.steps_taken(), 30);
+}
+
+#[test]
+fn resume_into_wrong_model_shape_is_a_typed_error() {
+    let g = generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(13));
+    let ckpt_dir = tmp_dir("shape").join("checkpoints");
+
+    let mut a = HalkModel::new(&g, HalkConfig::tiny());
+    train_model(&mut a, &g, &[Structure::P1], &config(10, &ckpt_dir)).unwrap();
+    let latest = checkpoints_in(&ckpt_dir).pop().unwrap();
+
+    // A model with a different embedding dimension must refuse the file.
+    let other_cfg = HalkConfig {
+        dim: HalkConfig::tiny().dim * 2,
+        ..HalkConfig::tiny()
+    };
+    let mut b = HalkModel::new(&g, other_cfg);
+    let tc = TrainConfig {
+        resume_from: Some(latest),
+        ..config(20, &ckpt_dir)
+    };
+    let err = train_model(&mut b, &g, &[Structure::P1], &tc).unwrap_err();
+    assert!(
+        matches!(err, TrainError::ResumeShapeMismatch { .. }),
+        "{err}"
+    );
+}

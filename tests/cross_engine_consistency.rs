@@ -56,9 +56,11 @@ fn sparql_round_trip_agrees_with_hand_built_query() {
     let g = generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(5));
     let t = g.triples()[0];
     let hand = Query::atom(t.h, t.r);
-    let via_sparql =
-        sparql_to_query(&format!("SELECT ?x WHERE {{ e:{} r:{} ?x . }}", t.h.0, t.r.0))
-            .expect("valid sparql");
+    let via_sparql = sparql_to_query(&format!(
+        "SELECT ?x WHERE {{ e:{} r:{} ?x . }}",
+        t.h.0, t.r.0
+    ))
+    .expect("valid sparql");
     assert_eq!(answers(&hand, &g), answers(&via_sparql, &g));
 }
 

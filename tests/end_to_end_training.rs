@@ -22,7 +22,9 @@ fn smoke_train(model: &mut dyn QueryModel, split: &DatasetSplit) -> f32 {
         queries_per_structure: 40,
         ..TrainConfig::default()
     };
-    train_model(model, &split.train, &Structure::training(), &tc).tail_loss()
+    train_model(model, &split.train, &Structure::training(), &tc)
+        .expect("training failed")
+        .tail_loss()
 }
 
 #[test]
@@ -95,7 +97,7 @@ fn training_is_deterministic_under_fixed_seeds() {
             queries_per_structure: 20,
             ..TrainConfig::default()
         };
-        let stats = train_model(&mut m, &split.train, &[Structure::P1], &tc);
+        let stats = train_model(&mut m, &split.train, &[Structure::P1], &tc).unwrap();
         stats.losses
     };
     assert_eq!(run(), run());

@@ -25,7 +25,7 @@ fn trained() -> (Graph, HalkModel) {
         queries_per_structure: 30,
         ..TrainConfig::default()
     };
-    train_model(&mut model, &g, &Structure::training(), &tc);
+    train_model(&mut model, &g, &Structure::training(), &tc).expect("training failed");
     (g, model)
 }
 

@@ -1,14 +1,16 @@
 //! Integration: persistence round-trips across crates — TSV graphs through
 //! the CLI-facing API, binary model checkpoints, and JSON configs.
 
-use halk::core::{train_model, HalkConfig, HalkModel, QueryModel, TrainConfig};
+use halk::core::{train_model, HalkConfig, HalkModel, TrainConfig};
 use halk::kg::{generate, tsv, SynthConfig};
 use halk::logic::{Query, Sampler, Structure};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn tmp_dir(name: &str) -> std::path::PathBuf {
-    let dir = std::env::temp_dir().join("halk_persistence_tests").join(name);
+    let dir = std::env::temp_dir()
+        .join("halk_persistence_tests")
+        .join(name);
     std::fs::create_dir_all(&dir).expect("temp dir");
     dir
 }
@@ -45,7 +47,7 @@ fn trained_model_checkpoint_resumes_training_identically() {
     };
     // Path A: train 25 steps, checkpoint, train 25 more.
     let mut a = HalkModel::new(&g, HalkConfig::tiny());
-    train_model(&mut a, &g, &[Structure::P1], &tc);
+    train_model(&mut a, &g, &[Structure::P1], &tc).unwrap();
     let dir = tmp_dir("resume");
     a.save(&dir).expect("save");
     let mut a2 = HalkModel::load(&g, &dir).expect("load");
@@ -53,9 +55,9 @@ fn trained_model_checkpoint_resumes_training_identically() {
         seed: 99,
         ..tc.clone()
     };
-    let stats_resumed = train_model(&mut a2, &g, &[Structure::P1], &tc2);
+    let stats_resumed = train_model(&mut a2, &g, &[Structure::P1], &tc2).unwrap();
     // Path B: continue the original in memory with the same second-phase seed.
-    let stats_continued = train_model(&mut a, &g, &[Structure::P1], &tc2);
+    let stats_continued = train_model(&mut a, &g, &[Structure::P1], &tc2).unwrap();
     assert_eq!(stats_resumed.losses, stats_continued.losses);
 }
 
@@ -70,7 +72,7 @@ fn checkpoint_scores_are_bit_identical() {
         queries_per_structure: 15,
         ..TrainConfig::default()
     };
-    train_model(&mut model, &g, &[Structure::P1, Structure::I2], &tc);
+    train_model(&mut model, &g, &[Structure::P1, Structure::I2], &tc).unwrap();
     let dir = tmp_dir("scores");
     model.save(&dir).expect("save");
     let restored = HalkModel::load(&g, &dir).expect("load");

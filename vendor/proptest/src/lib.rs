@@ -1,0 +1,658 @@
+//! Offline stand-in for `proptest` implementing the subset of the API this
+//! workspace uses: `proptest!` / `prop_assert*` / `prop_assume!` /
+//! `prop_oneof!`, range and tuple strategies, `prop_map` / `prop_filter` /
+//! `prop_recursive` / `boxed`, `collection::vec`, `any::<bool>()`, and
+//! `ProptestConfig::with_cases`.
+//!
+//! Sampling is deterministic per test name (no shrinking, no persisted
+//! regressions); failures panic with the case's message like the real crate.
+
+pub mod test_runner {
+    /// Deterministic RNG driving strategy sampling (SplitMix64 stream).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x6A09_E667_F3BC_C909,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f32(&mut self) -> f32 {
+            ((self.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be nonzero.
+        pub fn next_below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+    }
+
+    /// FNV-1a — stable per-test seed derived from the test path.
+    pub fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runner configuration. Only `cases` is honoured by this stand-in.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The property is violated; the run fails.
+        Fail(String),
+        /// The inputs were unsuitable (`prop_assume!`); the case is retried.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+                TestCaseError::Reject(m) => write!(f, "test case rejected: {m}"),
+            }
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence: whence.into(),
+                pred,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+
+        /// Depth-bounded recursive strategies. `desired_size` and
+        /// `expected_branch_size` are accepted for API compatibility but the
+        /// stand-in only honours `depth`: each level recurses with
+        /// probability 2/3 and falls back to the base strategy otherwise.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let base = self.boxed();
+            let mut strat = base.clone();
+            for _ in 0..depth {
+                let deeper = recurse(strat).boxed();
+                strat = Union::new(vec![base.clone(), deeper.clone(), deeper]).boxed();
+            }
+            strat
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.0.sample(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        pred: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..10_000 {
+                let v = self.inner.sample(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 10000 consecutive samples: {}",
+                self.whence
+            );
+        }
+    }
+
+    /// Uniform choice among type-erased alternatives (backs `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "Union requires at least one strategy");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let i = rng.next_below(self.arms.len() as u64) as usize;
+            self.arms[i].sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    let off = rng.next_below(span);
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty => $next:ident),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty float range strategy");
+                    let x = self.start + rng.$next() as $t * (self.end - self.start);
+                    if x >= self.end { self.start } else { x }
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32 => next_f32, f64 => next_f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($S:ident . $idx:tt),+))*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Half-open length range for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy with the element strategy and a length (or length
+    /// range) to draw from.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + rng.next_below(span) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical strategy, reachable via [`any`].
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// Canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    pub struct BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = BoolStrategy;
+
+        fn arbitrary() -> BoolStrategy {
+            BoolStrategy
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = std::ops::Range<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    <$t>::MIN..<$t>::MAX
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a test running `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (config = ($cfg:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $(let $arg = $strat;)+
+            let __seed = $crate::test_runner::fnv1a(
+                concat!(module_path!(), "::", stringify!($name)).as_bytes(),
+            );
+            let mut __done = 0u32;
+            let mut __attempts = 0u32;
+            while __done < __config.cases {
+                __attempts += 1;
+                if __attempts > __config.cases.saturating_mul(20).saturating_add(100) {
+                    panic!(
+                        "proptest '{}': too many rejected cases ({} accepted of {} wanted)",
+                        stringify!($name), __done, __config.cases,
+                    );
+                }
+                let mut __rng = $crate::test_runner::TestRng::new(
+                    __seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(__attempts as u64),
+                );
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> = {
+                    let ($($arg,)+) =
+                        ($($crate::strategy::Strategy::sample(&$arg, &mut __rng),)+);
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })()
+                };
+                match __outcome {
+                    ::core::result::Result::Ok(()) => __done += 1,
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed at case {} (attempt {}): {}",
+                            stringify!($name), __done, __attempts, msg,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__lhs, __rhs) => {
+                if !(*__lhs == *__rhs) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: `{:?}` == `{:?}`", __lhs, __rhs),
+                    ));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        match (&$a, &$b) {
+            (__lhs, __rhs) => {
+                if !(*__lhs == *__rhs) {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!($($fmt)+),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current case if both sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__lhs, __rhs) => {
+                if *__lhs == *__rhs {
+                    return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!("assertion failed: `{:?}` != `{:?}`", __lhs, __rhs),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Rejects the current case (retried with fresh inputs) unless the
+/// assumption holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds_and_are_deterministic() {
+        let mut rng = TestRng::new(7);
+        let strat = (3u32..9, -2.0f32..2.0, 0usize..5);
+        let mut seen = Vec::new();
+        for _ in 0..200 {
+            let (a, b, c) = strat.sample(&mut rng);
+            assert!((3..9).contains(&a));
+            assert!((-2.0..2.0).contains(&b));
+            assert!(c < 5);
+            seen.push((a, c));
+        }
+        let mut rng2 = TestRng::new(7);
+        for &(a, c) in &seen {
+            let (a2, _, c2) = strat.sample(&mut rng2);
+            assert_eq!((a, c), (a2, c2));
+        }
+    }
+
+    #[test]
+    fn map_filter_vec_union_compose() {
+        let mut rng = TestRng::new(11);
+        let strat =
+            prop::collection::vec((0u32..100).prop_filter("odd only", |x| x % 2 == 1), 2..6)
+                .prop_map(|v| v.len());
+        for _ in 0..100 {
+            let n = strat.sample(&mut rng);
+            assert!((2..6).contains(&n));
+        }
+        let one = prop_oneof![Just(1u8), Just(2u8)];
+        for _ in 0..50 {
+            assert!(matches!(one.sample(&mut rng), 1 | 2));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug)]
+        enum Tree {
+            Leaf(u32),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u32..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 3, |inner| {
+                prop::collection::vec(inner, 2..4).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::new(3);
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            max_depth = max_depth.max(depth(&strat.sample(&mut rng)));
+        }
+        assert!(max_depth >= 2, "recursion never happened");
+        assert!(max_depth <= 4, "recursion exceeded depth bound");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_end_to_end(x in 1u32..50, flip in any::<bool>(), v in prop::collection::vec(0i32..4, 1..5)) {
+            prop_assume!(x != 13);
+            prop_assert!(x >= 1 && x < 50, "x out of range: {x}");
+            prop_assert_eq!(v.len() >= 1, true);
+            let _ = flip;
+        }
+    }
+}
