@@ -277,31 +277,17 @@ impl QueryModel for ConeModel {
         let Some(branches) = self.embed_query_values(query) else {
             return vec![f32::INFINITY; self.n_entities];
         };
-        let table = self.store.value(self.ent_axis);
-        let eta = self.cfg.eta;
-        (0..self.n_entities)
-            .map(|e| {
-                let point = table.row(e);
-                branches
-                    .iter()
-                    .map(|cones| {
-                        cones
-                            .iter()
-                            .zip(point)
-                            .map(|(&(axis, ap), &theta)| {
-                                let lo = axis - ap;
-                                let hi = axis + ap;
-                                let ch = |a: f32, b: f32| 2.0 * ((a - b) * 0.5).sin().abs();
-                                let d_o = ch(theta, lo).min(ch(theta, hi));
-                                let cap = 2.0 * (ap * 0.5).sin().abs();
-                                let d_i = ch(theta, axis).min(cap);
-                                d_o + eta * d_i
-                            })
-                            .sum::<f32>()
-                    })
-                    .fold(f32::INFINITY, f32::min)
-            })
-            .collect()
+        // A cone (axis, aperture) is exactly an arc with center = axis and
+        // half-angle = aperture on the unit circle, and ConE's distance is
+        // Eq. 15/16 taken literally — so the shared kernel applies as-is.
+        let scorer = halk_core::ArcScorer::from_params(
+            &branches,
+            1.0,
+            self.cfg.eta,
+            halk_core::DistanceMode::LiteralEq16,
+        );
+        let trig = halk_core::EntityTrig::new(self.store.value(self.ent_axis));
+        scorer.score_all(&trig)
     }
 
     fn n_entities(&self) -> usize {

@@ -158,21 +158,10 @@ impl QueryModel for MlpMixModel {
         let Some(branches) = self.embed_query_values(query) else {
             return vec![f32::INFINITY; self.n_entities];
         };
-        let table = self.store.value(self.ent);
-        (0..self.n_entities)
-            .map(|e| {
-                let point = table.row(e);
-                branches
-                    .iter()
-                    .map(|q| {
-                        q.iter()
-                            .zip(point)
-                            .map(|(&a, &b)| (a - b).abs())
-                            .sum::<f32>()
-                    })
-                    .fold(f32::INFINITY, f32::min)
-            })
-            .collect()
+        let scorer = halk_core::L1Scorer::new(&branches);
+        let mut out = Vec::new();
+        scorer.score_into(self.store.value(self.ent), &mut out);
+        out
     }
 
     fn n_entities(&self) -> usize {

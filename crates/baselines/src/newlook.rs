@@ -287,26 +287,10 @@ impl QueryModel for NewLookModel {
         let Some(branches) = self.embed_query_values(query) else {
             return vec![f32::INFINITY; self.n_entities];
         };
-        let table = self.store.value(self.ent_center);
-        let eta = self.cfg.eta;
-        (0..self.n_entities)
-            .map(|e| {
-                let point = table.row(e);
-                branches
-                    .iter()
-                    .map(|boxes| {
-                        boxes
-                            .iter()
-                            .zip(point)
-                            .map(|(&(c, o), &x)| {
-                                let a = (x - c).abs();
-                                (a - o).max(0.0) + eta * a.min(o)
-                            })
-                            .sum::<f32>()
-                    })
-                    .fold(f32::INFINITY, f32::min)
-            })
-            .collect()
+        let scorer = halk_core::BoxScorer::new(&branches, self.cfg.eta);
+        let mut out = Vec::new();
+        scorer.score_into(self.store.value(self.ent_center), &mut out);
+        out
     }
 
     fn n_entities(&self) -> usize {

@@ -73,9 +73,61 @@ fn bench_score_all(c: &mut Criterion) {
     group.finish();
 }
 
+/// Vectorized `ArcScorer` kernel vs the retained scalar reference, on the
+/// same union query (the 2× ISSUE acceptance gate, in Criterion form), plus
+/// the amortized shape with entity trig hoisted out of the loop.
+fn bench_scorer_vs_scalar(c: &mut Criterion) {
+    let (g, model) = setup();
+    let sampler = Sampler::new(&g);
+    let mut rng = StdRng::seed_from_u64(3);
+    let gq = sampler.sample(Structure::Up, &mut rng).expect("groundable");
+    let mut group = c.benchmark_group("score_all_kernel");
+    group.bench_function("vectorized", |b| b.iter(|| model.score_all(&gq.query)));
+    group.bench_function("scalar", |b| b.iter(|| model.score_all_scalar(&gq.query)));
+    group.bench_function("vectorized_cached_trig", |b| {
+        let trig = model.entity_trig();
+        let mut scores = Vec::new();
+        b.iter(|| model.score_all_with(&trig, &gq.query, &mut scores));
+    });
+    group.finish();
+}
+
+/// The dense inner loop with and without the old `a == 0.0` skip. The skip
+/// looked like an optimization but costs a branch per multiply on dense
+/// data — this group documents the delta that justified removing it from
+/// `Tensor::matmul`.
+fn bench_matmul_branchless(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let n = 128;
+    let a = halk_nn::init::uniform(n, n, -1.0, 1.0, &mut rng);
+    let b_ten = halk_nn::init::uniform(n, n, -1.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("matmul_128");
+    group.bench_function("branchless", |b| b.iter(|| a.matmul(&b_ten)));
+    group.bench_function("zero_skip_reference", |b| {
+        // The pre-change loop, kept here verbatim as the comparison baseline.
+        b.iter(|| {
+            let (m, k, n2) = (n, n, n);
+            let mut out = vec![0.0f32; m * n2];
+            for i in 0..m {
+                for p in 0..k {
+                    let av = a.data[i * k + p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n2 {
+                        out[i * n2 + j] += av * b_ten.data[p * n2 + j];
+                    }
+                }
+            }
+            out
+        });
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_operator_steps, bench_score_all
+    targets = bench_operator_steps, bench_score_all, bench_scorer_vs_scalar, bench_matmul_branchless
 }
 criterion_main!(benches);

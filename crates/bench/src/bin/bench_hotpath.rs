@@ -1,0 +1,263 @@
+//! Hot-path regression harness (ISSUE PR 2): times the single-core kernels
+//! the whole reproduction sits on — `score_all` (vectorized vs the retained
+//! scalar reference), one optimizer step, sampler throughput, and dense
+//! `matmul` — at fixed seeds, and writes `BENCH_hotpath.json` at the repo
+//! root so future changes can be diffed with `--compare`.
+//!
+//! Usage:
+//!   bench_hotpath [--smoke] [--out <path>] [--compare <old.json>]
+//!
+//! `--smoke` runs a seconds-scale configuration (CI sanity; does not write
+//! the JSON unless `--out` is given). `--compare` exits non-zero if any
+//! shared benchmark regressed by more than 15%.
+
+use halk_core::{HalkConfig, HalkModel, QueryModel, TrainExample};
+use halk_kg::{generate, Graph, SynthConfig};
+use halk_logic::{answers, Sampler, Structure};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde_json::{json, Value};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Regression threshold for `--compare`: new median may exceed the old one
+/// by at most this factor.
+const REGRESSION_FACTOR: f64 = 1.15;
+
+struct Args {
+    smoke: bool,
+    out: Option<String>,
+    compare: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        smoke: false,
+        out: None,
+        compare: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = it.next(),
+            "--compare" => args.compare = it.next(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: bench_hotpath [--smoke] [--out <path>] [--compare <old.json>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Times `f` over `samples` batches of `iters` calls each; returns the
+/// median per-call nanoseconds (median over batches is robust to one-off
+/// scheduler noise without needing many iterations).
+fn median_ns(samples: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up (page in code, fill buffer pools)
+    let mut per_call: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    per_call.sort_by(f64::total_cmp);
+    per_call[per_call.len() / 2]
+}
+
+fn batch_for(g: &Graph, s: Structure, n: usize, seed: u64) -> Vec<TrainExample> {
+    let sampler = Sampler::new(g);
+    let mut rng = StdRng::seed_from_u64(seed);
+    sampler
+        .sample_many(s, n, &mut rng)
+        .into_iter()
+        .map(|gq| {
+            let ans = answers(&gq.query, g);
+            let positive = ans.iter().next().expect("non-empty");
+            let negatives = sampler.negatives(&ans, 16, &mut rng);
+            TrainExample {
+                positive,
+                negatives,
+                query: gq.query,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    // (samples, iters) per benchmark family: enough for a stable median at
+    // full scale, seconds total under --smoke.
+    let (samples, iters) = if args.smoke { (3, 3) } else { (9, 20) };
+    let cfg = if args.smoke {
+        HalkConfig::tiny()
+    } else {
+        HalkConfig::default()
+    };
+    let matmul_n = if args.smoke { 32 } else { 128 };
+
+    let g = generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(1));
+    let mut model = HalkModel::new(&g, cfg.clone());
+    let sampler = Sampler::new(&g);
+
+    // A multi-branch (union) query plus a plain projection: the two shapes
+    // online answering spends its time in.
+    let up = sampler
+        .sample(Structure::Up, &mut StdRng::seed_from_u64(3))
+        .expect("groundable up query");
+    let p2 = sampler
+        .sample(Structure::P2, &mut StdRng::seed_from_u64(4))
+        .expect("groundable p2 query");
+
+    let mut results: Vec<(String, Value)> = Vec::new();
+    let mut record = |name: &str, ns: f64, iters: usize| {
+        println!("{name:24} {ns:>12.0} ns/op   ({iters} iters/sample)");
+        results.push((name.to_string(), json!({ "median_ns": ns, "iters": iters })));
+    };
+
+    // --- score_all: vectorized kernel (public path) vs scalar reference.
+    let ns_vec = median_ns(samples, iters, || {
+        black_box(model.score_all(&up.query));
+    });
+    record("score_all_up", ns_vec, iters);
+    let ns_scalar = median_ns(samples, iters, || {
+        black_box(model.score_all_scalar(&up.query));
+    });
+    record("score_all_up_scalar", ns_scalar, iters);
+    let ns_vec_p2 = median_ns(samples, iters, || {
+        black_box(model.score_all(&p2.query));
+    });
+    record("score_all_p2", ns_vec_p2, iters);
+    let ns_scalar_p2 = median_ns(samples, iters, || {
+        black_box(model.score_all_scalar(&p2.query));
+    });
+    record("score_all_p2_scalar", ns_scalar_p2, iters);
+    // Amortized shape (what prune::candidate_set does): entity trig and the
+    // output buffer hoisted out of the loop.
+    let trig = model.entity_trig();
+    let mut scores = Vec::new();
+    let ns_amort = median_ns(samples, iters, || {
+        model.score_all_with(&trig, &up.query, &mut scores);
+        black_box(&scores);
+    });
+    record("score_all_up_cached_trig", ns_amort, iters);
+
+    // --- one optimizer step (embed + loss + backward + Adam), pooled tape.
+    let batch = batch_for(&g, Structure::Pi, cfg.batch_size, 2);
+    let train_iters = if args.smoke { 2 } else { 5 };
+    let ns_train = median_ns(samples, train_iters, || {
+        black_box(model.train_batch(&batch));
+    });
+    record("train_step_pi", ns_train, train_iters);
+
+    // --- sampler throughput (queries/s feeds the training loop).
+    let n_q = if args.smoke { 8 } else { 64 };
+    let mut srng = StdRng::seed_from_u64(5);
+    let ns_sample = median_ns(samples, iters, || {
+        black_box(sampler.sample_many(Structure::Pi, n_q, &mut srng));
+    });
+    record("sampler_pi_batch", ns_sample, iters);
+
+    // --- dense matmul (the MLP workhorse), branch-free inner loop.
+    let mut mrng = StdRng::seed_from_u64(6);
+    let a = halk_nn::init::uniform(matmul_n, matmul_n, -1.0, 1.0, &mut mrng);
+    let b = halk_nn::init::uniform(matmul_n, matmul_n, -1.0, 1.0, &mut mrng);
+    let ns_matmul = median_ns(samples, iters, || {
+        black_box(a.matmul(&b));
+    });
+    record(&format!("matmul_{matmul_n}"), ns_matmul, iters);
+
+    let speedup = ns_scalar / ns_vec;
+    let speedup_p2 = ns_scalar_p2 / ns_vec_p2;
+    println!("score_all speedup vs scalar: up {speedup:.2}x, p2 {speedup_p2:.2}x");
+
+    let report = json!({
+        "schema": "halk-bench-hotpath/v1",
+        "config": json!({
+            "smoke": args.smoke,
+            "dim": cfg.dim,
+            "n_entities": g.n_entities(),
+            "n_relations": g.n_relations(),
+            "batch_size": cfg.batch_size,
+            "matmul_n": matmul_n,
+            "samples": samples,
+            "seed": 1,
+        }),
+        "results": Value::Object(results),
+        "derived": json!({
+            "score_all_up_speedup": speedup,
+            "score_all_p2_speedup": speedup_p2,
+        }),
+    });
+
+    // Full runs refresh the committed baseline by default; --smoke only
+    // writes when asked (CI must not clobber the release-mode numbers).
+    let out_path = match (&args.out, args.smoke) {
+        (Some(p), _) => Some(p.clone()),
+        (None, false) => Some("BENCH_hotpath.json".to_string()),
+        (None, true) => None,
+    };
+    if let Some(path) = out_path {
+        let text = serde_json::to_string_pretty(&report).expect("serialize");
+        std::fs::write(&path, text + "\n").expect("write benchmark json");
+        println!("wrote {path}");
+    }
+
+    if let Some(old_path) = args.compare {
+        let old_text = std::fs::read_to_string(&old_path)
+            .unwrap_or_else(|e| panic!("cannot read {old_path}: {e}"));
+        let old: Value = serde_json::from_str(&old_text).expect("parse old json");
+        std::process::exit(compare(&old, &report));
+    }
+}
+
+/// Compares shared benchmark keys; returns the process exit code (0 = ok,
+/// 1 = at least one regression beyond [`REGRESSION_FACTOR`]).
+fn compare(old: &Value, new: &Value) -> i32 {
+    let old_results = match old.get("results") {
+        Some(Value::Object(fields)) => fields,
+        _ => {
+            eprintln!("old json has no `results` object");
+            return 2;
+        }
+    };
+    let new_results = match new.get("results") {
+        Some(Value::Object(fields)) => fields,
+        _ => unreachable!("report always has results"),
+    };
+    let mut failed = false;
+    for (name, old_entry) in old_results {
+        let Some(old_ns) = old_entry.get("median_ns").and_then(Value::as_f64) else {
+            continue;
+        };
+        let Some(new_ns) = new_results
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, e)| e.get("median_ns"))
+            .and_then(Value::as_f64)
+        else {
+            println!("compare {name:24} (absent in new run, skipped)");
+            continue;
+        };
+        let ratio = new_ns / old_ns;
+        let verdict = if ratio > REGRESSION_FACTOR {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!("compare {name:24} {old_ns:>12.0} -> {new_ns:>12.0} ns  ({ratio:.2}x)  {verdict}");
+    }
+    if failed {
+        eprintln!("regression: some benchmarks slowed by more than {REGRESSION_FACTOR}x");
+        1
+    } else {
+        println!("no regressions beyond {REGRESSION_FACTOR}x");
+        0
+    }
+}

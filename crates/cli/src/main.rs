@@ -257,14 +257,8 @@ fn cmd_ask(args: &Args) -> Result<(), CliError> {
                 error,
             })?;
             let scores = model.score_all(&query);
-            let mut ranked: Vec<u32> = (0..scores.len() as u32).collect();
-            ranked.sort_by(|&a, &b| {
-                scores[a as usize]
-                    .partial_cmp(&scores[b as usize])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
             println!("HaLk top-{top}:");
-            for &e in ranked.iter().take(top) {
+            for e in halk_core::top_k_indices(&scores, top) {
                 println!("  e{e}  (distance {:.3})", scores[e as usize]);
             }
         }

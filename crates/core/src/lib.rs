@@ -39,6 +39,7 @@ pub mod lsh;
 pub mod model;
 pub mod prune;
 pub mod qmodel;
+pub mod scorer;
 pub mod train;
 
 pub use config::{Ablation, DistanceMode, HalkConfig};
@@ -46,4 +47,5 @@ pub use eval::{evaluate_structure, evaluate_table, EvalCell};
 pub use lsh::EntityLsh;
 pub use model::HalkModel;
 pub use qmodel::{QueryModel, TrainExample};
+pub use scorer::{top_k_indices, ArcScorer, BoxScorer, EntityTrig, L1Scorer};
 pub use train::{train_model, TrainConfig, TrainError, TrainStats};

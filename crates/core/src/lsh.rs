@@ -121,25 +121,22 @@ impl EntityLsh {
         if pool.len() < k {
             pool = (0..model.n_entities() as u32).collect();
         }
-        let eta = model.cfg.eta;
-        let mut scored: Vec<(f32, u32)> = pool
+        // Candidates keep their original scoring — the literal Eq. 15
+        // distance (`Arc::dist`) — but run through the vectorized kernel's
+        // subset path instead of per-entity scalar trig.
+        let scorer = crate::scorer::ArcScorer::from_arcs(
+            &branches,
+            model.cfg.rho,
+            model.cfg.eta,
+            crate::config::DistanceMode::LiteralEq16,
+        );
+        let table = model.entity_table();
+        let mut scores = Vec::new();
+        scorer.score_rows_into(table, &pool, &mut scores);
+        crate::scorer::top_k_indices(&scores, k)
             .into_iter()
-            .map(|e| {
-                let d: f32 = branches
-                    .iter()
-                    .map(|arcs| {
-                        arcs.iter()
-                            .enumerate()
-                            .map(|(j, a)| a.dist(model.entity_angle(EntityId(e), j), eta))
-                            .sum::<f32>()
-                    })
-                    .fold(f32::INFINITY, f32::min);
-                (d, e)
-            })
-            .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        scored.truncate(k);
-        scored.into_iter().map(|(_, e)| EntityId(e)).collect()
+            .map(|i| EntityId(pool[i as usize]))
+            .collect()
     }
 }
 

@@ -25,6 +25,7 @@
 
 use crate::arcvar::{chord, clamp, g_squash, ArcVar};
 use crate::config::{Ablation, DistanceMode, HalkConfig};
+use crate::scorer::{ArcScorer, EntityTrig};
 use halk_geometry::Arc;
 use halk_kg::{EntityId, Graph, Grouping, RelationId};
 use halk_logic::{to_dnf, Query};
@@ -64,6 +65,11 @@ pub struct HalkModel {
     neg_t2: Mlp,
     neg_center: Mlp,
     neg_alpha: Mlp,
+
+    /// Persistent training tape: reset (not dropped) between batches so its
+    /// buffer pool amortizes every forward allocation. Not part of the
+    /// saved state — a fresh tape is equivalent (see DESIGN.md §8).
+    pub(crate) train_tape: Tape,
 }
 
 impl HalkModel {
@@ -146,6 +152,7 @@ impl HalkModel {
             neg_t2,
             neg_center,
             neg_alpha,
+            train_tape: Tape::new(),
         }
     }
 
@@ -627,15 +634,18 @@ impl HalkModel {
     // ------------------------------------------------------------ inference
 
     /// Embeds a single query (running DNF first) and returns the resulting
-    /// arc embeddings, one per conjunctive branch.
+    /// arc embeddings, one per conjunctive branch. One tape is reused
+    /// across branches (reset between them), so the per-branch forward
+    /// passes share pooled buffers.
     pub fn embed_query(&self, query: &Query) -> Vec<Vec<Arc>> {
+        let mut tape = Tape::new();
         to_dnf(query)
             .iter()
             .map(|branch| {
-                let mut tape = Tape::new();
+                tape.reset();
                 let arc = self.embed_batch(&mut tape, &[branch]);
-                let c = tape.value(arc.center).clone();
-                let l = tape.value(arc.len).clone();
+                let c = tape.value(arc.center);
+                let l = tape.value(arc.len);
                 (0..self.cfg.dim)
                     .map(|j| Arc::new(c.data[j], l.data[j].max(0.0), self.cfg.rho))
                     .collect()
@@ -643,10 +653,40 @@ impl HalkModel {
             .collect()
     }
 
+    /// Compiles a query's DNF branches into the vectorized [`ArcScorer`].
+    pub fn scorer_for(&self, query: &Query) -> ArcScorer {
+        let branches = self.embed_query(query);
+        ArcScorer::from_arcs(&branches, self.cfg.rho, self.cfg.eta, self.cfg.distance)
+    }
+
+    /// Precomputed half-angle trig of the current entity table. Valid until
+    /// the next training step moves the table; reuse it across queries to
+    /// amortize the per-entity trig (the pruning engine does this).
+    pub fn entity_trig(&self) -> EntityTrig {
+        EntityTrig::new(self.store.value(self.ent_center))
+    }
+
     /// Distance from every entity to the query region — the online scoring
     /// path (lower = more likely an answer). Union queries take the minimum
-    /// distance across DNF branches (§III-G).
+    /// distance across DNF branches (§III-G). Runs on the vectorized
+    /// [`ArcScorer`] kernel; [`HalkModel::score_all_scalar`] is the
+    /// reference implementation it is tested against.
     pub fn score_all(&self, query: &Query) -> Vec<f32> {
+        self.scorer_for(query).score_all(&self.entity_trig())
+    }
+
+    /// [`HalkModel::score_all`] against a caller-held [`EntityTrig`],
+    /// writing into a reusable output buffer. Batch callers (pruning,
+    /// evaluation sweeps) build the trig once per table state.
+    pub fn score_all_with(&self, trig: &EntityTrig, query: &Query, out: &mut Vec<f32>) {
+        self.scorer_for(query).score_into(trig, out);
+    }
+
+    /// Scalar reference scoring: the straightforward entity-major loop over
+    /// `halk_geometry::Arc` distances. Kept for equivalence tests and the
+    /// perf-regression bench (`bench_hotpath`); use [`HalkModel::score_all`]
+    /// everywhere else.
+    pub fn score_all_scalar(&self, query: &Query) -> Vec<f32> {
         let branches = self.embed_query(query);
         let table = self.store.value(self.ent_center);
         let eta = self.cfg.eta;
@@ -677,10 +717,23 @@ impl HalkModel {
             .collect()
     }
 
+    /// Replaces the persistent training tape with a fresh one, dropping its
+    /// buffer pool. Only useful to tests comparing pooled vs unpooled
+    /// execution; training behavior is identical either way.
+    pub fn reset_train_tape(&mut self) {
+        self.train_tape = Tape::new();
+    }
+
     /// Reads the current (inference-time) arc of a single embedded branch —
     /// exposed for diagnostics and the pruning engine.
     pub fn entity_angle(&self, e: EntityId, dim: usize) -> f32 {
         self.store.value(self.ent_center).get(e.index(), dim)
+    }
+
+    /// The raw entity angle table (`n_entities × d`, row-major) — the input
+    /// to [`EntityTrig::new`] and the subset scoring path.
+    pub fn entity_table(&self) -> &Tensor {
+        self.store.value(self.ent_center)
     }
 
     /// Relation arc parameters for diagnostics.

@@ -7,24 +7,23 @@
 //! large online-time reduction (Fig. 6a).
 
 use crate::model::HalkModel;
+use crate::scorer::top_k_indices;
 use halk_kg::{EntityId, Graph};
 use halk_logic::Query;
 
 /// Top-`k` entity candidates for *one* query node, by embedding distance.
 pub fn top_k_candidates(model: &HalkModel, query: &Query, k: usize) -> Vec<EntityId> {
     let scores = model.score_all(query);
-    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
-    idx.sort_by(|&a, &b| {
-        scores[a as usize]
-            .partial_cmp(&scores[b as usize])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    idx.truncate(k);
-    idx.into_iter().map(EntityId).collect()
+    top_k_indices(&scores, k)
+        .into_iter()
+        .map(EntityId)
+        .collect()
 }
 
 /// The candidate node set `S`: top-`k` candidates of every variable node of
-/// the computation tree (every sub-query root), plus all anchors.
+/// the computation tree (every sub-query root), plus all anchors. The
+/// entity-table trig and the score buffer are built once and shared across
+/// every sub-query.
 pub fn candidate_set(model: &HalkModel, query: &Query, k: usize) -> Vec<EntityId> {
     let mut keep = vec![false; model.n_entities()];
     // Anchors are always part of the induced graph.
@@ -38,9 +37,12 @@ pub fn candidate_set(model: &HalkModel, query: &Query, k: usize) -> Vec<EntityId
             subqueries.push(q.clone());
         }
     });
+    let trig = model.entity_trig();
+    let mut scores = Vec::new();
     for sub in &subqueries {
-        for e in top_k_candidates(model, sub, k) {
-            keep[e.index()] = true;
+        model.score_all_with(&trig, sub, &mut scores);
+        for e in top_k_indices(&scores, k) {
+            keep[e as usize] = true;
         }
     }
     keep.iter()

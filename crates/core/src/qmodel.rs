@@ -10,7 +10,7 @@ use crate::config::HalkConfig;
 use crate::model::HalkModel;
 use halk_kg::EntityId;
 use halk_logic::{Query, Structure};
-use halk_nn::{ParamStore, Tape};
+use halk_nn::ParamStore;
 
 /// One training example: a grounded query, one positive answer and `m`
 /// negative entities (the negative-sampling trick of §III-G).
@@ -72,7 +72,11 @@ impl QueryModel for HalkModel {
     fn train_batch(&mut self, batch: &[TrainExample]) -> f32 {
         assert!(!batch.is_empty());
         let cfg: HalkConfig = self.cfg.clone();
-        let mut tape = Tape::new();
+        // Take the persistent tape out of the model (embed_batch borrows
+        // &self), reset it to recycle last batch's buffers, and put it back
+        // at the end so the pool survives across steps.
+        let mut tape = std::mem::take(&mut self.train_tape);
+        tape.reset();
         let queries: Vec<&Query> = batch.iter().map(|ex| &ex.query).collect();
         let arc = self.embed_batch(&mut tape, &queries);
 
@@ -125,6 +129,7 @@ impl QueryModel for HalkModel {
         tape.backward(loss, &mut self.store);
         self.store.clip_grad_norm(5.0);
         self.store.adam_step(cfg.lr);
+        self.train_tape = tape;
         loss_val
     }
 

@@ -1,0 +1,510 @@
+//! Vectorized online scoring kernels (the product hot path).
+//!
+//! Every table and figure funnels through "rank all entities against a query
+//! region", and the naive entity-major loop re-derives per-branch trig for
+//! every entity. This module splits that work by who it belongs to:
+//!
+//! * **Per entity** (changes only when parameters change): the half-angle
+//!   trig `sin(θ/2), cos(θ/2)` of every entity coordinate, precomputed once
+//!   into an [`EntityTrig`] structure-of-arrays.
+//! * **Per query** (changes every query): per-branch, per-dim sin/cos of the
+//!   arc's half start/end/center angles plus the inside-distance cap, packed
+//!   into an [`ArcScorer`].
+//!
+//! The chord of Eq. 16, `2ρ|sin((θ−a)/2)|`, then factors through the angle
+//! subtraction identity `sin((θ−a)/2) = sin(θ/2)cos(a/2) − cos(θ/2)sin(a/2)`,
+//! so the per-entity inner loop is pure multiply/abs/min work — branch-free,
+//! trig-free, and contiguous over the SoA slices, which the autovectorizer
+//! turns into SIMD. The scalar reference path
+//! ([`HalkModel::score_all_scalar`]) is kept for equivalence tests and the
+//! regression bench; proptests pin agreement to 1e-4 across all
+//! [`DistanceMode`]s (see `tests/scorer_equivalence.rs`).
+//!
+//! [`HalkModel::score_all_scalar`]: crate::model::HalkModel::score_all_scalar
+//!
+//! [`BoxScorer`] and [`L1Scorer`] give the interval/point baselines the same
+//! SoA treatment (their geometry needs no trig at all), and
+//! [`top_k_indices`] replaces full sorts with partial selection everywhere a
+//! caller only needs the best `k`.
+
+use crate::config::DistanceMode;
+use halk_geometry::Arc;
+use halk_nn::Tensor;
+
+/// Precomputed half-angle trig of an entity table: `sin(θ/2)` and
+/// `cos(θ/2)` for every entity coordinate, laid out row-major to match the
+/// table. Build once, reuse across every query scored against the same
+/// parameters (rebuild after a training step moves the table).
+pub struct EntityTrig {
+    half_sin: Vec<f32>,
+    half_cos: Vec<f32>,
+    n_entities: usize,
+    dim: usize,
+}
+
+impl EntityTrig {
+    /// Precomputes trig for an `n×d` table of entity angles.
+    pub fn new(table: &Tensor) -> Self {
+        let half_sin: Vec<f32> = table.data.iter().map(|&t| (t * 0.5).sin()).collect();
+        let half_cos: Vec<f32> = table.data.iter().map(|&t| (t * 0.5).cos()).collect();
+        Self {
+            half_sin,
+            half_cos,
+            n_entities: table.rows,
+            dim: table.cols,
+        }
+    }
+
+    /// Number of entities covered.
+    pub fn n_entities(&self) -> usize {
+        self.n_entities
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+/// One DNF branch's arc parameters as structure-of-arrays over dims: sin/cos
+/// of the half start/end/center angles, the inside-distance cap and the
+/// ZeroedInside containment threshold, all in "|sin|" units (the shared
+/// `2ρ` chord factor is applied once per score).
+struct BranchSoa {
+    sin_s: Vec<f32>,
+    cos_s: Vec<f32>,
+    sin_e: Vec<f32>,
+    cos_e: Vec<f32>,
+    sin_c: Vec<f32>,
+    cos_c: Vec<f32>,
+    /// `|sin(half_angle/2)|` — the Eq. 16 inside-distance cap.
+    cap: Vec<f32>,
+    /// `sin(min(half_angle + 1e-6, π)/2)` — `|sin((θ−c)/2)| ≤ thr` iff
+    /// `Arc::contains_angle(θ)` (both sides are monotone images of the
+    /// angular offset on `[0, π]`).
+    thr: Vec<f32>,
+}
+
+const MODE_LITERAL: u8 = 0;
+const MODE_CENTER: u8 = 1;
+const MODE_ZEROED: u8 = 2;
+
+/// A query region compiled for scoring: per-branch SoA arc trig plus the
+/// distance-mode/η/ρ configuration. Scores are identical (within fp
+/// tolerance) to the scalar per-arc formulas in `halk_geometry::Arc`.
+pub struct ArcScorer {
+    branches: Vec<BranchSoa>,
+    dim: usize,
+    rho: f32,
+    eta: f32,
+    mode: DistanceMode,
+}
+
+impl ArcScorer {
+    /// Compiles DNF branches of [`Arc`]s (all sharing radius `rho`).
+    pub fn from_arcs(branches: &[Vec<Arc>], rho: f32, eta: f32, mode: DistanceMode) -> Self {
+        let params: Vec<Vec<(f32, f32)>> = branches
+            .iter()
+            .map(|arcs| arcs.iter().map(|a| (a.center, a.half_angle())).collect())
+            .collect();
+        Self::from_params(&params, rho, eta, mode)
+    }
+
+    /// Compiles DNF branches of raw `(center, half_angle)` pairs per dim.
+    /// Angles need not be normalized: the kernel only uses them through
+    /// `|sin(·/2)|`, which is invariant under full turns.
+    pub fn from_params(
+        branches: &[Vec<(f32, f32)>],
+        rho: f32,
+        eta: f32,
+        mode: DistanceMode,
+    ) -> Self {
+        let dim = branches.first().map_or(0, Vec::len);
+        let compiled = branches
+            .iter()
+            .map(|arcs| {
+                assert_eq!(arcs.len(), dim, "ragged branch dimensionality");
+                let mut b = BranchSoa {
+                    sin_s: Vec::with_capacity(dim),
+                    cos_s: Vec::with_capacity(dim),
+                    sin_e: Vec::with_capacity(dim),
+                    cos_e: Vec::with_capacity(dim),
+                    sin_c: Vec::with_capacity(dim),
+                    cos_c: Vec::with_capacity(dim),
+                    cap: Vec::with_capacity(dim),
+                    thr: Vec::with_capacity(dim),
+                };
+                for &(center, half) in arcs {
+                    let start = center - half;
+                    let end = center + half;
+                    b.sin_s.push((start * 0.5).sin());
+                    b.cos_s.push((start * 0.5).cos());
+                    b.sin_e.push((end * 0.5).sin());
+                    b.cos_e.push((end * 0.5).cos());
+                    b.sin_c.push((center * 0.5).sin());
+                    b.cos_c.push((center * 0.5).cos());
+                    b.cap.push((half * 0.5).sin().abs());
+                    b.thr
+                        .push(((half + 1e-6).min(std::f32::consts::PI) * 0.5).sin());
+                }
+                b
+            })
+            .collect();
+        Self {
+            branches: compiled,
+            dim,
+            rho,
+            eta,
+            mode,
+        }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Scores every entity of `trig` into `out` (cleared and refilled; lower
+    /// is better; unions take the min across branches). Entities with no
+    /// branch score `f32::INFINITY`, matching the scalar fold.
+    pub fn score_into(&self, trig: &EntityTrig, out: &mut Vec<f32>) {
+        assert_eq!(trig.dim, self.dim, "entity/query dimensionality mismatch");
+        out.clear();
+        out.resize(trig.n_entities, f32::INFINITY);
+        match self.mode {
+            DistanceMode::LiteralEq16 => self.score_table::<MODE_LITERAL>(trig, out),
+            DistanceMode::CenterAnchored => self.score_table::<MODE_CENTER>(trig, out),
+            DistanceMode::ZeroedInside => self.score_table::<MODE_ZEROED>(trig, out),
+        }
+    }
+
+    /// Convenience wrapper over [`ArcScorer::score_into`].
+    pub fn score_all(&self, trig: &EntityTrig) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.score_into(trig, &mut out);
+        out
+    }
+
+    /// Scores only the rows `ids` of an angle table (the LSH candidate
+    /// path), computing the per-row trig on the fly: `out[i]` is the score
+    /// of entity `ids[i]`.
+    pub fn score_rows_into(&self, table: &Tensor, ids: &[u32], out: &mut Vec<f32>) {
+        assert_eq!(table.cols, self.dim, "entity/query dimensionality mismatch");
+        out.clear();
+        out.reserve(ids.len());
+        let mut sh = vec![0.0f32; self.dim];
+        let mut ch = vec![0.0f32; self.dim];
+        for &e in ids {
+            let row = table.row(e as usize);
+            for ((s, c), &t) in sh.iter_mut().zip(ch.iter_mut()).zip(row) {
+                *s = (t * 0.5).sin();
+                *c = (t * 0.5).cos();
+            }
+            let score = match self.mode {
+                DistanceMode::LiteralEq16 => self.score_row::<MODE_LITERAL>(&sh, &ch),
+                DistanceMode::CenterAnchored => self.score_row::<MODE_CENTER>(&sh, &ch),
+                DistanceMode::ZeroedInside => self.score_row::<MODE_ZEROED>(&sh, &ch),
+            };
+            out.push(score);
+        }
+    }
+
+    fn score_table<const MODE: u8>(&self, trig: &EntityTrig, out: &mut [f32]) {
+        let d = self.dim;
+        if d == 0 {
+            return;
+        }
+        let rows_s = trig.half_sin.chunks_exact(d);
+        let rows_c = trig.half_cos.chunks_exact(d);
+        for ((sh, ch), slot) in rows_s.zip(rows_c).zip(out.iter_mut()) {
+            *slot = slot.min(self.score_row::<MODE>(sh, ch));
+        }
+    }
+
+    /// Min-over-branches score of one entity from its half-angle trig row.
+    #[inline]
+    fn score_row<const MODE: u8>(&self, sh: &[f32], ch: &[f32]) -> f32 {
+        let d = self.dim;
+        let mut best = f32::INFINITY;
+        for br in &self.branches {
+            let (cos_s, sin_s) = (&br.cos_s[..d], &br.sin_s[..d]);
+            let (cos_e, sin_e) = (&br.cos_e[..d], &br.sin_e[..d]);
+            let (cos_c, sin_c) = (&br.cos_c[..d], &br.sin_c[..d]);
+            let (cap, thr) = (&br.cap[..d], &br.thr[..d]);
+            let mut acc_o = 0.0f32;
+            let mut acc_i = 0.0f32;
+            for j in 0..d {
+                // sin((θ−a)/2) = sin(θ/2)cos(a/2) − cos(θ/2)sin(a/2).
+                let s_s = sh[j] * cos_s[j] - ch[j] * sin_s[j];
+                let s_e = sh[j] * cos_e[j] - ch[j] * sin_e[j];
+                let s_c = sh[j] * cos_c[j] - ch[j] * sin_c[j];
+                let endpoints = s_s.abs().min(s_e.abs());
+                let d_o = if MODE == MODE_CENTER {
+                    endpoints.min(s_c.abs())
+                } else if MODE == MODE_ZEROED {
+                    // Branch-free containment mask: 1.0 outside the arc.
+                    endpoints * f32::from(s_c.abs() > thr[j])
+                } else {
+                    endpoints
+                };
+                acc_o += d_o;
+                acc_i += s_c.abs().min(cap[j]);
+            }
+            best = best.min(acc_o + self.eta * acc_i);
+        }
+        2.0 * self.rho * best
+    }
+}
+
+/// NewLook-style interval scoring compiled to SoA: per branch and dim a
+/// `(center, offset)` box, scored as
+/// `Σ max(|x−c|−o, 0) + η·min(|x−c|, o)` with the min over branches.
+pub struct BoxScorer {
+    centers: Vec<Vec<f32>>,
+    offsets: Vec<Vec<f32>>,
+    dim: usize,
+    eta: f32,
+}
+
+impl BoxScorer {
+    /// Compiles DNF branches of `(center, offset)` pairs per dim.
+    pub fn new(branches: &[Vec<(f32, f32)>], eta: f32) -> Self {
+        let dim = branches.first().map_or(0, Vec::len);
+        let centers = branches
+            .iter()
+            .map(|b| b.iter().map(|&(c, _)| c).collect())
+            .collect();
+        let offsets = branches
+            .iter()
+            .map(|b| b.iter().map(|&(_, o)| o).collect())
+            .collect();
+        Self {
+            centers,
+            offsets,
+            dim,
+            eta,
+        }
+    }
+
+    /// Scores every row of a raw-value table into `out` (cleared and
+    /// refilled).
+    pub fn score_into(&self, table: &Tensor, out: &mut Vec<f32>) {
+        assert_eq!(table.cols, self.dim, "entity/query dimensionality mismatch");
+        out.clear();
+        out.resize(table.rows, f32::INFINITY);
+        let d = self.dim;
+        if d == 0 {
+            return;
+        }
+        for (c, o) in self.centers.iter().zip(&self.offsets) {
+            let (c, o) = (&c[..d], &o[..d]);
+            for (row, slot) in table.data.chunks_exact(d).zip(out.iter_mut()) {
+                let mut acc = 0.0f32;
+                for j in 0..d {
+                    let a = (row[j] - c[j]).abs();
+                    acc += (a - o[j]).max(0.0) + self.eta * a.min(o[j]);
+                }
+                *slot = slot.min(acc);
+            }
+        }
+    }
+}
+
+/// Plain L1 point scoring (the MLPMix baseline): per branch a center vector,
+/// scored as `Σ|x−c|` with the min over branches.
+pub struct L1Scorer {
+    centers: Vec<Vec<f32>>,
+    dim: usize,
+}
+
+impl L1Scorer {
+    /// Compiles DNF branches of center vectors.
+    pub fn new(branches: &[Vec<f32>]) -> Self {
+        let dim = branches.first().map_or(0, Vec::len);
+        Self {
+            centers: branches.to_vec(),
+            dim,
+        }
+    }
+
+    /// Scores every row of a raw-value table into `out` (cleared and
+    /// refilled).
+    pub fn score_into(&self, table: &Tensor, out: &mut Vec<f32>) {
+        assert_eq!(table.cols, self.dim, "entity/query dimensionality mismatch");
+        out.clear();
+        out.resize(table.rows, f32::INFINITY);
+        let d = self.dim;
+        if d == 0 {
+            return;
+        }
+        for c in &self.centers {
+            let c = &c[..d];
+            for (row, slot) in table.data.chunks_exact(d).zip(out.iter_mut()) {
+                let mut acc = 0.0f32;
+                for j in 0..d {
+                    acc += (row[j] - c[j]).abs();
+                }
+                *slot = slot.min(acc);
+            }
+        }
+    }
+}
+
+/// Indices of the `k` lowest scores, ascending by score with ties broken by
+/// index — the same order a stable full sort produces, but via `O(n)`
+/// partial selection plus an `O(k log k)` sort of the winners.
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<u32> {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let cmp = |a: &u32, b: &u32| {
+        scores[*a as usize]
+            .partial_cmp(&scores[*b as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.cmp(b))
+    };
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, cmp);
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(cmp);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halk_geometry::TAU;
+
+    fn scalar_score(arcs: &[Vec<Arc>], theta: &[f32], eta: f32, mode: DistanceMode) -> f32 {
+        arcs.iter()
+            .map(|branch| {
+                branch
+                    .iter()
+                    .zip(theta)
+                    .map(|(a, &t)| match mode {
+                        DistanceMode::LiteralEq16 => a.dist(t, eta),
+                        DistanceMode::ZeroedInside => {
+                            a.outside_dist_zeroed(t) + eta * a.inside_dist(t)
+                        }
+                        DistanceMode::CenterAnchored => {
+                            let d_o = a
+                                .outside_dist(t)
+                                .min(halk_geometry::chord(t, a.center, a.rho));
+                            d_o + eta * a.inside_dist(t)
+                        }
+                    })
+                    .sum::<f32>()
+            })
+            .fold(f32::INFINITY, f32::min)
+    }
+
+    fn grid_arcs(rho: f32) -> Vec<Vec<Arc>> {
+        vec![
+            vec![Arc::new(0.3, 0.8 * rho, rho), Arc::new(5.9, 2.0 * rho, rho)],
+            vec![Arc::new(2.0, 0.0, rho), Arc::new(4.0, TAU * rho, rho)],
+        ]
+    }
+
+    #[test]
+    fn matches_scalar_on_grid_all_modes() {
+        let rho = 1.0;
+        let eta = 0.05;
+        let arcs = grid_arcs(rho);
+        let n = 64;
+        let mut data = Vec::with_capacity(n * 2);
+        for i in 0..n {
+            data.push(i as f32 * TAU / n as f32);
+            data.push((i as f32 * 0.77 + 1.3) % TAU);
+        }
+        let table = Tensor::from_vec(n, 2, data);
+        let trig = EntityTrig::new(&table);
+        for mode in [
+            DistanceMode::LiteralEq16,
+            DistanceMode::CenterAnchored,
+            DistanceMode::ZeroedInside,
+        ] {
+            let scorer = ArcScorer::from_arcs(&arcs, rho, eta, mode);
+            let fast = scorer.score_all(&trig);
+            for e in 0..n {
+                let want = scalar_score(&arcs, table.row(e), eta, mode);
+                assert!(
+                    (fast[e] - want).abs() < 1e-4,
+                    "{mode:?} entity {e}: {} vs {want}",
+                    fast[e]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn score_rows_matches_full_table() {
+        let rho = 1.0;
+        let arcs = grid_arcs(rho);
+        let table = Tensor::from_vec(4, 2, vec![0.1, 0.2, 3.0, 4.0, 5.5, 0.9, 2.2, 2.3]);
+        let scorer = ArcScorer::from_arcs(&arcs, rho, 0.1, DistanceMode::CenterAnchored);
+        let full = scorer.score_all(&EntityTrig::new(&table));
+        let mut subset = Vec::new();
+        scorer.score_rows_into(&table, &[3, 0, 2], &mut subset);
+        assert_eq!(subset, vec![full[3], full[0], full[2]]);
+    }
+
+    #[test]
+    fn empty_branches_score_infinity() {
+        let scorer = ArcScorer::from_arcs(&[], 1.0, 0.1, DistanceMode::LiteralEq16);
+        let table = Tensor::from_vec(2, 0, vec![]);
+        let out = scorer.score_all(&EntityTrig::new(&table));
+        assert_eq!(out, vec![f32::INFINITY; 2]);
+    }
+
+    #[test]
+    fn box_scorer_matches_scalar() {
+        let branches = vec![
+            vec![(0.5f32, 0.2f32), (-1.0, 0.8)],
+            vec![(2.0, 0.0), (0.0, 3.0)],
+        ];
+        let eta = 0.3;
+        let table = Tensor::from_vec(3, 2, vec![0.4, -0.9, 2.5, 0.1, -4.0, 7.0]);
+        let scorer = BoxScorer::new(&branches, eta);
+        let mut out = Vec::new();
+        scorer.score_into(&table, &mut out);
+        for (e, &got) in out.iter().enumerate() {
+            let want = branches
+                .iter()
+                .map(|b| {
+                    b.iter()
+                        .zip(table.row(e))
+                        .map(|(&(c, o), &x)| {
+                            let a = (x - c).abs();
+                            (a - o).max(0.0) + eta * a.min(o)
+                        })
+                        .sum::<f32>()
+                })
+                .fold(f32::INFINITY, f32::min);
+            assert!((got - want).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn l1_scorer_matches_scalar() {
+        let branches = vec![vec![1.0f32, -2.0], vec![0.0, 0.0]];
+        let table = Tensor::from_vec(2, 2, vec![0.5, 0.5, -3.0, 2.0]);
+        let scorer = L1Scorer::new(&branches);
+        let mut out = Vec::new();
+        scorer.score_into(&table, &mut out);
+        assert!((out[0] - 1.0f32.min(3.0)).abs() < 1e-6);
+        assert!((out[1] - 5.0f32.min(8.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn top_k_matches_stable_sort() {
+        let scores = vec![3.0, 1.0, 2.0, 1.0, 0.5, 2.0, 9.0];
+        let got = top_k_indices(&scores, 4);
+        // Stable order: 0.5@4, 1.0@1, 1.0@3, 2.0@2.
+        assert_eq!(got, vec![4, 1, 3, 2]);
+        assert_eq!(top_k_indices(&scores, 0), Vec::<u32>::new());
+        assert_eq!(top_k_indices(&scores, 100).len(), scores.len());
+    }
+}

@@ -6,6 +6,12 @@
 //! enum — no boxed closures — so the backward pass is a branch-predictable
 //! match loop and the tape is trivially inspectable in tests.
 //!
+//! Tapes recycle their storage: every forward op draws its output buffer
+//! from an internal free-list ([`Tape::reset`] returns all node buffers to
+//! it), so a tape reused across training batches or DNF branches reaches a
+//! steady state where the hot loop performs no heap allocation. See
+//! DESIGN.md §8 for the reuse invariants.
+//!
 //! Parameters live outside the tape in a [`ParamStore`]; `param`/`gather`
 //! snapshot their values at record time and `backward` scatters gradients
 //! back, which makes embedding-table lookups sparse (only touched rows
@@ -68,16 +74,46 @@ struct Node {
     op: Op,
 }
 
-/// A single-use autodiff graph. Build it forward with the op methods, then
-/// call [`Tape::backward`] once on a scalar loss.
+/// Free-list of `Vec<f32>` allocations recycled across [`Tape::reset`]
+/// calls. Buffers come back dirty: every consumer must overwrite (or
+/// zero-fill) the full length it claims before reading.
+#[derive(Default)]
+struct BufferPool {
+    free: Vec<Vec<f32>>,
+}
+
+impl BufferPool {
+    /// An empty buffer with at least `cap` capacity, recycled if possible.
+    fn take(&mut self, cap: usize) -> Vec<f32> {
+        let mut v = self.free.pop().unwrap_or_default();
+        v.clear();
+        v.reserve(cap);
+        v
+    }
+
+    /// Returns a buffer's allocation to the free-list.
+    fn put(&mut self, v: Vec<f32>) {
+        if v.capacity() > 0 {
+            self.free.push(v);
+        }
+    }
+}
+
+/// A reusable autodiff graph. Build it forward with the op methods, call
+/// [`Tape::backward`] once on a scalar loss, then [`Tape::reset`] to reuse
+/// the tape (and its buffer allocations) for the next batch or branch.
 pub struct Tape {
     nodes: Vec<Node>,
+    pool: BufferPool,
 }
 
 impl Tape {
     /// An empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self {
+            nodes: Vec::new(),
+            pool: BufferPool::default(),
+        }
     }
 
     /// Number of recorded nodes.
@@ -90,6 +126,29 @@ impl Tape {
         self.nodes.is_empty()
     }
 
+    /// Clears all recorded nodes, returning their buffers to the internal
+    /// pool so the next forward pass reuses the allocations. Any `Var`
+    /// handles from before the reset are invalidated (using one afterwards
+    /// panics or reads an unrelated node — the borrow checker already stops
+    /// `value()` references from crossing a reset).
+    pub fn reset(&mut self) {
+        let pool = &mut self.pool;
+        for node in self.nodes.drain(..) {
+            pool.put(node.data.data);
+        }
+    }
+
+    /// Number of free buffers currently pooled (diagnostics/tests).
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.free.len()
+    }
+
+    /// Drops all pooled buffers, forcing subsequent ops to allocate fresh.
+    /// Exists so tests can compare pooled against unpooled execution.
+    pub fn clear_pool(&mut self) {
+        self.pool.free.clear();
+    }
+
     /// Forward value of a node.
     pub fn value(&self, v: Var) -> &Tensor {
         &self.nodes[v.0].data
@@ -98,6 +157,32 @@ impl Tape {
     fn push(&mut self, data: Tensor, op: Op) -> Var {
         self.nodes.push(Node { data, op });
         Var(self.nodes.len() - 1)
+    }
+
+    /// Elementwise unary op into a pooled buffer.
+    fn pooled_map(&mut self, a: Var, f: impl Fn(f32) -> f32) -> Tensor {
+        let Tape { nodes, pool } = self;
+        let src = &nodes[a.0].data;
+        let mut data = pool.take(src.len());
+        data.extend(src.data.iter().map(|&x| f(x)));
+        Tensor {
+            rows: src.rows,
+            cols: src.cols,
+            data,
+        }
+    }
+
+    /// Elementwise binary op (same shape) into a pooled buffer.
+    fn pooled_zip(&mut self, a: Var, b: Var, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let Tape { nodes, pool } = self;
+        let (x, y) = (&nodes[a.0].data, &nodes[b.0].data);
+        let mut data = pool.take(x.len());
+        data.extend(x.data.iter().zip(&y.data).map(|(&x, &y)| f(x, y)));
+        Tensor {
+            rows: x.rows,
+            cols: x.cols,
+            data,
+        }
     }
 
     fn shape(&self, v: Var) -> (usize, usize) {
@@ -117,22 +202,37 @@ impl Tape {
 
     /// Records a constant filled with `value`.
     pub fn constant(&mut self, rows: usize, cols: usize, value: f32) -> Var {
-        self.push(Tensor::full(rows, cols, value), Op::Input)
+        let mut data = self.pool.take(rows * cols);
+        data.resize(rows * cols, value);
+        self.push(Tensor { rows, cols, data }, Op::Input)
     }
 
     /// Records a whole parameter tensor (snapshot of its current value).
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
-        self.push(store.value(id).clone(), Op::Param(id))
+        let src = store.value(id);
+        let mut data = self.pool.take(src.len());
+        data.extend_from_slice(&src.data);
+        let t = Tensor {
+            rows: src.rows,
+            cols: src.cols,
+            data,
+        };
+        self.push(t, Op::Param(id))
     }
 
     /// Records an embedding lookup: row `indices[i]` of the parameter becomes
     /// row `i` of the node. Gradients scatter-add back sparsely.
     pub fn gather(&mut self, store: &ParamStore, id: ParamId, indices: &[u32]) -> Var {
         let table = store.value(id);
-        let mut out = Tensor::zeros(indices.len(), table.cols);
-        for (i, &ix) in indices.iter().enumerate() {
-            out.row_mut(i).copy_from_slice(table.row(ix as usize));
+        let mut data = self.pool.take(indices.len() * table.cols);
+        for &ix in indices {
+            data.extend_from_slice(table.row(ix as usize));
         }
+        let out = Tensor {
+            rows: indices.len(),
+            cols: table.cols,
+            data,
+        };
         self.push(
             out,
             Op::Gather {
@@ -147,27 +247,21 @@ impl Tape {
     /// Elementwise `a + b` (same shape).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
         self.assert_same(a, b, "add");
-        let t = self.nodes[a.0]
-            .data
-            .zip_map(&self.nodes[b.0].data, |x, y| x + y);
+        let t = self.pooled_zip(a, b, |x, y| x + y);
         self.push(t, Op::Add(a, b))
     }
 
     /// Elementwise `a - b` (same shape).
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
         self.assert_same(a, b, "sub");
-        let t = self.nodes[a.0]
-            .data
-            .zip_map(&self.nodes[b.0].data, |x, y| x - y);
+        let t = self.pooled_zip(a, b, |x, y| x - y);
         self.push(t, Op::Sub(a, b))
     }
 
     /// Elementwise `a * b` (same shape).
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
         self.assert_same(a, b, "mul");
-        let t = self.nodes[a.0]
-            .data
-            .zip_map(&self.nodes[b.0].data, |x, y| x * y);
+        let t = self.pooled_zip(a, b, |x, y| x * y);
         self.push(t, Op::Mul(a, b))
     }
 
@@ -175,9 +269,7 @@ impl Tape {
     /// zero (the models guarantee this with `exp`/`+ε` constructions).
     pub fn div(&mut self, a: Var, b: Var) -> Var {
         self.assert_same(a, b, "div");
-        let t = self.nodes[a.0]
-            .data
-            .zip_map(&self.nodes[b.0].data, |x, y| x / y);
+        let t = self.pooled_zip(a, b, |x, y| x / y);
         self.push(t, Op::Div(a, b))
     }
 
@@ -190,14 +282,17 @@ impl Tape {
             (1, ac),
             "add_row: row must be 1x{ac}, got {rr}x{rc}"
         );
-        let rowt = &self.nodes[row.0].data;
-        let mut out = self.nodes[a.0].data.clone();
+        let Tape { nodes, pool } = self;
+        let (at, rowt) = (&nodes[a.0].data, &nodes[row.0].data);
+        let mut data = pool.take(at.len());
         for r in 0..ar {
-            let dst = out.row_mut(r);
-            for (d, &s) in dst.iter_mut().zip(&rowt.data) {
-                *d += s;
-            }
+            data.extend(at.row(r).iter().zip(&rowt.data).map(|(&x, &s)| x + s));
         }
+        let out = Tensor {
+            rows: ar,
+            cols: ac,
+            data,
+        };
         self.push(out, Op::AddRow(a, row))
     }
 
@@ -210,47 +305,54 @@ impl Tape {
             (1, ac),
             "mul_row: row must be 1x{ac}, got {rr}x{rc}"
         );
-        let rowt = &self.nodes[row.0].data;
-        let mut out = self.nodes[a.0].data.clone();
+        let Tape { nodes, pool } = self;
+        let (at, rowt) = (&nodes[a.0].data, &nodes[row.0].data);
+        let mut data = pool.take(at.len());
         for r in 0..ar {
-            let dst = out.row_mut(r);
-            for (d, &s) in dst.iter_mut().zip(&rowt.data) {
-                *d *= s;
-            }
+            data.extend(at.row(r).iter().zip(&rowt.data).map(|(&x, &s)| x * s));
         }
+        let out = Tensor {
+            rows: ar,
+            cols: ac,
+            data,
+        };
         self.push(out, Op::MulRow(a, row))
     }
 
     /// Matrix product `a · b`.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let t = self.nodes[a.0].data.matmul(&self.nodes[b.0].data);
+        let Tape { nodes, pool } = self;
+        let (at, bt) = (&nodes[a.0].data, &nodes[b.0].data);
+        let (m, n) = (at.rows, bt.cols);
+        let mut data = pool.take(m * n);
+        data.resize(m * n, 0.0); // matmul_into accumulates; start from zeros
+        at.matmul_into(bt, &mut data);
+        let t = Tensor {
+            rows: m,
+            cols: n,
+            data,
+        };
         self.push(t, Op::MatMul(a, b))
     }
 
     /// Elementwise minimum.
     pub fn min(&mut self, a: Var, b: Var) -> Var {
         self.assert_same(a, b, "min");
-        let t = self.nodes[a.0]
-            .data
-            .zip_map(&self.nodes[b.0].data, f32::min);
+        let t = self.pooled_zip(a, b, f32::min);
         self.push(t, Op::Min(a, b))
     }
 
     /// Elementwise maximum.
     pub fn max(&mut self, a: Var, b: Var) -> Var {
         self.assert_same(a, b, "max");
-        let t = self.nodes[a.0]
-            .data
-            .zip_map(&self.nodes[b.0].data, f32::max);
+        let t = self.pooled_zip(a, b, f32::max);
         self.push(t, Op::Max(a, b))
     }
 
     /// `atan2(y, x)` elementwise (`y` first, like `f32::atan2`).
     pub fn atan2(&mut self, y: Var, x: Var) -> Var {
         self.assert_same(y, x, "atan2");
-        let t = self.nodes[y.0]
-            .data
-            .zip_map(&self.nodes[x.0].data, f32::atan2);
+        let t = self.pooled_zip(y, x, f32::atan2);
         self.push(t, Op::Atan2(y, x))
     }
 
@@ -258,13 +360,13 @@ impl Tape {
 
     /// `c * a` for a compile-time scalar.
     pub fn scale(&mut self, a: Var, c: f32) -> Var {
-        let t = self.nodes[a.0].data.map(|x| c * x);
+        let t = self.pooled_map(a, |x| c * x);
         self.push(t, Op::Scale(a, c))
     }
 
     /// `a + c` for a scalar constant.
     pub fn add_scalar(&mut self, a: Var, c: f32) -> Var {
-        let t = self.nodes[a.0].data.map(|x| x + c);
+        let t = self.pooled_map(a, |x| x + c);
         self.push(t, Op::AddScalar(a))
     }
 
@@ -275,49 +377,49 @@ impl Tape {
 
     /// Elementwise sine.
     pub fn sin(&mut self, a: Var) -> Var {
-        let t = self.nodes[a.0].data.map(f32::sin);
+        let t = self.pooled_map(a, f32::sin);
         self.push(t, Op::Sin(a))
     }
 
     /// Elementwise cosine.
     pub fn cos(&mut self, a: Var) -> Var {
-        let t = self.nodes[a.0].data.map(f32::cos);
+        let t = self.pooled_map(a, f32::cos);
         self.push(t, Op::Cos(a))
     }
 
     /// Elementwise hyperbolic tangent.
     pub fn tanh(&mut self, a: Var) -> Var {
-        let t = self.nodes[a.0].data.map(f32::tanh);
+        let t = self.pooled_map(a, f32::tanh);
         self.push(t, Op::Tanh(a))
     }
 
     /// Elementwise logistic sigmoid.
     pub fn sigmoid(&mut self, a: Var) -> Var {
-        let t = self.nodes[a.0].data.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let t = self.pooled_map(a, |x| 1.0 / (1.0 + (-x).exp()));
         self.push(t, Op::Sigmoid(a))
     }
 
     /// Elementwise ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
-        let t = self.nodes[a.0].data.map(|x| x.max(0.0));
+        let t = self.pooled_map(a, |x| x.max(0.0));
         self.push(t, Op::Relu(a))
     }
 
     /// Elementwise absolute value.
     pub fn abs(&mut self, a: Var) -> Var {
-        let t = self.nodes[a.0].data.map(f32::abs);
+        let t = self.pooled_map(a, f32::abs);
         self.push(t, Op::Abs(a))
     }
 
     /// Elementwise exponential.
     pub fn exp(&mut self, a: Var) -> Var {
-        let t = self.nodes[a.0].data.map(f32::exp);
+        let t = self.pooled_map(a, f32::exp);
         self.push(t, Op::Exp(a))
     }
 
     /// Numerically stable `softplus(x) = ln(1 + e^x)`.
     pub fn softplus(&mut self, a: Var) -> Var {
-        let t = self.nodes[a.0].data.map(|x| {
+        let t = self.pooled_map(a, |x| {
             if x > 20.0 {
                 x
             } else if x < -20.0 {
@@ -344,16 +446,21 @@ impl Tape {
         assert!(!parts.is_empty(), "concat_cols of nothing");
         let rows = self.shape(parts[0]).0;
         let total: usize = parts.iter().map(|&p| self.shape(p).1).sum();
-        let mut out = Tensor::zeros(rows, total);
+        for &p in parts {
+            assert_eq!(self.shape(p).0, rows, "concat_cols: row mismatch");
+        }
+        let Tape { nodes, pool } = self;
+        let mut data = pool.take(rows * total);
         for r in 0..rows {
-            let mut off = 0;
             for &p in parts {
-                let (pr, pc) = self.shape(p);
-                assert_eq!(pr, rows, "concat_cols: row mismatch");
-                out.row_mut(r)[off..off + pc].copy_from_slice(self.nodes[p.0].data.row(r));
-                off += pc;
+                data.extend_from_slice(nodes[p.0].data.row(r));
             }
         }
+        let out = Tensor {
+            rows,
+            cols: total,
+            data,
+        };
         self.push(out, Op::ConcatCols(parts.to_vec()))
     }
 
@@ -361,34 +468,57 @@ impl Tape {
     pub fn slice_cols(&mut self, a: Var, start: usize, end: usize) -> Var {
         let (rows, cols) = self.shape(a);
         assert!(start <= end && end <= cols, "slice_cols out of range");
-        let mut out = Tensor::zeros(rows, end - start);
+        let Tape { nodes, pool } = self;
+        let mut data = pool.take(rows * (end - start));
         for r in 0..rows {
-            out.row_mut(r)
-                .copy_from_slice(&self.nodes[a.0].data.row(r)[start..end]);
+            data.extend_from_slice(&nodes[a.0].data.row(r)[start..end]);
         }
+        let out = Tensor {
+            rows,
+            cols: end - start,
+            data,
+        };
         self.push(out, Op::SliceCols(a, start, end))
     }
 
     /// Row-wise sum, `B×d → B×1`.
     pub fn sum_cols(&mut self, a: Var) -> Var {
         let (rows, _) = self.shape(a);
-        let mut out = Tensor::zeros(rows, 1);
-        for r in 0..rows {
-            out.data[r] = self.nodes[a.0].data.row(r).iter().sum();
-        }
+        let Tape { nodes, pool } = self;
+        let mut data = pool.take(rows);
+        data.extend((0..rows).map(|r| nodes[a.0].data.row(r).iter().sum::<f32>()));
+        let out = Tensor {
+            rows,
+            cols: 1,
+            data,
+        };
         self.push(out, Op::SumCols(a))
     }
 
     /// Mean of all elements, `→ 1×1`.
     pub fn mean_all(&mut self, a: Var) -> Var {
         let n = self.nodes[a.0].data.len() as f32;
-        let t = Tensor::scalar(self.nodes[a.0].data.sum() / n);
+        let v = self.nodes[a.0].data.sum() / n;
+        let mut data = self.pool.take(1);
+        data.push(v);
+        let t = Tensor {
+            rows: 1,
+            cols: 1,
+            data,
+        };
         self.push(t, Op::MeanAll(a))
     }
 
     /// Sum of all elements, `→ 1×1`.
     pub fn sum_all(&mut self, a: Var) -> Var {
-        let t = Tensor::scalar(self.nodes[a.0].data.sum());
+        let v = self.nodes[a.0].data.sum();
+        let mut data = self.pool.take(1);
+        data.push(v);
+        let t = Tensor {
+            rows: 1,
+            cols: 1,
+            data,
+        };
         self.push(t, Op::SumAll(a))
     }
 
@@ -854,5 +984,94 @@ mod tests {
         let x = t.input(Tensor::from_vec(2, 2, vec![-1., 2., 3., -4.]));
         let l1 = t.l1_rows(x);
         assert_eq!(t.value(l1).data, vec![3., 7.]);
+    }
+
+    /// One forward+backward pass of a small MLP-like graph; returns the loss
+    /// value and the two parameter gradients.
+    fn run_graph(
+        t: &mut Tape,
+        s: &mut ParamStore,
+        w: ParamId,
+        b: ParamId,
+    ) -> (f32, Tensor, Tensor) {
+        s.zero_grads();
+        let x = t.input(Tensor::from_vec(3, 2, vec![0.3, -1.2, 0.8, 0.5, -0.7, 2.0]));
+        let wv = t.param(s, w);
+        let bv = t.param(s, b);
+        let h = t.matmul(x, wv);
+        let hb = t.add_row(h, bv);
+        let a = t.relu(hb);
+        let sq = t.mul(a, a);
+        let loss = t.mean_all(sq);
+        let lv = t.value(loss).item();
+        t.backward(loss, s);
+        (lv, s.grad(w).clone(), s.grad(b).clone())
+    }
+
+    #[test]
+    fn reset_reuse_is_bit_identical_to_fresh_tape() {
+        let mut s = ParamStore::new();
+        let w = s.add(Tensor::from_vec(2, 2, vec![0.6, -0.4, 0.1, 0.9]));
+        let b = s.add(Tensor::from_vec(1, 2, vec![0.05, -0.02]));
+
+        // Reference: a fresh tape per pass (no buffer reuse possible).
+        let mut fresh_runs = Vec::new();
+        for _ in 0..3 {
+            let mut t = Tape::new();
+            fresh_runs.push(run_graph(&mut t, &mut s, w, b));
+        }
+
+        // Pooled: one tape reset between passes, recycling buffers.
+        let mut t = Tape::new();
+        for fresh in &fresh_runs {
+            t.reset();
+            let pooled = run_graph(&mut t, &mut s, w, b);
+            assert_eq!(pooled.0.to_bits(), fresh.0.to_bits(), "loss diverged");
+            assert_eq!(pooled.1.data, fresh.1.data, "weight grad diverged");
+            assert_eq!(pooled.2.data, fresh.2.data, "bias grad diverged");
+        }
+    }
+
+    #[test]
+    fn reset_recycles_buffers() {
+        let mut t = Tape::new();
+        let x = t.constant(1, 4, 2.0);
+        let y = t.relu(x);
+        let _ = t.sum_all(y);
+        assert_eq!(t.pooled_buffers(), 0);
+        let nodes = t.len();
+        t.reset();
+        assert!(t.is_empty());
+        assert_eq!(t.pooled_buffers(), nodes, "every node buffer pooled");
+        // A second identical pass must not grow the pool's total footprint.
+        let x = t.constant(1, 4, 2.0);
+        let y = t.relu(x);
+        let _ = t.sum_all(y);
+        assert_eq!(t.pooled_buffers(), 0, "pass reuses every pooled buffer");
+        t.reset();
+        assert_eq!(t.pooled_buffers(), nodes);
+        t.clear_pool();
+        assert_eq!(t.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn pooled_buffers_come_back_dirty_but_ops_overwrite_fully() {
+        // Fill the pool with garbage-laden buffers, then check each op class
+        // produces exactly the values a fresh tape would.
+        let mut t = Tape::new();
+        let big = t.input(Tensor::full(8, 8, f32::NAN));
+        let _ = t.relu(big);
+        t.reset();
+
+        let a = t.input(Tensor::from_vec(2, 2, vec![1., -2., 3., -4.]));
+        let b = t.input(Tensor::from_vec(2, 2, vec![2., 2., 2., 2.]));
+        let sum = t.add(a, b);
+        assert_eq!(t.value(sum).data, vec![3., 0., 5., -2.]);
+        let mm = t.matmul(a, b);
+        assert_eq!(t.value(mm).data, vec![-2., -2., -2., -2.]);
+        let c = t.constant(2, 2, 0.5);
+        assert_eq!(t.value(c).data, vec![0.5; 4]);
+        let sc = t.sum_cols(a);
+        assert_eq!(t.value(sc).data, vec![-1., -1.]);
     }
 }

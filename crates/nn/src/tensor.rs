@@ -174,29 +174,40 @@ impl Tensor {
     /// # Panics
     /// If inner dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        let (m, n) = (self.rows, other.cols);
+        let mut out = Tensor::zeros(m, n);
+        self.matmul_into(other, &mut out.data);
+        out
+    }
+
+    /// Matrix product `self · other` accumulated into a caller-supplied
+    /// buffer, which must already hold `m×n` zeros. Lets the autodiff tape
+    /// reuse pooled allocations for its heaviest op.
+    ///
+    /// # Panics
+    /// If inner dimensions disagree or `out` has the wrong length.
+    pub fn matmul_into(&self, other: &Tensor, out: &mut [f32]) {
         assert_eq!(
             self.cols, other.rows,
             "matmul {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = Tensor::zeros(m, n);
+        assert_eq!(out.len(), m * n, "matmul_into output length");
         // ikj loop order: the inner loop streams both `other` and `out`
-        // rows contiguously, which the autovectorizer handles well.
+        // rows contiguously, which the autovectorizer handles well. The
+        // inner loop is kept branch-free on purpose: skipping `a == 0.0`
+        // terms defeats vectorization on dense data (see benches/ops.rs).
         for i in 0..m {
-            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let out_row = &mut out[i * n..(i + 1) * n];
             for kk in 0..k {
                 let a = self.data[i * k + kk];
-                if a == 0.0 {
-                    continue;
-                }
                 let b_row = &other.data[kk * n..(kk + 1) * n];
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
             }
         }
-        out
     }
 
     /// `selfᵀ · other` without materializing the transpose

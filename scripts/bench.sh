@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates the hot-path benchmark baseline at the repository root:
+#
+#   scripts/bench.sh                 # rewrite BENCH_hotpath.json
+#   scripts/bench.sh --compare       # also gate against the committed file
+#
+# Always release mode — debug numbers are not comparable and must never be
+# committed. See DESIGN.md §8 for the JSON schema.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--compare" ]]; then
+    # Gate a fresh run against the committed baseline without touching it.
+    cargo run --release -q -p halk-bench --bin bench_hotpath -- \
+        --out /tmp/BENCH_hotpath.new.json --compare BENCH_hotpath.json
+else
+    cargo run --release -q -p halk-bench --bin bench_hotpath
+    echo "bench: wrote BENCH_hotpath.json (commit it with the change that moved it)"
+fi
