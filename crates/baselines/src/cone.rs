@@ -294,6 +294,31 @@ impl QueryModel for ConeModel {
         self.n_entities
     }
 
+    fn score_cache(&self) -> Option<halk_core::ScoreCache> {
+        // The per-entity half-angle trig of the axis table is query-
+        // independent; precompute it once per parameter state so evaluation
+        // sweeps don't rebuild it for every query.
+        Some(Box::new(halk_core::EntityTrig::new(
+            self.store.value(self.ent_axis),
+        )))
+    }
+
+    fn score_all_cached(&self, query: &Query, cache: &halk_core::ScoreCache) -> Vec<f32> {
+        let trig = cache
+            .downcast_ref::<halk_core::EntityTrig>()
+            .expect("cache built by a different model");
+        let Some(branches) = self.embed_query_values(query) else {
+            return vec![f32::INFINITY; self.n_entities];
+        };
+        let scorer = halk_core::ArcScorer::from_params(
+            &branches,
+            1.0,
+            self.cfg.eta,
+            halk_core::DistanceMode::LiteralEq16,
+        );
+        scorer.score_all(trig)
+    }
+
     fn param_store(&self) -> Option<&halk_nn::ParamStore> {
         Some(&self.store)
     }

@@ -34,7 +34,7 @@ mod tests {
         generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(77))
     }
 
-    fn models(g: &Graph) -> Vec<Box<dyn QueryModel>> {
+    fn models(g: &Graph) -> Vec<Box<dyn QueryModel + Send + Sync>> {
         let cfg = HalkConfig::tiny();
         vec![
             Box::new(ConeModel::new(g, cfg.clone())),

@@ -1,8 +1,11 @@
-//! Hot-path regression harness (ISSUE PR 2): times the single-core kernels
-//! the whole reproduction sits on — `score_all` (vectorized vs the retained
-//! scalar reference), one optimizer step, sampler throughput, and dense
-//! `matmul` — at fixed seeds, and writes `BENCH_hotpath.json` at the repo
-//! root so future changes can be diffed with `--compare`.
+//! Hot-path regression harness (ISSUE PR 2, extended in PR 3): times the
+//! kernels the whole reproduction sits on — `score_all` (vectorized vs the
+//! retained scalar reference), one optimizer step, sampler throughput, dense
+//! `matmul`, and the parallel-runtime eval/train paths at the ambient thread
+//! count vs one worker — at fixed seeds, and writes `BENCH_hotpath.json` at
+//! the repo root so future changes can be diffed with `--compare` (schema
+//! `halk-bench-hotpath/v2`; `--compare` still reads v1 baselines, comparing
+//! the shared keys).
 //!
 //! Usage:
 //!   bench_hotpath [--smoke] [--out <path>] [--compare <old.json>]
@@ -11,8 +14,8 @@
 //! the JSON unless `--out` is given). `--compare` exits non-zero if any
 //! shared benchmark regressed by more than 15%.
 
-use halk_core::{HalkConfig, HalkModel, QueryModel, TrainExample};
-use halk_kg::{generate, Graph, SynthConfig};
+use halk_core::{evaluate_structure_pool, HalkConfig, HalkModel, Pool, QueryModel, TrainExample};
+use halk_kg::{generate, DatasetSplit, Graph, SynthConfig};
 use halk_logic::{answers, Sampler, Structure};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -172,12 +175,76 @@ fn main() {
     });
     record(&format!("matmul_{matmul_n}"), ns_matmul, iters);
 
+    // --- parallel runtime (PR 3): an evaluation sweep and a training step
+    // at the ambient thread count vs one worker. Thread counts and the
+    // host's hardware parallelism are recorded so speedups are read in
+    // context (on a single-core host both pools collapse to one worker and
+    // the ratio is ~1.0 by construction).
+    let threads = halk_par::auto_threads();
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let split = DatasetSplit::nested(&g, 0.8, 0.1, &mut StdRng::seed_from_u64(7));
+    let eval_q = if args.smoke { 4 } else { 16 };
+    let ns_eval_1 = median_ns(samples, 1, || {
+        black_box(evaluate_structure_pool(
+            &model,
+            &split,
+            Structure::P2,
+            eval_q,
+            11,
+            Pool::new(1),
+        ));
+    });
+    let ns_eval_n = median_ns(samples, 1, || {
+        black_box(evaluate_structure_pool(
+            &model,
+            &split,
+            Structure::P2,
+            eval_q,
+            11,
+            Pool::new(threads),
+        ));
+    });
+    let eval_speedup = ns_eval_1 / ns_eval_n;
+    println!("eval_parallel            {ns_eval_n:>12.0} ns/op   ({threads} threads, {eval_speedup:.2}x vs 1 thread)");
+    results.push((
+        "eval_parallel".to_string(),
+        json!({
+            "median_ns": ns_eval_n,
+            "iters": 1,
+            "threads": threads,
+            "baseline_1thread_ns": ns_eval_1,
+            "speedup_vs_1thread": eval_speedup,
+        }),
+    ));
+
+    model.set_threads(1);
+    let ns_train_1 = median_ns(samples, train_iters, || {
+        black_box(model.train_batch(&batch));
+    });
+    model.set_threads(threads);
+    let ns_train_n = median_ns(samples, train_iters, || {
+        black_box(model.train_batch(&batch));
+    });
+    model.set_threads(0);
+    let train_speedup = ns_train_1 / ns_train_n;
+    println!("train_step_parallel      {ns_train_n:>12.0} ns/op   ({threads} threads, {train_speedup:.2}x vs 1 thread)");
+    results.push((
+        "train_step_parallel".to_string(),
+        json!({
+            "median_ns": ns_train_n,
+            "iters": train_iters,
+            "threads": threads,
+            "baseline_1thread_ns": ns_train_1,
+            "speedup_vs_1thread": train_speedup,
+        }),
+    ));
+
     let speedup = ns_scalar / ns_vec;
     let speedup_p2 = ns_scalar_p2 / ns_vec_p2;
     println!("score_all speedup vs scalar: up {speedup:.2}x, p2 {speedup_p2:.2}x");
 
     let report = json!({
-        "schema": "halk-bench-hotpath/v1",
+        "schema": "halk-bench-hotpath/v2",
         "config": json!({
             "smoke": args.smoke,
             "dim": cfg.dim,
@@ -187,11 +254,15 @@ fn main() {
             "matmul_n": matmul_n,
             "samples": samples,
             "seed": 1,
+            "threads": threads,
+            "hardware_threads": hardware_threads,
         }),
         "results": Value::Object(results),
         "derived": json!({
             "score_all_up_speedup": speedup,
             "score_all_p2_speedup": speedup_p2,
+            "eval_parallel_speedup": eval_speedup,
+            "train_parallel_speedup": train_speedup,
         }),
     });
 

@@ -17,8 +17,9 @@ pub fn standard_datasets(scale: &Scale) -> Vec<halk_kg::Dataset> {
 
 /// A trained model plus its offline cost (Fig. 6b's quantity).
 pub struct TrainedModel {
-    /// The model behind the shared trait.
-    pub model: Box<dyn QueryModel>,
+    /// The model behind the shared trait (`Sync` so the sharded parallel
+    /// evaluation can share it across pool workers).
+    pub model: Box<dyn QueryModel + Send + Sync>,
     /// Training statistics (wall-clock = offline time).
     pub stats: TrainStats,
 }
@@ -64,7 +65,7 @@ impl ModelKind {
         vec![ModelKind::Cone, ModelKind::MlpMix, ModelKind::Halk]
     }
 
-    fn build(self, split: &DatasetSplit, scale: &Scale) -> Box<dyn QueryModel> {
+    fn build(self, split: &DatasetSplit, scale: &Scale) -> Box<dyn QueryModel + Send + Sync> {
         let cfg = scale.model_config();
         match self {
             ModelKind::Halk => Box::new(HalkModel::new(&split.train, cfg)),

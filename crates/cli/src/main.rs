@@ -130,6 +130,9 @@ USAGE:
              [--checkpoint-dir DIR]   where to put them (default: OUT/checkpoints)
              [--keep-checkpoints K]   rotate, keeping the last K (default 3)
              [--resume FILE]          resume a run from a checkpoint file
+             [--threads N]            worker threads (0 = auto, also via
+                                      HALK_THREADS; results are identical
+                                      at any setting)
   halk ask   --graph graph.tsv --sparql QUERY
              [--model model_dir] [--engine exact|halk|match] [--top N]
   halk help
@@ -195,6 +198,12 @@ fn cmd_train(args: &Args) -> Result<(), CliError> {
         None => None,
     };
     let resume_from = args.optional("resume").map(PathBuf::from);
+    let threads: usize = args.parsed_or("threads", 0)?;
+    if threads > 0 {
+        // Also steer any Pool::auto() users (evaluation, scoring) beyond
+        // this TrainConfig.
+        halk_par::set_threads(threads);
+    }
 
     let cfg = HalkConfig {
         dim,
@@ -212,6 +221,7 @@ fn cmd_train(args: &Args) -> Result<(), CliError> {
         checkpoint_dir,
         keep_checkpoints,
         resume_from,
+        threads,
         ..TrainConfig::default()
     };
     let stats = train_model(&mut model, &g, &Structure::training(), &tc)?;

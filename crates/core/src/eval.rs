@@ -11,6 +11,7 @@ use halk_kg::split::DatasetSplit;
 use halk_logic::{
     answer_split, filtered_ranks, MetricsAccumulator, RankMetrics, Sampler, Structure,
 };
+use halk_par::Pool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
@@ -22,23 +23,55 @@ pub struct EvalCell {
     pub metrics: RankMetrics,
     /// Number of queries evaluated.
     pub n_queries: usize,
-    /// Total online scoring time (for Fig. 6c / Table VI).
+    /// Total online scoring time (for Fig. 6c / Table VI), summed per query
+    /// (CPU time, not wall clock, under a parallel pool).
     pub online_time: Duration,
+    /// True when the attempt budget (`n_queries * 20`) ran out before
+    /// `n_queries` queries with non-empty hard-answer sets were found.
+    pub truncated: bool,
 }
 
-/// Evaluates a model on one structure with `n_queries` sampled test queries.
+/// Attempts sampled ahead per speculative chunk in
+/// [`evaluate_structure_pool`]. Sampling stays sequential (one RNG stream);
+/// answering and scoring of a chunk fan out across the pool.
+const SPEC_CHUNK: usize = 32;
+
+/// Evaluates a model on one structure with `n_queries` sampled test queries,
+/// scheduling on the ambient pool ([`Pool::auto`]).
 ///
 /// Queries whose hard-answer set is empty (fully derivable on the validation
 /// graph) are rejected and resampled, as the protocol requires.
-pub fn evaluate_structure<M: QueryModel + ?Sized>(
+pub fn evaluate_structure<M: QueryModel + Sync + ?Sized>(
     model: &M,
     split: &DatasetSplit,
     structure: Structure,
     n_queries: usize,
     seed: u64,
 ) -> EvalCell {
+    evaluate_structure_pool(model, split, structure, n_queries, seed, Pool::auto())
+}
+
+/// [`evaluate_structure`] on an explicit pool. Bit-identical metrics at any
+/// thread count: candidate queries are sampled sequentially in fixed-size
+/// chunks (the RNG stream is the sequential one), answer-splitting and
+/// scoring of a chunk run in parallel, and results are accepted in attempt
+/// order until `n_queries` are in — the same accepted set the sequential
+/// loop picks. Samples drawn past the final acceptance are discarded
+/// unobserved. Integer ranks are folded into the accumulator sequentially in
+/// that same order, so the f64 metric sums associate identically too.
+pub fn evaluate_structure_pool<M: QueryModel + Sync + ?Sized>(
+    model: &M,
+    split: &DatasetSplit,
+    structure: Structure,
+    n_queries: usize,
+    seed: u64,
+    pool: Pool,
+) -> EvalCell {
     let mut rng = StdRng::seed_from_u64(seed);
     let sampler = Sampler::new(&split.test);
+    // Build the model's scoring cache (e.g. entity-table trig) once per
+    // structure; every query then scores against it.
+    let cache = model.score_cache();
     let mut acc = MetricsAccumulator::new();
     let mut online = Duration::ZERO;
     let mut evaluated = 0usize;
@@ -46,52 +79,94 @@ pub fn evaluate_structure<M: QueryModel + ?Sized>(
     let max_attempts = n_queries * 20;
 
     while evaluated < n_queries && attempts < max_attempts {
-        attempts += 1;
-        let Some(gq) = sampler.sample(structure, &mut rng) else {
-            continue;
-        };
-        let ans = answer_split(&gq.query, &split.valid, &split.test);
-        if ans.hard.is_empty() {
-            continue;
+        let chunk = SPEC_CHUNK.min(max_attempts - attempts);
+        let mut candidates = Vec::with_capacity(chunk);
+        for _ in 0..chunk {
+            attempts += 1;
+            if let Some(gq) = sampler.sample(structure, &mut rng) {
+                candidates.push(gq.query);
+            }
         }
-        let t0 = std::time::Instant::now();
-        let scores = model.score_all(&gq.query);
-        online += t0.elapsed();
-        let ranks = filtered_ranks(&scores, &ans.hard, &ans.easy);
-        acc.push_ranks(&ranks);
-        evaluated += 1;
+
+        // Queries vary wildly in answer-set size, so use the dynamic
+        // splitter; it returns results in attempt order regardless.
+        let scored = pool.par_map_dyn(&candidates, |query| {
+            let ans = answer_split(query, &split.valid, &split.test);
+            if ans.hard.is_empty() {
+                return None;
+            }
+            let t0 = std::time::Instant::now();
+            let scores = match &cache {
+                Some(c) => model.score_all_cached(query, c),
+                None => model.score_all(query),
+            };
+            let elapsed = t0.elapsed();
+            Some((filtered_ranks(&scores, &ans.hard, &ans.easy), elapsed))
+        });
+
+        for (ranks, elapsed) in scored.into_iter().flatten() {
+            if evaluated >= n_queries {
+                break;
+            }
+            acc.push_ranks(&ranks);
+            online += elapsed;
+            evaluated += 1;
+        }
     }
 
+    let truncated = evaluated < n_queries;
+    if truncated {
+        eprintln!(
+            "eval[{structure}]: attempt budget exhausted ({attempts} attempts); \
+             evaluated {evaluated}/{n_queries} queries"
+        );
+    }
     EvalCell {
         metrics: acc.finish(),
         n_queries: evaluated,
         online_time: online,
+        truncated,
     }
 }
 
 /// Evaluates a model across a list of structures (a table row), skipping
 /// structures the model does not support (rendered as `-` in the paper's
-/// tables).
-pub fn evaluate_table<M: QueryModel + ?Sized>(
+/// tables). Structures fan out across the ambient pool.
+pub fn evaluate_table<M: QueryModel + Sync + ?Sized>(
     model: &M,
     split: &DatasetSplit,
     structures: &[Structure],
     n_queries: usize,
     seed: u64,
 ) -> Vec<(Structure, Option<EvalCell>)> {
-    structures
-        .iter()
-        .map(|&s| {
-            if model.supports(s) {
-                (
-                    s,
-                    Some(evaluate_structure(model, split, s, n_queries, seed)),
-                )
-            } else {
-                (s, None)
-            }
-        })
-        .collect()
+    evaluate_table_pool(model, split, structures, n_queries, seed, Pool::auto())
+}
+
+/// [`evaluate_table`] on an explicit pool: structures are uneven work items,
+/// so they go through the dynamic splitter, and each cell evaluates
+/// sequentially inside to avoid nested oversubscription. Each cell is
+/// bit-identical to its sequential evaluation, so the whole row is too.
+pub fn evaluate_table_pool<M: QueryModel + Sync + ?Sized>(
+    model: &M,
+    split: &DatasetSplit,
+    structures: &[Structure],
+    n_queries: usize,
+    seed: u64,
+    pool: Pool,
+) -> Vec<(Structure, Option<EvalCell>)> {
+    let inner = Pool::new(1);
+    pool.par_map_dyn(structures, |&s| {
+        if model.supports(s) {
+            (
+                s,
+                Some(evaluate_structure_pool(
+                    model, split, s, n_queries, seed, inner,
+                )),
+            )
+        } else {
+            (s, None)
+        }
+    })
 }
 
 /// Average of a metric accessor over the supported cells of a table row.

@@ -43,9 +43,12 @@ pub mod scorer;
 pub mod train;
 
 pub use config::{Ablation, DistanceMode, HalkConfig};
-pub use eval::{evaluate_structure, evaluate_table, EvalCell};
+pub use eval::{
+    evaluate_structure, evaluate_structure_pool, evaluate_table, evaluate_table_pool, EvalCell,
+};
+pub use halk_par::Pool;
 pub use lsh::EntityLsh;
 pub use model::HalkModel;
-pub use qmodel::{QueryModel, TrainExample};
+pub use qmodel::{QueryModel, ScoreCache, TrainExample};
 pub use scorer::{top_k_indices, ArcScorer, BoxScorer, EntityTrig, L1Scorer};
 pub use train::{train_model, TrainConfig, TrainError, TrainStats};

@@ -29,7 +29,8 @@ use crate::scorer::{ArcScorer, EntityTrig};
 use halk_geometry::Arc;
 use halk_kg::{EntityId, Graph, Grouping, RelationId};
 use halk_logic::{to_dnf, Query};
-use halk_nn::{Act, Mlp, ParamId, ParamStore, Tape, Tensor, Var};
+use halk_nn::{Act, GradBuffer, Mlp, ParamId, ParamStore, Tape, Tensor, Var};
+use halk_par::Pool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -66,10 +67,17 @@ pub struct HalkModel {
     neg_center: Mlp,
     neg_alpha: Mlp,
 
-    /// Persistent training tape: reset (not dropped) between batches so its
-    /// buffer pool amortizes every forward allocation. Not part of the
-    /// saved state — a fresh tape is equivalent (see DESIGN.md §8).
-    pub(crate) train_tape: Tape,
+    /// Persistent per-shard training state: each batch shard owns a tape
+    /// (reset, not dropped, between batches so its buffer pool amortizes
+    /// every forward allocation) plus a staging [`GradBuffer`]. Shard count
+    /// is fixed by batch size, never by thread count, so training is
+    /// bit-identical at any parallelism (DESIGN.md §9). Not part of the
+    /// saved state — fresh shards are equivalent (see DESIGN.md §8).
+    pub(crate) train_shards: Vec<(Tape, GradBuffer)>,
+    /// Worker threads for training/scoring: 0 = resolve via
+    /// [`halk_par::auto_threads`] (HALK_THREADS or the machine's
+    /// parallelism), 1 = strictly sequential.
+    threads: usize,
 }
 
 impl HalkModel {
@@ -152,7 +160,24 @@ impl HalkModel {
             neg_t2,
             neg_center,
             neg_alpha,
-            train_tape: Tape::new(),
+            train_shards: Vec::new(),
+            threads: 0,
+        }
+    }
+
+    /// Sets the worker-thread count for training and sharded scoring
+    /// (0 = auto). Purely a scheduling knob: results are bit-identical at
+    /// any setting.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads;
+    }
+
+    /// The fork-join pool this model schedules on.
+    pub fn pool(&self) -> Pool {
+        if self.threads == 0 {
+            Pool::auto()
+        } else {
+            Pool::new(self.threads)
         }
     }
 
@@ -682,6 +707,31 @@ impl HalkModel {
         self.scorer_for(query).score_into(trig, out);
     }
 
+    /// Entity-sharded [`HalkModel::score_all_with`]: splits the entity range
+    /// into fixed-size slices scored on `pool`'s workers. Slice boundaries
+    /// depend only on the entity count — never on the thread count — and
+    /// each entity's score is computed independently, so output is
+    /// bit-identical to the sequential path at any parallelism.
+    pub fn score_all_with_par(
+        &self,
+        pool: Pool,
+        trig: &EntityTrig,
+        query: &Query,
+        out: &mut Vec<f32>,
+    ) {
+        let scorer = self.scorer_for(query);
+        out.clear();
+        out.resize(trig.n_entities(), f32::INFINITY);
+        if pool.is_sequential() {
+            scorer.score_slice(trig, 0, out);
+            return;
+        }
+        const SCORE_SLICE: usize = 1024;
+        pool.par_chunks_mut(out, SCORE_SLICE, |ci, chunk| {
+            scorer.score_slice(trig, ci * SCORE_SLICE, chunk);
+        });
+    }
+
     /// Scalar reference scoring: the straightforward entity-major loop over
     /// `halk_geometry::Arc` distances. Kept for equivalence tests and the
     /// perf-regression bench (`bench_hotpath`); use [`HalkModel::score_all`]
@@ -717,11 +767,12 @@ impl HalkModel {
             .collect()
     }
 
-    /// Replaces the persistent training tape with a fresh one, dropping its
-    /// buffer pool. Only useful to tests comparing pooled vs unpooled
-    /// execution; training behavior is identical either way.
+    /// Drops the persistent per-shard training state (tapes with their
+    /// buffer pools, staged gradient buffers). Only useful to tests
+    /// comparing pooled vs unpooled execution; training behavior is
+    /// identical either way.
     pub fn reset_train_tape(&mut self) {
-        self.train_tape = Tape::new();
+        self.train_shards = Vec::new();
     }
 
     /// Reads the current (inference-time) arc of a single embedded branch —

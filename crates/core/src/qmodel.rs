@@ -10,7 +10,7 @@ use crate::config::HalkConfig;
 use crate::model::HalkModel;
 use halk_kg::EntityId;
 use halk_logic::{Query, Structure};
-use halk_nn::ParamStore;
+use halk_nn::{GradBuffer, ParamStore, Tape, Var};
 
 /// One training example: a grounded query, one positive answer and `m`
 /// negative entities (the negative-sampling trick of §III-G).
@@ -24,6 +24,71 @@ pub struct TrainExample {
     /// Entities outside the answer set.
     pub negatives: Vec<EntityId>,
 }
+
+/// Examples per training shard. Fixed by data, not by hardware: the shard
+/// plan for a batch is identical at every thread count, which is what makes
+/// data-parallel training bit-reproducible (DESIGN.md §9).
+const TRAIN_SHARD_SIZE: usize = 8;
+
+/// Forward pass of one training shard on its own tape: embeds the shard's
+/// queries, builds positive/negative distance columns with their group
+/// penalties (Eq. 17) and returns the shard-mean margin loss. `m` is the
+/// batch-global minimum negative count; `masks` are the shard's precomputed
+/// query group masks.
+fn shard_forward(
+    model: &HalkModel,
+    tape: &mut Tape,
+    shard: &[TrainExample],
+    masks: &[u64],
+    m: usize,
+    cfg: &HalkConfig,
+) -> Var {
+    let queries: Vec<&Query> = shard.iter().map(|ex| &ex.query).collect();
+    let arc = model.embed_batch(tape, &queries);
+
+    // Group penalty constants ξ‖Relu(h_v − h_{U_q})‖₁ (Eq. 17).
+    let pen = |ids: &[u32]| -> halk_nn::Tensor {
+        let data = ids
+            .iter()
+            .zip(masks)
+            .map(|(&e, &qm)| {
+                cfg.xi
+                    * halk_kg::Grouping::relu_l1(model.grouping().mask_of(EntityId(e)), qm) as f32
+            })
+            .collect();
+        halk_nn::Tensor::from_vec(ids.len(), 1, data)
+    };
+
+    // Positive: d(v‖A_q) and the group penalty.
+    let pos_ids: Vec<u32> = shard.iter().map(|ex| ex.positive.0).collect();
+    let pos_pen = pen(&pos_ids);
+    let pos_points = model.entity_points(tape, &pos_ids);
+    let d_pos = model.distance_batch(tape, arc, pos_points);
+    let pos_pen_var = tape.input(pos_pen);
+
+    // Negatives: m distance columns with their penalties.
+    let mut d_negs = Vec::with_capacity(m);
+    let mut neg_pens = Vec::with_capacity(m);
+    for j in 0..m {
+        let ids: Vec<u32> = shard.iter().map(|ex| ex.negatives[j].0).collect();
+        let neg_pen = pen(&ids);
+        let points = model.entity_points(tape, &ids);
+        d_negs.push(model.distance_batch(tape, arc, points));
+        neg_pens.push(tape.input(neg_pen));
+    }
+
+    crate::loss::margin_loss(
+        tape,
+        d_pos,
+        Some(pos_pen_var),
+        &d_negs,
+        Some(&neg_pens),
+        cfg.gamma,
+    )
+}
+
+/// Opaque per-table-state scoring cache (see [`QueryModel::score_cache`]).
+pub type ScoreCache = Box<dyn std::any::Any + Send + Sync>;
 
 /// A trainable query-answering model.
 pub trait QueryModel {
@@ -43,6 +108,25 @@ pub trait QueryModel {
 
     /// Universe size (length of `score_all` results).
     fn n_entities(&self) -> usize;
+
+    /// Sets the worker-thread count for any internal parallelism
+    /// (0 = auto). A scheduling knob only — results must be bit-identical
+    /// at every setting. Models without parallel paths ignore it.
+    fn set_threads(&mut self, _threads: usize) {}
+
+    /// Builds a reusable scoring cache for the current parameter state
+    /// (e.g. precomputed entity-table trig), or `None` if the model has
+    /// nothing to amortize. Valid until the next training step.
+    fn score_cache(&self) -> Option<ScoreCache> {
+        None
+    }
+
+    /// [`QueryModel::score_all`] routed through a cache built by
+    /// [`QueryModel::score_cache`] on the same parameter state. Must return
+    /// bit-identical scores to the uncached path.
+    fn score_all_cached(&self, query: &Query, _cache: &ScoreCache) -> Vec<f32> {
+        self.score_all(query)
+    }
 
     /// The parameter store backing this model, if it exposes one. Models
     /// that do get generic checkpoint/resume and divergence rollback from
@@ -72,65 +156,56 @@ impl QueryModel for HalkModel {
     fn train_batch(&mut self, batch: &[TrainExample]) -> f32 {
         assert!(!batch.is_empty());
         let cfg: HalkConfig = self.cfg.clone();
-        // Take the persistent tape out of the model (embed_batch borrows
-        // &self), reset it to recycle last batch's buffers, and put it back
-        // at the end so the pool survives across steps.
-        let mut tape = std::mem::take(&mut self.train_tape);
-        tape.reset();
-        let queries: Vec<&Query> = batch.iter().map(|ex| &ex.query).collect();
-        let arc = self.embed_batch(&mut tape, &queries);
+        let b = batch.len();
+        let n_shards = b.div_ceil(TRAIN_SHARD_SIZE);
 
-        // Group penalty constants ξ‖Relu(h_v − h_{U_q})‖₁ (Eq. 17).
-        let query_masks: Vec<u64> = queries.iter().map(|q| self.group_mask(q)).collect();
-        let pen = |ids: &[u32], this: &HalkModel| -> halk_nn::Tensor {
-            let data = ids
-                .iter()
-                .zip(&query_masks)
-                .map(|(&e, &qm)| {
-                    cfg.xi
-                        * halk_kg::Grouping::relu_l1(this.grouping().mask_of(EntityId(e)), qm)
-                            as f32
-                })
-                .collect();
-            halk_nn::Tensor::from_vec(ids.len(), 1, data)
-        };
-
-        // Positive: d(v‖A_q) and the group penalty ξ‖Relu(h_v − h_{U_q})‖₁.
-        let pos_ids: Vec<u32> = batch.iter().map(|ex| ex.positive.0).collect();
-        let pos_pen = pen(&pos_ids, self);
-        let pos_points = self.entity_points(&mut tape, &pos_ids);
-        let d_pos = self.distance_batch(&mut tape, arc, pos_points);
-        let pos_pen_var = tape.input(pos_pen);
-
-        // Negatives: m distance columns with their penalties.
+        // Constants fixed over the whole batch so no shard-local choice
+        // depends on the split: the minimum negative count m and the group
+        // masks h_{U_q} (Eq. 17).
         let m = batch.iter().map(|ex| ex.negatives.len()).min().unwrap_or(0);
         assert!(m > 0, "training requires at least one negative per example");
-        let mut d_negs = Vec::with_capacity(m);
-        let mut neg_pens = Vec::with_capacity(m);
-        for j in 0..m {
-            let ids: Vec<u32> = batch.iter().map(|ex| ex.negatives[j].0).collect();
-            let neg_pen = pen(&ids, self);
-            let points = self.entity_points(&mut tape, &ids);
-            d_negs.push(self.distance_batch(&mut tape, arc, points));
-            neg_pens.push(tape.input(neg_pen));
+        let query_masks: Vec<u64> = batch
+            .iter()
+            .map(|ex| self.group_mask(&ex.query))
+            .collect();
+
+        // Take the persistent shard state out of the model (forward passes
+        // borrow &self), grow it to this batch's shard plan, and put it
+        // back at the end so the tape buffer pools survive across steps.
+        let mut shards = std::mem::take(&mut self.train_shards);
+        while shards.len() < n_shards {
+            shards.push((Tape::new(), GradBuffer::new()));
         }
 
-        let loss = crate::loss::margin_loss(
-            &mut tape,
-            d_pos,
-            Some(pos_pen_var),
-            &d_negs,
-            Some(&neg_pens),
-            cfg.gamma,
-        );
-        let loss_val = tape.value(loss).item();
+        // Shard boundaries depend only on the batch size, never on the
+        // thread count, and every shard stages gradients in its own buffer,
+        // so any parallelism yields bit-identical results (DESIGN.md §9).
+        let pool = self.pool();
+        let this: &HalkModel = self;
+        let losses = pool.par_map_mut(&mut shards[..n_shards], |si, shard| {
+            let (tape, buf) = shard;
+            let lo = si * TRAIN_SHARD_SIZE;
+            let hi = (lo + TRAIN_SHARD_SIZE).min(b);
+            tape.reset();
+            buf.reset_for(&this.store);
+            let loss = shard_forward(this, tape, &batch[lo..hi], &query_masks[lo..hi], m, &cfg);
+            // Weight the shard's mean by its share of the batch so the
+            // shard-summed loss and gradients form one batch-wide mean.
+            let scaled = tape.scale(loss, (hi - lo) as f32 / b as f32);
+            tape.backward_into(scaled, buf);
+            tape.value(scaled).item()
+        });
 
+        // Fixed-order reduction: shard gradients and losses combine in
+        // shard order regardless of which worker produced them.
         self.store.zero_grads();
-        tape.backward(loss, &mut self.store);
+        for (_, buf) in &shards[..n_shards] {
+            buf.add_into(&mut self.store);
+        }
         self.store.clip_grad_norm(5.0);
         self.store.adam_step(cfg.lr);
-        self.train_tape = tape;
-        loss_val
+        self.train_shards = shards;
+        losses.iter().sum()
     }
 
     fn score_all(&self, query: &Query) -> Vec<f32> {
@@ -139,6 +214,23 @@ impl QueryModel for HalkModel {
 
     fn n_entities(&self) -> usize {
         HalkModel::n_entities(self)
+    }
+
+    fn set_threads(&mut self, threads: usize) {
+        HalkModel::set_threads(self, threads);
+    }
+
+    fn score_cache(&self) -> Option<ScoreCache> {
+        Some(Box::new(self.entity_trig()))
+    }
+
+    fn score_all_cached(&self, query: &Query, cache: &ScoreCache) -> Vec<f32> {
+        let trig = cache
+            .downcast_ref::<crate::scorer::EntityTrig>()
+            .expect("cache built by a different model");
+        let mut out = Vec::new();
+        self.score_all_with(trig, query, &mut out);
+        out
     }
 
     fn param_store(&self) -> Option<&ParamStore> {

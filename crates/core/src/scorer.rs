@@ -168,13 +168,26 @@ impl ArcScorer {
     /// is better; unions take the min across branches). Entities with no
     /// branch score `f32::INFINITY`, matching the scalar fold.
     pub fn score_into(&self, trig: &EntityTrig, out: &mut Vec<f32>) {
-        assert_eq!(trig.dim, self.dim, "entity/query dimensionality mismatch");
         out.clear();
         out.resize(trig.n_entities, f32::INFINITY);
+        self.score_slice(trig, 0, out);
+    }
+
+    /// Scores the contiguous entity rows `[row0, row0 + out.len())`, folding
+    /// each score into `out` with `min` (pre-fill with `f32::INFINITY` for a
+    /// plain score). Rows are scored independently, so any partition of the
+    /// entity range — including the sharded parallel sweep — produces
+    /// bit-identical results to one full-table pass.
+    pub fn score_slice(&self, trig: &EntityTrig, row0: usize, out: &mut [f32]) {
+        assert_eq!(trig.dim, self.dim, "entity/query dimensionality mismatch");
+        assert!(
+            row0 + out.len() <= trig.n_entities,
+            "entity slice out of range"
+        );
         match self.mode {
-            DistanceMode::LiteralEq16 => self.score_table::<MODE_LITERAL>(trig, out),
-            DistanceMode::CenterAnchored => self.score_table::<MODE_CENTER>(trig, out),
-            DistanceMode::ZeroedInside => self.score_table::<MODE_ZEROED>(trig, out),
+            DistanceMode::LiteralEq16 => self.score_table::<MODE_LITERAL>(trig, row0, out),
+            DistanceMode::CenterAnchored => self.score_table::<MODE_CENTER>(trig, row0, out),
+            DistanceMode::ZeroedInside => self.score_table::<MODE_ZEROED>(trig, row0, out),
         }
     }
 
@@ -209,13 +222,13 @@ impl ArcScorer {
         }
     }
 
-    fn score_table<const MODE: u8>(&self, trig: &EntityTrig, out: &mut [f32]) {
+    fn score_table<const MODE: u8>(&self, trig: &EntityTrig, row0: usize, out: &mut [f32]) {
         let d = self.dim;
         if d == 0 {
             return;
         }
-        let rows_s = trig.half_sin.chunks_exact(d);
-        let rows_c = trig.half_cos.chunks_exact(d);
+        let rows_s = trig.half_sin[row0 * d..].chunks_exact(d);
+        let rows_c = trig.half_cos[row0 * d..].chunks_exact(d);
         for ((sh, ch), slot) in rows_s.zip(rows_c).zip(out.iter_mut()) {
             *slot = slot.min(self.score_row::<MODE>(sh, ch));
         }

@@ -56,6 +56,11 @@ pub struct TrainConfig {
     /// Resume from this checkpoint file: restores parameters, Adam state
     /// and the step counter, then trains the remaining steps.
     pub resume_from: Option<PathBuf>,
+    /// Worker threads for data-parallel training and pool setup
+    /// (0 = auto via `HALK_THREADS` or the machine's parallelism; 1 =
+    /// strictly sequential). Purely a scheduling knob — results are
+    /// bit-identical at every setting.
+    pub threads: usize,
 }
 
 impl Default for TrainConfig {
@@ -72,6 +77,7 @@ impl Default for TrainConfig {
             checkpoint_dir: None,
             keep_checkpoints: 3,
             resume_from: None,
+            threads: 0,
         }
     }
 }
@@ -230,6 +236,12 @@ pub fn train_model<M: QueryModel + ?Sized>(
 ) -> Result<TrainStats, TrainError> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let sampler = Sampler::new(graph);
+    let par = if cfg.threads == 0 {
+        halk_par::Pool::auto()
+    } else {
+        halk_par::Pool::new(cfg.threads)
+    };
+    model.set_threads(par.threads());
 
     let pools: Vec<Pool> = structures
         .iter()
@@ -245,13 +257,11 @@ pub fn train_model<M: QueryModel + ?Sized>(
             if qs.is_empty() {
                 return None;
             }
-            let items = qs
-                .into_iter()
-                .map(|gq| {
-                    let ans = answers(&gq.query, graph);
-                    (gq, ans)
-                })
-                .collect();
+            // Answer sets vary in size, so fan the exact-answer
+            // computation out through the dynamic splitter; zipping the
+            // in-order results back preserves the sequential pool layout.
+            let anss = par.par_map_dyn(&qs, |gq| answers(&gq.query, graph));
+            let items = qs.into_iter().zip(anss).collect();
             Some(Pool {
                 structure: s,
                 items,

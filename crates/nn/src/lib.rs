@@ -23,6 +23,6 @@ pub mod tape;
 pub mod tensor;
 
 pub use layers::{Act, Linear, Mlp};
-pub use params::{ParamId, ParamStore};
+pub use params::{GradBuffer, GradSink, ParamId, ParamStore};
 pub use tape::{Tape, Var};
 pub use tensor::Tensor;

@@ -23,6 +23,97 @@ impl ParamId {
     }
 }
 
+/// Anything the backward pass can scatter gradients into. [`ParamStore`]
+/// implements it for the classic single-threaded path; [`GradBuffer`]
+/// implements it as a worker-private staging area for data-parallel
+/// training, where per-shard buffers are reduced into the store in a fixed
+/// shard order afterwards (the determinism argument of DESIGN.md §9).
+pub trait GradSink {
+    /// Accumulates `g` into the gradient of `id`.
+    fn accumulate(&mut self, id: ParamId, g: &Tensor);
+
+    /// Accumulates `g_row` into row `row` of the gradient of `id` (sparse
+    /// scatter for embedding lookups).
+    fn accumulate_row(&mut self, id: ParamId, row: usize, g_row: &[f32]);
+}
+
+impl GradSink for ParamStore {
+    fn accumulate(&mut self, id: ParamId, g: &Tensor) {
+        self.accumulate_grad(id, g);
+    }
+
+    fn accumulate_row(&mut self, id: ParamId, row: usize, g_row: &[f32]) {
+        self.accumulate_grad_row(id, row, g_row);
+    }
+}
+
+/// A standalone gradient accumulator shaped like a [`ParamStore`]'s
+/// parameters, with no values, moments or optimizer state. One lives on
+/// each training shard: the shard's backward pass scatters into it, and
+/// [`GradBuffer::add_into`] later reduces it into the real store. Reusing
+/// a buffer across steps ([`GradBuffer::reset_for`]) recycles its
+/// allocations, mirroring the tape's buffer pool.
+#[derive(Debug, Default)]
+pub struct GradBuffer {
+    grads: Vec<Tensor>,
+}
+
+impl GradBuffer {
+    /// An empty buffer; call [`GradBuffer::reset_for`] before use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Matches the buffer to `store`'s parameter shapes and zero-fills it,
+    /// reusing existing allocations where shapes already agree.
+    pub fn reset_for(&mut self, store: &ParamStore) {
+        self.grads.truncate(store.len());
+        for (i, g) in self.grads.iter_mut().enumerate() {
+            let v = store.value(ParamId(i));
+            if (g.rows, g.cols) == (v.rows, v.cols) {
+                g.fill_zero();
+            } else {
+                *g = Tensor::zeros(v.rows, v.cols);
+            }
+        }
+        for i in self.grads.len()..store.len() {
+            let v = store.value(ParamId(i));
+            self.grads.push(Tensor::zeros(v.rows, v.cols));
+        }
+    }
+
+    /// Adds every accumulated gradient into `store`'s gradient slots.
+    ///
+    /// # Panics
+    /// If the buffer was not [`GradBuffer::reset_for`] this store's shapes.
+    pub fn add_into(&self, store: &mut ParamStore) {
+        assert_eq!(self.grads.len(), store.len(), "buffer/store shape drift");
+        for (i, g) in self.grads.iter().enumerate() {
+            store.accumulate_grad(ParamId(i), g);
+        }
+    }
+
+    /// Read access to one accumulated gradient (tests/diagnostics).
+    pub fn grad(&self, id: ParamId) -> &Tensor {
+        &self.grads[id.0]
+    }
+}
+
+impl GradSink for GradBuffer {
+    fn accumulate(&mut self, id: ParamId, g: &Tensor) {
+        self.grads[id.0].add_assign(g);
+    }
+
+    fn accumulate_row(&mut self, id: ParamId, row: usize, g_row: &[f32]) {
+        let grad = &mut self.grads[id.0];
+        debug_assert_eq!(g_row.len(), grad.cols);
+        let dst = grad.row_mut(row);
+        for (d, &g) in dst.iter_mut().zip(g_row) {
+            *d += g;
+        }
+    }
+}
+
 /// Owns every trainable tensor plus its gradient accumulator and Adam moment
 /// estimates.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -305,6 +396,50 @@ mod tests {
         let mut u = ParamStore::new();
         u.add(Tensor::zeros(2, 1));
         assert!(!s.same_shapes(&u));
+    }
+
+    #[test]
+    fn grad_buffer_staging_matches_direct_accumulation_bitwise() {
+        let mut s = ParamStore::new();
+        let a = s.add(Tensor::from_vec(2, 2, vec![0.1, 0.2, 0.3, 0.4]));
+        let b = s.add(Tensor::from_vec(3, 2, vec![0.0; 6]));
+
+        // Direct path: scatter straight into the store.
+        s.accumulate_grad(a, &Tensor::from_vec(2, 2, vec![0.7, -1.3, 2.5, 0.01]));
+        s.accumulate_grad_row(b, 2, &[1.25, -0.5]);
+        s.accumulate_grad_row(b, 2, &[0.125, 3.0]);
+        let direct: Vec<Vec<u32>> = [a, b]
+            .iter()
+            .map(|&id| s.grad(id).data.iter().map(|x| x.to_bits()).collect())
+            .collect();
+
+        // Staged path: identical scatters into a GradBuffer, then drained.
+        s.zero_grads();
+        let mut buf = GradBuffer::new();
+        buf.reset_for(&s);
+        buf.accumulate(a, &Tensor::from_vec(2, 2, vec![0.7, -1.3, 2.5, 0.01]));
+        buf.accumulate_row(b, 2, &[1.25, -0.5]);
+        buf.accumulate_row(b, 2, &[0.125, 3.0]);
+        buf.add_into(&mut s);
+        for (i, &id) in [a, b].iter().enumerate() {
+            let staged: Vec<u32> = s.grad(id).data.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(staged, direct[i], "param {i} drifted");
+        }
+    }
+
+    #[test]
+    fn grad_buffer_reset_reuses_and_rezeros() {
+        let mut s = ParamStore::new();
+        let id = s.add(Tensor::zeros(2, 3));
+        let mut buf = GradBuffer::new();
+        buf.reset_for(&s);
+        buf.accumulate(id, &Tensor::full(2, 3, 1.0));
+        buf.reset_for(&s);
+        assert_eq!(buf.grad(id).data, vec![0.0; 6]);
+        // Growing the store re-shapes the buffer on the next reset.
+        let id2 = s.add(Tensor::zeros(1, 4));
+        buf.reset_for(&s);
+        assert_eq!(buf.grad(id2).data, vec![0.0; 4]);
     }
 
     #[test]

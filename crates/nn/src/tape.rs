@@ -17,7 +17,7 @@
 //! back, which makes embedding-table lookups sparse (only touched rows
 //! receive gradient).
 
-use crate::params::{ParamId, ParamStore};
+use crate::params::{GradSink, ParamId, ParamStore};
 use crate::tensor::Tensor;
 
 /// Handle to a node (an intermediate tensor) on a [`Tape`].
@@ -537,6 +537,13 @@ impl Tape {
     /// # Panics
     /// If `loss` is not a `1×1` tensor.
     pub fn backward(&self, loss: Var, store: &mut ParamStore) -> Vec<Option<Tensor>> {
+        self.backward_into(loss, store)
+    }
+
+    /// [`Tape::backward`] generalized over the gradient destination: `sink`
+    /// may be the [`ParamStore`] itself or a worker-private
+    /// [`crate::GradBuffer`] when several shards run backward concurrently.
+    pub fn backward_into<S: GradSink>(&self, loss: Var, sink: &mut S) -> Vec<Option<Tensor>> {
         assert_eq!(self.shape(loss), (1, 1), "backward: loss must be scalar");
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[loss.0] = Some(Tensor::scalar(1.0));
@@ -557,10 +564,10 @@ impl Tape {
             let node = &self.nodes[idx];
             match &node.op {
                 Op::Input => {}
-                Op::Param(id) => store.accumulate_grad(*id, &g),
+                Op::Param(id) => sink.accumulate(*id, &g),
                 Op::Gather { param, indices } => {
                     for (i, &ix) in indices.iter().enumerate() {
-                        store.accumulate_grad_row(*param, ix as usize, g.row(i));
+                        sink.accumulate_row(*param, ix as usize, g.row(i));
                     }
                 }
                 Op::Add(a, b) => {

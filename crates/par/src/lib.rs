@@ -1,0 +1,386 @@
+//! Dependency-free fork-join parallelism over [`std::thread::scope`].
+//!
+//! Every parallel stage in the workspace — batch-sharded training, query
+//! fan-out in evaluation, entity-sharded scoring — goes through a [`Pool`],
+//! a value describing how many worker threads a fork-join region may use.
+//! There are no persistent worker threads and no work-stealing deques:
+//! scoped threads are spawned per region (a few microseconds, amortized by
+//! region bodies that run for milliseconds), which keeps the runtime free of
+//! `unsafe`, global state and external crates.
+//!
+//! Determinism contract: every combinator returns results in **input
+//! order**, regardless of the thread count or the dynamic schedule, and
+//! `Pool::new(1)` executes the exact sequential loop (no scope, no spawn,
+//! no atomics). Callers that reduce the returned values in a fixed order
+//! therefore produce bit-identical floats at any thread count — the
+//! property the training and evaluation determinism suites pin down (see
+//! DESIGN.md §9).
+//!
+//! Sizing: [`Pool::auto`] resolves, in order, a programmatic override
+//! ([`set_threads`], used by `--threads`), the `HALK_THREADS` environment
+//! variable, and [`std::thread::available_parallelism`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Programmatic thread-count override (0 = unset). Set once by binaries
+/// from `--threads`; takes precedence over `HALK_THREADS`.
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the automatic pool size for every subsequent [`Pool::auto`]
+/// (0 clears the override). Binaries call this from their `--threads` flag.
+pub fn set_threads(n: usize) {
+    OVERRIDE.store(n, Ordering::SeqCst);
+}
+
+/// Parses a `HALK_THREADS`-style value: a positive integer, else `None`.
+fn parse_threads(s: &str) -> Option<usize> {
+    s.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("HALK_THREADS")
+            .ok()
+            .and_then(|s| parse_threads(&s))
+    })
+}
+
+/// The thread count [`Pool::auto`] resolves to right now: the
+/// [`set_threads`] override, else `HALK_THREADS`, else the machine's
+/// available parallelism (1 if that cannot be determined).
+pub fn auto_threads() -> usize {
+    let o = OVERRIDE.load(Ordering::SeqCst);
+    if o > 0 {
+        return o;
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// A fork-join region's thread budget. Cheap to copy; holds no OS
+/// resources (threads are scoped to each combinator call).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool of exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A pool sized by [`auto_threads`].
+    pub fn auto() -> Self {
+        Self::new(auto_threads())
+    }
+
+    /// The configured thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True when this pool runs everything inline on the caller's thread.
+    pub fn is_sequential(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Maps `f` over `items`, returning results in input order. Items are
+    /// split into one contiguous chunk per worker (static schedule — right
+    /// for uniform-cost items). With one thread (or one item) this is a
+    /// plain sequential `map` on the calling thread.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let chunk = items.len().div_ceil(workers);
+        let mut per_chunk: Vec<Vec<R>> = Vec::with_capacity(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|c| {
+                    let f = &f;
+                    s.spawn(move || c.iter().map(f).collect::<Vec<R>>())
+                })
+                .collect();
+            per_chunk.extend(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("par_map worker panicked")),
+            );
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// Like [`Pool::par_map`] but with a dynamic splitter: workers claim
+    /// items one at a time off a shared atomic counter, so uneven per-item
+    /// costs balance automatically. Results still come back in input order.
+    pub fn par_map_dyn<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut per_worker: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let (f, next) = (&f, &next);
+                    s.spawn(move || {
+                        let mut claimed = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = items.get(i) else { break };
+                            claimed.push((i, f(item)));
+                        }
+                        claimed
+                    })
+                })
+                .collect();
+            per_worker.extend(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("par_map_dyn worker panicked")),
+            );
+        });
+        // Scatter the claimed (index, result) pairs back into input order.
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+        for (i, r) in per_worker.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every index claimed exactly once"))
+            .collect()
+    }
+
+    /// Maps `f(index, &mut item)` over `items` in parallel, returning the
+    /// results in input order. Each worker owns one contiguous chunk, so
+    /// mutable access needs no synchronization. This is the training
+    /// shard driver: each shard slot holds a worker-private tape and
+    /// gradient buffer.
+    pub fn par_map_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut T) -> R + Sync,
+    {
+        let len = items.len();
+        let workers = self.threads.min(len);
+        if workers <= 1 {
+            return items
+                .iter_mut()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
+        }
+        let chunk = len.div_ceil(workers);
+        let mut per_chunk: Vec<Vec<R>> = Vec::with_capacity(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = items
+                .chunks_mut(chunk)
+                .enumerate()
+                .map(|(ci, c)| {
+                    let f = &f;
+                    s.spawn(move || {
+                        c.iter_mut()
+                            .enumerate()
+                            .map(|(j, item)| f(ci * chunk + j, item))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            per_chunk.extend(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("par_map_mut worker panicked")),
+            );
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// Runs `f(chunk_index, chunk)` over fixed-size mutable chunks of
+    /// `data` in parallel (the last chunk may be short). Chunk boundaries
+    /// depend only on `chunk_size`, never on the thread count, so writes
+    /// land identically at any parallelism — the entity-sharded scoring
+    /// path relies on this.
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], chunk_size: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let n_chunks = data.len().div_ceil(chunk_size);
+        if self.threads.min(n_chunks) <= 1 {
+            for (i, c) in data.chunks_mut(chunk_size).enumerate() {
+                f(i, c);
+            }
+            return;
+        }
+        let mut chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_size).enumerate().collect();
+        let workers = self.threads.min(chunks.len());
+        let per_worker = chunks.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            while !chunks.is_empty() {
+                let group: Vec<(usize, &mut [T])> =
+                    chunks.drain(..per_worker.min(chunks.len())).collect();
+                let f = &f;
+                s.spawn(move || {
+                    for (i, c) in group {
+                        f(i, c);
+                    }
+                });
+            }
+        });
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+    #[test]
+    fn pool_clamps_to_one() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert!(Pool::new(1).is_sequential());
+        assert!(!Pool::new(2).is_sequential());
+    }
+
+    #[test]
+    fn par_map_matches_sequential_at_any_thread_count() {
+        let items: Vec<i64> = (0..97).collect();
+        let expect: Vec<i64> = items.iter().map(|x| x * x - 3).collect();
+        for t in THREADS {
+            let got = Pool::new(t).par_map(&items, |x| x * x - 3);
+            assert_eq!(got, expect, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_map_dyn_preserves_input_order_under_uneven_cost() {
+        // Spin long enough on a cost that varies wildly by index so the
+        // dynamic schedule actually interleaves claims across workers.
+        let items: Vec<u64> = (0..64).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| x * 7).collect();
+        for t in THREADS {
+            let got = Pool::new(t).par_map_dyn(&items, |&x| {
+                let spins = (x % 13) * 500;
+                let mut acc = 0u64;
+                for i in 0..spins {
+                    acc = acc.wrapping_add(std::hint::black_box(i));
+                }
+                let _ = acc;
+                x * 7
+            });
+            assert_eq!(got, expect, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_map_mut_mutates_every_item_with_its_own_index() {
+        for t in THREADS {
+            let mut items = vec![0usize; 53];
+            let returned = Pool::new(t).par_map_mut(&mut items, |i, slot| {
+                *slot = i + 1;
+                i * 2
+            });
+            assert_eq!(items, (1..=53).collect::<Vec<_>>(), "threads={t}");
+            assert_eq!(
+                returned,
+                (0..53).map(|i| i * 2).collect::<Vec<_>>(),
+                "threads={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_all_chunks_with_stable_boundaries() {
+        for t in THREADS {
+            let mut data = vec![0usize; 41];
+            Pool::new(t).par_chunks_mut(&mut data, 8, |ci, chunk| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = ci * 8 + j;
+                }
+            });
+            // Every slot holds its own global index: chunk boundaries are a
+            // function of chunk_size alone.
+            assert_eq!(data, (0..41).collect::<Vec<_>>(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(Pool::new(4).par_map(&empty, |x| *x).is_empty());
+        assert!(Pool::new(4).par_map_dyn(&empty, |x| *x).is_empty());
+        assert_eq!(Pool::new(4).par_map(&[9u32], |x| x + 1), vec![10]);
+        let mut one = [5u32];
+        Pool::new(4).par_chunks_mut(&mut one, 3, |_, c| c[0] += 1);
+        assert_eq!(one, [6]);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 16 "), Some(16));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("-2"), None);
+        assert_eq!(parse_threads("four"), None);
+        assert_eq!(parse_threads(""), None);
+    }
+
+    #[test]
+    fn auto_threads_respects_programmatic_override() {
+        // The override outranks env and hardware; clearing restores auto.
+        set_threads(3);
+        assert_eq!(auto_threads(), 3);
+        assert_eq!(Pool::auto().threads(), 3);
+        set_threads(0);
+        assert!(auto_threads() >= 1);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The ISSUE-mandated ordering property: the dynamic splitter's
+        /// output always matches the sequential map, element for element.
+        #[test]
+        fn dyn_splitter_output_order_matches_sequential(
+            len in 0usize..200,
+            seed in 0u64..1000,
+            threads in 1usize..9,
+        ) {
+            let items: Vec<u64> = (0..len as u64).map(|i| i.wrapping_mul(seed ^ 0x9e37)).collect();
+            let f = |x: &u64| x.wrapping_mul(31).wrapping_add(7);
+            let seq: Vec<u64> = items.iter().map(f).collect();
+            let par = Pool::new(threads).par_map_dyn(&items, f);
+            prop_assert_eq!(par, seq);
+        }
+    }
+}

@@ -31,7 +31,7 @@ fn smoke_train(model: &mut dyn QueryModel, split: &DatasetSplit) -> f32 {
 fn every_model_trains_and_evaluates_end_to_end() {
     let split = split();
     let cfg = HalkConfig::tiny();
-    let mut models: Vec<Box<dyn QueryModel>> = vec![
+    let mut models: Vec<Box<dyn QueryModel + Send + Sync>> = vec![
         Box::new(HalkModel::new(&split.train, cfg.clone())),
         Box::new(ConeModel::new(&split.train, cfg.clone())),
         Box::new(NewLookModel::new(&split.train, cfg.clone())),
