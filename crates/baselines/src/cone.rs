@@ -10,10 +10,11 @@
 //! no start/end coordinated pair (attention sees `axis ‖ aperture`), no
 //! group information, and no difference operator (§IV-A: "-" cells).
 
-use crate::embedder::{embed_batch, forward_loss, GeomOps};
+use crate::embedder::{embed_plan, forward_loss, GeomOps};
 use halk_core::{HalkConfig, QueryModel, TrainExample};
 use halk_kg::Graph;
-use halk_logic::{to_dnf, Query, Structure};
+use halk_logic::plan::{PlanBindings, PlanCache};
+use halk_logic::{Query, Structure};
 use halk_nn::{Act, Mlp, ParamId, ParamStore, Tape, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,6 +44,7 @@ pub struct ConeModel {
     inter_att: Mlp,
     inter_ds_inner: Mlp,
     inter_ds_outer: Mlp,
+    plans: PlanCache,
 }
 
 impl ConeModel {
@@ -86,6 +88,7 @@ impl ConeModel {
             inter_att,
             inter_ds_inner,
             inter_ds_outer,
+            plans: PlanCache::new(),
         }
     }
 
@@ -93,22 +96,25 @@ impl ConeModel {
         tape.concat_cols(&[c.axis, c.ap])
     }
 
-    /// Inference: per-dimension `(axis, aperture)` of each DNF branch.
+    /// Inference: per-dimension `(axis, aperture)` of each DNF branch,
+    /// read off the cached compiled plan.
     fn embed_query_values(&self, query: &Query) -> Option<Vec<Vec<(f32, f32)>>> {
-        to_dnf(query)
-            .iter()
-            .map(|branch| {
-                let mut tape = Tape::new();
-                let rep = embed_batch(self, &mut tape, &[branch])?;
-                let a = tape.value(rep.axis).clone();
-                let p = tape.value(rep.ap).clone();
-                Some(
+        let shape = self.plans.shape_for(query);
+        let bindings = PlanBindings::of(query);
+        let mut tape = Tape::new();
+        let roots = embed_plan(self, &mut tape, &shape, std::slice::from_ref(&bindings))?;
+        Some(
+            roots
+                .iter()
+                .map(|rep| {
+                    let a = tape.value(rep.axis);
+                    let p = tape.value(rep.ap);
                     (0..self.cfg.dim)
                         .map(|j| (a.data[j], p.data[j].clamp(0.0, std::f32::consts::PI)))
-                        .collect(),
-                )
-            })
-            .collect()
+                        .collect()
+                })
+                .collect(),
+        )
     }
 }
 
@@ -264,7 +270,7 @@ impl QueryModel for ConeModel {
     }
 
     fn train_batch(&mut self, batch: &[TrainExample]) -> f32 {
-        let (tape, loss) = forward_loss(self, batch, self.cfg.gamma);
+        let (tape, loss) = forward_loss(self, &self.plans, batch, self.cfg.gamma);
         let loss_val = tape.value(loss).item();
         self.store.zero_grads();
         tape.backward(loss, &mut self.store);

@@ -7,10 +7,11 @@
 //! implementation inherits that by construction. Supports negation (an MLP
 //! like any other operator) but not difference (§IV-A).
 
-use crate::embedder::{embed_batch, forward_loss, GeomOps};
+use crate::embedder::{embed_plan, forward_loss, GeomOps};
 use halk_core::{HalkConfig, QueryModel, TrainExample};
 use halk_kg::Graph;
-use halk_logic::{to_dnf, Query, Structure};
+use halk_logic::plan::{PlanBindings, PlanCache};
+use halk_logic::{Query, Structure};
 use halk_nn::{Act, Mlp, ParamId, ParamStore, Tape, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,6 +36,7 @@ pub struct MlpMixModel {
     inter_inner: Mlp,
     inter_outer: Mlp,
     neg: Mlp,
+    plans: PlanCache,
 }
 
 impl MlpMixModel {
@@ -68,19 +70,23 @@ impl MlpMixModel {
             inter_inner,
             inter_outer,
             neg,
+            plans: PlanCache::new(),
         }
     }
 
-    /// Inference: the query vector of each DNF branch.
+    /// Inference: the query vector of each DNF branch, read off the cached
+    /// compiled plan.
     fn embed_query_values(&self, query: &Query) -> Option<Vec<Vec<f32>>> {
-        to_dnf(query)
-            .iter()
-            .map(|branch| {
-                let mut tape = Tape::new();
-                let rep = embed_batch(self, &mut tape, &[branch])?;
-                Some(tape.value(rep.v).data.clone())
-            })
-            .collect()
+        let shape = self.plans.shape_for(query);
+        let bindings = PlanBindings::of(query);
+        let mut tape = Tape::new();
+        let roots = embed_plan(self, &mut tape, &shape, std::slice::from_ref(&bindings))?;
+        Some(
+            roots
+                .iter()
+                .map(|rep| tape.value(rep.v).data.clone())
+                .collect(),
+        )
     }
 }
 
@@ -145,7 +151,7 @@ impl QueryModel for MlpMixModel {
     }
 
     fn train_batch(&mut self, batch: &[TrainExample]) -> f32 {
-        let (tape, loss) = forward_loss(self, batch, self.cfg.gamma);
+        let (tape, loss) = forward_loss(self, &self.plans, batch, self.cfg.gamma);
         let loss_val = tape.value(loss).item();
         self.store.zero_grads();
         tape.backward(loss, &mut self.store);

@@ -9,10 +9,11 @@
 //! attention operates on raw coordinate values. No negation (§IV-A: the
 //! universal set has no box).
 
-use crate::embedder::{embed_batch, forward_loss, GeomOps};
+use crate::embedder::{embed_plan, forward_loss, GeomOps};
 use halk_core::{HalkConfig, QueryModel, TrainExample};
 use halk_kg::Graph;
-use halk_logic::{to_dnf, Query, Structure};
+use halk_logic::plan::{PlanBindings, PlanCache};
+use halk_logic::{Query, Structure};
 use halk_nn::{Act, Mlp, ParamId, ParamStore, Tape, Var};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,6 +45,7 @@ pub struct NewLookModel {
     diff_att: Mlp,
     diff_ds_inner: Mlp,
     diff_ds_outer: Mlp,
+    plans: PlanCache,
 }
 
 impl NewLookModel {
@@ -95,6 +97,7 @@ impl NewLookModel {
             diff_att,
             diff_ds_inner,
             diff_ds_outer,
+            plans: PlanCache::new(),
         }
     }
 
@@ -157,22 +160,25 @@ impl NewLookModel {
         tape.sigmoid(outer)
     }
 
-    /// Inference: per-dimension `(center, offset)` of each DNF branch.
+    /// Inference: per-dimension `(center, offset)` of each DNF branch,
+    /// read off the cached compiled plan.
     fn embed_query_values(&self, query: &Query) -> Option<Vec<Vec<(f32, f32)>>> {
-        to_dnf(query)
-            .iter()
-            .map(|branch| {
-                let mut tape = Tape::new();
-                let rep = embed_batch(self, &mut tape, &[branch])?;
-                let c = tape.value(rep.center).clone();
-                let o = tape.value(rep.offset).clone();
-                Some(
+        let shape = self.plans.shape_for(query);
+        let bindings = PlanBindings::of(query);
+        let mut tape = Tape::new();
+        let roots = embed_plan(self, &mut tape, &shape, std::slice::from_ref(&bindings))?;
+        Some(
+            roots
+                .iter()
+                .map(|rep| {
+                    let c = tape.value(rep.center);
+                    let o = tape.value(rep.offset);
                     (0..self.cfg.dim)
                         .map(|j| (c.data[j], o.data[j].max(0.0)))
-                        .collect(),
-                )
-            })
-            .collect()
+                        .collect()
+                })
+                .collect(),
+        )
     }
 }
 
@@ -274,7 +280,7 @@ impl QueryModel for NewLookModel {
     }
 
     fn train_batch(&mut self, batch: &[TrainExample]) -> f32 {
-        let (tape, loss) = forward_loss(self, batch, self.cfg.gamma);
+        let (tape, loss) = forward_loss(self, &self.plans, batch, self.cfg.gamma);
         let loss_val = tape.value(loss).item();
         self.store.zero_grads();
         tape.backward(loss, &mut self.store);

@@ -1,0 +1,155 @@
+//! Plan-vs-AST bit-identity for the baselines (PR 4): ConE, NewLook and
+//! MLPMix run the same compiled-plan executor as HaLk; this suite pins the
+//! plan path to the retained recursive walker (`embedder::reference`) —
+//! branch embeddings and first training losses must match bit for bit, and
+//! unsupported structures must still score every entity at infinity.
+
+use halk_baselines::embedder::{embed_plan, reference, GeomOps};
+use halk_baselines::{ConeModel, MlpMixModel, NewLookModel};
+use halk_core::{HalkConfig, QueryModel, TrainExample};
+use halk_kg::{generate, Graph, SynthConfig};
+use halk_logic::plan::{PlanBindings, PlanShape};
+use halk_logic::{answers, Query, Sampler, Structure};
+use halk_nn::Tape;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::f32::consts::PI;
+
+fn graph() -> Graph {
+    generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(23))
+}
+
+fn examples(g: &Graph, s: Structure, n: usize, seed: u64) -> Vec<TrainExample> {
+    let sampler = Sampler::new(g);
+    let mut rng = StdRng::seed_from_u64(seed);
+    sampler
+        .sample_many(s, n, &mut rng)
+        .into_iter()
+        .map(|gq| {
+            let ans = answers(&gq.query, g);
+            let positive = ans.iter().next().expect("non-empty");
+            let negatives = sampler.negatives(&ans, 4, &mut rng);
+            TrainExample {
+                query: gq.query,
+                positive,
+                negatives,
+            }
+        })
+        .collect()
+}
+
+/// Branch values off the compiled plan, mirroring each model's private
+/// `embed_query_values`: one tape, shared slots, roots read in branch order.
+fn plan_branches<G: GeomOps, T>(
+    geom: &G,
+    query: &Query,
+    mut read: impl FnMut(&mut Tape, G::Rep) -> T,
+) -> Option<Vec<T>> {
+    let shape = PlanShape::compile(query);
+    let bindings = PlanBindings::of(query);
+    let mut tape = Tape::new();
+    let roots = embed_plan(geom, &mut tape, &shape, std::slice::from_ref(&bindings))?;
+    Some(roots.into_iter().map(|rep| read(&mut tape, rep)).collect())
+}
+
+/// Runs the branch-equivalence check for one model over every structure:
+/// supported structures must embed to bitwise-identical branch values under
+/// the plan executor and the recursive reference; unsupported ones must
+/// return `None` from both and score all entities at infinity.
+fn check_branches<M, T>(model: &M, g: &Graph, read: impl Fn(&mut Tape, M::Rep) -> T + Copy)
+where
+    M: GeomOps + QueryModel,
+    T: PartialEq + std::fmt::Debug,
+{
+    let sampler = Sampler::new(g);
+    let mut rng = StdRng::seed_from_u64(29);
+    for s in Structure::all() {
+        for gq in sampler.sample_many(s, 2, &mut rng) {
+            let plan = plan_branches(model, &gq.query, read);
+            let ast = reference::embed_query_with(model, &gq.query, read);
+            assert_eq!(plan, ast, "{} on {s}: {}", model.name(), gq.query.render());
+            if model.supports(s) {
+                assert!(plan.is_some(), "{} must embed {s}", model.name());
+            } else {
+                assert!(plan.is_none(), "{} must reject {s}", model.name());
+                let scores = model.score_all(&gq.query);
+                assert_eq!(scores.len(), model.n_entities());
+                assert!(
+                    scores.iter().all(|v| v.is_infinite()),
+                    "{} unsupported {s} must score at infinity",
+                    model.name()
+                );
+            }
+        }
+    }
+}
+
+/// First training loss on the compiled plan equals the recursive reference
+/// bit for bit, for every training structure the model supports.
+fn check_train_loss<M: GeomOps + QueryModel>(model: &mut M, g: &Graph, gamma: f32) {
+    for (i, s) in Structure::training().into_iter().enumerate() {
+        if !model.supports(s) {
+            continue;
+        }
+        let batch = examples(g, s, 6, 60 + i as u64);
+        let (tape, loss) = reference::forward_loss_ast(model, &batch, gamma);
+        let want = tape.value(loss).item();
+        let got = model.train_batch(&batch);
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "{} on {s}: {got} vs {want}",
+            model.name()
+        );
+    }
+}
+
+#[test]
+fn cone_plan_matches_reference() {
+    let g = graph();
+    let model = ConeModel::new(&g, HalkConfig::tiny());
+    let dim = model.cfg.dim;
+    check_branches(&model, &g, |tape: &mut Tape, rep| {
+        let a = tape.value(rep.axis);
+        let p = tape.value(rep.ap);
+        (0..dim)
+            .map(|j| (a.data[j].to_bits(), p.data[j].clamp(0.0, PI).to_bits()))
+            .collect::<Vec<_>>()
+    });
+}
+
+#[test]
+fn newlook_plan_matches_reference() {
+    let g = graph();
+    let model = NewLookModel::new(&g, HalkConfig::tiny());
+    let dim = model.cfg.dim;
+    check_branches(&model, &g, |tape: &mut Tape, rep| {
+        let c = tape.value(rep.center);
+        let o = tape.value(rep.offset);
+        (0..dim)
+            .map(|j| (c.data[j].to_bits(), o.data[j].max(0.0).to_bits()))
+            .collect::<Vec<_>>()
+    });
+}
+
+#[test]
+fn mlpmix_plan_matches_reference() {
+    let g = graph();
+    let model = MlpMixModel::new(&g, HalkConfig::tiny());
+    check_branches(&model, &g, |tape: &mut Tape, rep| {
+        tape.value(rep.v)
+            .data
+            .iter()
+            .map(|v| v.to_bits())
+            .collect::<Vec<_>>()
+    });
+}
+
+#[test]
+fn baseline_train_losses_match_reference() {
+    let g = graph();
+    let gamma = HalkConfig::tiny().gamma;
+    check_train_loss(&mut ConeModel::new(&g, HalkConfig::tiny()), &g, gamma);
+    check_train_loss(&mut NewLookModel::new(&g, HalkConfig::tiny()), &g, gamma);
+    check_train_loss(&mut MlpMixModel::new(&g, HalkConfig::tiny()), &g, gamma);
+}

@@ -1,11 +1,12 @@
-//! Hot-path regression harness (ISSUE PR 2, extended in PR 3): times the
+//! Hot-path regression harness (ISSUE PR 2, extended in PRs 3–4): times the
 //! kernels the whole reproduction sits on — `score_all` (vectorized vs the
 //! retained scalar reference), one optimizer step, sampler throughput, dense
-//! `matmul`, and the parallel-runtime eval/train paths at the ambient thread
-//! count vs one worker — at fixed seeds, and writes `BENCH_hotpath.json` at
-//! the repo root so future changes can be diffed with `--compare` (schema
-//! `halk-bench-hotpath/v2`; `--compare` still reads v1 baselines, comparing
-//! the shared keys).
+//! `matmul`, the parallel-runtime eval/train paths at the ambient thread
+//! count vs one worker, and the query-plan compiler (compile-from-scratch
+//! vs a warm-cache embed) — at fixed seeds, and writes `BENCH_hotpath.json`
+//! at the repo root so future changes can be diffed with `--compare`
+//! (schema `halk-bench-hotpath/v3`; `--compare` still reads v1/v2
+//! baselines, comparing the shared keys).
 //!
 //! Usage:
 //!   bench_hotpath [--smoke] [--out <path>] [--compare <old.json>]
@@ -16,6 +17,7 @@
 
 use halk_core::{evaluate_structure_pool, HalkConfig, HalkModel, Pool, QueryModel, TrainExample};
 use halk_kg::{generate, DatasetSplit, Graph, SynthConfig};
+use halk_logic::plan::{PlanBindings, PlanShape};
 use halk_logic::{answers, Sampler, Structure};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -150,6 +152,20 @@ fn main() {
     });
     record("score_all_up_cached_trig", ns_amort, iters);
 
+    // --- query-plan compiler (PR 4): one cold compile (DNF rewrite + slot
+    // dedup + binding extraction) vs a full embed through the warm
+    // per-structure cache — the amortization the plan IR buys.
+    let ns_compile = median_ns(samples, iters, || {
+        let shape = PlanShape::compile(&up.query);
+        let bindings = PlanBindings::of(&up.query);
+        black_box((shape, bindings));
+    });
+    record("plan_compile_up", ns_compile, iters);
+    let ns_embed_cached = median_ns(samples, iters, || {
+        black_box(model.embed_query(&up.query));
+    });
+    record("embed_up_cached_plan", ns_embed_cached, iters);
+
     // --- one optimizer step (embed + loss + backward + Adam), pooled tape.
     let batch = batch_for(&g, Structure::Pi, cfg.batch_size, 2);
     let train_iters = if args.smoke { 2 } else { 5 };
@@ -244,7 +260,7 @@ fn main() {
     println!("score_all speedup vs scalar: up {speedup:.2}x, p2 {speedup_p2:.2}x");
 
     let report = json!({
-        "schema": "halk-bench-hotpath/v2",
+        "schema": "halk-bench-hotpath/v3",
         "config": json!({
             "smoke": args.smoke,
             "dim": cfg.dim,

@@ -13,7 +13,7 @@
 //!
 //! Run with `cargo run --release -p halk-bench --bin exp_ablation_distance`.
 
-use halk_bench::{save_json, Scale, Table};
+use halk_bench::{save_json, truncated_structures, Scale, Table};
 use halk_core::eval::evaluate_table;
 use halk_core::{train_model, DistanceMode, HalkModel};
 use halk_kg::Dataset;
@@ -89,6 +89,7 @@ fn main() {
             "mrr": cells,
             "mean_1p_arc_len": avg_len,
             "tail_loss": stats.tail_loss(),
+            "truncated": truncated_structures(&row),
         }));
     }
     mrr.print();

@@ -5,7 +5,7 @@
 //! Run with `cargo run --release -p halk-bench --bin exp_table3_4`.
 
 use halk_bench::suite::{standard_datasets, train_suite, ModelKind};
-use halk_bench::{save_json, Scale, Table};
+use halk_bench::{save_json, truncated_structures, Scale, Table};
 use halk_core::eval::{evaluate_table, row_average};
 use halk_logic::Structure;
 use serde_json::json;
@@ -38,6 +38,7 @@ fn main() {
         )
         .percentages();
 
+        let mut truncated_out = Vec::new();
         for trained in &suite {
             let row = evaluate_table(
                 trained.model.as_ref(),
@@ -56,6 +57,10 @@ fn main() {
             hit3_cells.push(Some(row_average(&row, |m| m.hits3)));
             mrr_table.push_row(trained.name(), mrr_cells);
             hit3_table.push_row(trained.name(), hit3_cells);
+            truncated_out.push(json!({
+                "model": trained.name(),
+                "structures": truncated_structures(&row),
+            }));
         }
         mrr_table.print();
         hit3_table.print();
@@ -63,6 +68,9 @@ fn main() {
             "dataset": dataset.name,
             "mrr": mrr_table.to_json(),
             "hit3": hit3_table.to_json(),
+            // Cells whose attempt budget ran out before `eval_queries`
+            // answerable queries were found — read these MRRs with care.
+            "truncated": truncated_out,
         }));
     }
     if let Some(p) = save_json(

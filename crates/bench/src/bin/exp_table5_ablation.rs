@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --release -p halk-bench --bin exp_table5_ablation`.
 
-use halk_bench::{save_json, Scale, Table};
+use halk_bench::{save_json, truncated_structures, Scale, Table};
 use halk_core::eval::evaluate_table;
 use halk_core::{train_model, Ablation, HalkModel};
 use halk_kg::Dataset;
@@ -74,6 +74,7 @@ fn main() {
         let cols: Vec<&str> = structures.iter().map(|s| s.name()).collect();
         let mut hit3 = Table::new(format!("Table V — {label} (Hit@3 %)"), &cols).percentages();
         let mut mrr = Table::new(format!("Table V — {label} (MRR %)"), &cols).percentages();
+        let mut truncated_out = Vec::new();
         for (name, model) in [
             (format!("HaLk-{ablation:?}"), &variant),
             ("HaLk".to_string(), &full),
@@ -92,9 +93,13 @@ fn main() {
                     .collect(),
             );
             mrr.push_row(
-                name,
+                name.clone(),
                 row.iter().map(|(_, c)| c.map(|c| c.metrics.mrr)).collect(),
             );
+            truncated_out.push(json!({
+                "model": name,
+                "structures": truncated_structures(&row),
+            }));
         }
         hit3.print();
         mrr.print();
@@ -102,6 +107,7 @@ fn main() {
             "group": label,
             "hit3": hit3.to_json(),
             "mrr": mrr.to_json(),
+            "truncated": truncated_out,
         }));
     }
     if let Some(p) = save_json(

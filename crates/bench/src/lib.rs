@@ -16,6 +16,6 @@ pub mod report;
 pub mod scale;
 pub mod suite;
 
-pub use report::{save_json, Table};
+pub use report::{save_json, truncated_structures, Table};
 pub use scale::Scale;
 pub use suite::{train_suite, TrainedModel};

@@ -4,6 +4,8 @@
 //! same numbers as JSON under `results/` so EXPERIMENTS.md entries are
 //! regenerable and diffable.
 
+use halk_core::eval::EvalCell;
+use halk_logic::Structure;
 use serde_json::{json, Value};
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -111,6 +113,17 @@ impl Table {
             }).collect::<Vec<_>>(),
         })
     }
+}
+
+/// Names of the structures in an `evaluate_table` row whose attempt budget
+/// ran out before the requested number of answerable queries was found
+/// ([`EvalCell::truncated`]) — surfaced in each binary's JSON so downstream
+/// readers know which cells averaged fewer queries than configured.
+pub fn truncated_structures(row: &[(Structure, Option<EvalCell>)]) -> Vec<String> {
+    row.iter()
+        .filter(|(_, c)| c.is_some_and(|c| c.truncated))
+        .map(|(s, _)| s.name().to_string())
+        .collect()
 }
 
 /// Writes a JSON value to `results/<name>.json` (creating the directory),

@@ -20,7 +20,8 @@ mod args;
 use args::{ArgError, Args};
 use halk_core::{train_model, HalkConfig, HalkModel, TrainConfig, TrainError};
 use halk_kg::{generate, stats::GraphStats, tsv, Graph, SynthConfig};
-use halk_logic::{answers, Structure};
+use halk_logic::plan::{execute_set, PlanBindings, PlanShape};
+use halk_logic::Structure;
 use halk_matching::Matcher;
 use halk_sparql::{sparql_to_query, SparqlError};
 use std::fmt;
@@ -256,7 +257,13 @@ fn cmd_ask(args: &Args) -> Result<(), CliError> {
     println!("computation tree: {}", query.render());
     match engine {
         "exact" => {
-            let ans = answers(&query, &g);
+            let shape = PlanShape::compile(&query);
+            println!(
+                "compiled plan: {} slot(s), {} branch(es)",
+                shape.n_slots(),
+                shape.n_branches()
+            );
+            let ans = execute_set(&shape, &PlanBindings::of(&query), &g);
             let shown: Vec<u32> = ans.iter().take(top).map(|e| e.0).collect();
             println!("exact answers ({} total): {shown:?}", ans.len());
         }

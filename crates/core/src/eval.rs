@@ -8,9 +8,8 @@
 
 use crate::qmodel::QueryModel;
 use halk_kg::split::DatasetSplit;
-use halk_logic::{
-    answer_split, filtered_ranks, MetricsAccumulator, RankMetrics, Sampler, Structure,
-};
+use halk_logic::plan::{split_set, PlanBindings, PlanCache};
+use halk_logic::{filtered_ranks, MetricsAccumulator, RankMetrics, Sampler, Structure};
 use halk_par::Pool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -70,8 +69,10 @@ pub fn evaluate_structure_pool<M: QueryModel + Sync + ?Sized>(
     let mut rng = StdRng::seed_from_u64(seed);
     let sampler = Sampler::new(&split.test);
     // Build the model's scoring cache (e.g. entity-table trig) once per
-    // structure; every query then scores against it.
+    // structure; every query then scores against it. The exact answer
+    // splits likewise share one compiled plan per structure skeleton.
     let cache = model.score_cache();
+    let plans = PlanCache::new();
     let mut acc = MetricsAccumulator::new();
     let mut online = Duration::ZERO;
     let mut evaluated = 0usize;
@@ -91,7 +92,8 @@ pub fn evaluate_structure_pool<M: QueryModel + Sync + ?Sized>(
         // Queries vary wildly in answer-set size, so use the dynamic
         // splitter; it returns results in attempt order regardless.
         let scored = pool.par_map_dyn(&candidates, |query| {
-            let ans = answer_split(query, &split.valid, &split.test);
+            let shape = plans.shape_for(query);
+            let ans = split_set(&shape, &PlanBindings::of(query), &split.valid, &split.test);
             if ans.hard.is_empty() {
                 return None;
             }

@@ -28,7 +28,8 @@ use crate::config::{Ablation, DistanceMode, HalkConfig};
 use crate::scorer::{ArcScorer, EntityTrig};
 use halk_geometry::Arc;
 use halk_kg::{EntityId, Graph, Grouping, RelationId};
-use halk_logic::{to_dnf, Query};
+use halk_logic::plan::{PlanBindings, PlanCache, PlanMasks, PlanOp, PlanShape};
+use halk_logic::Query;
 use halk_nn::{Act, GradBuffer, Mlp, ParamId, ParamStore, Tape, Tensor, Var};
 use halk_par::Pool;
 use rand::rngs::StdRng;
@@ -78,6 +79,9 @@ pub struct HalkModel {
     /// [`halk_par::auto_threads`] (HALK_THREADS or the machine's
     /// parallelism), 1 = strictly sequential.
     threads: usize,
+    /// Compiled query plans, one per structure skeleton seen. Like
+    /// `train_shards`, derived state: not saved, rebuilt lazily after load.
+    plans: PlanCache,
 }
 
 impl HalkModel {
@@ -162,6 +166,7 @@ impl HalkModel {
             neg_alpha,
             train_shards: Vec::new(),
             threads: 0,
+            plans: PlanCache::new(),
         }
     }
 
@@ -196,148 +201,88 @@ impl HalkModel {
         &self.grouping
     }
 
-    // ---------------------------------------------------------- group masks
+    // -------------------------------------------------------------- plans
 
-    /// Coarse multi-hot group mask `h_{U}` of a query node, propagated
-    /// through the 3-D group adjacency (§II-A / Eq. 10).
-    pub fn group_mask(&self, q: &Query) -> u64 {
-        match q {
-            Query::Anchor(e) => self.grouping.mask_of(*e),
-            Query::Projection { rel, input } => {
-                self.grouping.propagate(self.group_mask(input), *rel)
-            }
-            Query::Intersection(qs) => qs
-                .iter()
-                .map(|b| self.group_mask(b))
-                .fold(self.grouping.full_mask(), |a, b| a & b),
-            Query::Union(qs) => qs.iter().map(|b| self.group_mask(b)).fold(0, |a, b| a | b),
-            Query::Difference(qs) => self.group_mask(&qs[0]),
-            // A complement can land in any group.
-            Query::Negation(_) => self.grouping.full_mask(),
-        }
+    /// The model's compiled-plan cache: one [`PlanShape`] per structure
+    /// skeleton, compiled on first sight and shared afterwards.
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// Binds one grounded query against a compiled shape: extracts the
+    /// anchor/relation table and precomputes the per-slot group masks
+    /// (§II-A) that the old recursive `group_mask` recomputed per call.
+    pub fn bind(&self, shape: &PlanShape, query: &Query) -> (PlanBindings, PlanMasks) {
+        let bindings = PlanBindings::of(query);
+        let masks = PlanMasks::compute(shape, &bindings, &self.grouping);
+        (bindings, masks)
     }
 
     // ------------------------------------------------------------ embedding
 
-    /// Embeds a batch of same-structure, union-free queries, returning the
-    /// target node's arc embedding (`B×d` centers and lengths).
+    /// Embeds a batch of same-shape queries by executing the compiled plan
+    /// slot by slot, returning one `B×d` arc embedding per DNF branch root.
+    /// DNF and group masks were already resolved at compile/bind time;
+    /// shared subtrees embed once per batch instead of once per branch.
     ///
     /// # Panics
-    /// If the batch is empty, structurally heterogeneous, or contains a
-    /// union (run [`to_dnf`] first — §III-F).
-    pub fn embed_batch(&self, tape: &mut Tape, queries: &[&Query]) -> ArcVar {
-        assert!(!queries.is_empty(), "empty batch");
-        match queries[0] {
-            Query::Anchor(_) => {
-                let ids: Vec<u32> = queries
-                    .iter()
-                    .map(|q| match q {
-                        Query::Anchor(e) => e.0,
-                        other => panic!(
-                            "heterogeneous batch: expected anchor, got {}",
-                            other.render()
-                        ),
-                    })
-                    .collect();
-                let center = tape.gather(&self.store, self.ent_center, &ids);
-                // An entity is an arc of length zero (§II-A).
-                let len = tape.constant(ids.len(), self.cfg.dim, 0.0);
-                ArcVar { center, len }
-            }
-            Query::Projection { .. } => {
-                let mut rels = Vec::with_capacity(queries.len());
-                let mut inputs = Vec::with_capacity(queries.len());
-                for q in queries {
-                    match q {
-                        Query::Projection { rel, input } => {
-                            rels.push(rel.0);
-                            inputs.push(&**input);
-                        }
-                        other => panic!("heterogeneous batch at projection: {}", other.render()),
-                    }
-                }
-                let arc = self.embed_batch(tape, &inputs);
-                self.op_projection(tape, arc, &rels)
-            }
-            Query::Intersection(branches0) => {
-                let k = branches0.len();
-                let arcs = self.embed_branches(tape, queries, k, |q| match q {
-                    Query::Intersection(bs) => bs,
-                    other => panic!("heterogeneous batch at intersection: {}", other.render()),
-                });
-                // Group-similarity weights z_i (Eq. 10), one scalar per
-                // (query, branch), broadcast across dimensions.
-                let z = self.group_weights(queries);
-                self.op_intersection(tape, &arcs, &z)
-            }
-            Query::Difference(branches0) => {
-                let k = branches0.len();
-                let arcs = self.embed_branches(tape, queries, k, |q| match q {
-                    Query::Difference(bs) => bs,
-                    other => panic!("heterogeneous batch at difference: {}", other.render()),
-                });
-                self.op_difference(tape, &arcs)
-            }
-            Query::Negation(_) => {
-                let inners: Vec<&Query> = queries
-                    .iter()
-                    .map(|q| match q {
-                        Query::Negation(inner) => &**inner,
-                        other => panic!("heterogeneous batch at negation: {}", other.render()),
-                    })
-                    .collect();
-                let arc = self.embed_batch(tape, &inners);
-                self.op_negation(tape, arc)
-            }
-            Query::Union(_) => panic!("unions must be removed by DNF before embedding (§III-F)"),
-        }
-    }
-
-    fn embed_branches<'q>(
+    /// If the batch is empty or a binding table does not fit `shape`.
+    pub fn embed_plan(
         &self,
         tape: &mut Tape,
-        queries: &[&'q Query],
-        k: usize,
-        get: impl Fn(&'q Query) -> &'q [Query],
+        shape: &PlanShape,
+        bindings: &[PlanBindings],
+        masks: &[PlanMasks],
     ) -> Vec<ArcVar> {
-        (0..k)
-            .map(|j| {
-                let branch: Vec<&Query> = queries
-                    .iter()
-                    .map(|q| {
-                        let bs = get(q);
-                        assert_eq!(bs.len(), k, "heterogeneous branch arity");
-                        &bs[j]
-                    })
-                    .collect();
-                self.embed_batch(tape, &branch)
-            })
-            .collect()
-    }
-
-    /// `z_i` similarity tensors: for each branch of an intersection batch,
-    /// a `B×d` constant with the per-query group similarity.
-    fn group_weights(&self, queries: &[&Query]) -> Vec<Tensor> {
-        let k = match queries[0] {
-            Query::Intersection(bs) => bs.len(),
-            _ => unreachable!("group_weights only called for intersections"),
-        };
-        let b = queries.len();
+        assert!(!bindings.is_empty(), "empty batch");
+        assert_eq!(bindings.len(), masks.len());
+        let b = bindings.len();
         let d = self.cfg.dim;
-        (0..k)
-            .map(|j| {
-                let mut t = Tensor::zeros(b, d);
-                for (i, q) in queries.iter().enumerate() {
-                    let (branch_mask, target_mask) = match q {
-                        Query::Intersection(bs) => (self.group_mask(&bs[j]), self.group_mask(q)),
-                        _ => unreachable!(),
-                    };
-                    let z = Grouping::similarity(branch_mask, target_mask);
-                    t.row_mut(i).iter_mut().for_each(|x| *x = z);
+        let mut slots: Vec<ArcVar> = Vec::with_capacity(shape.n_slots());
+        for (si, op) in shape.ops().iter().enumerate() {
+            let arc = match op {
+                PlanOp::Anchor { arg } => {
+                    let ids: Vec<u32> = bindings
+                        .iter()
+                        .map(|bi| bi.anchors[*arg as usize].0)
+                        .collect();
+                    let center = tape.gather(&self.store, self.ent_center, &ids);
+                    // An entity is an arc of length zero (§II-A).
+                    let len = tape.constant(b, d, 0.0);
+                    ArcVar { center, len }
                 }
-                t
-            })
-            .collect()
+                PlanOp::Projection { rel, input } => {
+                    let rels: Vec<u32> =
+                        bindings.iter().map(|bi| bi.rels[*rel as usize].0).collect();
+                    self.op_projection(tape, slots[*input as usize], &rels)
+                }
+                PlanOp::Intersection { inputs } => {
+                    let arcs: Vec<ArcVar> = inputs.iter().map(|&i| slots[i as usize]).collect();
+                    // Group-similarity weights z_i (Eq. 10), one scalar per
+                    // (query, branch), broadcast across dimensions; masks
+                    // come precomputed from bind time.
+                    let z: Vec<Tensor> = inputs
+                        .iter()
+                        .map(|&i| {
+                            let mut t = Tensor::zeros(b, d);
+                            for (row, m) in masks.iter().enumerate() {
+                                let z = Grouping::similarity(m.slot[i as usize], m.slot[si]);
+                                t.row_mut(row).iter_mut().for_each(|x| *x = z);
+                            }
+                            t
+                        })
+                        .collect();
+                    self.op_intersection(tape, &arcs, &z)
+                }
+                PlanOp::Difference { inputs } => {
+                    let arcs: Vec<ArcVar> = inputs.iter().map(|&i| slots[i as usize]).collect();
+                    self.op_difference(tape, &arcs)
+                }
+                PlanOp::Negation { input } => self.op_negation(tape, slots[*input as usize]),
+            };
+            slots.push(arc);
+        }
+        shape.roots().iter().map(|&r| slots[r as usize]).collect()
     }
 
     // ------------------------------------------------------------ operators
@@ -658,17 +603,23 @@ impl HalkModel {
 
     // ------------------------------------------------------------ inference
 
-    /// Embeds a single query (running DNF first) and returns the resulting
-    /// arc embeddings, one per conjunctive branch. One tape is reused
-    /// across branches (reset between them), so the per-branch forward
-    /// passes share pooled buffers.
+    /// Embeds a single query through its cached compiled plan and returns
+    /// the resulting arc embeddings, one per conjunctive branch. The DNF
+    /// rewrite happened once at compile time; shared subtrees embed once
+    /// for all branches.
     pub fn embed_query(&self, query: &Query) -> Vec<Vec<Arc>> {
+        let shape = self.plans.shape_for(query);
+        let (bindings, masks) = self.bind(&shape, query);
         let mut tape = Tape::new();
-        to_dnf(query)
+        let roots = self.embed_plan(
+            &mut tape,
+            &shape,
+            std::slice::from_ref(&bindings),
+            std::slice::from_ref(&masks),
+        );
+        roots
             .iter()
-            .map(|branch| {
-                tape.reset();
-                let arc = self.embed_batch(&mut tape, &[branch]);
+            .map(|arc| {
                 let c = tape.value(arc.center);
                 let l = tape.value(arc.len);
                 (0..self.cfg.dim)
@@ -836,6 +787,185 @@ impl HalkModel {
     }
 }
 
+/// The retained recursive AST interpreter for [`HalkModel`]. No production
+/// path calls these; the plan-equivalence tests embed every structure both
+/// ways and assert bitwise-identical arcs, scores and masks.
+pub mod reference {
+    use super::*;
+    use halk_logic::to_dnf;
+
+    impl HalkModel {
+        /// Recursive group mask `h_U` of a query node (§II-A / Eq. 10) —
+        /// the pre-plan form of [`PlanMasks`].
+        pub fn group_mask_ast(&self, q: &Query) -> u64 {
+            match q {
+                Query::Anchor(e) => self.grouping.mask_of(*e),
+                Query::Projection { rel, input } => {
+                    self.grouping.propagate(self.group_mask_ast(input), *rel)
+                }
+                Query::Intersection(qs) => qs
+                    .iter()
+                    .map(|b| self.group_mask_ast(b))
+                    .fold(self.grouping.full_mask(), |a, b| a & b),
+                Query::Union(qs) => qs
+                    .iter()
+                    .map(|b| self.group_mask_ast(b))
+                    .fold(0, |a, b| a | b),
+                Query::Difference(qs) => self.group_mask_ast(&qs[0]),
+                // A complement can land in any group.
+                Query::Negation(_) => self.grouping.full_mask(),
+            }
+        }
+
+        /// Recursive batched embedding of same-structure, union-free
+        /// queries — the pre-plan form of [`HalkModel::embed_plan`].
+        ///
+        /// # Panics
+        /// If the batch is empty, structurally heterogeneous, or contains
+        /// a union (run [`to_dnf`] first — §III-F).
+        pub fn embed_batch_ast(&self, tape: &mut Tape, queries: &[&Query]) -> ArcVar {
+            assert!(!queries.is_empty(), "empty batch");
+            match queries[0] {
+                Query::Anchor(_) => {
+                    let ids: Vec<u32> = queries
+                        .iter()
+                        .map(|q| match q {
+                            Query::Anchor(e) => e.0,
+                            other => panic!(
+                                "heterogeneous batch: expected anchor, got {}",
+                                other.render()
+                            ),
+                        })
+                        .collect();
+                    let center = tape.gather(&self.store, self.ent_center, &ids);
+                    // An entity is an arc of length zero (§II-A).
+                    let len = tape.constant(ids.len(), self.cfg.dim, 0.0);
+                    ArcVar { center, len }
+                }
+                Query::Projection { .. } => {
+                    let mut rels = Vec::with_capacity(queries.len());
+                    let mut inputs = Vec::with_capacity(queries.len());
+                    for q in queries {
+                        match q {
+                            Query::Projection { rel, input } => {
+                                rels.push(rel.0);
+                                inputs.push(&**input);
+                            }
+                            other => {
+                                panic!("heterogeneous batch at projection: {}", other.render())
+                            }
+                        }
+                    }
+                    let arc = self.embed_batch_ast(tape, &inputs);
+                    self.op_projection(tape, arc, &rels)
+                }
+                Query::Intersection(branches0) => {
+                    let k = branches0.len();
+                    let arcs = self.embed_branches_ast(tape, queries, k, |q| match q {
+                        Query::Intersection(bs) => bs,
+                        other => {
+                            panic!("heterogeneous batch at intersection: {}", other.render())
+                        }
+                    });
+                    // Group-similarity weights z_i (Eq. 10), one scalar per
+                    // (query, branch), broadcast across dimensions.
+                    let z = self.group_weights_ast(queries);
+                    self.op_intersection(tape, &arcs, &z)
+                }
+                Query::Difference(branches0) => {
+                    let k = branches0.len();
+                    let arcs = self.embed_branches_ast(tape, queries, k, |q| match q {
+                        Query::Difference(bs) => bs,
+                        other => panic!("heterogeneous batch at difference: {}", other.render()),
+                    });
+                    self.op_difference(tape, &arcs)
+                }
+                Query::Negation(_) => {
+                    let inners: Vec<&Query> = queries
+                        .iter()
+                        .map(|q| match q {
+                            Query::Negation(inner) => &**inner,
+                            other => panic!("heterogeneous batch at negation: {}", other.render()),
+                        })
+                        .collect();
+                    let arc = self.embed_batch_ast(tape, &inners);
+                    self.op_negation(tape, arc)
+                }
+                Query::Union(_) => {
+                    panic!("unions must be removed by DNF before embedding (§III-F)")
+                }
+            }
+        }
+
+        fn embed_branches_ast<'q>(
+            &self,
+            tape: &mut Tape,
+            queries: &[&'q Query],
+            k: usize,
+            get: impl Fn(&'q Query) -> &'q [Query],
+        ) -> Vec<ArcVar> {
+            (0..k)
+                .map(|j| {
+                    let branch: Vec<&Query> = queries
+                        .iter()
+                        .map(|q| {
+                            let bs = get(q);
+                            assert_eq!(bs.len(), k, "heterogeneous branch arity");
+                            &bs[j]
+                        })
+                        .collect();
+                    self.embed_batch_ast(tape, &branch)
+                })
+                .collect()
+        }
+
+        /// `z_i` similarity tensors: for each branch of an intersection
+        /// batch, a `B×d` constant with the per-query group similarity.
+        fn group_weights_ast(&self, queries: &[&Query]) -> Vec<Tensor> {
+            let k = match queries[0] {
+                Query::Intersection(bs) => bs.len(),
+                _ => unreachable!("group_weights only called for intersections"),
+            };
+            let b = queries.len();
+            let d = self.cfg.dim;
+            (0..k)
+                .map(|j| {
+                    let mut t = Tensor::zeros(b, d);
+                    for (i, q) in queries.iter().enumerate() {
+                        let (branch_mask, target_mask) = match q {
+                            Query::Intersection(bs) => {
+                                (self.group_mask_ast(&bs[j]), self.group_mask_ast(q))
+                            }
+                            _ => unreachable!(),
+                        };
+                        let z = Grouping::similarity(branch_mask, target_mask);
+                        t.row_mut(i).iter_mut().for_each(|x| *x = z);
+                    }
+                    t
+                })
+                .collect()
+        }
+
+        /// AST-walking [`HalkModel::embed_query`]: DNF per call, one tape
+        /// reset per branch, recursive embedding of each branch.
+        pub fn embed_query_ast(&self, query: &Query) -> Vec<Vec<Arc>> {
+            let mut tape = Tape::new();
+            to_dnf(query)
+                .iter()
+                .map(|branch| {
+                    tape.reset();
+                    let arc = self.embed_batch_ast(&mut tape, &[branch]);
+                    let c = tape.value(arc.center);
+                    let l = tape.value(arc.len);
+                    (0..self.cfg.dim)
+                        .map(|j| Arc::new(c.data[j], l.data[j].max(0.0), self.cfg.rho))
+                        .collect()
+                })
+                .collect()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -853,7 +983,7 @@ mod tests {
         let (_, model) = setup();
         let q = Query::Anchor(EntityId(5));
         let mut tape = Tape::new();
-        let arc = model.embed_batch(&mut tape, &[&q]);
+        let arc = model.embed_batch_ast(&mut tape, &[&q]);
         assert_eq!(tape.value(arc.len).data, vec![0.0; model.cfg.dim]);
         // Center equals the entity embedding.
         let c = tape.value(arc.center).clone();
@@ -869,8 +999,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         for s in Structure::training() {
             let q = sampler.sample(s, &mut rng).expect("groundable");
+            let shape = model.plan_cache().shape_for(&q.query);
+            let (bindings, masks) = model.bind(&shape, &q.query);
             let mut tape = Tape::new();
-            let arc = model.embed_batch(&mut tape, &[&q.query]);
+            let roots = model.embed_plan(
+                &mut tape,
+                &shape,
+                std::slice::from_ref(&bindings),
+                std::slice::from_ref(&masks),
+            );
+            assert_eq!(roots.len(), 1, "{s}: training structures are union-free");
+            let arc = roots[0];
             let c = tape.value(arc.center);
             let l = tape.value(arc.len);
             assert_eq!((c.rows, c.cols), (1, model.cfg.dim), "{s}");
@@ -891,18 +1030,27 @@ mod tests {
         let sampler = Sampler::new(&g);
         let mut rng = StdRng::seed_from_u64(5);
         let qs = sampler.sample_many(Structure::P2, 3, &mut rng);
-        let refs: Vec<&Query> = qs.iter().map(|q| &q.query).collect();
+        let shape = model.plan_cache().shape_for(&qs[0].query);
+        let bound: Vec<_> = qs.iter().map(|q| model.bind(&shape, &q.query)).collect();
+        let bindings: Vec<_> = bound.iter().map(|(b, _)| b.clone()).collect();
+        let masks: Vec<_> = bound.iter().map(|(_, m)| m.clone()).collect();
         let mut tape = Tape::new();
-        let batch = model.embed_batch(&mut tape, &refs);
+        let batch = model.embed_plan(&mut tape, &shape, &bindings, &masks)[0];
         let bc = tape.value(batch.center).clone();
-        for (i, q) in refs.iter().enumerate() {
+        for (i, q) in qs.iter().enumerate() {
             let mut t2 = Tape::new();
-            let single = model.embed_batch(&mut t2, &[q]);
+            let single = model.embed_plan(
+                &mut t2,
+                &shape,
+                std::slice::from_ref(&bindings[i]),
+                std::slice::from_ref(&masks[i]),
+            )[0];
             let sc = t2.value(single.center);
             for j in 0..model.cfg.dim {
                 assert!(
                     (bc.get(i, j) - sc.get(0, j)).abs() < 1e-5,
-                    "row {i} dim {j} differs"
+                    "row {i} dim {j} differs ({})",
+                    q.query.render()
                 );
             }
         }
@@ -930,7 +1078,7 @@ mod tests {
             Query::atom(EntityId(1), RelationId(0)),
         ]);
         let mut tape = Tape::new();
-        let _ = model.embed_batch(&mut tape, &[&q]);
+        let _ = model.embed_batch_ast(&mut tape, &[&q]);
     }
 
     #[test]
@@ -965,8 +1113,12 @@ mod tests {
         let (g, model) = setup();
         let t = g.triples()[0];
         let q = Query::atom(t.h, t.r);
-        let mask = model.group_mask(&q);
+        let mask = model.group_mask_ast(&q);
         assert!(mask & model.grouping().mask_of(t.t) != 0);
+        // The plan-time root mask agrees with the recursive walk.
+        let shape = model.plan_cache().shape_for(&q);
+        let (_, masks) = model.bind(&shape, &q);
+        assert_eq!(masks.root, mask);
     }
 
     #[test]
@@ -974,7 +1126,10 @@ mod tests {
         let (g, model) = setup();
         let t = g.triples()[0];
         let q = Query::atom(t.h, t.r).negate();
-        assert_eq!(model.group_mask(&q), model.grouping().full_mask());
+        assert_eq!(model.group_mask_ast(&q), model.grouping().full_mask());
+        let shape = model.plan_cache().shape_for(&q);
+        let (_, masks) = model.bind(&shape, &q);
+        assert_eq!(masks.root, model.grouping().full_mask());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::config::HalkConfig;
 use crate::model::HalkModel;
 use halk_kg::EntityId;
+use halk_logic::plan::{PlanBindings, PlanMasks, PlanShape};
 use halk_logic::{Query, Structure};
 use halk_nn::{GradBuffer, ParamStore, Tape, Var};
 
@@ -30,30 +31,37 @@ pub struct TrainExample {
 /// data-parallel training bit-reproducible (DESIGN.md §9).
 const TRAIN_SHARD_SIZE: usize = 8;
 
-/// Forward pass of one training shard on its own tape: embeds the shard's
-/// queries, builds positive/negative distance columns with their group
-/// penalties (Eq. 17) and returns the shard-mean margin loss. `m` is the
-/// batch-global minimum negative count; `masks` are the shard's precomputed
-/// query group masks.
+/// Forward pass of one training shard on its own tape: executes the
+/// batch's compiled plan over the shard's binding tables, builds
+/// positive/negative distance columns with their group penalties (Eq. 17)
+/// and returns the shard-mean margin loss. `m` is the batch-global minimum
+/// negative count; `bindings`/`masks` are the shard's slices of the
+/// batch-wide bind tables computed once before sharding.
+#[allow(clippy::too_many_arguments)] // one parameter per precomputed batch constant
 fn shard_forward(
     model: &HalkModel,
     tape: &mut Tape,
     shard: &[TrainExample],
-    masks: &[u64],
+    shape: &PlanShape,
+    bindings: &[PlanBindings],
+    masks: &[PlanMasks],
     m: usize,
     cfg: &HalkConfig,
 ) -> Var {
-    let queries: Vec<&Query> = shard.iter().map(|ex| &ex.query).collect();
-    let arc = model.embed_batch(tape, &queries);
+    let roots = model.embed_plan(tape, shape, bindings, masks);
+    assert_eq!(roots.len(), 1, "training structures are union-free (§IV-A)");
+    let arc = roots[0];
 
-    // Group penalty constants ξ‖Relu(h_v − h_{U_q})‖₁ (Eq. 17).
+    // Group penalty constants ξ‖Relu(h_v − h_{U_q})‖₁ (Eq. 17). The query
+    // mask h_{U_q} is the plan's precomputed root mask.
     let pen = |ids: &[u32]| -> halk_nn::Tensor {
         let data = ids
             .iter()
             .zip(masks)
-            .map(|(&e, &qm)| {
+            .map(|(&e, qm)| {
                 cfg.xi
-                    * halk_kg::Grouping::relu_l1(model.grouping().mask_of(EntityId(e)), qm) as f32
+                    * halk_kg::Grouping::relu_l1(model.grouping().mask_of(EntityId(e)), qm.root)
+                        as f32
             })
             .collect();
         halk_nn::Tensor::from_vec(ids.len(), 1, data)
@@ -160,14 +168,24 @@ impl QueryModel for HalkModel {
         let n_shards = b.div_ceil(TRAIN_SHARD_SIZE);
 
         // Constants fixed over the whole batch so no shard-local choice
-        // depends on the split: the minimum negative count m and the group
-        // masks h_{U_q} (Eq. 17).
+        // depends on the split: the minimum negative count m, the compiled
+        // shape (one per batch — batches are same-structure) and the
+        // per-example bindings with group masks h_{U_q} (Eq. 17).
         let m = batch.iter().map(|ex| ex.negatives.len()).min().unwrap_or(0);
         assert!(m > 0, "training requires at least one negative per example");
-        let query_masks: Vec<u64> = batch
-            .iter()
-            .map(|ex| self.group_mask(&ex.query))
-            .collect();
+        let shape = self.plan_cache().shape_for(&batch[0].query);
+        let mut bindings = Vec::with_capacity(b);
+        let mut masks = Vec::with_capacity(b);
+        for ex in batch {
+            assert!(
+                std::sync::Arc::ptr_eq(&shape, &self.plan_cache().shape_for(&ex.query)),
+                "heterogeneous batch: {} does not match the batch shape",
+                ex.query.render()
+            );
+            let (bi, mi) = self.bind(&shape, &ex.query);
+            bindings.push(bi);
+            masks.push(mi);
+        }
 
         // Take the persistent shard state out of the model (forward passes
         // borrow &self), grow it to this batch's shard plan, and put it
@@ -188,7 +206,16 @@ impl QueryModel for HalkModel {
             let hi = (lo + TRAIN_SHARD_SIZE).min(b);
             tape.reset();
             buf.reset_for(&this.store);
-            let loss = shard_forward(this, tape, &batch[lo..hi], &query_masks[lo..hi], m, &cfg);
+            let loss = shard_forward(
+                this,
+                tape,
+                &batch[lo..hi],
+                &shape,
+                &bindings[lo..hi],
+                &masks[lo..hi],
+                m,
+                &cfg,
+            );
             // Weight the shard's mean by its share of the batch so the
             // shard-summed loss and gradients form one batch-wide mean.
             let scaled = tape.scale(loss, (hi - lo) as f32 / b as f32);

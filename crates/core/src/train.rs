@@ -15,7 +15,8 @@
 
 use crate::qmodel::{QueryModel, TrainExample};
 use halk_kg::Graph;
-use halk_logic::{answers, EntitySet, GroundedQuery, Sampler, Structure};
+use halk_logic::plan::{execute_set, PlanBindings, PlanCache};
+use halk_logic::{EntitySet, GroundedQuery, Sampler, Structure};
 use halk_nn::checkpoint;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -260,7 +261,13 @@ pub fn train_model<M: QueryModel + ?Sized>(
             // Answer sets vary in size, so fan the exact-answer
             // computation out through the dynamic splitter; zipping the
             // in-order results back preserves the sequential pool layout.
-            let anss = par.par_map_dyn(&qs, |gq| answers(&gq.query, graph));
+            // All queries in a pool share one structure, so the plan cache
+            // compiles exactly one shape here.
+            let plans = PlanCache::new();
+            let anss = par.par_map_dyn(&qs, |gq| {
+                let shape = plans.shape_for(&gq.query);
+                execute_set(&shape, &PlanBindings::of(&gq.query), graph)
+            });
             let items = qs.into_iter().zip(anss).collect();
             Some(Pool {
                 structure: s,

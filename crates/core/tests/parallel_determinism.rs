@@ -129,7 +129,11 @@ fn table_rows_match_per_structure_cells() {
         let cell = cell.expect("HaLk supports everything");
         let solo = evaluate_structure_pool(&model, &split, *s, 4, 9, Pool::new(1));
         assert_eq!(cell.n_queries, solo.n_queries, "{s}");
-        assert_eq!(cell.metrics.mrr.to_bits(), solo.metrics.mrr.to_bits(), "{s}");
+        assert_eq!(
+            cell.metrics.mrr.to_bits(),
+            solo.metrics.mrr.to_bits(),
+            "{s}"
+        );
     }
 }
 

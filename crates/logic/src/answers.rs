@@ -1,64 +1,30 @@
 //! The exact answer engine — the oracle every learned method is measured
 //! against.
 //!
-//! Evaluates a computation tree against a graph with exact set semantics:
-//! projection is the image of the input set under the relation, negation is
-//! the complement over the entity universe, difference is `first \ rest`.
-//! Ground-truth labels for training, filtered-ranking evaluation and the
-//! matching engine's accuracy reference all come from here.
+//! Evaluates queries with exact set semantics: projection is the image of
+//! the input set under the relation, negation is the complement over the
+//! entity universe, difference is `first \ rest`. Ground-truth labels for
+//! training, filtered-ranking evaluation and the matching engine's
+//! accuracy reference all come from here.
+//!
+//! Since the plan-IR refactor the public entry points compile the query
+//! into a [`crate::plan::PlanShape`] and run the shared slot executor;
+//! hot loops that see many instances of one structure should compile once
+//! via [`crate::plan::PlanCache`] and call
+//! [`crate::plan::execute_set`]/[`crate::plan::split_set`] directly. The
+//! original recursive AST walker survives in [`reference`] as the
+//! bit-identity oracle for the plan executor.
 
 use crate::ast::Query;
+use crate::plan::{execute_set, split_set, PlanBindings, PlanShape};
 use crate::set::EntitySet;
 use halk_kg::{EntityId, Graph};
 
-/// Exact answer set of `query` on `graph`.
+/// Exact answer set of `query` on `graph`. Compiles a fresh plan per call;
+/// batch callers should cache shapes with [`crate::plan::PlanCache`].
 pub fn answers(query: &Query, graph: &Graph) -> EntitySet {
-    let n = graph.n_entities();
-    match query {
-        Query::Anchor(e) => EntitySet::singleton(n, *e),
-        Query::Projection { rel, input } => {
-            let inp = answers(input, graph);
-            let mut out = EntitySet::empty(n);
-            for e in inp.iter() {
-                for &t in graph.neighbors(e, *rel) {
-                    out.insert(EntityId(t));
-                }
-            }
-            out
-        }
-        Query::Intersection(qs) => {
-            let mut it = qs.iter();
-            let first = it.next().expect("intersection of nothing");
-            let mut acc = answers(first, graph);
-            for q in it {
-                if acc.is_empty() {
-                    break;
-                }
-                acc.intersect_with(&answers(q, graph));
-            }
-            acc
-        }
-        Query::Union(qs) => {
-            let mut acc = EntitySet::empty(n);
-            for q in qs {
-                acc.union_with(&answers(q, graph));
-            }
-            acc
-        }
-        Query::Difference(qs) => {
-            let mut it = qs.iter();
-            let first = it.next().expect("difference of nothing");
-            let mut acc = answers(first, graph);
-            for q in it {
-                if acc.is_empty() {
-                    break;
-                }
-                acc.difference_with(&answers(q, graph));
-            }
-            acc
-        }
-        Query::Negation(q) => answers(q, graph).complement(),
-    }
+    let shape = PlanShape::compile(query);
+    execute_set(&shape, &PlanBindings::of(query), graph)
 }
 
 /// The hard/easy answer partition of the BetaE evaluation protocol: `hard`
@@ -76,18 +42,86 @@ pub struct AnswerSplit {
 /// Splits the answers of `query` into easy (on `small`) and hard (only on
 /// `large`) per the evaluation protocol of §IV-A.
 pub fn answer_split(query: &Query, small: &Graph, large: &Graph) -> AnswerSplit {
-    let on_small = answers(query, small);
-    let on_large = answers(query, large);
-    let mut hard = Vec::new();
-    let mut easy = Vec::new();
-    for e in on_large.iter() {
-        if on_small.contains(e) {
-            easy.push(e);
-        } else {
-            hard.push(e);
+    let shape = PlanShape::compile(query);
+    split_set(&shape, &PlanBindings::of(query), small, large)
+}
+
+/// The retained recursive AST interpreter. Not used by any production
+/// path; the plan-equivalence tests run it side by side with the slot
+/// executor to prove the compiled plans produce identical answer sets.
+pub mod reference {
+    use super::*;
+
+    /// Exact answer set of `query` on `graph`, by direct recursion over
+    /// the AST (no plan compilation, no DNF rewrite).
+    pub fn answers_ast(query: &Query, graph: &Graph) -> EntitySet {
+        let n = graph.n_entities();
+        match query {
+            Query::Anchor(e) => EntitySet::singleton(n, *e),
+            Query::Projection { rel, input } => {
+                let inp = answers_ast(input, graph);
+                let mut out = EntitySet::empty(n);
+                for e in inp.iter() {
+                    for &t in graph.neighbors(e, *rel) {
+                        out.insert(EntityId(t));
+                    }
+                }
+                out
+            }
+            Query::Intersection(qs) => {
+                // Same smallest-cardinality-first fold as the plan
+                // executor: evaluate every branch, then intersect from the
+                // most selective one so the empty early-exit can fire.
+                let mut sets: Vec<EntitySet> = qs.iter().map(|q| answers_ast(q, graph)).collect();
+                sets.sort_by_key(EntitySet::len);
+                let mut it = sets.into_iter();
+                let mut acc = it.next().expect("intersection of nothing");
+                for s in it {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc.intersect_with(&s);
+                }
+                acc
+            }
+            Query::Union(qs) => {
+                let mut acc = EntitySet::empty(n);
+                for q in qs {
+                    acc.union_with(&answers_ast(q, graph));
+                }
+                acc
+            }
+            Query::Difference(qs) => {
+                let mut it = qs.iter();
+                let first = it.next().expect("difference of nothing");
+                let mut acc = answers_ast(first, graph);
+                for q in it {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc.difference_with(&answers_ast(q, graph));
+                }
+                acc
+            }
+            Query::Negation(q) => answers_ast(q, graph).complement(),
         }
     }
-    AnswerSplit { hard, easy }
+
+    /// AST-walking form of [`super::answer_split`], for the same tests.
+    pub fn answer_split_ast(query: &Query, small: &Graph, large: &Graph) -> AnswerSplit {
+        let on_small = answers_ast(query, small);
+        let on_large = answers_ast(query, large);
+        let mut hard = Vec::new();
+        let mut easy = Vec::new();
+        for e in on_large.iter() {
+            if on_small.contains(e) {
+                easy.push(e);
+            } else {
+                hard.push(e);
+            }
+        }
+        AnswerSplit { hard, easy }
+    }
 }
 
 #[cfg(test)]
@@ -216,5 +250,31 @@ mod tests {
         let q = Query::atom(EntityId(0), RelationId(0));
         let qnn = q.clone().negate().negate();
         assert_eq!(answers(&q, &g), answers(&qnn, &g));
+    }
+
+    #[test]
+    fn plan_and_reference_agree_on_toy_queries() {
+        let g = toy();
+        let queries = vec![
+            Query::atom(EntityId(0), RelationId(0)),
+            Query::atom(EntityId(0), RelationId(0)).project(RelationId(1)),
+            Query::Union(vec![
+                Query::atom(EntityId(0), RelationId(0)),
+                Query::atom(EntityId(1), RelationId(1)),
+            ])
+            .project(RelationId(1)),
+            Query::Difference(vec![
+                Query::atom(EntityId(0), RelationId(0)),
+                Query::atom(EntityId(5), RelationId(0)).negate(),
+            ]),
+        ];
+        for q in queries {
+            assert_eq!(
+                answers(&q, &g),
+                reference::answers_ast(&q, &g),
+                "diverged on {}",
+                q.render()
+            );
+        }
     }
 }

@@ -2,7 +2,8 @@
 //!
 //! Contains the query [`ast::Query`] (computation trees over the five
 //! operators of §II-A), the named workload [`structures::Structure`]s of
-//! §IV-A, the DNF rewrite of §III-F, the exact [`answers()`] oracle, the
+//! §IV-A, the DNF rewrite of §III-F, the compile-once [`plan`] IR every
+//! engine executes, the exact [`answers()`] oracle, the
 //! backward-walk [`sampler::Sampler`] that grounds structures into query
 //! instances, and the filtered-ranking [`metrics`] of the evaluation
 //! protocol. Everything here is deterministic and learning-free; the model
@@ -13,6 +14,7 @@ pub mod ast;
 pub mod dnf;
 pub mod dot;
 pub mod metrics;
+pub mod plan;
 pub mod sampler;
 pub mod set;
 pub mod structures;
@@ -22,6 +24,7 @@ pub use ast::Query;
 pub use dnf::to_dnf;
 pub use dot::to_dot;
 pub use metrics::{filtered_ranks, MetricsAccumulator, RankMetrics};
+pub use plan::{execute_set, split_set, PlanBindings, PlanCache, PlanMasks, PlanOp, PlanShape};
 pub use sampler::{GroundedQuery, Sampler};
 pub use set::EntitySet;
 pub use structures::Structure;

@@ -1,0 +1,556 @@
+//! Compile-once query plans: a flat operator IR shared by every engine.
+//!
+//! The repo used to re-interpret the [`Query`] AST recursively in four
+//! places (exact answers, HaLk embedding, the baseline embedder, the
+//! per-model value readers), each running the DNF rewrite of §III-F per
+//! call. This module compiles a query **once** into a [`PlanShape`]: a
+//! topologically-ordered list of operator slots with the union rewrite
+//! already applied (the shape's roots are the conjunctive DNF branches) and
+//! shared subtrees collapsed into single slots, so work a recursive
+//! interpreter repeated per branch happens once per plan.
+//!
+//! A shape is **unbound**: anchors and relations are argument *indices*
+//! into a per-query [`PlanBindings`] table, assigned in the same pre-order
+//! as [`Query::anchors`]/[`Query::relations`]. Two queries grounded from
+//! the same [`Structure`](crate::Structure) therefore share one shape —
+//! the per-`Structure` [`PlanCache`] compiles each skeleton exactly once
+//! per run — and a whole batch executes against a single shape with only
+//! the binding tables varying, which is what makes batched embedding work.
+//!
+//! Per-slot group masks (§II-A) are precomputed by [`PlanMasks`] in one
+//! linear pass over the slots instead of recursively per intersection; the
+//! root mask (OR over branch roots) is exactly the recursive `group_mask`
+//! of the original query because every mask rule is bitwise-linear and AND
+//! distributes over OR.
+
+use crate::answers::AnswerSplit;
+use crate::ast::Query;
+use crate::set::EntitySet;
+use halk_kg::{EntityId, Graph, Grouping, RelationId};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// One operator slot of a compiled plan. Anchor/relation arguments are
+/// indices into a [`PlanBindings`] table; operator inputs are earlier slot
+/// ids (the slot list is topologically ordered by construction).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PlanOp {
+    /// Anchor entity `bindings.anchors[arg]`.
+    Anchor {
+        /// Index into [`PlanBindings::anchors`].
+        arg: u32,
+    },
+    /// Projection of slot `input` by relation `bindings.rels[rel]`.
+    Projection {
+        /// Index into [`PlanBindings::rels`].
+        rel: u32,
+        /// Input slot id.
+        input: u32,
+    },
+    /// Intersection of two or more slots.
+    Intersection {
+        /// Input slot ids.
+        inputs: Vec<u32>,
+    },
+    /// Difference: `inputs[0]` minus all the rest.
+    Difference {
+        /// Input slot ids; the first is the minuend.
+        inputs: Vec<u32>,
+    },
+    /// Complement of one slot.
+    Negation {
+        /// Input slot id.
+        input: u32,
+    },
+}
+
+/// A compiled, unbound query plan: DNF-rewritten operator slots in
+/// topological order plus the branch-root slots whose disjunction is the
+/// query. Shared by every same-skeleton query via [`PlanCache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanShape {
+    ops: Vec<PlanOp>,
+    roots: Vec<u32>,
+    n_anchors: usize,
+    n_rels: usize,
+}
+
+impl PlanShape {
+    /// Compiles a query into a plan. The DNF rewrite of §III-F happens
+    /// here, at compile time, mirroring [`crate::to_dnf`] branch for
+    /// branch: projections distribute over their input's branches, unions
+    /// concatenate, intersections take the cartesian product, difference
+    /// subtrahends flatten into the branch, and a negated union rewrites by
+    /// De Morgan into an intersection of negations.
+    pub fn compile(query: &Query) -> PlanShape {
+        let mut b = ShapeBuilder {
+            ops: Vec::new(),
+            dedup: HashMap::new(),
+            next_anchor: 0,
+            next_rel: 0,
+        };
+        let roots = b.compile(query);
+        PlanShape {
+            ops: b.ops,
+            roots,
+            n_anchors: b.next_anchor as usize,
+            n_rels: b.next_rel as usize,
+        }
+    }
+
+    /// The operator slots, topologically ordered (inputs precede users).
+    pub fn ops(&self) -> &[PlanOp] {
+        &self.ops
+    }
+
+    /// The branch-root slots, in the same order [`crate::to_dnf`] emits
+    /// branches (scores take the minimum distance over these, §III-F).
+    pub fn roots(&self) -> &[u32] {
+        &self.roots
+    }
+
+    /// Number of operator slots.
+    pub fn n_slots(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of conjunctive DNF branches.
+    pub fn n_branches(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// Anchor-argument count a [`PlanBindings`] for this shape must have.
+    pub fn n_anchors(&self) -> usize {
+        self.n_anchors
+    }
+
+    /// Relation-argument count a [`PlanBindings`] for this shape must have.
+    pub fn n_rels(&self) -> usize {
+        self.n_rels
+    }
+}
+
+struct ShapeBuilder {
+    ops: Vec<PlanOp>,
+    /// Hash-consing table: re-emitting an identical op (same kind, same
+    /// argument indices, same input slots) returns the existing slot, so
+    /// DNF-duplicated copies of one subtree collapse into a single slot.
+    dedup: HashMap<PlanOp, u32>,
+    next_anchor: u32,
+    next_rel: u32,
+}
+
+impl ShapeBuilder {
+    fn push(&mut self, op: PlanOp) -> u32 {
+        if let Some(&slot) = self.dedup.get(&op) {
+            return slot;
+        }
+        let slot = self.ops.len() as u32;
+        self.ops.push(op.clone());
+        self.dedup.insert(op, slot);
+        slot
+    }
+
+    /// Compiles one AST node, returning the slot of each of its DNF
+    /// branches. Argument indices are assigned in pre-order (a projection's
+    /// relation before its input's arguments, children left to right) so
+    /// they line up with [`Query::anchors`]/[`Query::relations`].
+    fn compile(&mut self, q: &Query) -> Vec<u32> {
+        match q {
+            Query::Anchor(_) => {
+                let arg = self.next_anchor;
+                self.next_anchor += 1;
+                vec![self.push(PlanOp::Anchor { arg })]
+            }
+            Query::Projection { input, .. } => {
+                let rel = self.next_rel;
+                self.next_rel += 1;
+                let inner = self.compile(input);
+                inner
+                    .into_iter()
+                    .map(|s| self.push(PlanOp::Projection { rel, input: s }))
+                    .collect()
+            }
+            Query::Union(qs) => qs.iter().flat_map(|b| self.compile(b)).collect(),
+            Query::Intersection(qs) => {
+                let branch_sets: Vec<Vec<u32>> = qs.iter().map(|b| self.compile(b)).collect();
+                cartesian(&branch_sets)
+                    .into_iter()
+                    .map(|inputs| self.push(PlanOp::Intersection { inputs }))
+                    .collect()
+            }
+            Query::Difference(qs) => {
+                let minuend = self.compile(&qs[0]);
+                // a − (b ∪ c) = (a − b) − c: every subtrahend branch joins
+                // the slot's input list.
+                let subtrahends: Vec<u32> = qs[1..].iter().flat_map(|b| self.compile(b)).collect();
+                minuend
+                    .into_iter()
+                    .map(|m| {
+                        let mut inputs = vec![m];
+                        inputs.extend(subtrahends.iter().copied());
+                        self.push(PlanOp::Difference { inputs })
+                    })
+                    .collect()
+            }
+            Query::Negation(inner) => {
+                // ¬(b ∪ c) = ¬b ∧ ¬c.
+                let branches = self.compile(inner);
+                if branches.len() == 1 {
+                    vec![self.push(PlanOp::Negation { input: branches[0] })]
+                } else {
+                    let negs: Vec<u32> = branches
+                        .into_iter()
+                        .map(|b| self.push(PlanOp::Negation { input: b }))
+                        .collect();
+                    vec![self.push(PlanOp::Intersection { inputs: negs })]
+                }
+            }
+        }
+    }
+}
+
+/// Cartesian product over slot lists, in the same prefix-major order as the
+/// DNF rewrite (the last child varies fastest).
+fn cartesian(sets: &[Vec<u32>]) -> Vec<Vec<u32>> {
+    let mut acc: Vec<Vec<u32>> = vec![Vec::new()];
+    for set in sets {
+        let mut next = Vec::with_capacity(acc.len() * set.len());
+        for prefix in &acc {
+            for &item in set {
+                let mut row = prefix.clone();
+                row.push(item);
+                next.push(row);
+            }
+        }
+        acc = next;
+    }
+    acc
+}
+
+/// The concrete anchors and relations of one grounded query, in the
+/// pre-order a [`PlanShape`]'s argument indices expect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanBindings {
+    /// Anchor entities (indexed by [`PlanOp::Anchor`]'s `arg`).
+    pub anchors: Vec<EntityId>,
+    /// Relations (indexed by [`PlanOp::Projection`]'s `rel`).
+    pub rels: Vec<RelationId>,
+}
+
+impl PlanBindings {
+    /// Extracts the binding table of a query (pre-order traversal — the
+    /// same order the compiler assigns argument indices in).
+    pub fn of(query: &Query) -> PlanBindings {
+        PlanBindings {
+            anchors: query.anchors(),
+            rels: query.relations(),
+        }
+    }
+
+    /// Panics unless this table fits `shape`'s argument counts.
+    pub fn check(&self, shape: &PlanShape) {
+        assert_eq!(self.anchors.len(), shape.n_anchors(), "anchor arity");
+        assert_eq!(self.rels.len(), shape.n_rels(), "relation arity");
+    }
+}
+
+/// Per-slot group masks `h_U` (§II-A / Eq. 10) for one bound query,
+/// computed in a single linear pass at bind time instead of recursively per
+/// embedding call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanMasks {
+    /// One mask per plan slot.
+    pub slot: Vec<u64>,
+    /// The query's own mask: OR over the branch roots. Equal to the
+    /// recursive `group_mask` of the original (pre-DNF) query because
+    /// propagation is bitwise-linear and AND distributes over OR.
+    pub root: u64,
+}
+
+impl PlanMasks {
+    /// Computes the masks of `shape` bound by `bindings` under `grouping`.
+    pub fn compute(shape: &PlanShape, bindings: &PlanBindings, grouping: &Grouping) -> PlanMasks {
+        bindings.check(shape);
+        let mut slot = Vec::with_capacity(shape.n_slots());
+        for op in shape.ops() {
+            let m = match op {
+                PlanOp::Anchor { arg } => grouping.mask_of(bindings.anchors[*arg as usize]),
+                PlanOp::Projection { rel, input } => {
+                    grouping.propagate(slot[*input as usize], bindings.rels[*rel as usize])
+                }
+                PlanOp::Intersection { inputs } => inputs
+                    .iter()
+                    .fold(grouping.full_mask(), |a, &i| a & slot[i as usize]),
+                PlanOp::Difference { inputs } => slot[inputs[0] as usize],
+                // A complement can land in any group.
+                PlanOp::Negation { .. } => grouping.full_mask(),
+            };
+            slot.push(m);
+        }
+        let root = shape
+            .roots()
+            .iter()
+            .fold(0u64, |a, &r| a | slot[r as usize]);
+        PlanMasks { slot, root }
+    }
+}
+
+/// Executes a bound plan with exact set semantics — the plan-based form of
+/// [`crate::answers`]. Slots evaluate eagerly in topological order;
+/// intersections fold their (already materialized) inputs
+/// smallest-cardinality-first so the empty-accumulator early exit fires as
+/// soon as any selective input empties the result.
+pub fn execute_set(shape: &PlanShape, bindings: &PlanBindings, graph: &Graph) -> EntitySet {
+    bindings.check(shape);
+    let n = graph.n_entities();
+    let mut slots: Vec<EntitySet> = Vec::with_capacity(shape.n_slots());
+    for op in shape.ops() {
+        let set = match op {
+            PlanOp::Anchor { arg } => EntitySet::singleton(n, bindings.anchors[*arg as usize]),
+            PlanOp::Projection { rel, input } => {
+                let rel = bindings.rels[*rel as usize];
+                let mut out = EntitySet::empty(n);
+                for e in slots[*input as usize].iter() {
+                    for &t in graph.neighbors(e, rel) {
+                        out.insert(EntityId(t));
+                    }
+                }
+                out
+            }
+            PlanOp::Intersection { inputs } => {
+                // Smallest first: the fold starts from the most selective
+                // input, so `acc` often empties before the big sets are
+                // even touched.
+                let mut order: Vec<u32> = inputs.clone();
+                order.sort_by_key(|&i| slots[i as usize].len());
+                let mut it = order.into_iter();
+                let first = it.next().expect("intersection of nothing");
+                let mut acc = slots[first as usize].clone();
+                for i in it {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc.intersect_with(&slots[i as usize]);
+                }
+                acc
+            }
+            PlanOp::Difference { inputs } => {
+                let mut acc = slots[inputs[0] as usize].clone();
+                for &i in &inputs[1..] {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc.difference_with(&slots[i as usize]);
+                }
+                acc
+            }
+            PlanOp::Negation { input } => slots[*input as usize].complement(),
+        };
+        slots.push(set);
+    }
+    let mut acc = EntitySet::empty(n);
+    for &r in shape.roots() {
+        acc.union_with(&slots[r as usize]);
+    }
+    acc
+}
+
+/// Plan-based [`crate::answer_split`]: one compile serves both graphs.
+pub fn split_set(
+    shape: &PlanShape,
+    bindings: &PlanBindings,
+    small: &Graph,
+    large: &Graph,
+) -> AnswerSplit {
+    let on_small = execute_set(shape, bindings, small);
+    let on_large = execute_set(shape, bindings, large);
+    let mut hard = Vec::new();
+    let mut easy = Vec::new();
+    for e in on_large.iter() {
+        if on_small.contains(e) {
+            easy.push(e);
+        } else {
+            hard.push(e);
+        }
+    }
+    AnswerSplit { hard, easy }
+}
+
+/// A thread-safe shape cache keyed by the query's structural skeleton
+/// (operator tree with ids stripped). The paper's workload grounds every
+/// query from a named [`Structure`](crate::Structure), so each of the 16
+/// training/evaluation structures and 6 large structures (§IV-D) compiles
+/// exactly once per run no matter how many instances flow through.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    map: RwLock<HashMap<Vec<u8>, Arc<PlanShape>>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// The compiled shape of `query`, compiling on first sight of its
+    /// skeleton and returning the shared copy afterwards.
+    pub fn shape_for(&self, query: &Query) -> Arc<PlanShape> {
+        let key = skeleton_key(query);
+        if let Some(shape) = self.map.read().expect("plan cache poisoned").get(&key) {
+            return shape.clone();
+        }
+        let shape = Arc::new(PlanShape::compile(query));
+        // Double-checked under the write lock: a racing compiler's copy
+        // wins so every caller shares one Arc per skeleton.
+        let mut map = self.map.write().expect("plan cache poisoned");
+        map.entry(key).or_insert(shape).clone()
+    }
+
+    /// Number of distinct skeletons compiled so far.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("plan cache poisoned").len()
+    }
+
+    /// True when nothing has been compiled yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Serializes the operator tree with anchors/relations stripped: queries
+/// grounded from one structure map to one key (and one compiled shape).
+fn skeleton_key(query: &Query) -> Vec<u8> {
+    fn walk(q: &Query, out: &mut Vec<u8>) {
+        match q {
+            Query::Anchor(_) => out.push(0),
+            Query::Projection { input, .. } => {
+                out.push(1);
+                walk(input, out);
+            }
+            Query::Intersection(qs) => {
+                out.push(2);
+                out.extend((qs.len() as u32).to_le_bytes());
+                qs.iter().for_each(|b| walk(b, out));
+            }
+            Query::Union(qs) => {
+                out.push(3);
+                out.extend((qs.len() as u32).to_le_bytes());
+                qs.iter().for_each(|b| walk(b, out));
+            }
+            Query::Difference(qs) => {
+                out.push(4);
+                out.extend((qs.len() as u32).to_le_bytes());
+                qs.iter().for_each(|b| walk(b, out));
+            }
+            Query::Negation(inner) => {
+                out.push(5);
+                walk(inner, out);
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(16);
+    walk(query, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dnf::to_dnf;
+
+    fn atom(e: u32, r: u32) -> Query {
+        Query::atom(EntityId(e), RelationId(r))
+    }
+
+    #[test]
+    fn union_free_query_compiles_to_one_branch() {
+        let q = atom(0, 0).project(RelationId(1));
+        let shape = PlanShape::compile(&q);
+        assert_eq!(shape.n_branches(), 1);
+        // Anchor, inner projection, outer projection.
+        assert_eq!(shape.n_slots(), 3);
+        assert_eq!(shape.n_anchors(), 1);
+        assert_eq!(shape.n_rels(), 2);
+    }
+
+    #[test]
+    fn branch_count_matches_dnf_everywhere() {
+        let u = Query::Union(vec![atom(0, 0), atom(1, 0)]);
+        let cases = vec![
+            u.clone(),
+            u.clone().project(RelationId(1)),
+            Query::Intersection(vec![u.clone(), Query::Union(vec![atom(2, 1), atom(3, 1)])]),
+            Query::Difference(vec![u.clone(), atom(4, 0)]),
+            Query::Difference(vec![atom(4, 0), u.clone()]),
+            u.clone().negate(),
+            Query::Intersection(vec![atom(5, 1), u.negate()]),
+        ];
+        for q in cases {
+            let shape = PlanShape::compile(&q);
+            assert_eq!(
+                shape.n_branches(),
+                to_dnf(&q).len(),
+                "branch count diverged for {}",
+                q.render()
+            );
+        }
+    }
+
+    #[test]
+    fn shared_subtrees_collapse_into_slots() {
+        // I(U(a,b), c): to_dnf clones c into both branches; the plan keeps
+        // one c slot referenced by two intersection slots.
+        let q = Query::Intersection(vec![Query::Union(vec![atom(0, 0), atom(1, 0)]), atom(2, 1)]);
+        let shape = PlanShape::compile(&q);
+        assert_eq!(shape.n_branches(), 2);
+        // 3 anchors + 3 projections + 2 intersections = 8 slots; the naive
+        // per-branch expansion would materialize c twice (9 node visits).
+        assert_eq!(shape.n_slots(), 8);
+    }
+
+    #[test]
+    fn bindings_follow_preorder_arg_indices() {
+        let q = Query::Intersection(vec![atom(1, 0), atom(3, 1)]).project(RelationId(2));
+        let shape = PlanShape::compile(&q);
+        let bindings = PlanBindings::of(&q);
+        bindings.check(&shape);
+        // Pre-order relations: outer projection first.
+        assert_eq!(
+            bindings.rels,
+            vec![RelationId(2), RelationId(0), RelationId(1)]
+        );
+        assert_eq!(bindings.anchors, vec![EntityId(1), EntityId(3)]);
+    }
+
+    #[test]
+    fn same_structure_shares_one_cached_shape() {
+        let cache = PlanCache::new();
+        let s1 = cache.shape_for(&atom(0, 0));
+        let s2 = cache.shape_for(&atom(7, 3));
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert_eq!(cache.len(), 1);
+        let s3 = cache.shape_for(&atom(0, 0).project(RelationId(1)));
+        assert!(!Arc::ptr_eq(&s1, &s3));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn ops_are_topologically_ordered() {
+        let q = Query::Difference(vec![
+            Query::Union(vec![atom(0, 0), atom(1, 0)]).project(RelationId(1)),
+            atom(2, 0),
+        ]);
+        let shape = PlanShape::compile(&q);
+        for (i, op) in shape.ops().iter().enumerate() {
+            let inputs: Vec<u32> = match op {
+                PlanOp::Anchor { .. } => vec![],
+                PlanOp::Projection { input, .. } | PlanOp::Negation { input } => vec![*input],
+                PlanOp::Intersection { inputs } | PlanOp::Difference { inputs } => inputs.clone(),
+            };
+            for s in inputs {
+                assert!((s as usize) < i, "slot {i} uses later slot {s}");
+            }
+        }
+    }
+}

@@ -8,8 +8,9 @@
 //! with the exact engine and rejected if degenerate (empty or blown-up
 //! answer sets).
 
-use crate::answers::answers;
 use crate::ast::Query;
+use crate::plan::{execute_set, PlanBindings, PlanCache};
+use crate::set::EntitySet;
 use crate::structures::Structure;
 use halk_kg::{EntityId, Graph, RelationId};
 use rand::seq::SliceRandom;
@@ -33,6 +34,9 @@ pub struct Sampler<'g> {
     /// universe (negation structures are exempt — their answer sets are
     /// legitimately huge, as §IV-B discusses).
     max_answer_frac: f64,
+    /// Shapes compile once per structure skeleton; rejection sampling then
+    /// only re-binds anchors/relations per candidate.
+    plans: PlanCache,
 }
 
 impl<'g> Sampler<'g> {
@@ -42,7 +46,14 @@ impl<'g> Sampler<'g> {
             graph,
             max_tries: 64,
             max_answer_frac: 0.25,
+            plans: PlanCache::new(),
         }
+    }
+
+    /// Exact answers through the sampler's plan cache.
+    fn cached_answers(&self, query: &Query) -> EntitySet {
+        let shape = self.plans.shape_for(query);
+        execute_set(&shape, &PlanBindings::of(query), self.graph)
     }
 
     /// Samples one grounded instance of `structure`, or `None` if the
@@ -50,7 +61,7 @@ impl<'g> Sampler<'g> {
     pub fn sample(&self, structure: Structure, rng: &mut impl Rng) -> Option<GroundedQuery> {
         for _ in 0..self.max_tries {
             if let Some(query) = self.try_build(structure, rng) {
-                let ans = answers(&query, self.graph);
+                let ans = self.cached_answers(&query);
                 let n = self.graph.n_entities();
                 let cap = if structure.has_negation() {
                     n - 1
@@ -242,7 +253,7 @@ impl<'g> Sampler<'g> {
                 for _ in 0..self.max_tries {
                     let other = self.random_triple(rng)?;
                     if let Some(chain) = self.backward_chain(other.t, 2, rng) {
-                        let chain_answers = answers(&chain, self.graph);
+                        let chain_answers = self.cached_answers(&chain);
                         if !chain_answers.contains(v) {
                             return Some(Query::Intersection(vec![
                                 chain.negate(),
@@ -318,6 +329,7 @@ impl<'g> Sampler<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::answers::answers;
     use halk_kg::{generate, SynthConfig};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

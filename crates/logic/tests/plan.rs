@@ -1,0 +1,115 @@
+//! Plan-compiler equivalence: the compiled executor must agree with the
+//! retained AST-walking reference on every structure and on random queries
+//! (the exact-engine half of the PR 4 bit-identity suite).
+
+use halk_kg::{generate, DatasetSplit, EntityId, Graph, RelationId, SynthConfig};
+use halk_logic::answers::reference::{answer_split_ast, answers_ast};
+use halk_logic::plan::{execute_set, split_set, PlanBindings, PlanCache, PlanShape};
+use halk_logic::{to_dnf, Query, Sampler, Structure};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn toy_graph() -> Graph {
+    generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(77))
+}
+
+/// Every one of the 24 named structures: compiled-plan answers equal the
+/// recursive reference, on several sampled groundings each.
+#[test]
+fn plan_matches_reference_on_all_structures() {
+    let g = toy_graph();
+    let sampler = Sampler::new(&g);
+    let mut rng = StdRng::seed_from_u64(9);
+    for s in Structure::all() {
+        for gq in sampler.sample_many(s, 4, &mut rng) {
+            let shape = PlanShape::compile(&gq.query);
+            let bindings = PlanBindings::of(&gq.query);
+            assert_eq!(
+                execute_set(&shape, &bindings, &g),
+                answers_ast(&gq.query, &g),
+                "{s}: {}",
+                gq.query.render()
+            );
+        }
+    }
+}
+
+/// The easy/hard split (evaluation protocol §IV-A) agrees with the
+/// reference on every structure over a nested train/valid/test split.
+#[test]
+fn plan_split_matches_reference_on_all_structures() {
+    let g = toy_graph();
+    let split = DatasetSplit::nested(&g, 0.8, 0.1, &mut StdRng::seed_from_u64(13));
+    let sampler = Sampler::new(&split.test);
+    let mut rng = StdRng::seed_from_u64(21);
+    for s in Structure::all() {
+        for gq in sampler.sample_many(s, 3, &mut rng) {
+            let shape = PlanShape::compile(&gq.query);
+            let bindings = PlanBindings::of(&gq.query);
+            let got = split_set(&shape, &bindings, &split.valid, &split.test);
+            let want = answer_split_ast(&gq.query, &split.valid, &split.test);
+            assert_eq!(got.hard, want.hard, "{s} hard");
+            assert_eq!(got.easy, want.easy, "{s} easy");
+        }
+    }
+}
+
+/// One cache entry per structure skeleton, however many groundings run
+/// through it.
+#[test]
+fn cache_compiles_each_structure_once() {
+    let g = toy_graph();
+    let sampler = Sampler::new(&g);
+    let mut rng = StdRng::seed_from_u64(31);
+    let plans = PlanCache::new();
+    let all = Structure::all();
+    for &s in &all {
+        for gq in sampler.sample_many(s, 5, &mut rng) {
+            let shape = plans.shape_for(&gq.query);
+            execute_set(&shape, &PlanBindings::of(&gq.query), &g);
+        }
+    }
+    assert_eq!(plans.len(), all.len());
+}
+
+fn arb_query(entities: u32, relations: u32) -> impl Strategy<Value = Query> {
+    let anchor =
+        (0..entities, 0..relations).prop_map(|(e, r)| Query::atom(EntityId(e), RelationId(r)));
+    anchor.prop_recursive(3, 24, 3, move |inner| {
+        prop_oneof![
+            (inner.clone(), 0..relations).prop_map(|(q, r)| q.project(RelationId(r))),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Query::Intersection),
+            prop::collection::vec(inner.clone(), 2..3).prop_map(Query::Union),
+            prop::collection::vec(inner.clone(), 2..3).prop_map(Query::Difference),
+            inner.prop_map(|q| q.negate()),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Arbitrary nested queries (unions and negations anywhere): the plan
+    /// executor and the AST reference compute the same answer set, and the
+    /// plan has exactly one root per DNF branch.
+    #[test]
+    fn plan_matches_reference_on_random_queries(q in arb_query(700, 20)) {
+        let g = toy_graph();
+        let shape = PlanShape::compile(&q);
+        prop_assert_eq!(shape.n_branches(), to_dnf(&q).len());
+        let got = execute_set(&shape, &PlanBindings::of(&q), &g);
+        prop_assert_eq!(got, answers_ast(&q, &g));
+    }
+
+    /// Binding extraction is positional: anchors and relations line up with
+    /// the compiler's argument numbering on arbitrary queries.
+    #[test]
+    fn bindings_fit_their_shape(q in arb_query(700, 20)) {
+        let shape = PlanShape::compile(&q);
+        let bindings = PlanBindings::of(&q);
+        bindings.check(&shape);
+        prop_assert_eq!(bindings.anchors.len(), shape.n_anchors());
+        prop_assert_eq!(bindings.rels.len(), shape.n_rels());
+    }
+}
