@@ -5,15 +5,23 @@
 //! count vs one worker, and the query-plan compiler (compile-from-scratch
 //! vs a warm-cache embed) — at fixed seeds, and writes `BENCH_hotpath.json`
 //! at the repo root so future changes can be diffed with `--compare`
-//! (schema `halk-bench-hotpath/v3`; `--compare` still reads v1/v2
-//! baselines, comparing the shared keys).
+//! (schema `halk-bench-hotpath/v4`; `--compare` still reads v1-v3
+//! baselines, comparing the shared keys). The v4 schema adds a
+//! `tracing_overhead_disabled` entry (one `span!` open+close with no trace
+//! file configured — must stay at a few ns) and a `metrics_snapshot` field
+//! recording where the metrics-registry snapshot (pool busy/wall
+//! histograms, plan-cache and eval counters accumulated while benching)
+//! was written: `results/bench_hotpath_metrics.json` by default,
+//! `--metrics-out` to override.
 //!
 //! Usage:
 //!   bench_hotpath [--smoke] [--out <path>] [--compare <old.json>]
+//!                 [--metrics-out <path>]
 //!
 //! `--smoke` runs a seconds-scale configuration (CI sanity; does not write
 //! the JSON unless `--out` is given). `--compare` exits non-zero if any
-//! shared benchmark regressed by more than 15%.
+//! shared benchmark regressed by more than 15%, naming each regressed
+//! entry with its slowdown percentage.
 
 use halk_core::{evaluate_structure_pool, HalkConfig, HalkModel, Pool, QueryModel, TrainExample};
 use halk_kg::{generate, DatasetSplit, Graph, SynthConfig};
@@ -33,6 +41,7 @@ struct Args {
     smoke: bool,
     out: Option<String>,
     compare: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +49,7 @@ fn parse_args() -> Args {
         smoke: false,
         out: None,
         compare: None,
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -47,9 +57,13 @@ fn parse_args() -> Args {
             "--smoke" => args.smoke = true,
             "--out" => args.out = it.next(),
             "--compare" => args.compare = it.next(),
+            "--metrics-out" => args.metrics_out = it.next(),
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: bench_hotpath [--smoke] [--out <path>] [--compare <old.json>]");
+                eprintln!(
+                    "usage: bench_hotpath [--smoke] [--out <path>] [--compare <old.json>] \
+                     [--metrics-out <path>]"
+                );
                 std::process::exit(2);
             }
         }
@@ -96,6 +110,10 @@ fn batch_for(g: &Graph, s: Structure, n: usize, seed: u64) -> Vec<TrainExample> 
 
 fn main() {
     let args = parse_args();
+    // Pool/plan/eval metrics accumulate while benching; the snapshot at the
+    // end captures them. HALK_TRACE works here like everywhere else.
+    halk_core::obs::install();
+    halk_obs::trace::init_from_env();
     // (samples, iters) per benchmark family: enough for a stable median at
     // full scale, seconds total under --smoke.
     let (samples, iters) = if args.smoke { (3, 3) } else { (9, 20) };
@@ -165,6 +183,17 @@ fn main() {
         black_box(model.embed_query(&up.query));
     });
     record("embed_up_cached_plan", ns_embed_cached, iters);
+
+    // --- disabled-tracing overhead: one span open+close with no trace file
+    // configured must cost a few ns (one relaxed atomic load and an inert
+    // guard drop). This is the zero-cost-when-disabled contract of
+    // halk-obs; regressions here slow every instrumented hot path.
+    let span_iters = 10_000;
+    let ns_span = median_ns(samples, span_iters, || {
+        let guard = halk_obs::span!("bench_disabled_span");
+        black_box(&guard);
+    });
+    record("tracing_overhead_disabled", ns_span, span_iters);
 
     // --- one optimizer step (embed + loss + backward + Adam), pooled tape.
     let batch = batch_for(&g, Structure::Pi, cfg.batch_size, 2);
@@ -259,8 +288,20 @@ fn main() {
     let speedup_p2 = ns_scalar_p2 / ns_vec_p2;
     println!("score_all speedup vs scalar: up {speedup:.2}x, p2 {speedup_p2:.2}x");
 
+    // Snapshot the metrics the instrumented paths accumulated while
+    // benching (pool regions, plan-cache hits/misses, eval counters).
+    let metrics_path = args
+        .metrics_out
+        .clone()
+        .unwrap_or_else(|| "results/bench_hotpath_metrics.json".to_string());
+    match halk_obs::metrics::write_snapshot(&metrics_path) {
+        Ok(()) => println!("metrics snapshot written to {metrics_path}"),
+        Err(e) => halk_obs::log!(Error, "cannot write metrics snapshot {metrics_path}: {e}"),
+    }
+
     let report = json!({
-        "schema": "halk-bench-hotpath/v3",
+        "schema": "halk-bench-hotpath/v4",
+        "metrics_snapshot": metrics_path,
         "config": json!({
             "smoke": args.smoke,
             "dim": cfg.dim,
@@ -272,6 +313,7 @@ fn main() {
             "seed": 1,
             "threads": threads,
             "hardware_threads": hardware_threads,
+            "tracing_enabled": halk_obs::trace::enabled(),
         }),
         "results": Value::Object(results),
         "derived": json!({
@@ -317,7 +359,7 @@ fn compare(old: &Value, new: &Value) -> i32 {
         Some(Value::Object(fields)) => fields,
         _ => unreachable!("report always has results"),
     };
-    let mut failed = false;
+    let mut regressed: Vec<(String, f64)> = Vec::new();
     for (name, old_entry) in old_results {
         let Some(old_ns) = old_entry.get("median_ns").and_then(Value::as_f64) else {
             continue;
@@ -333,18 +375,27 @@ fn compare(old: &Value, new: &Value) -> i32 {
         };
         let ratio = new_ns / old_ns;
         let verdict = if ratio > REGRESSION_FACTOR {
-            failed = true;
+            regressed.push((name.clone(), (ratio - 1.0) * 100.0));
             "REGRESSION"
         } else {
             "ok"
         };
         println!("compare {name:24} {old_ns:>12.0} -> {new_ns:>12.0} ns  ({ratio:.2}x)  {verdict}");
     }
-    if failed {
-        eprintln!("regression: some benchmarks slowed by more than {REGRESSION_FACTOR}x");
-        1
-    } else {
+    if regressed.is_empty() {
         println!("no regressions beyond {REGRESSION_FACTOR}x");
         0
+    } else {
+        let list = regressed
+            .iter()
+            .map(|(name, pct)| format!("{name} +{pct:.1}%"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        eprintln!(
+            "regression: {} entr{} slowed beyond {REGRESSION_FACTOR}x: {list}",
+            regressed.len(),
+            if regressed.len() == 1 { "y" } else { "ies" },
+        );
+        1
     }
 }

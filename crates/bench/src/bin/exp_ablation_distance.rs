@@ -13,7 +13,7 @@
 //!
 //! Run with `cargo run --release -p halk-bench --bin exp_ablation_distance`.
 
-use halk_bench::{save_json, truncated_structures, Scale, Table};
+use halk_bench::{save_json, truncated_structures, RunObs, Scale, Table};
 use halk_core::eval::evaluate_table;
 use halk_core::{train_model, DistanceMode, HalkModel};
 use halk_kg::Dataset;
@@ -23,7 +23,9 @@ use rand::SeedableRng;
 use serde_json::json;
 
 fn main() {
+    let mut obs = RunObs::init("ablation_distance");
     let scale = Scale::from_env();
+    obs.scale(&scale);
     eprintln!(
         "Distance-mode ablation (FB237) at scale '{}' ({} steps)",
         scale.name(),
@@ -100,4 +102,5 @@ fn main() {
     ) {
         eprintln!("results written to {}", p.display());
     }
+    obs.finish();
 }

@@ -9,7 +9,7 @@
 //!
 //! Run with `cargo run --release -p halk-bench --bin exp_fig6a_pruning`.
 
-use halk_bench::{save_json, Scale, Table};
+use halk_bench::{save_json, RunObs, Scale, Table};
 use halk_core::prune::{candidate_set, induced_graph};
 use halk_core::{train_model, HalkModel};
 use halk_kg::Dataset;
@@ -21,7 +21,9 @@ use serde_json::json;
 use std::time::Instant;
 
 fn main() {
+    let mut obs = RunObs::init("fig6a_pruning");
     let scale = Scale::from_env();
+    obs.scale(&scale);
     let queries_per_structure = scale.eval_queries.min(20);
     eprintln!(
         "Fig. 6a (pruning, NELL) at scale '{}' ({} queries/structure)",
@@ -102,4 +104,5 @@ fn main() {
     ) {
         eprintln!("results written to {}", p.display());
     }
+    obs.finish();
 }

@@ -8,11 +8,13 @@
 //! Run with `cargo run --release -p halk-bench --bin exp_fig6b_offline`.
 
 use halk_bench::suite::{standard_datasets, train_suite, ModelKind};
-use halk_bench::{save_json, Scale, Table};
+use halk_bench::{save_json, RunObs, Scale, Table};
 use serde_json::json;
 
 fn main() {
+    let mut obs = RunObs::init("fig6b_offline");
     let scale = Scale::from_env();
+    obs.scale(&scale);
     eprintln!(
         "Fig. 6b (offline time) at scale '{}' ({} steps each)",
         scale.name(),
@@ -54,4 +56,5 @@ fn main() {
     ) {
         eprintln!("results written to {}", p.display());
     }
+    obs.finish();
 }

@@ -10,7 +10,7 @@
 //! Run with `cargo run --release -p halk-bench --bin exp_fig6c_online`.
 
 use halk_bench::suite::{standard_datasets, train_suite, ModelKind};
-use halk_bench::{save_json, Scale, Table};
+use halk_bench::{save_json, RunObs, Scale, Table};
 use halk_logic::{Sampler, Structure};
 use halk_matching::Matcher;
 use rand::rngs::StdRng;
@@ -19,7 +19,9 @@ use serde_json::json;
 use std::time::Instant;
 
 fn main() {
+    let mut obs = RunObs::init("fig6c_online");
     let mut scale = Scale::from_env();
+    obs.scale(&scale);
     let queries_per_structure = scale.eval_queries.min(20);
     // Timing only: a short training run produces identically-shaped models.
     scale.steps = scale.steps.min(500);
@@ -94,4 +96,5 @@ fn main() {
     if let Some(p) = save_json("fig6c_online", &json!({ "rows": json_rows })) {
         eprintln!("results written to {}", p.display());
     }
+    obs.finish();
 }

@@ -7,7 +7,7 @@
 //!
 //! Run with `cargo run --release -p halk-bench --bin exp_fig7_sparql`.
 
-use halk_bench::{save_json, Scale};
+use halk_bench::{save_json, RunObs, Scale};
 use halk_core::{train_model, HalkModel};
 use halk_kg::Dataset;
 use halk_logic::{answers, Structure};
@@ -18,7 +18,9 @@ use rand::SeedableRng;
 use serde_json::json;
 
 fn main() {
+    let mut obs = RunObs::init("fig7_sparql");
     let scale = Scale::from_env();
+    obs.scale(&scale);
     eprintln!(
         "Fig. 7 (SPARQL executor, FB237) at scale '{}'",
         scale.name()
@@ -106,4 +108,5 @@ fn main() {
     ) {
         eprintln!("results written to {}", p.display());
     }
+    obs.finish();
 }

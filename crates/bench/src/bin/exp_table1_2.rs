@@ -5,13 +5,15 @@
 //! scale via `HALK_SCALE=smoke|quick|standard|full`.
 
 use halk_bench::suite::{standard_datasets, train_suite, ModelKind};
-use halk_bench::{save_json, truncated_structures, Scale, Table};
+use halk_bench::{save_json, truncated_structures, RunObs, Scale, Table};
 use halk_core::eval::{evaluate_table, row_average};
 use halk_logic::Structure;
 use serde_json::json;
 
 fn main() {
+    let mut obs = RunObs::init("table1_2");
     let scale = Scale::from_env();
+    obs.scale(&scale);
     eprintln!(
         "Tables I-II at scale '{}' (dim {}, {} steps, {} eval queries/cell)",
         scale.name(),
@@ -26,7 +28,9 @@ fn main() {
     let mut json_out = Vec::new();
     for dataset in standard_datasets(&scale) {
         eprintln!("dataset {}:", dataset.name);
-        let suite = train_suite(&dataset.split, &scale, &ModelKind::all());
+        let suite = obs.phase(&format!("train_{}", dataset.name), || {
+            train_suite(&dataset.split, &scale, &ModelKind::all())
+        });
 
         let mut mrr_table =
             Table::new(format!("Table I (MRR %) — {}", dataset.name), &columns).percentages();
@@ -35,20 +39,26 @@ fn main() {
 
         let mut truncated_out = Vec::new();
         for trained in &suite {
-            let row = evaluate_table(
-                trained.model.as_ref(),
-                &dataset.split,
-                &structures,
-                scale.eval_queries,
-                scale.seed ^ 0x12,
-            );
+            let row = obs.phase(&format!("eval_{}", dataset.name), || {
+                evaluate_table(
+                    trained.model.as_ref(),
+                    &dataset.split,
+                    &structures,
+                    scale.eval_queries,
+                    scale.seed ^ 0x12,
+                )
+            });
             let mut mrr_cells: Vec<Option<f64>> =
                 row.iter().map(|(_, c)| c.map(|c| c.metrics.mrr)).collect();
             let mut hit3_cells: Vec<Option<f64>> = row
                 .iter()
                 .map(|(_, c)| c.map(|c| c.metrics.hits3))
                 .collect();
-            mrr_cells.push(Some(row_average(&row, |m| m.mrr)));
+            let mrr_avg = row_average(&row, |m| m.mrr);
+            if trained.name() == "HaLk" {
+                obs.metric(&format!("mrr_avg_{}", dataset.name), mrr_avg);
+            }
+            mrr_cells.push(Some(mrr_avg));
             hit3_cells.push(Some(row_average(&row, |m| m.hits3)));
             mrr_table.push_row(trained.name(), mrr_cells);
             hit3_table.push_row(trained.name(), hit3_cells);
@@ -74,4 +84,5 @@ fn main() {
     ) {
         eprintln!("results written to {}", p.display());
     }
+    obs.finish();
 }

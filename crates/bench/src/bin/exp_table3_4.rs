@@ -5,13 +5,15 @@
 //! Run with `cargo run --release -p halk-bench --bin exp_table3_4`.
 
 use halk_bench::suite::{standard_datasets, train_suite, ModelKind};
-use halk_bench::{save_json, truncated_structures, Scale, Table};
+use halk_bench::{save_json, truncated_structures, RunObs, Scale, Table};
 use halk_core::eval::{evaluate_table, row_average};
 use halk_logic::Structure;
 use serde_json::json;
 
 fn main() {
+    let mut obs = RunObs::init("table3_4");
     let scale = Scale::from_env();
+    obs.scale(&scale);
     eprintln!(
         "Tables III-IV at scale '{}' (dim {}, {} steps)",
         scale.name(),
@@ -79,4 +81,5 @@ fn main() {
     ) {
         eprintln!("results written to {}", p.display());
     }
+    obs.finish();
 }

@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --release -p halk-bench --bin exp_table5_ablation`.
 
-use halk_bench::{save_json, truncated_structures, Scale, Table};
+use halk_bench::{save_json, truncated_structures, RunObs, Scale, Table};
 use halk_core::eval::evaluate_table;
 use halk_core::{train_model, Ablation, HalkModel};
 use halk_kg::Dataset;
@@ -18,7 +18,9 @@ use rand::SeedableRng;
 use serde_json::json;
 
 fn main() {
+    let mut obs = RunObs::init("table5_ablation");
     let scale = Scale::from_env();
+    obs.scale(&scale);
     eprintln!(
         "Table V (ablations, NELL) at scale '{}' ({} steps)",
         scale.name(),
@@ -116,4 +118,5 @@ fn main() {
     ) {
         eprintln!("results written to {}", p.display());
     }
+    obs.finish();
 }

@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --release -p halk-bench --bin exp_table6_scalability`.
 
-use halk_bench::{save_json, Scale, Table};
+use halk_bench::{save_json, RunObs, Scale, Table};
 use halk_core::{train_model, HalkModel};
 use halk_kg::Dataset;
 use halk_logic::{answers, Sampler, Structure};
@@ -19,7 +19,9 @@ use serde_json::json;
 use std::time::Instant;
 
 fn main() {
+    let mut obs = RunObs::init("table6_scalability");
     let scale = Scale::from_env();
+    obs.scale(&scale);
     let queries_per_size = scale.eval_queries.min(30);
     eprintln!(
         "Table VI (scalability, NELL) at scale '{}' ({} queries/size)",
@@ -116,4 +118,5 @@ fn main() {
     ) {
         eprintln!("results written to {}", p.display());
     }
+    obs.finish();
 }

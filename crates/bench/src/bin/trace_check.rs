@@ -1,0 +1,114 @@
+//! Validates `halk-obs` artifacts from an instrumented run.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace_check [TRACE.jsonl ...] [--manifest FILE.json ...] \
+//!             [--coverage SPAN:FRACTION ...]
+//! ```
+//!
+//! Each positional argument is a JSONL trace checked with
+//! [`halk_bench::trace_check::check_trace`]; each `--coverage name:frac`
+//! additionally asserts that spans named `name` have direct-child spans
+//! covering at least `frac` (0..1) of their duration in every given trace.
+//! Each `--manifest` file is checked against the DESIGN.md §11 schema.
+//! Exits nonzero on the first failure. Used by `scripts/ci.sh` to gate the
+//! observability smoke run.
+
+use halk_bench::trace_check::{check_coverage, check_manifest, check_trace};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut traces: Vec<String> = Vec::new();
+    let mut manifests: Vec<String> = Vec::new();
+    let mut coverages: Vec<(String, f64)> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--manifest" => match it.next() {
+                Some(p) => manifests.push(p),
+                None => return usage("--manifest needs a path"),
+            },
+            "--coverage" => {
+                let Some(spec) = it.next() else {
+                    return usage("--coverage needs SPAN:FRACTION");
+                };
+                let Some((name, frac)) = spec.split_once(':') else {
+                    return usage("--coverage spec must be SPAN:FRACTION");
+                };
+                match frac.parse::<f64>() {
+                    Ok(f) if (0.0..=1.0).contains(&f) => coverages.push((name.to_string(), f)),
+                    _ => return usage("coverage fraction must be in 0..=1"),
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: trace_check [TRACE.jsonl ...] [--manifest FILE ...] [--coverage SPAN:FRACTION ...]");
+                return ExitCode::SUCCESS;
+            }
+            _ => traces.push(a),
+        }
+    }
+    if traces.is_empty() && manifests.is_empty() {
+        return usage("nothing to check");
+    }
+
+    let mut failed = false;
+    for path in &traces {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("trace_check: {path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match check_trace(&text) {
+            Ok(r) => println!(
+                "trace_check: {path}: ok ({} events, {} spans, {} threads)",
+                r.events, r.spans, r.threads
+            ),
+            Err(e) => {
+                eprintln!("trace_check: {path}: INVALID: {e}");
+                failed = true;
+                continue;
+            }
+        }
+        for (name, frac) in &coverages {
+            match check_coverage(&text, name, *frac) {
+                Ok(n) => println!(
+                    "trace_check: {path}: coverage {name} >= {:.0}% ok ({n} spans checked)",
+                    frac * 100.0
+                ),
+                Err(e) => {
+                    eprintln!("trace_check: {path}: COVERAGE FAILURE for {name}: {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    for path in &manifests {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| check_manifest(&t))
+        {
+            Ok(()) => println!("trace_check: manifest {path}: ok"),
+            Err(e) => {
+                eprintln!("trace_check: manifest {path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("trace_check: {msg}");
+    eprintln!(
+        "usage: trace_check [TRACE.jsonl ...] [--manifest FILE ...] [--coverage SPAN:FRACTION ...]"
+    );
+    ExitCode::FAILURE
+}

@@ -13,9 +13,12 @@
 //! (EXPERIMENTS.md records which preset produced the reported runs).
 
 pub mod report;
+pub mod runmeta;
 pub mod scale;
 pub mod suite;
+pub mod trace_check;
 
 pub use report::{save_json, truncated_structures, Table};
+pub use runmeta::RunObs;
 pub use scale::Scale;
 pub use suite::{train_suite, TrainedModel};

@@ -132,20 +132,20 @@ pub fn truncated_structures(row: &[(Structure, Option<EvalCell>)]) -> Vec<String
 pub fn save_json(name: &str, value: &Value) -> Option<PathBuf> {
     let dir = PathBuf::from("results");
     if let Err(e) = std::fs::create_dir_all(&dir) {
-        eprintln!("warning: cannot create {}: {e}", dir.display());
+        halk_obs::log!(Warn, "cannot create {}: {e}", dir.display());
         return None;
     }
     let path = dir.join(format!("{name}.json"));
     match serde_json::to_string_pretty(value) {
         Ok(s) => {
             if let Err(e) = std::fs::write(&path, s) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
+                halk_obs::log!(Warn, "cannot write {}: {e}", path.display());
                 return None;
             }
             Some(path)
         }
         Err(e) => {
-            eprintln!("warning: cannot serialize {name}: {e}");
+            halk_obs::log!(Warn, "cannot serialize {name}: {e}");
             None
         }
     }

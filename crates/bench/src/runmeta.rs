@@ -1,0 +1,137 @@
+//! Per-run observability wiring shared by every experiment binary and the
+//! CLI: trace/metrics flag parsing, hook installation, and the run
+//! manifest.
+//!
+//! Each `exp_*` binary starts with [`RunObs::init`] and ends with
+//! [`RunObs::finish`]; in between it records config, phase timings and
+//! final metrics. `finish` writes `results/<run>/manifest.json` (schema in
+//! DESIGN.md §11), a metrics snapshot next to it (or at `--metrics-out`),
+//! and flushes the trace file.
+//!
+//! Flags recognized from the command line (both `--flag value` and
+//! `--flag=value` forms):
+//!
+//! - `--trace <path>` — enable JSONL span tracing (same as `HALK_TRACE`);
+//! - `--metrics-out <path>` — metrics snapshot destination (`.prom` for
+//!   Prometheus exposition text, anything else for JSON).
+
+use halk_obs::Manifest;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Scans argv for `--name value` / `--name=value`.
+fn arg_value(name: &str) -> Option<String> {
+    let flag = format!("--{name}");
+    let prefix = format!("--{name}=");
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+        if a == &flag {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
+}
+
+/// One run's observability context: manifest builder plus output routing.
+pub struct RunObs {
+    manifest: Manifest,
+    metrics_out: Option<PathBuf>,
+}
+
+impl RunObs {
+    /// Initializes observability for run `run`: honors `HALK_TRACE` and the
+    /// `--trace` flag, installs the pool-stats hooks, and stamps the
+    /// manifest with the thread count (git revision and start time are
+    /// stamped by [`Manifest::new`]).
+    pub fn init(run: &str) -> RunObs {
+        halk_core::obs::install();
+        halk_obs::trace::init_from_env();
+        if let Some(path) = arg_value("trace") {
+            if let Err(e) = halk_obs::trace::init_trace(&path) {
+                halk_obs::log!(Error, "cannot open trace file {path}: {e}");
+            }
+        }
+        let mut manifest = Manifest::new(run);
+        manifest.set_int("threads", halk_par::auto_threads() as u64);
+        RunObs {
+            manifest,
+            metrics_out: arg_value("metrics-out").map(PathBuf::from),
+        }
+    }
+
+    /// Records the experiment scale in the manifest's config section.
+    pub fn scale(&mut self, scale: &crate::Scale) {
+        self.manifest.config_str("scale", scale.name());
+        self.manifest.config_int("dim", scale.dim as u64);
+        self.manifest.config_int("steps", scale.steps as u64);
+        self.manifest
+            .config_int("eval_queries", scale.eval_queries as u64);
+        self.manifest.set_int("seed", scale.seed);
+    }
+
+    /// Mutable access to the manifest for custom fields.
+    pub fn manifest(&mut self) -> &mut Manifest {
+        &mut self.manifest
+    }
+
+    /// Runs `f` as the named phase: traced as a span, timed into the
+    /// manifest's `phases` map (accumulating across repeated names).
+    pub fn phase<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let _span = halk_obs::span!("phase", || name.to_string());
+        let start = Instant::now();
+        let out = f();
+        self.manifest.phase(name, start.elapsed());
+        out
+    }
+
+    /// Records a final metric.
+    pub fn metric(&mut self, name: &str, v: f64) {
+        self.manifest.metric(name, v);
+    }
+
+    /// Writes the manifest and metrics snapshot, flushes the trace, and
+    /// reports the paths. The snapshot lands at `--metrics-out` when given,
+    /// else next to the manifest as `metrics.json`.
+    pub fn finish(self) {
+        let run = self.manifest.run().to_string();
+        let snapshot = self
+            .metrics_out
+            .unwrap_or_else(|| PathBuf::from("results").join(&run).join("metrics.json"));
+        if let Err(e) = halk_obs::metrics::write_snapshot(&snapshot) {
+            halk_obs::log!(Error, "cannot write metrics snapshot: {e}");
+        } else {
+            eprintln!("metrics snapshot written to {}", snapshot.display());
+        }
+        match self.manifest.write() {
+            Ok(p) => eprintln!("manifest written to {}", p.display()),
+            Err(e) => halk_obs::log!(Error, "cannot write manifest for {run}: {e}"),
+        }
+        halk_obs::trace::flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_accumulates_and_metrics_land_in_manifest() {
+        let mut obs = RunObs {
+            manifest: Manifest::new("runmeta_test"),
+            metrics_out: None,
+        };
+        let x = obs.phase("work", || 21 * 2);
+        assert_eq!(x, 42);
+        obs.phase("work", || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        obs.metric("answer", 42.0);
+        let js = obs.manifest.to_json();
+        let v: serde_json::Value = serde_json::from_str(&js).unwrap();
+        assert!(v["phases"]["work"].as_f64().unwrap() > 0.0);
+        assert_eq!(v["metrics"]["answer"], 42.0);
+    }
+}

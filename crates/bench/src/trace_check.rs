@@ -1,0 +1,283 @@
+//! Validation of `halk-obs` artifacts: JSONL traces and run manifests.
+//!
+//! Used by `scripts/ci.sh` (via the `trace_check` binary) to assert that an
+//! instrumented smoke run produced structurally sound observability output:
+//!
+//! - every trace line is one valid JSON object carrying `ev`, `name`,
+//!   `ts_us` and `tid`;
+//! - per-thread timestamps are monotonic (file order across threads is
+//!   explicitly *not* chronological — buffers flush independently);
+//! - open/close events balance LIFO per thread, and every close carries
+//!   `dur_us`;
+//! - optionally, for a named parent span, the durations of its direct
+//!   child spans cover at least a given fraction of the parent's duration
+//!   (the "phase timings sum to wall time" acceptance check);
+//! - manifests carry every key of the DESIGN.md §11 schema.
+
+use serde_json::Value;
+use std::collections::HashMap;
+
+/// Summary of a structurally valid trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Total events (lines).
+    pub events: usize,
+    /// Closed spans.
+    pub spans: usize,
+    /// Distinct thread ordinals seen.
+    pub threads: usize,
+}
+
+fn field_i64(v: &Value, key: &str, line: usize) -> Result<i64, String> {
+    v.get(key)
+        .and_then(Value::as_i64)
+        .ok_or_else(|| format!("line {line}: missing numeric field {key:?}"))
+}
+
+fn field_str<'a>(v: &'a Value, key: &str, line: usize) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("line {line}: missing string field {key:?}"))
+}
+
+/// Checks the structural trace invariants over a whole JSONL document.
+pub fn check_trace(text: &str) -> Result<TraceReport, String> {
+    let mut last_ts: HashMap<i64, i64> = HashMap::new();
+    let mut stacks: HashMap<i64, Vec<String>> = HashMap::new();
+    let mut events = 0usize;
+    let mut spans = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        let v: Value =
+            serde_json::from_str(line).map_err(|e| format!("line {n}: invalid JSON ({e:?})"))?;
+        events += 1;
+        let ev = field_str(&v, "ev", n)?;
+        let name = field_str(&v, "name", n)?.to_string();
+        let tid = field_i64(&v, "tid", n)?;
+        let ts = field_i64(&v, "ts_us", n)?;
+        let prev = last_ts.insert(tid, ts).unwrap_or(i64::MIN);
+        if ts < prev {
+            return Err(format!(
+                "line {n}: thread {tid} timestamps regressed ({prev} -> {ts})"
+            ));
+        }
+        match ev {
+            "o" => stacks.entry(tid).or_default().push(name),
+            "c" => {
+                field_i64(&v, "dur_us", n)?;
+                match stacks.entry(tid).or_default().pop() {
+                    Some(open) if open == name => spans += 1,
+                    Some(open) => {
+                        return Err(format!(
+                            "line {n}: thread {tid} closes {name:?} but {open:?} is open"
+                        ))
+                    }
+                    None => {
+                        return Err(format!(
+                            "line {n}: thread {tid} closes {name:?} with no open"
+                        ))
+                    }
+                }
+            }
+            "i" => {}
+            other => return Err(format!("line {n}: unknown event kind {other:?}")),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!("thread {tid} left spans open: {stack:?}"));
+        }
+    }
+    Ok(TraceReport {
+        events,
+        spans,
+        threads: last_ts.len(),
+    })
+}
+
+/// Spans shorter than this are exempt from the coverage check — at
+/// microsecond resolution, fixed bookkeeping dominates tiny parents.
+const COVERAGE_MIN_DUR_US: i64 = 1_000;
+
+/// Checks that, for every span named `parent` longer than
+/// [`COVERAGE_MIN_DUR_US`], the summed durations of its direct child spans
+/// cover at least `min_fraction` of its duration. Call only on a trace
+/// that already passed [`check_trace`]. Returns the number of parents
+/// checked.
+pub fn check_coverage(text: &str, parent: &str, min_fraction: f64) -> Result<usize, String> {
+    // Per-thread stack of (name, sum of direct-child durations so far).
+    let mut stacks: HashMap<i64, Vec<(String, i64)>> = HashMap::new();
+    let mut checked = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        let v: Value =
+            serde_json::from_str(line).map_err(|e| format!("line {n}: invalid JSON ({e:?})"))?;
+        let ev = field_str(&v, "ev", n)?;
+        let tid = field_i64(&v, "tid", n)?;
+        match ev {
+            "o" => stacks
+                .entry(tid)
+                .or_default()
+                .push((field_str(&v, "name", n)?.to_string(), 0)),
+            "c" => {
+                let dur = field_i64(&v, "dur_us", n)?;
+                let stack = stacks.entry(tid).or_default();
+                let (name, child_sum) = stack
+                    .pop()
+                    .ok_or_else(|| format!("line {n}: close without open"))?;
+                if name == parent && dur >= COVERAGE_MIN_DUR_US {
+                    checked += 1;
+                    let frac = child_sum as f64 / dur as f64;
+                    if frac < min_fraction {
+                        return Err(format!(
+                            "line {n}: span {parent:?} on thread {tid} has child coverage \
+                             {:.1}% (< {:.1}%): {child_sum}us of {dur}us accounted",
+                            frac * 100.0,
+                            min_fraction * 100.0
+                        ));
+                    }
+                }
+                if let Some(top) = stack.last_mut() {
+                    top.1 += dur;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(checked)
+}
+
+/// Keys every manifest must carry (DESIGN.md §11).
+const MANIFEST_KEYS: [&str; 8] = [
+    "run",
+    "started_unix",
+    "wall_s",
+    "fields",
+    "config",
+    "phases",
+    "metrics",
+    "observability",
+];
+
+/// Checks a run manifest parses and carries the full §11 schema.
+pub fn check_manifest(text: &str) -> Result<(), String> {
+    let v: Value = serde_json::from_str(text).map_err(|e| format!("invalid JSON ({e:?})"))?;
+    for key in MANIFEST_KEYS {
+        if v.get(key).is_none() {
+            return Err(format!("manifest is missing key {key:?}"));
+        }
+    }
+    if v["run"].as_str().is_none_or(str::is_empty) {
+        return Err("manifest \"run\" must be a non-empty string".to_string());
+    }
+    for key in ["counters", "gauges", "histograms"] {
+        if v["observability"].get(key).is_none() {
+            return Err(format!("manifest \"observability\" is missing {key:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = concat!(
+        r#"{"ev":"o","name":"outer","ts_us":10,"tid":0}"#,
+        "\n",
+        r#"{"ev":"o","name":"inner","ts_us":12,"tid":0,"detail":"2p"}"#,
+        "\n",
+        r#"{"ev":"i","name":"tick","ts_us":13,"tid":1}"#,
+        "\n",
+        r#"{"ev":"c","name":"inner","ts_us":20,"tid":0,"dur_us":8}"#,
+        "\n",
+        r#"{"ev":"c","name":"outer","ts_us":25,"tid":0,"dur_us":15}"#,
+        "\n",
+    );
+
+    #[test]
+    fn valid_trace_passes() {
+        let r = check_trace(GOOD).unwrap();
+        assert_eq!(
+            r,
+            TraceReport {
+                events: 5,
+                spans: 2,
+                threads: 2
+            }
+        );
+    }
+
+    #[test]
+    fn non_lifo_close_fails() {
+        let bad = concat!(
+            r#"{"ev":"o","name":"a","ts_us":1,"tid":0}"#,
+            "\n",
+            r#"{"ev":"o","name":"b","ts_us":2,"tid":0}"#,
+            "\n",
+            r#"{"ev":"c","name":"a","ts_us":3,"tid":0,"dur_us":2}"#,
+            "\n",
+        );
+        assert!(check_trace(bad).unwrap_err().contains("closes"));
+    }
+
+    #[test]
+    fn timestamp_regression_fails() {
+        let bad = concat!(
+            r#"{"ev":"i","name":"a","ts_us":5,"tid":0}"#,
+            "\n",
+            r#"{"ev":"i","name":"b","ts_us":4,"tid":0}"#,
+            "\n",
+        );
+        assert!(check_trace(bad).unwrap_err().contains("regressed"));
+    }
+
+    #[test]
+    fn unclosed_span_fails() {
+        let bad = r#"{"ev":"o","name":"a","ts_us":1,"tid":0}"#;
+        assert!(check_trace(bad).unwrap_err().contains("open"));
+    }
+
+    #[test]
+    fn invalid_json_line_fails() {
+        assert!(check_trace("{not json}\n").is_err());
+    }
+
+    #[test]
+    fn coverage_passes_and_fails_by_threshold() {
+        // parent 2000us with one child of 1900us: 95% coverage.
+        let t = concat!(
+            r#"{"ev":"o","name":"p","ts_us":0,"tid":0}"#,
+            "\n",
+            r#"{"ev":"o","name":"k","ts_us":50,"tid":0}"#,
+            "\n",
+            r#"{"ev":"c","name":"k","ts_us":1950,"tid":0,"dur_us":1900}"#,
+            "\n",
+            r#"{"ev":"c","name":"p","ts_us":2000,"tid":0,"dur_us":2000}"#,
+            "\n",
+        );
+        assert_eq!(check_coverage(t, "p", 0.9).unwrap(), 1);
+        assert!(check_coverage(t, "p", 0.99).is_err());
+        // Unknown parent name: nothing checked, trivially ok.
+        assert_eq!(check_coverage(t, "absent", 0.9).unwrap(), 0);
+    }
+
+    #[test]
+    fn short_parents_are_exempt_from_coverage() {
+        let t = concat!(
+            r#"{"ev":"o","name":"p","ts_us":0,"tid":0}"#,
+            "\n",
+            r#"{"ev":"c","name":"p","ts_us":10,"tid":0,"dur_us":10}"#,
+            "\n",
+        );
+        assert_eq!(check_coverage(t, "p", 0.95).unwrap(), 0);
+    }
+
+    #[test]
+    fn manifest_schema_is_enforced() {
+        let good = halk_obs::Manifest::new("tc_test").to_json();
+        check_manifest(&good).unwrap();
+        assert!(check_manifest("{}").unwrap_err().contains("missing key"));
+        assert!(check_manifest("not json").is_err());
+    }
+}

@@ -107,7 +107,8 @@ fn main() -> ExitCode {
 
 fn run(argv: Vec<String>) -> Result<(), CliError> {
     let args = Args::parse(argv)?;
-    match args.command.as_str() {
+    init_obs(&args);
+    let result = match args.command.as_str() {
         "gen" => cmd_gen(&args),
         "stats" => cmd_stats(&args),
         "train" => cmd_train(&args),
@@ -117,7 +118,34 @@ fn run(argv: Vec<String>) -> Result<(), CliError> {
             Ok(())
         }
         other => Err(CliError::UnknownCommand(other.to_string())),
+    };
+    finish_obs(&args);
+    result
+}
+
+/// Installs the pool-stats observability hooks and honors `HALK_TRACE` plus
+/// the `--trace` flag (accepted by every subcommand).
+fn init_obs(args: &Args) {
+    halk_core::obs::install();
+    halk_obs::trace::init_from_env();
+    if let Some(path) = args.optional("trace") {
+        if let Err(e) = halk_obs::trace::init_trace(path) {
+            halk_obs::log!(Error, "cannot open trace file {path}: {e}");
+        }
     }
+}
+
+/// Writes the `--metrics-out` snapshot (if requested) and flushes the
+/// trace. Runs on success and failure alike so partial runs still leave
+/// their observability artifacts behind.
+fn finish_obs(args: &Args) {
+    if let Some(path) = args.optional("metrics-out") {
+        match halk_obs::metrics::write_snapshot(path) {
+            Ok(()) => eprintln!("metrics snapshot written to {path}"),
+            Err(e) => halk_obs::log!(Error, "cannot write metrics snapshot {path}: {e}"),
+        }
+    }
+    halk_obs::trace::flush();
 }
 
 const HELP: &str = "\
@@ -137,6 +165,13 @@ USAGE:
   halk ask   --graph graph.tsv --sparql QUERY
              [--model model_dir] [--engine exact|halk|match] [--top N]
   halk help
+
+OBSERVABILITY (any subcommand):
+  --trace FILE         write a JSONL span trace (same as HALK_TRACE=FILE)
+  --metrics-out FILE   write a metrics snapshot on exit (.prom for
+                       Prometheus text, anything else for JSON)
+  HALK_LOG=error|warn|info|debug   stderr log level (default: error)
+  `train` additionally writes results/cli_train/manifest.json
 ";
 
 fn load_graph(args: &Args) -> Result<Graph, CliError> {
@@ -225,13 +260,31 @@ fn cmd_train(args: &Args) -> Result<(), CliError> {
         threads,
         ..TrainConfig::default()
     };
+    let mut manifest = halk_obs::Manifest::new("cli_train");
+    manifest.config_int("steps", steps as u64);
+    manifest.config_int("dim", dim as u64);
+    manifest.config_str("graph", args.required("graph")?);
+    manifest.set_int("seed", seed);
+    manifest.set_int("threads", halk_par::auto_threads() as u64);
+
+    let train_start = std::time::Instant::now();
     let stats = train_model(&mut model, &g, &Structure::training(), &tc)?;
+    manifest.phase("train", train_start.elapsed());
+
+    let save_start = std::time::Instant::now();
     model
         .save(Path::new(out))
         .map_err(|error| CliError::Model {
             dir: out.to_string(),
             error,
         })?;
+    manifest.phase("save", save_start.elapsed());
+    manifest.metric("tail_loss", f64::from(stats.tail_loss()));
+    manifest.metric("rollbacks", stats.rollbacks as f64);
+    match manifest.write() {
+        Ok(p) => eprintln!("manifest written to {}", p.display()),
+        Err(e) => halk_obs::log!(Error, "cannot write train manifest: {e}"),
+    }
     if stats.start_step > 0 {
         println!("resumed at step {}", stats.start_step);
     }

@@ -66,13 +66,19 @@ pub fn evaluate_structure_pool<M: QueryModel + Sync + ?Sized>(
     seed: u64,
     pool: Pool,
 ) -> EvalCell {
+    let _span = halk_obs::span!("eval_structure", || structure.to_string());
+    let pool = pool.labeled("eval_score");
     let mut rng = StdRng::seed_from_u64(seed);
     let sampler = Sampler::new(&split.test);
     // Build the model's scoring cache (e.g. entity-table trig) once per
     // structure; every query then scores against it. The exact answer
     // splits likewise share one compiled plan per structure skeleton.
+    let setup_span = halk_obs::span!("eval_setup");
+    let setup_start = std::time::Instant::now();
     let cache = model.score_cache();
     let plans = PlanCache::new();
+    halk_obs::histogram!("halk_eval_setup_us").record(setup_start.elapsed().as_micros() as u64);
+    drop(setup_span);
     let mut acc = MetricsAccumulator::new();
     let mut online = Duration::ZERO;
     let mut evaluated = 0usize;
@@ -81,6 +87,8 @@ pub fn evaluate_structure_pool<M: QueryModel + Sync + ?Sized>(
 
     while evaluated < n_queries && attempts < max_attempts {
         let chunk = SPEC_CHUNK.min(max_attempts - attempts);
+        let sample_span = halk_obs::span!("eval_sample");
+        let sample_start = std::time::Instant::now();
         let mut candidates = Vec::with_capacity(chunk);
         for _ in 0..chunk {
             attempts += 1;
@@ -88,9 +96,14 @@ pub fn evaluate_structure_pool<M: QueryModel + Sync + ?Sized>(
                 candidates.push(gq.query);
             }
         }
+        halk_obs::histogram!("halk_eval_sample_us")
+            .record(sample_start.elapsed().as_micros() as u64);
+        drop(sample_span);
 
         // Queries vary wildly in answer-set size, so use the dynamic
         // splitter; it returns results in attempt order regardless.
+        let score_span = halk_obs::span!("eval_score");
+        let score_start = std::time::Instant::now();
         let scored = pool.par_map_dyn(&candidates, |query| {
             let shape = plans.shape_for(query);
             let ans = split_set(&shape, &PlanBindings::of(query), &split.valid, &split.test);
@@ -105,7 +118,11 @@ pub fn evaluate_structure_pool<M: QueryModel + Sync + ?Sized>(
             let elapsed = t0.elapsed();
             Some((filtered_ranks(&scores, &ans.hard, &ans.easy), elapsed))
         });
+        halk_obs::histogram!("halk_eval_score_us").record(score_start.elapsed().as_micros() as u64);
+        drop(score_span);
 
+        let rank_span = halk_obs::span!("eval_rank");
+        let rank_start = std::time::Instant::now();
         for (ranks, elapsed) in scored.into_iter().flatten() {
             if evaluated >= n_queries {
                 break;
@@ -114,11 +131,17 @@ pub fn evaluate_structure_pool<M: QueryModel + Sync + ?Sized>(
             online += elapsed;
             evaluated += 1;
         }
+        halk_obs::histogram!("halk_eval_rank_us").record(rank_start.elapsed().as_micros() as u64);
+        drop(rank_span);
     }
 
+    halk_obs::counter!("halk_eval_attempts_total").add(attempts as u64);
+    halk_obs::counter!("halk_eval_queries_total").add(evaluated as u64);
     let truncated = evaluated < n_queries;
     if truncated {
-        eprintln!(
+        halk_obs::counter!("halk_eval_truncated_total").inc();
+        halk_obs::log!(
+            Warn,
             "eval[{structure}]: attempt budget exhausted ({attempts} attempts); \
              evaluated {evaluated}/{n_queries} queries"
         );
@@ -157,6 +180,7 @@ pub fn evaluate_table_pool<M: QueryModel + Sync + ?Sized>(
     pool: Pool,
 ) -> Vec<(Structure, Option<EvalCell>)> {
     let inner = Pool::new(1);
+    let pool = pool.labeled("eval_table");
     pool.par_map_dyn(structures, |&s| {
         if model.supports(s) {
             (

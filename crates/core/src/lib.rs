@@ -37,6 +37,7 @@ pub mod eval;
 pub mod loss;
 pub mod lsh;
 pub mod model;
+pub mod obs;
 pub mod prune;
 pub mod qmodel;
 pub mod scorer;

@@ -177,13 +177,16 @@ impl HalkModel {
         self.threads = threads;
     }
 
-    /// The fork-join pool this model schedules on.
+    /// The fork-join pool this model schedules on. The label makes the
+    /// model's batch/scoring work distinguishable in pool-stats metrics
+    /// (`halk_pool_*_model_batch`).
     pub fn pool(&self) -> Pool {
         if self.threads == 0 {
             Pool::auto()
         } else {
             Pool::new(self.threads)
         }
+        .labeled("model_batch")
     }
 
     /// Number of entities this model embeds.

@@ -1,0 +1,67 @@
+//! Glue between `halk-par`'s observability hooks and the `halk-obs`
+//! metrics/trace backends.
+//!
+//! `halk-par` is dependency-free, so it exposes `fn`-pointer hooks instead
+//! of linking `halk-obs` directly; this module is the one place that wires
+//! them together. [`install`] is idempotent (a `Once`) and cheap, so every
+//! binary that wants pool metrics calls it at startup — the CLI and the
+//! experiment harness both do.
+//!
+//! Per labeled pool region (see [`halk_par::Pool::labeled`]) the stats
+//! hook records:
+//!
+//! - `halk_pool_wall_us_<region>` — histogram of region wall time;
+//! - `halk_pool_busy_us_<region>` — histogram of per-worker busy time
+//!   (one sample per worker per region, so `sum/count` is the mean worker
+//!   busy time and `sum` vs. `wall × workers` gives utilization);
+//! - `halk_pool_regions_total_<region>` — counter of regions executed.
+//!
+//! The worker-exit hook flushes each pool worker's trace buffer before its
+//! closure returns: `std::thread::scope` waits for the closure, not for
+//! thread-local destructors, so without this a trace file read shortly
+//! after a region could miss the tail of a worker's events.
+
+use std::sync::Once;
+
+/// Installs the `halk-par` → `halk-obs` observability hooks (idempotent).
+pub fn install() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        halk_par::set_stats_hook(Some(on_pool_stats));
+        halk_par::set_worker_exit_hook(Some(halk_obs::trace::flush));
+    });
+}
+
+fn on_pool_stats(s: &halk_par::PoolStats) {
+    halk_obs::metrics::counter(&format!("halk_pool_regions_total_{}", s.region)).inc();
+    halk_obs::metrics::histogram(&format!("halk_pool_wall_us_{}", s.region))
+        .record(s.wall_ns / 1_000);
+    let busy = halk_obs::metrics::histogram(&format!("halk_pool_busy_us_{}", s.region));
+    for &ns in &s.busy_ns {
+        busy.record(ns / 1_000);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halk_par::Pool;
+
+    #[test]
+    fn installed_hooks_feed_pool_metrics() {
+        install();
+        install(); // idempotent
+        let items: Vec<u64> = (0..32).collect();
+        let got = Pool::new(2)
+            .labeled("core_obs_glue_test")
+            .par_map_dyn(&items, |x| x + 1);
+        assert_eq!(got.len(), 32);
+        let regions =
+            halk_obs::metrics::counter("halk_pool_regions_total_core_obs_glue_test").get();
+        assert!(regions >= 1, "stats hook ran for the labeled region");
+        let wall = halk_obs::metrics::histogram("halk_pool_wall_us_core_obs_glue_test");
+        assert!(wall.count() >= 1);
+        let busy = halk_obs::metrics::histogram("halk_pool_busy_us_core_obs_glue_test");
+        assert!(busy.count() >= 2, "one busy sample per worker");
+    }
+}

@@ -441,12 +441,11 @@ mod tests {
         ] {
             let scorer = ArcScorer::from_arcs(&arcs, rho, eta, mode);
             let fast = scorer.score_all(&trig);
-            for e in 0..n {
+            for (e, &got) in fast.iter().enumerate() {
                 let want = scalar_score(&arcs, table.row(e), eta, mode);
                 assert!(
-                    (fast[e] - want).abs() < 1e-4,
-                    "{mode:?} entity {e}: {} vs {want}",
-                    fast[e]
+                    (got - want).abs() < 1e-4,
+                    "{mode:?} entity {e}: {got} vs {want}"
                 );
             }
         }

@@ -235,15 +235,23 @@ pub fn train_model<M: QueryModel + ?Sized>(
     structures: &[Structure],
     cfg: &TrainConfig,
 ) -> Result<TrainStats, TrainError> {
+    let _span = halk_obs::span!("train_model", || format!(
+        "{} steps={} batch={}",
+        model.name(),
+        cfg.steps,
+        cfg.batch_size
+    ));
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let sampler = Sampler::new(graph);
     let par = if cfg.threads == 0 {
         halk_par::Pool::auto()
     } else {
         halk_par::Pool::new(cfg.threads)
-    };
+    }
+    .labeled("train_pool_setup");
     model.set_threads(par.threads());
 
+    let setup_span = halk_obs::span!("train_pool_setup");
     let pools: Vec<Pool> = structures
         .iter()
         .filter(|&&s| model.supports(s))
@@ -275,6 +283,7 @@ pub fn train_model<M: QueryModel + ?Sized>(
             })
         })
         .collect();
+    drop(setup_span);
     if pools.is_empty() {
         return Err(TrainError::NoTrainableStructures {
             model: model.name().to_string(),
@@ -357,6 +366,7 @@ pub fn train_model<M: QueryModel + ?Sized>(
     let mut losses = Vec::with_capacity(cfg.steps.saturating_sub(start_step));
     let mut rollbacks = 0usize;
     for step in start_step..cfg.steps {
+        let step_start = Instant::now();
         let pool = &pools[schedule[step % schedule.len()]];
         let batch: Vec<TrainExample> = (0..cfg.batch_size)
             .filter_map(|_| {
@@ -378,6 +388,8 @@ pub fn train_model<M: QueryModel + ?Sized>(
             continue;
         }
         let loss = model.train_batch(&batch);
+        halk_obs::counter!("halk_train_steps_total").inc();
+        halk_obs::histogram!("halk_train_step_us").record(step_start.elapsed().as_micros() as u64);
 
         let healthy = loss.is_finite()
             && model
@@ -385,19 +397,20 @@ pub fn train_model<M: QueryModel + ?Sized>(
                 .is_none_or(halk_nn::ParamStore::all_finite);
         if !healthy {
             rollbacks += 1;
+            halk_obs::counter!("halk_train_rollbacks_total").inc();
             if let (Some(bytes), Some(store)) = (&last_good, model.param_store_mut()) {
                 *store = checkpoint::from_bytes(bytes)
                     .expect("in-memory snapshot is always a valid checkpoint");
             }
-            if cfg.log_every > 0 {
-                eprintln!(
-                    "[{}] step {step:5} structure {:5} diverged (loss {loss}); rolled back",
-                    model.name(),
-                    pool.structure
-                );
-            }
+            halk_obs::log!(
+                Warn,
+                "[{}] step {step:5} structure {:5} diverged (loss {loss}); rolled back",
+                model.name(),
+                pool.structure
+            );
             continue;
         }
+        halk_obs::gauge!("halk_train_last_loss").set(loss as f64);
 
         if cfg.log_every > 0 && step % cfg.log_every == 0 {
             eprintln!(
@@ -411,7 +424,11 @@ pub fn train_model<M: QueryModel + ?Sized>(
         let boundary = (step + 1) % snapshot_every == 0;
         if let (Some(ck), Some(store)) = (checkpointer.as_mut(), model.param_store()) {
             if (step + 1) % ck.every == 0 {
+                let _ck_span = halk_obs::span!("checkpoint_save");
+                let ck_start = Instant::now();
                 ck.save(store, step + 1)?;
+                halk_obs::histogram!("halk_train_checkpoint_write_us")
+                    .record(ck_start.elapsed().as_micros() as u64);
             }
         }
         if boundary {
@@ -425,7 +442,11 @@ pub fn train_model<M: QueryModel + ?Sized>(
     // even when `steps` is not a multiple of `checkpoint_every`.
     if let (Some(ck), Some(store)) = (checkpointer.as_mut(), model.param_store()) {
         if cfg.steps > start_step && !cfg.steps.is_multiple_of(ck.every) {
+            let _ck_span = halk_obs::span!("checkpoint_save");
+            let ck_start = Instant::now();
             ck.save(store, cfg.steps)?;
+            halk_obs::histogram!("halk_train_checkpoint_write_us")
+                .record(ck_start.elapsed().as_micros() as u64);
         }
     }
 

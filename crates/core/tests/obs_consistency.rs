@@ -1,0 +1,152 @@
+//! Cross-checks between the observability layer and the values the public
+//! API reports: the metrics registry must agree with `TrainStats`,
+//! `EvalCell` and `PlanCache` rather than drift into telling a different
+//! story.
+//!
+//! Metrics are process-global counters, so every test serializes on one
+//! mutex and asserts on before/after deltas.
+
+use halk_core::eval::evaluate_structure;
+use halk_core::{train_model, HalkConfig, HalkModel, QueryModel, TrainConfig, TrainExample};
+use halk_kg::split::DatasetSplit;
+use halk_kg::{generate, SynthConfig};
+use halk_logic::plan::{PlanBindings, PlanCache};
+use halk_logic::{Query, Sampler, Structure};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Mutex, MutexGuard};
+
+static METRICS_LOCK: Mutex<()> = Mutex::new(());
+
+fn metrics_lock() -> MutexGuard<'static, ()> {
+    METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn counter(name: &'static str) -> u64 {
+    halk_obs::metrics::counter(name).get()
+}
+
+/// Delegates to HaLk but returns a NaN loss at one scripted step, forcing
+/// the divergence guard to roll back exactly once.
+struct NanAt {
+    inner: HalkModel,
+    calls: usize,
+    poison_at: usize,
+}
+
+impl QueryModel for NanAt {
+    fn name(&self) -> &'static str {
+        "NanAt"
+    }
+    fn supports(&self, s: Structure) -> bool {
+        self.inner.supports(s)
+    }
+    fn train_batch(&mut self, batch: &[TrainExample]) -> f32 {
+        let loss = self.inner.train_batch(batch);
+        self.calls += 1;
+        if self.calls == self.poison_at {
+            return f32::NAN;
+        }
+        loss
+    }
+    fn score_all(&self, query: &Query) -> Vec<f32> {
+        QueryModel::score_all(&self.inner, query)
+    }
+    fn n_entities(&self) -> usize {
+        QueryModel::n_entities(&self.inner)
+    }
+}
+
+#[test]
+fn train_stats_rollbacks_match_counter() {
+    let _guard = metrics_lock();
+    let g = generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(91));
+    let mut model = NanAt {
+        inner: HalkModel::new(&g, HalkConfig::tiny()),
+        calls: 0,
+        poison_at: 7,
+    };
+    let tc = TrainConfig {
+        steps: 15,
+        log_every: 0,
+        ..TrainConfig::tiny()
+    };
+    let steps_before = counter("halk_train_steps_total");
+    let rollbacks_before = counter("halk_train_rollbacks_total");
+    let stats = train_model(&mut model, &g, &[Structure::P1], &tc).unwrap();
+    assert_eq!(stats.rollbacks, 1);
+    assert_eq!(
+        counter("halk_train_rollbacks_total") - rollbacks_before,
+        stats.rollbacks as u64,
+        "rollback counter must match TrainStats::rollbacks"
+    );
+    // Every step ran a batch (1p pools are never empty on this graph), so
+    // the step counter advanced by exactly the configured step count.
+    assert_eq!(counter("halk_train_steps_total") - steps_before, 15);
+}
+
+#[test]
+fn eval_truncation_flag_matches_counter() {
+    let _guard = metrics_lock();
+    let g = generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(92));
+    // test == valid: every hard-answer set is empty, so no query is ever
+    // accepted and the attempt budget must run out.
+    let split = DatasetSplit {
+        train: g.clone(),
+        valid: g.clone(),
+        test: g.clone(),
+    };
+    let model = HalkModel::new(&g, HalkConfig::tiny());
+    let truncated_before = counter("halk_eval_truncated_total");
+    let queries_before = counter("halk_eval_queries_total");
+    let attempts_before = counter("halk_eval_attempts_total");
+    let cell = evaluate_structure(&model, &split, Structure::P2, 4, 93);
+    assert!(cell.truncated, "empty hard answers must truncate");
+    assert_eq!(counter("halk_eval_truncated_total") - truncated_before, 1);
+    assert_eq!(
+        counter("halk_eval_queries_total") - queries_before,
+        cell.n_queries as u64,
+        "query counter must match EvalCell::n_queries"
+    );
+    assert!(
+        counter("halk_eval_attempts_total") - attempts_before >= 4 * 20,
+        "a truncated cell must have burned the whole attempt budget"
+    );
+}
+
+#[test]
+fn plan_cache_hits_and_misses_match_len_delta() {
+    let _guard = metrics_lock();
+    let g = generate(&SynthConfig::nell_like(), &mut StdRng::seed_from_u64(94));
+    let sampler = Sampler::new(&g);
+    let mut rng = StdRng::seed_from_u64(95);
+    let mut queries = Vec::new();
+    for s in [Structure::P1, Structure::P2, Structure::I2] {
+        for q in sampler.sample_many(s, 3, &mut rng) {
+            queries.push(q.query);
+        }
+    }
+    assert!(queries.len() > 3, "sampler produced too few queries");
+
+    let cache = PlanCache::new();
+    let hits_before = counter("halk_plan_cache_hits_total");
+    let misses_before = counter("halk_plan_cache_misses_total");
+    for q in &queries {
+        let shape = cache.shape_for(q);
+        // The compiled shape answers the query it was compiled from.
+        let _ = halk_logic::plan::execute_set(&shape, &PlanBindings::of(q), &g);
+    }
+    let hits = counter("halk_plan_cache_hits_total") - hits_before;
+    let misses = counter("halk_plan_cache_misses_total") - misses_before;
+    assert_eq!(
+        misses as usize,
+        cache.len(),
+        "every miss compiles exactly one cached shape"
+    );
+    assert_eq!(
+        (hits + misses) as usize,
+        queries.len(),
+        "every lookup is either a hit or a miss"
+    );
+    assert!(hits > 0, "repeated structures must hit the cache");
+}

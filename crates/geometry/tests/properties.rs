@@ -116,7 +116,7 @@ proptest! {
     #[test]
     fn g_squash_always_legal_angle(x in -1e3f32..1e3, lambda in 0.01f32..10.0) {
         let y = g_squash(x, lambda);
-        prop_assert!(y >= 0.0 && y <= TAU);
+        prop_assert!((0.0..=TAU).contains(&y));
     }
 
     #[test]
@@ -169,14 +169,14 @@ proptest! {
     fn arc_difference_exact_membership(a in any_arc(), b in any_arc(), theta in any_angle()) {
         prop_assume!(a.span_angle() + b.span_angle() < TAU - 0.05);
         let (l, r) = a.difference_exact(&b);
-        let in_diff = l.map_or(false, |p| p.contains_angle(theta))
-            || r.map_or(false, |p| p.contains_angle(theta));
+        let in_diff = l.is_some_and(|p| p.contains_angle(theta))
+            || r.is_some_and(|p| p.contains_angle(theta));
         let strictly = |arc: &Arc, t: f32| arc.center_offset(t).abs() < arc.half_angle() - 0.02;
         // Strictly inside the difference ⇒ inside a and not strictly in b.
         if in_diff
-            && l.map_or(true, |p| strictly(&p, theta) || !p.contains_angle(theta))
-            && r.map_or(true, |p| strictly(&p, theta) || !p.contains_angle(theta))
-            && (l.map_or(false, |p| strictly(&p, theta)) || r.map_or(false, |p| strictly(&p, theta)))
+            && l.is_none_or(|p| strictly(&p, theta) || !p.contains_angle(theta))
+            && r.is_none_or(|p| strictly(&p, theta) || !p.contains_angle(theta))
+            && (l.is_some_and(|p| strictly(&p, theta)) || r.is_some_and(|p| strictly(&p, theta)))
         {
             prop_assert!(a.contains_angle(theta));
             prop_assert!(!strictly(&b, theta));

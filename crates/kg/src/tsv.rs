@@ -91,6 +91,11 @@ pub fn load(path: &Path) -> io::Result<Graph> {
             .map(|t| t.r.0 as usize + 1)
             .max()
             .unwrap_or(0);
+        halk_obs::log!(
+            Warn,
+            "tsv load: no '# entities/relations' header; inferred shape \
+             {n_entities} entities x {n_relations} relations from content"
+        );
     }
     Ok(Graph::from_triples(n_entities, n_relations, triples))
 }

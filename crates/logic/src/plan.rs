@@ -398,8 +398,10 @@ impl PlanCache {
     pub fn shape_for(&self, query: &Query) -> Arc<PlanShape> {
         let key = skeleton_key(query);
         if let Some(shape) = self.map.read().expect("plan cache poisoned").get(&key) {
+            halk_obs::counter!("halk_plan_cache_hits_total").inc();
             return shape.clone();
         }
+        halk_obs::counter!("halk_plan_cache_misses_total").inc();
         let shape = Arc::new(PlanShape::compile(query));
         // Double-checked under the write lock: a racing compiler's copy
         // wins so every caller shares one Arc per skeleton.

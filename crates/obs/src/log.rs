@@ -1,0 +1,124 @@
+//! Leveled stderr logging filtered by `HALK_LOG`.
+//!
+//! Levels order `Error < Warn < Info < Debug`; a message prints when its
+//! level is at or below the configured one. The default is `error`, so
+//! stderr stays quiet unless something is genuinely broken — the ad-hoc
+//! warnings the workspace used to print unconditionally (eval attempt
+//! budget truncation, divergence rollback, TSV shape inference) now route
+//! through [`crate::log!`] at `Warn` and appear with `HALK_LOG=warn` or
+//! lower. `HALK_LOG=debug` shows everything.
+//!
+//! The filter check is one relaxed atomic load; formatting happens only
+//! for messages that pass. When tracing is enabled, every printed message
+//! is mirrored into the trace file as an instant event, so a debug run's
+//! trace is self-contained.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Message severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or data-losing conditions. Always printed.
+    Error = 0,
+    /// Degraded results the caller should know about.
+    Warn = 1,
+    /// Progress and configuration notes.
+    Info = 2,
+    /// Everything, including per-phase chatter.
+    Debug = 3,
+}
+
+impl Level {
+    /// Lower-case display name (also the `HALK_LOG` spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn from_env(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+const UNINIT: usize = usize::MAX;
+static LEVEL: AtomicUsize = AtomicUsize::new(UNINIT);
+
+/// The active level: `HALK_LOG` on first call, [`Level::Error`] otherwise.
+pub fn level() -> Level {
+    let raw = LEVEL.load(Ordering::Relaxed);
+    if raw != UNINIT {
+        return match raw {
+            0 => Level::Error,
+            1 => Level::Warn,
+            2 => Level::Info,
+            _ => Level::Debug,
+        };
+    }
+    let resolved = std::env::var("HALK_LOG")
+        .ok()
+        .and_then(|s| Level::from_env(&s))
+        .unwrap_or(Level::Error);
+    LEVEL.store(resolved as usize, Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the level programmatically (tests, `--verbose`-style flags).
+pub fn set_level(l: Level) {
+    LEVEL.store(l as usize, Ordering::Relaxed);
+}
+
+/// True when a message at `l` would print. The [`crate::log!`] macro
+/// checks this before formatting.
+#[inline]
+pub fn enabled(l: Level) -> bool {
+    l <= level()
+}
+
+/// Prints a pre-filtered message (use [`crate::log!`], which checks
+/// [`enabled`] first). Mirrors into the trace file when tracing is on.
+pub fn emit(l: Level, args: fmt::Arguments<'_>) {
+    if crate::trace::enabled() {
+        let text = args.to_string();
+        crate::trace::instant_detail("log", || format!("{}: {text}", l.name()));
+        eprintln!("{}: {text}", l.name());
+    } else {
+        eprintln!("{}: {args}", l.name());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parsing_and_ordering() {
+        assert_eq!(Level::from_env("warn"), Some(Level::Warn));
+        assert_eq!(Level::from_env(" DEBUG "), Some(Level::Debug));
+        assert_eq!(Level::from_env("warning"), Some(Level::Warn));
+        assert_eq!(Level::from_env("loud"), None);
+        assert!(Level::Error < Level::Debug);
+    }
+
+    #[test]
+    fn set_level_controls_enabled() {
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        // Restore the quiet default for other tests in this process.
+        set_level(Level::Error);
+    }
+}

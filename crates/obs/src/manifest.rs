@@ -1,0 +1,309 @@
+//! Run manifests: one JSON document stamping a training run or experiment
+//! with everything needed to attribute its numbers later.
+//!
+//! Schema (DESIGN.md §11):
+//!
+//! ```json
+//! {
+//!   "run": "table1_2",
+//!   "started_unix": 1754550000,
+//!   "wall_s": 93.2,
+//!   "git_rev": "64a8660d1c2e",
+//!   "fields": { "threads": 4, "seed": 40, ... },
+//!   "config": { "scale": "quick", "dim": 32, ... },
+//!   "phases": { "train_FB15k": 41.0, "eval_FB15k": 12.2, ... },
+//!   "metrics": { "mrr_avg_FB15k": 0.41, ... },
+//!   "observability": { "counters": {...}, "gauges": {...}, "histograms": {...} }
+//! }
+//! ```
+//!
+//! `observability` embeds the [`crate::metrics`] registry snapshot taken at
+//! write time, so the manifest alone answers "how many rollbacks, how many
+//! plan-cache misses, how busy were the workers". Writing the manifest also
+//! flushes the calling thread's trace buffer — binaries that end with
+//! [`Manifest::write`] need no separate shutdown call.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Instant, SystemTime};
+
+/// A manifest value: the JSON scalar subset the schema needs.
+#[derive(Debug, Clone)]
+enum Val {
+    Str(String),
+    Num(f64),
+    Int(u64),
+    Bool(bool),
+}
+
+fn push_val(out: &mut String, v: &Val) {
+    match v {
+        Val::Str(s) => {
+            out.push('"');
+            crate::json_escape_into(out, s);
+            out.push('"');
+        }
+        Val::Num(n) => {
+            if n.is_finite() {
+                let _ = write!(out, "{n:?}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        Val::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Val::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+fn push_map(out: &mut String, entries: &[(String, Val)]) {
+    out.push('{');
+    for (i, (k, v)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        crate::json_escape_into(out, k);
+        out.push_str("\":");
+        push_val(out, v);
+    }
+    out.push('}');
+}
+
+/// Builder for one run's manifest. Create it at process start (so `wall_s`
+/// covers the whole run), add config/phases/metrics as they become known,
+/// then [`Manifest::write`] at the end.
+#[derive(Debug)]
+pub struct Manifest {
+    run: String,
+    started: Instant,
+    started_unix: u64,
+    fields: Vec<(String, Val)>,
+    config: Vec<(String, Val)>,
+    phases: Vec<(String, f64)>,
+    metrics: Vec<(String, f64)>,
+}
+
+impl Manifest {
+    /// A new manifest for run `run`, stamping the start time and (when
+    /// resolvable) the git revision.
+    pub fn new(run: &str) -> Manifest {
+        let started_unix = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let mut m = Manifest {
+            run: run.to_string(),
+            started: Instant::now(),
+            started_unix,
+            fields: Vec::new(),
+            config: Vec::new(),
+            phases: Vec::new(),
+            metrics: Vec::new(),
+        };
+        if let Some(rev) = git_rev() {
+            m.fields.push(("git_rev".into(), Val::Str(rev)));
+        }
+        m
+    }
+
+    /// The run name.
+    pub fn run(&self) -> &str {
+        &self.run
+    }
+
+    fn upsert(list: &mut Vec<(String, Val)>, key: &str, v: Val) {
+        match list.iter_mut().find(|(k, _)| k == key) {
+            Some(slot) => slot.1 = v,
+            None => list.push((key.to_string(), v)),
+        }
+    }
+
+    /// Sets a top-level string field.
+    pub fn set_str(&mut self, key: &str, v: impl Into<String>) {
+        Self::upsert(&mut self.fields, key, Val::Str(v.into()));
+    }
+
+    /// Sets a top-level integer field.
+    pub fn set_int(&mut self, key: &str, v: u64) {
+        Self::upsert(&mut self.fields, key, Val::Int(v));
+    }
+
+    /// Sets a top-level float field.
+    pub fn set_num(&mut self, key: &str, v: f64) {
+        Self::upsert(&mut self.fields, key, Val::Num(v));
+    }
+
+    /// Sets a top-level boolean field.
+    pub fn set_bool(&mut self, key: &str, v: bool) {
+        Self::upsert(&mut self.fields, key, Val::Bool(v));
+    }
+
+    /// Sets a `config` entry (string).
+    pub fn config_str(&mut self, key: &str, v: impl Into<String>) {
+        Self::upsert(&mut self.config, key, Val::Str(v.into()));
+    }
+
+    /// Sets a `config` entry (integer).
+    pub fn config_int(&mut self, key: &str, v: u64) {
+        Self::upsert(&mut self.config, key, Val::Int(v));
+    }
+
+    /// Sets a `config` entry (float).
+    pub fn config_num(&mut self, key: &str, v: f64) {
+        Self::upsert(&mut self.config, key, Val::Num(v));
+    }
+
+    /// Records (or accumulates into) a named phase timing.
+    pub fn phase(&mut self, name: &str, wall: std::time::Duration) {
+        let secs = wall.as_secs_f64();
+        match self.phases.iter_mut().find(|(k, _)| k == name) {
+            Some(slot) => slot.1 += secs,
+            None => self.phases.push((name.to_string(), secs)),
+        }
+    }
+
+    /// Records a final metric.
+    pub fn metric(&mut self, name: &str, v: f64) {
+        match self.metrics.iter_mut().find(|(k, _)| k == name) {
+            Some(slot) => slot.1 = v,
+            None => self.metrics.push((name.to_string(), v)),
+        }
+    }
+
+    /// Renders the manifest as a JSON document (metrics-registry snapshot
+    /// and wall time taken now).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"run\":\"");
+        crate::json_escape_into(&mut out, &self.run);
+        let _ = write!(
+            out,
+            "\",\"started_unix\":{},\"wall_s\":{:?}",
+            self.started_unix,
+            self.started.elapsed().as_secs_f64()
+        );
+        out.push_str(",\"fields\":");
+        push_map(&mut out, &self.fields);
+        out.push_str(",\"config\":");
+        push_map(&mut out, &self.config);
+        let phases: Vec<(String, Val)> = self
+            .phases
+            .iter()
+            .map(|(k, v)| (k.clone(), Val::Num(*v)))
+            .collect();
+        out.push_str(",\"phases\":");
+        push_map(&mut out, &phases);
+        let metrics: Vec<(String, Val)> = self
+            .metrics
+            .iter()
+            .map(|(k, v)| (k.clone(), Val::Num(*v)))
+            .collect();
+        out.push_str(",\"metrics\":");
+        push_map(&mut out, &metrics);
+        out.push_str(",\"observability\":");
+        out.push_str(&crate::metrics::snapshot_json());
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes `results/<run>/manifest.json` relative to the current
+    /// directory and flushes the trace buffer; returns the path.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        self.write_to(Path::new("results").join(&self.run))
+    }
+
+    /// Writes `<dir>/manifest.json` (creating `dir`), flushes the calling
+    /// thread's trace buffer, and returns the path.
+    pub fn write_to(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("manifest.json");
+        std::fs::write(&path, self.to_json())?;
+        crate::trace::flush();
+        Ok(path)
+    }
+}
+
+/// The current git revision (short hash), via `git rev-parse`; falls back
+/// to reading `.git/HEAD` directly, and `None` outside a repository.
+pub fn git_rev() -> Option<String> {
+    if let Ok(out) = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+    {
+        if out.status.success() {
+            let rev = String::from_utf8_lossy(&out.stdout).trim().to_string();
+            if !rev.is_empty() {
+                return Some(rev);
+            }
+        }
+    }
+    // No git binary: chase .git/HEAD by hand from the current directory up.
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let head = dir.join(".git/HEAD");
+        if let Ok(text) = std::fs::read_to_string(&head) {
+            let text = text.trim();
+            if let Some(r) = text.strip_prefix("ref: ") {
+                if let Ok(rev) = std::fs::read_to_string(dir.join(".git").join(r.trim())) {
+                    return Some(rev.trim().chars().take(12).collect());
+                }
+            }
+            return Some(text.chars().take(12).collect());
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_json_is_valid_and_complete() {
+        let mut m = Manifest::new("unit_test");
+        m.set_int("threads", 4);
+        m.set_str("note", "with \"quotes\"");
+        m.set_bool("smoke", true);
+        m.config_str("scale", "smoke");
+        m.config_int("dim", 8);
+        m.config_num("lr", 0.001);
+        m.phase("train", std::time::Duration::from_millis(1500));
+        m.phase("train", std::time::Duration::from_millis(500));
+        m.metric("mrr", 0.42);
+        let js = m.to_json();
+        let v: serde_json::Value = serde_json::from_str(&js).expect("manifest parses");
+        assert_eq!(v["run"], "unit_test");
+        assert_eq!(v["fields"]["threads"], 4);
+        assert_eq!(v["config"]["dim"], 8);
+        assert_eq!(v["phases"]["train"], 2.0);
+        assert_eq!(v["metrics"]["mrr"], 0.42);
+        assert!(v.get("observability").is_some());
+        assert!(v["wall_s"].as_f64().unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn write_to_creates_manifest_file() {
+        let dir = std::env::temp_dir().join("halk_obs_manifest_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = Manifest::new("wtest");
+        let path = m.write_to(&dir).unwrap();
+        assert!(path.ends_with("manifest.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v["run"], "wtest");
+    }
+
+    #[test]
+    fn git_rev_in_this_repo_resolves() {
+        // The workspace is a git repository, so some revision must resolve.
+        let rev = git_rev();
+        assert!(rev.is_some_and(|r| !r.is_empty()));
+    }
+}

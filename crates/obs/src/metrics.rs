@@ -1,0 +1,413 @@
+//! Process-global metrics registry: counters, gauges and log2-bucket
+//! histograms.
+//!
+//! Handles are interned by name on first use and live for the process
+//! (`Box::leak`); after interning, every update is a single relaxed atomic
+//! operation with no allocation — safe to leave in hot paths. The
+//! [`crate::counter!`]/[`crate::gauge!`]/[`crate::histogram!`] macros cache
+//! the interned handle per call site behind a `OnceLock`, so steady-state
+//! cost is one atomic load plus the update.
+//!
+//! Histograms use fixed base-2 buckets: bucket 0 counts zeros, bucket `i`
+//! (1 ≤ i ≤ 31) counts values in `[2^(i-1), 2^i)`, and the last bucket
+//! absorbs everything at or above `2^30`. Values are unitless `u64`s; the
+//! workspace convention is microseconds for timings.
+//!
+//! [`snapshot_prometheus`] renders the registry in Prometheus exposition
+//! format, [`snapshot_json`] as a JSON object; [`write_snapshot`] picks the
+//! format from the file extension (`.prom` → text, anything else → JSON).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of histogram buckets (bucket 0 plus 31 powers of two).
+pub const N_BUCKETS: usize = 32;
+
+/// A monotonically-increasing counter.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// A last-write-wins floating-point gauge (stored as `f64` bits).
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+/// A fixed-bucket log2 histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Histogram {
+    name: &'static str,
+    buckets: [AtomicU64; N_BUCKETS],
+    sum: AtomicU64,
+}
+
+/// Bucket index for a sample: 0 for 0, else `floor(log2(v)) + 1`, capped.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(N_BUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// Records one sample (two relaxed atomic adds, no allocation).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (bucket 0 = zeros, bucket i = `[2^(i-1), 2^i)`).
+    pub fn buckets(&self) -> [u64; N_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+enum Entry {
+    C(&'static Counter),
+    G(&'static Gauge),
+    H(&'static Histogram),
+}
+
+fn registry() -> &'static Mutex<HashMap<String, Entry>> {
+    static REGISTRY: std::sync::OnceLock<Mutex<HashMap<String, Entry>>> =
+        std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn leak_name(name: &str) -> &'static str {
+    Box::leak(name.to_string().into_boxed_str())
+}
+
+/// Interns (or retrieves) the counter named `name`.
+///
+/// # Panics
+/// If `name` is already registered as a gauge or histogram.
+pub fn counter(name: &str) -> &'static Counter {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    if let Some(e) = reg.get(name) {
+        match e {
+            Entry::C(c) => return c,
+            _ => {
+                drop(reg); // release before panicking: don't poison the registry
+                panic!("metric {name} already registered with a different kind");
+            }
+        }
+    }
+    let leaked = leak_name(name);
+    let c: &'static Counter = Box::leak(Box::new(Counter {
+        name: leaked,
+        value: AtomicU64::new(0),
+    }));
+    reg.insert(leaked.to_string(), Entry::C(c));
+    c
+}
+
+/// Interns (or retrieves) the gauge named `name`.
+///
+/// # Panics
+/// If `name` is already registered as a counter or histogram.
+pub fn gauge(name: &str) -> &'static Gauge {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    if let Some(e) = reg.get(name) {
+        match e {
+            Entry::G(g) => return g,
+            _ => {
+                drop(reg); // release before panicking: don't poison the registry
+                panic!("metric {name} already registered with a different kind");
+            }
+        }
+    }
+    let leaked = leak_name(name);
+    let g: &'static Gauge = Box::leak(Box::new(Gauge {
+        name: leaked,
+        bits: AtomicU64::new(0f64.to_bits()),
+    }));
+    reg.insert(leaked.to_string(), Entry::G(g));
+    g
+}
+
+/// Interns (or retrieves) the histogram named `name`.
+///
+/// # Panics
+/// If `name` is already registered as a counter or gauge.
+pub fn histogram(name: &str) -> &'static Histogram {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    if let Some(e) = reg.get(name) {
+        match e {
+            Entry::H(h) => return h,
+            _ => {
+                drop(reg); // release before panicking: don't poison the registry
+                panic!("metric {name} already registered with a different kind");
+            }
+        }
+    }
+    let leaked = leak_name(name);
+    let h: &'static Histogram = Box::leak(Box::new(Histogram {
+        name: leaked,
+        buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        sum: AtomicU64::new(0),
+    }));
+    reg.insert(leaked.to_string(), Entry::H(h));
+    h
+}
+
+type CounterRow = (&'static str, u64);
+type GaugeRow = (&'static str, f64);
+type HistogramRow = (&'static str, u64, u64, [u64; N_BUCKETS]);
+
+/// Snapshot of every registered metric, sorted by name for deterministic
+/// output. Internal building block for the two renderers.
+fn sorted_entries() -> (Vec<CounterRow>, Vec<GaugeRow>, Vec<HistogramRow>) {
+    let reg = registry().lock().expect("metrics registry poisoned");
+    let mut counters = Vec::new();
+    let mut gauges = Vec::new();
+    let mut histograms = Vec::new();
+    for e in reg.values() {
+        match e {
+            Entry::C(c) => counters.push((c.name(), c.get())),
+            Entry::G(g) => gauges.push((g.name(), g.get())),
+            Entry::H(h) => histograms.push((h.name(), h.count(), h.sum(), h.buckets())),
+        }
+    }
+    counters.sort_by_key(|(n, _)| *n);
+    gauges.sort_by_key(|(n, _)| *n);
+    histograms.sort_by_key(|(n, _, _, _)| *n);
+    (counters, gauges, histograms)
+}
+
+/// Writes a finite f64 as a JSON number (`null` for NaN/inf).
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Renders the registry in Prometheus exposition format. Histograms use
+/// the cumulative `_bucket{le="..."}` convention with power-of-two bounds.
+pub fn snapshot_prometheus() -> String {
+    let (counters, gauges, histograms) = sorted_entries();
+    let mut out = String::new();
+    for (name, v) in counters {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (name, v) in gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        if v.is_finite() {
+            let _ = writeln!(out, "{name} {v}");
+        } else {
+            let _ = writeln!(out, "{name} NaN");
+        }
+    }
+    for (name, count, sum, buckets) in histograms {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (i, b) in buckets.iter().enumerate() {
+            cumulative += b;
+            // Bucket i counts values < 2^i (bucket 0: the zeros).
+            let le = if i == 0 { 1u64 } else { 1u64 << i };
+            if i == N_BUCKETS - 1 {
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+            } else {
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+        }
+        let _ = writeln!(out, "{name}_sum {sum}");
+        let _ = writeln!(out, "{name}_count {count}");
+    }
+    out
+}
+
+/// Renders the registry as a JSON object:
+/// `{"counters":{..},"gauges":{..},"histograms":{name:{count,sum,buckets}}}`.
+pub fn snapshot_json() -> String {
+    let (counters, gauges, histograms) = sorted_entries();
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, v)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":{v}");
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{name}\":");
+        push_json_f64(&mut out, *v);
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, count, sum, buckets)) in histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\"{name}\":{{\"count\":{count},\"sum\":{sum},\"buckets\":["
+        );
+        for (j, b) in buckets.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Writes a snapshot to `path`: Prometheus text for `.prom`, JSON
+/// otherwise. Parent directories are created as needed.
+pub fn write_snapshot(path: impl AsRef<Path>) -> io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let text = if path.extension().is_some_and(|e| e == "prom") {
+        snapshot_prometheus()
+    } else {
+        snapshot_json() + "\n"
+    };
+    std::fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_log2() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1 << 29), 30);
+        assert_eq!(bucket_of(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = counter("halk_metrics_test_total");
+        let before = c.get();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), before + 5);
+        // Re-interning returns the same handle.
+        assert!(std::ptr::eq(c, counter("halk_metrics_test_total")));
+
+        let g = gauge("halk_metrics_test_gauge");
+        g.set(-2.25);
+        assert_eq!(g.get(), -2.25);
+    }
+
+    #[test]
+    fn histogram_counts_and_sums() {
+        let h = histogram("halk_metrics_test_hist_us");
+        let (c0, s0) = (h.count(), h.sum());
+        h.record(0);
+        h.record(3);
+        h.record(1000);
+        assert_eq!(h.count(), c0 + 3);
+        assert_eq!(h.sum(), s0 + 1003);
+        let b = h.buckets();
+        assert!(b[0] >= 1, "zero lands in bucket 0");
+        assert!(b[2] >= 1, "3 lands in bucket 2");
+        assert!(b[10] >= 1, "1000 lands in bucket 10 ([512,1024))");
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        counter("halk_metrics_test_kind_clash");
+        gauge("halk_metrics_test_kind_clash");
+    }
+
+    #[test]
+    fn snapshots_are_well_formed() {
+        counter("halk_metrics_test_snap_total").add(2);
+        gauge("halk_metrics_test_snap_gauge").set(0.5);
+        histogram("halk_metrics_test_snap_us").record(42);
+        let prom = snapshot_prometheus();
+        assert!(prom.contains("halk_metrics_test_snap_total 2"));
+        assert!(prom.contains("# TYPE halk_metrics_test_snap_us histogram"));
+        assert!(prom.contains("halk_metrics_test_snap_us_bucket{le=\"+Inf\"}"));
+        let js = snapshot_json();
+        assert!(js.contains("\"halk_metrics_test_snap_total\":2"));
+        assert!(js.contains("\"halk_metrics_test_snap_gauge\":0.5"));
+    }
+}

@@ -1,0 +1,139 @@
+//! The JSONL trace writer's concurrency contract: under arbitrary
+//! concurrent spans, the file holds exactly one valid JSON object per
+//! line, with per-thread monotonic timestamps and balanced open/close
+//! events.
+//!
+//! Trace output is process-global, so every test in this binary funnels
+//! through one mutex and a fresh target file per scenario (re-init is
+//! supported and flushes the previous buffers first).
+
+use proptest::prelude::*;
+use serde_json::Value;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes trace-file access across tests; tolerates poisoning so one
+/// failing test doesn't cascade into the rest.
+fn trace_lock() -> std::sync::MutexGuard<'static, ()> {
+    TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn trace_path(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("halk_obs_trace_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{tag}.jsonl"))
+}
+
+/// Runs `threads` concurrent workers, each emitting `spans_each` nested or
+/// sequential spans plus instants, then returns the parsed trace lines.
+fn run_scenario(tag: &str, threads: usize, spans_each: usize, nest: bool) -> Vec<Value> {
+    let path = trace_path(tag);
+    halk_obs::trace::init_trace(&path).unwrap();
+
+    std::thread::scope(|s| {
+        for w in 0..threads {
+            s.spawn(move || {
+                for i in 0..spans_each {
+                    let _g = halk_obs::span!("outer");
+                    if nest && i % 2 == 0 {
+                        let _h = halk_obs::span!("inner", || format!("w{w} i{i} \"q\""));
+                        halk_obs::trace::instant("tick");
+                    }
+                }
+                // Scope exit waits for this closure, not for thread-local
+                // destructors — flush before returning so the read below
+                // sees every event.
+                halk_obs::trace::flush();
+            });
+        }
+    });
+    // Flush the main thread too in case it traced anything.
+    halk_obs::trace::flush();
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    text.lines()
+        .map(|line| {
+            serde_json::from_str::<Value>(line)
+                .unwrap_or_else(|e| panic!("invalid JSON line: {line:?} ({e:?})"))
+        })
+        .collect()
+}
+
+/// Asserts the structural invariants on parsed events.
+fn check_invariants(events: &[Value], expect_spans: usize) {
+    let mut last_ts: HashMap<i64, i64> = HashMap::new();
+    let mut stacks: HashMap<i64, Vec<String>> = HashMap::new();
+    let mut closes = 0usize;
+    for e in events {
+        let ev = e["ev"].as_str().expect("ev field");
+        let name = e["name"].as_str().expect("name field").to_string();
+        let tid = e["tid"].as_i64().expect("tid field");
+        let ts = e["ts_us"].as_i64().expect("ts_us field");
+        let prev = last_ts.insert(tid, ts).unwrap_or(i64::MIN);
+        assert!(
+            ts >= prev,
+            "per-thread timestamps regressed: {prev} -> {ts}"
+        );
+        match ev {
+            "o" => stacks.entry(tid).or_default().push(name),
+            "c" => {
+                let open = stacks
+                    .entry(tid)
+                    .or_default()
+                    .pop()
+                    .expect("close without open");
+                assert_eq!(open, name, "spans close LIFO");
+                assert!(e["dur_us"].as_i64().is_some(), "close carries dur_us");
+                closes += 1;
+            }
+            "i" => {}
+            other => panic!("unknown event kind {other}"),
+        }
+    }
+    for (tid, stack) in stacks {
+        assert!(stack.is_empty(), "unbalanced spans on thread {tid}");
+    }
+    assert_eq!(closes, expect_spans, "every span closed exactly once");
+}
+
+proptest! {
+    // Each case spawns real threads; keep the count release-test friendly.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn concurrent_spans_emit_one_json_object_per_line(
+        threads in 1usize..6,
+        spans_each in 1usize..40,
+        nest in any::<bool>(),
+    ) {
+        let _guard = trace_lock();
+        let events = run_scenario("proptest", threads, spans_each, nest);
+        let inner = if nest { spans_each.div_ceil(2) } else { 0 };
+        check_invariants(&events, threads * (spans_each + inner));
+    }
+}
+
+#[test]
+fn detail_strings_are_escaped() {
+    let _guard = trace_lock();
+    let events = run_scenario("escape", 2, 3, true);
+    // Nested spans carry a detail field with an embedded quote; every line
+    // already parsed, so the escaping held. Check one made it through.
+    assert!(events
+        .iter()
+        .any(|e| e["detail"].as_str().is_some_and(|d| d.contains('"'))));
+}
+
+#[test]
+fn reinit_points_subsequent_events_at_the_new_file() {
+    let _guard = trace_lock();
+    let first = run_scenario("reinit_a", 1, 2, false);
+    check_invariants(&first, 2);
+    let second = run_scenario("reinit_b", 1, 3, false);
+    check_invariants(&second, 3);
+    // The first file is untouched by the second run.
+    let text = std::fs::read_to_string(trace_path("reinit_a")).unwrap();
+    assert_eq!(text.lines().count(), first.len());
+}

@@ -19,9 +19,20 @@
 //! Sizing: [`Pool::auto`] resolves, in order, a programmatic override
 //! ([`set_threads`], used by `--threads`), the `HALK_THREADS` environment
 //! variable, and [`std::thread::available_parallelism`].
+//!
+//! Observability: this crate stays dependency-free, so instead of linking
+//! an observability crate it exposes two `fn`-pointer hooks. A stats hook
+//! ([`set_stats_hook`]) receives a [`PoolStats`] — region label, thread
+//! count, wall time and per-worker busy time — after every fork-join
+//! region, and a worker-exit hook ([`set_worker_exit_hook`]) runs as the
+//! last statement of every worker closure (`halk-core` points it at the
+//! trace-buffer flush, since scope exit does not wait for thread-local
+//! destructors). When no hook is installed the overhead per region is one
+//! relaxed atomic load.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
 
 /// Programmatic thread-count override (0 = unset). Set once by binaries
 /// from `--threads`; takes precedence over `HALK_THREADS`.
@@ -61,11 +72,123 @@ pub fn auto_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Per-region statistics handed to the stats hook after each fork-join
+/// region (including sequential fast paths, which report one "worker").
+#[derive(Debug, Clone)]
+pub struct PoolStats {
+    /// The pool's label (see [`Pool::labeled`]); `"pool"` by default.
+    pub region: &'static str,
+    /// Number of workers the region actually used (≤ the pool size).
+    pub workers: usize,
+    /// Wall-clock time of the whole region, nanoseconds.
+    pub wall_ns: u64,
+    /// Busy time of each worker (closure run time), nanoseconds.
+    pub busy_ns: Vec<u64>,
+}
+
+/// Set when either hook is installed: the only cost un-instrumented
+/// regions pay is one relaxed load of this flag.
+static HOOKS_ENABLED: AtomicBool = AtomicBool::new(false);
+static STATS_HOOK: Mutex<Option<fn(&PoolStats)>> = Mutex::new(None);
+static WORKER_EXIT_HOOK: Mutex<Option<fn()>> = Mutex::new(None);
+
+fn refresh_hooks_enabled() {
+    let on = STATS_HOOK.lock().is_ok_and(|h| h.is_some())
+        || WORKER_EXIT_HOOK.lock().is_ok_and(|h| h.is_some());
+    HOOKS_ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Installs (or clears, with `None`) the per-region stats hook.
+pub fn set_stats_hook(hook: Option<fn(&PoolStats)>) {
+    if let Ok(mut h) = STATS_HOOK.lock() {
+        *h = hook;
+    }
+    refresh_hooks_enabled();
+}
+
+/// Installs (or clears, with `None`) the worker-exit hook, called as the
+/// last statement of every pool worker closure.
+pub fn set_worker_exit_hook(hook: Option<fn()>) {
+    if let Ok(mut h) = WORKER_EXIT_HOOK.lock() {
+        *h = hook;
+    }
+    refresh_hooks_enabled();
+}
+
+#[inline]
+fn hooks_enabled() -> bool {
+    HOOKS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Runs the worker-exit hook if installed. Workers call this (via
+/// [`hooks_enabled`] gating) right before their closure returns.
+fn run_worker_exit() {
+    let hook = WORKER_EXIT_HOOK.lock().ok().and_then(|h| *h);
+    if let Some(f) = hook {
+        f();
+    }
+}
+
+fn report_stats(stats: &PoolStats) {
+    let hook = STATS_HOOK.lock().ok().and_then(|h| *h);
+    if let Some(f) = hook {
+        f(stats);
+    }
+}
+
+/// Region-scope instrumentation state: a wall timer plus one busy-time
+/// slot per worker, allocated only when a hook is installed.
+struct RegionObs {
+    region: &'static str,
+    start: Instant,
+    busy: Vec<AtomicU64>,
+}
+
+impl RegionObs {
+    /// `Some` when hooks are installed (`None` costs one atomic load).
+    fn begin(region: &'static str, workers: usize) -> Option<RegionObs> {
+        if !hooks_enabled() {
+            return None;
+        }
+        Some(RegionObs {
+            region,
+            start: Instant::now(),
+            busy: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        })
+    }
+
+    /// Records worker `w`'s busy time and runs the worker-exit hook.
+    /// Callers pass `Some(started)` captured at closure entry.
+    fn worker_done(&self, w: usize, started: Instant) {
+        let ns = started.elapsed().as_nanos() as u64;
+        if let Some(slot) = self.busy.get(w) {
+            slot.fetch_add(ns, Ordering::Relaxed);
+        }
+        run_worker_exit();
+    }
+
+    /// Reports the finished region to the stats hook.
+    fn finish(self, workers: usize) {
+        let stats = PoolStats {
+            region: self.region,
+            workers,
+            wall_ns: self.start.elapsed().as_nanos() as u64,
+            busy_ns: self
+                .busy
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        };
+        report_stats(&stats);
+    }
+}
+
 /// A fork-join region's thread budget. Cheap to copy; holds no OS
 /// resources (threads are scoped to each combinator call).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Pool {
     threads: usize,
+    label: &'static str,
 }
 
 impl Pool {
@@ -73,12 +196,24 @@ impl Pool {
     pub fn new(threads: usize) -> Self {
         Self {
             threads: threads.max(1),
+            label: "pool",
         }
     }
 
     /// A pool sized by [`auto_threads`].
     pub fn auto() -> Self {
         Self::new(auto_threads())
+    }
+
+    /// The same pool with a region label for the stats hook (shows up as
+    /// `PoolStats::region` and in per-region pool metrics).
+    pub fn labeled(self, label: &'static str) -> Self {
+        Self { label, ..self }
+    }
+
+    /// The region label (`"pool"` unless set via [`Pool::labeled`]).
+    pub fn label(&self) -> &'static str {
+        self.label
     }
 
     /// The configured thread count.
@@ -102,17 +237,31 @@ impl Pool {
         F: Fn(&T) -> R + Sync,
     {
         let workers = self.threads.min(items.len());
+        let obs = RegionObs::begin(self.label, workers.max(1));
         if workers <= 1 {
-            return items.iter().map(f).collect();
+            let out: Vec<R> = items.iter().map(f).collect();
+            if let Some(o) = obs {
+                o.worker_done(0, o.start);
+                o.finish(1);
+            }
+            return out;
         }
-        let chunk = items.len().div_ceil(workers);
         let mut per_chunk: Vec<Vec<R>> = Vec::with_capacity(workers);
+        let chunk = items.len().div_ceil(workers);
         std::thread::scope(|s| {
             let handles: Vec<_> = items
                 .chunks(chunk)
-                .map(|c| {
-                    let f = &f;
-                    s.spawn(move || c.iter().map(f).collect::<Vec<R>>())
+                .enumerate()
+                .map(|(w, c)| {
+                    let (f, obs) = (&f, &obs);
+                    s.spawn(move || {
+                        let started = Instant::now();
+                        let out = c.iter().map(f).collect::<Vec<R>>();
+                        if let Some(o) = obs {
+                            o.worker_done(w, started);
+                        }
+                        out
+                    })
                 })
                 .collect();
             per_chunk.extend(
@@ -121,6 +270,9 @@ impl Pool {
                     .map(|h| h.join().expect("par_map worker panicked")),
             );
         });
+        if let Some(o) = obs {
+            o.finish(workers);
+        }
         per_chunk.into_iter().flatten().collect()
     }
 
@@ -134,21 +286,31 @@ impl Pool {
         F: Fn(&T) -> R + Sync,
     {
         let workers = self.threads.min(items.len());
+        let obs = RegionObs::begin(self.label, workers.max(1));
         if workers <= 1 {
-            return items.iter().map(f).collect();
+            let out: Vec<R> = items.iter().map(f).collect();
+            if let Some(o) = obs {
+                o.worker_done(0, o.start);
+                o.finish(1);
+            }
+            return out;
         }
         let next = AtomicUsize::new(0);
         let mut per_worker: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let (f, next) = (&f, &next);
+                .map(|w| {
+                    let (f, next, obs) = (&f, &next, &obs);
                     s.spawn(move || {
+                        let started = Instant::now();
                         let mut claimed = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some(item) = items.get(i) else { break };
                             claimed.push((i, f(item)));
+                        }
+                        if let Some(o) = obs {
+                            o.worker_done(w, started);
                         }
                         claimed
                     })
@@ -160,6 +322,9 @@ impl Pool {
                     .map(|h| h.join().expect("par_map_dyn worker panicked")),
             );
         });
+        if let Some(o) = obs {
+            o.finish(workers);
+        }
         // Scatter the claimed (index, result) pairs back into input order.
         let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
         for (i, r) in per_worker.into_iter().flatten() {
@@ -184,12 +349,18 @@ impl Pool {
     {
         let len = items.len();
         let workers = self.threads.min(len);
+        let obs = RegionObs::begin(self.label, workers.max(1));
         if workers <= 1 {
-            return items
+            let out: Vec<R> = items
                 .iter_mut()
                 .enumerate()
                 .map(|(i, item)| f(i, item))
                 .collect();
+            if let Some(o) = obs {
+                o.worker_done(0, o.start);
+                o.finish(1);
+            }
+            return out;
         }
         let chunk = len.div_ceil(workers);
         let mut per_chunk: Vec<Vec<R>> = Vec::with_capacity(workers);
@@ -198,12 +369,18 @@ impl Pool {
                 .chunks_mut(chunk)
                 .enumerate()
                 .map(|(ci, c)| {
-                    let f = &f;
+                    let (f, obs) = (&f, &obs);
                     s.spawn(move || {
-                        c.iter_mut()
+                        let started = Instant::now();
+                        let out = c
+                            .iter_mut()
                             .enumerate()
                             .map(|(j, item)| f(ci * chunk + j, item))
-                            .collect::<Vec<R>>()
+                            .collect::<Vec<R>>();
+                        if let Some(o) = obs {
+                            o.worker_done(ci, started);
+                        }
+                        out
                     })
                 })
                 .collect();
@@ -213,6 +390,9 @@ impl Pool {
                     .map(|h| h.join().expect("par_map_mut worker panicked")),
             );
         });
+        if let Some(o) = obs {
+            o.finish(workers);
+        }
         per_chunk.into_iter().flatten().collect()
     }
 
@@ -228,27 +408,41 @@ impl Pool {
     {
         assert!(chunk_size > 0, "chunk_size must be positive");
         let n_chunks = data.len().div_ceil(chunk_size);
-        if self.threads.min(n_chunks) <= 1 {
+        let workers = self.threads.min(n_chunks);
+        let obs = RegionObs::begin(self.label, workers.max(1));
+        if workers <= 1 {
             for (i, c) in data.chunks_mut(chunk_size).enumerate() {
                 f(i, c);
+            }
+            if let Some(o) = obs {
+                o.worker_done(0, o.start);
+                o.finish(1);
             }
             return;
         }
         let mut chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_size).enumerate().collect();
-        let workers = self.threads.min(chunks.len());
         let per_worker = chunks.len().div_ceil(workers);
         std::thread::scope(|s| {
+            let mut w = 0usize;
             while !chunks.is_empty() {
                 let group: Vec<(usize, &mut [T])> =
                     chunks.drain(..per_worker.min(chunks.len())).collect();
-                let f = &f;
+                let (f, obs) = (&f, &obs);
                 s.spawn(move || {
+                    let started = Instant::now();
                     for (i, c) in group {
                         f(i, c);
                     }
+                    if let Some(o) = obs {
+                        o.worker_done(w, started);
+                    }
                 });
+                w += 1;
             }
         });
+        if let Some(o) = obs {
+            o.finish(workers);
+        }
     }
 }
 
@@ -353,6 +547,67 @@ mod tests {
         assert_eq!(parse_threads("-2"), None);
         assert_eq!(parse_threads("four"), None);
         assert_eq!(parse_threads(""), None);
+    }
+
+    #[test]
+    fn stats_hook_reports_labeled_region() {
+        // Hooks are process-global and other tests run pools concurrently,
+        // so the hook filters on a label unique to this test.
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        static WORKERS: AtomicUsize = AtomicUsize::new(0);
+        static SHAPE_OK: AtomicUsize = AtomicUsize::new(0);
+        fn hook(s: &PoolStats) {
+            if s.region != "par_hook_test" {
+                return;
+            }
+            CALLS.fetch_add(1, Ordering::SeqCst);
+            WORKERS.store(s.workers, Ordering::SeqCst);
+            if s.busy_ns.len() == s.workers && s.wall_ns > 0 {
+                SHAPE_OK.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        set_stats_hook(Some(hook));
+        let pool = Pool::new(3).labeled("par_hook_test");
+        assert_eq!(pool.label(), "par_hook_test");
+        let out = pool.par_map_dyn(&[1u64, 2, 3, 4, 5, 6], |x| x * 2);
+        set_stats_hook(None);
+        assert_eq!(out, vec![2, 4, 6, 8, 10, 12]);
+        assert_eq!(CALLS.load(Ordering::SeqCst), 1);
+        assert_eq!(WORKERS.load(Ordering::SeqCst), 3);
+        assert_eq!(SHAPE_OK.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn stats_hook_covers_sequential_fast_path() {
+        static SEQ_WORKERS: AtomicUsize = AtomicUsize::new(usize::MAX);
+        fn hook(s: &PoolStats) {
+            if s.region == "par_hook_seq_test" {
+                SEQ_WORKERS.store(s.workers, Ordering::SeqCst);
+            }
+        }
+        set_stats_hook(Some(hook));
+        let got = Pool::new(1)
+            .labeled("par_hook_seq_test")
+            .par_map(&[7u32, 8], |x| x + 1);
+        set_stats_hook(None);
+        assert_eq!(got, vec![8, 9]);
+        assert_eq!(SEQ_WORKERS.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn worker_exit_hook_runs_for_each_worker() {
+        static EXITS: AtomicUsize = AtomicUsize::new(0);
+        fn on_exit() {
+            EXITS.fetch_add(1, Ordering::SeqCst);
+        }
+        set_worker_exit_hook(Some(on_exit));
+        let before = EXITS.load(Ordering::SeqCst);
+        let items: Vec<u32> = (0..16).collect();
+        Pool::new(4).par_map(&items, |x| *x);
+        set_worker_exit_hook(None);
+        // Other tests' pool regions may add to the count concurrently;
+        // at least this region's four workers must have reported.
+        assert!(EXITS.load(Ordering::SeqCst) - before >= 4);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use halk::kg::{generate, SynthConfig};
 use halk::logic::{Query, Structure};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn tmp_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir()
@@ -21,7 +21,7 @@ fn tmp_dir(name: &str) -> PathBuf {
     dir
 }
 
-fn checkpoints_in(dir: &PathBuf) -> Vec<PathBuf> {
+fn checkpoints_in(dir: &Path) -> Vec<PathBuf> {
     let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
         .expect("checkpoint dir")
         .filter_map(|e| e.ok())
@@ -33,14 +33,14 @@ fn checkpoints_in(dir: &PathBuf) -> Vec<PathBuf> {
     files
 }
 
-fn config(steps: usize, ckpt_dir: &PathBuf) -> TrainConfig {
+fn config(steps: usize, ckpt_dir: &Path) -> TrainConfig {
     TrainConfig {
         steps,
         batch_size: 8,
         negatives: 4,
         queries_per_structure: 20,
         checkpoint_every: 10,
-        checkpoint_dir: Some(ckpt_dir.clone()),
+        checkpoint_dir: Some(ckpt_dir.to_path_buf()),
         keep_checkpoints: 2,
         ..TrainConfig::default()
     }
