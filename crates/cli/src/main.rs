@@ -28,6 +28,9 @@ use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Every way a `halk` invocation can fail.
 #[derive(Debug)]
@@ -113,6 +116,7 @@ fn run(argv: Vec<String>) -> Result<(), CliError> {
         "stats" => cmd_stats(&args),
         "train" => cmd_train(&args),
         "ask" => cmd_ask(&args),
+        "serve" => cmd_serve(&args),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
             Ok(())
@@ -164,7 +168,18 @@ USAGE:
                                       at any setting)
   halk ask   --graph graph.tsv --sparql QUERY
              [--model model_dir] [--engine exact|halk|match] [--top N]
+  halk serve --graph graph.tsv [--model model_dir] [--addr 127.0.0.1:7464]
+             [--workers N] [--queue-cap N] [--max-sessions N]
+             [--default-deadline-ms N] [--drain-ms N]
+             answer queries as a daemon until SIGINT/SIGTERM or a
+             SHUTDOWN frame; degrades gracefully under overload
+             (see DESIGN.md §12 for the wire protocol)
   halk help
+
+  `train` and `serve` handle SIGINT/SIGTERM gracefully: train finishes
+  the in-flight step and writes a final checkpoint; serve stops
+  accepting, drains in-flight requests to a deadline, and flushes
+  observability artifacts.
 
 OBSERVABILITY (any subcommand):
   --trace FILE         write a JSONL span trace (same as HALK_TRACE=FILE)
@@ -249,6 +264,26 @@ fn cmd_train(args: &Args) -> Result<(), CliError> {
         ..HalkConfig::default()
     };
     let mut model = HalkModel::new(&g, cfg);
+
+    // SIGINT/SIGTERM ask training to finish the in-flight step, write a
+    // final checkpoint, and exit cleanly. The watcher thread bridges the
+    // process-global signal flag into the `TrainConfig::stop` switch.
+    let stop = Arc::new(AtomicBool::new(false));
+    let watcher_done = Arc::new(AtomicBool::new(false));
+    let signal_flag = halk_serve::signal::install_shutdown_flag();
+    let watcher = {
+        let stop = stop.clone();
+        let done = watcher_done.clone();
+        std::thread::spawn(move || {
+            while !done.load(Ordering::Relaxed) {
+                if signal_flag.load(Ordering::Relaxed) {
+                    stop.store(true, Ordering::Relaxed);
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        })
+    };
     let tc = TrainConfig {
         steps,
         log_every: (steps / 10).max(1),
@@ -258,6 +293,7 @@ fn cmd_train(args: &Args) -> Result<(), CliError> {
         keep_checkpoints,
         resume_from,
         threads,
+        stop: Some(stop.clone()),
         ..TrainConfig::default()
     };
     let mut manifest = halk_obs::Manifest::new("cli_train");
@@ -268,7 +304,10 @@ fn cmd_train(args: &Args) -> Result<(), CliError> {
     manifest.set_int("threads", halk_par::auto_threads() as u64);
 
     let train_start = std::time::Instant::now();
-    let stats = train_model(&mut model, &g, &Structure::training(), &tc)?;
+    let result = train_model(&mut model, &g, &Structure::training(), &tc);
+    watcher_done.store(true, Ordering::Relaxed);
+    let _ = watcher.join();
+    let stats = result?;
     manifest.phase("train", train_start.elapsed());
 
     let save_start = std::time::Instant::now();
@@ -288,12 +327,20 @@ fn cmd_train(args: &Args) -> Result<(), CliError> {
     if stats.start_step > 0 {
         println!("resumed at step {}", stats.start_step);
     }
+    if stats.interrupted {
+        let at = stats.start_step + stats.losses.len();
+        if checkpoint_every > 0 {
+            println!("interrupted by signal after step {at}; final checkpoint written — resume with --resume");
+        } else {
+            println!("interrupted by signal after step {at}");
+        }
+    }
     if stats.rollbacks > 0 {
         println!("recovered from {} diverged step(s)", stats.rollbacks);
     }
     println!(
         "trained {} steps in {:.1?} (tail loss {:.3}); model saved to {out}",
-        steps - stats.start_step,
+        stats.losses.len(),
         stats.wall,
         stats.tail_loss()
     );
@@ -341,6 +388,91 @@ fn cmd_ask(args: &Args) -> Result<(), CliError> {
         }
         other => return Err(ArgError::BadValue("engine", other.into()).into()),
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let g = load_graph(args)?;
+    let model = match args.optional("model") {
+        Some(dir) => {
+            Some(
+                HalkModel::load(&g, Path::new(dir)).map_err(|error| CliError::Model {
+                    dir: dir.to_string(),
+                    error,
+                })?,
+            )
+        }
+        None => None,
+    };
+    let addr = args.optional("addr").unwrap_or("127.0.0.1:7464");
+    let defaults = halk_serve::ServeConfig::default();
+    let cfg = halk_serve::ServeConfig {
+        addr: addr.to_string(),
+        workers: args.parsed_or("workers", defaults.workers)?,
+        queue_cap: args.parsed_or("queue-cap", defaults.queue_cap)?,
+        max_sessions: args.parsed_or("max-sessions", defaults.max_sessions)?,
+        default_deadline: Duration::from_millis(args.parsed_or(
+            "default-deadline-ms",
+            defaults.default_deadline.as_millis() as u64,
+        )?),
+        drain: Duration::from_millis(
+            args.parsed_or("drain-ms", defaults.drain.as_millis() as u64)?,
+        ),
+        ..defaults
+    };
+    let has_model = model.is_some();
+    let faults = args
+        .optional("test-faults")
+        .is_some_and(|v| v == "true" || v == "1");
+    let engine = halk_serve::Engine::new(g, model).test_faults(faults);
+
+    let mut manifest = halk_obs::Manifest::new("serve");
+    manifest.config_str("graph", args.required("graph")?);
+    manifest.config_str("addr", addr);
+    manifest.config_int("workers", cfg.workers as u64);
+    manifest.config_int("queue_cap", cfg.queue_cap as u64);
+    manifest.set_bool("model_loaded", has_model);
+
+    let signal_flag = halk_serve::signal::install_shutdown_flag();
+    let started = std::time::Instant::now();
+    let server = halk_serve::Server::start(engine, cfg).map_err(|error| CliError::Io {
+        path: addr.to_string(),
+        error,
+    })?;
+    println!("listening on {}", server.local_addr());
+
+    // Serve until a signal lands or a client sends a SHUTDOWN frame;
+    // either way drain in-flight work before exiting.
+    while !signal_flag.load(Ordering::Relaxed) && !server.shutdown_requested() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("shutdown requested; draining");
+    server.begin_shutdown();
+    server.join();
+    manifest.phase("serve", started.elapsed());
+
+    let m = halk_obs::metrics::counter("halk_serve_requests_total").get();
+    manifest.metric("requests_total", m as f64);
+    manifest.metric(
+        "overloaded_total",
+        halk_obs::metrics::counter("halk_serve_overloaded_total").get() as f64,
+    );
+    manifest.metric(
+        "deadline_shed_total",
+        halk_obs::metrics::counter("halk_serve_deadline_shed_total").get() as f64,
+    );
+    manifest.metric(
+        "panics_total",
+        halk_obs::metrics::counter("halk_serve_panics_total").get() as f64,
+    );
+    let lat = halk_obs::metrics::histogram("halk_serve_latency_us");
+    manifest.metric("latency_p50_us", lat.quantile(0.5) as f64);
+    manifest.metric("latency_p99_us", lat.quantile(0.99) as f64);
+    match manifest.write() {
+        Ok(p) => eprintln!("manifest written to {}", p.display()),
+        Err(e) => halk_obs::log!(Error, "cannot write serve manifest: {e}"),
+    }
+    println!("served {m} request(s); goodbye");
     Ok(())
 }
 

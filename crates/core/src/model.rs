@@ -31,6 +31,7 @@ use halk_kg::{EntityId, Graph, Grouping, RelationId};
 use halk_logic::plan::{PlanBindings, PlanCache, PlanMasks, PlanOp, PlanShape};
 use halk_logic::Query;
 use halk_nn::{Act, GradBuffer, Mlp, ParamId, ParamStore, Tape, Tensor, Var};
+use halk_obs::Deadline;
 use halk_par::Pool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -684,6 +685,27 @@ impl HalkModel {
         pool.par_chunks_mut(out, SCORE_SLICE, |ci, chunk| {
             scorer.score_slice(trig, ci * SCORE_SLICE, chunk);
         });
+    }
+
+    /// [`HalkModel::score_all_with`] under a [`Deadline`], checked at
+    /// 1024-row slice boundaries (the same slice size as the parallel
+    /// sweep). Returns the number of entity rows scored before the deadline
+    /// hit; the scored prefix of `out` is bit-identical to the same rows of
+    /// the undeadlined path, and rows past the prefix stay `f32::INFINITY`.
+    /// A serving layer uses the prefix for a partial-but-correct top-k with
+    /// a `truncated` flag instead of blocking past its budget.
+    pub fn score_all_until(
+        &self,
+        trig: &EntityTrig,
+        query: &Query,
+        out: &mut Vec<f32>,
+        deadline: &Deadline,
+    ) -> usize {
+        const SCORE_SLICE: usize = 1024;
+        let scorer = self.scorer_for(query);
+        out.clear();
+        out.resize(trig.n_entities(), f32::INFINITY);
+        scorer.score_until(trig, 0, out, SCORE_SLICE, deadline)
     }
 
     /// Scalar reference scoring: the straightforward entity-major loop over

@@ -30,6 +30,7 @@
 use crate::config::DistanceMode;
 use halk_geometry::Arc;
 use halk_nn::Tensor;
+use halk_obs::Deadline;
 
 /// Precomputed half-angle trig of an entity table: `sin(θ/2)` and
 /// `cos(θ/2)` for every entity coordinate, laid out row-major to match the
@@ -189,6 +190,34 @@ impl ArcScorer {
             DistanceMode::CenterAnchored => self.score_table::<MODE_CENTER>(trig, row0, out),
             DistanceMode::ZeroedInside => self.score_table::<MODE_ZEROED>(trig, row0, out),
         }
+    }
+
+    /// [`ArcScorer::score_slice`] under a [`Deadline`], checked once per
+    /// `slice_rows` rows (the slice boundary — never per entity, so the
+    /// inner kernel stays branch-free). Returns the number of rows scored,
+    /// always a multiple of `slice_rows` except at the end of the table;
+    /// rows beyond it are untouched. Scored prefixes are bit-identical to
+    /// the same rows of a full [`ArcScorer::score_slice`] pass, because
+    /// rows are scored independently.
+    pub fn score_until(
+        &self,
+        trig: &EntityTrig,
+        row0: usize,
+        out: &mut [f32],
+        slice_rows: usize,
+        deadline: &Deadline,
+    ) -> usize {
+        let slice_rows = slice_rows.max(1);
+        let mut done = 0;
+        while done < out.len() {
+            if deadline.expired() {
+                return done;
+            }
+            let n = slice_rows.min(out.len() - done);
+            self.score_slice(trig, row0 + done, &mut out[done..done + n]);
+            done += n;
+        }
+        done
     }
 
     /// Convenience wrapper over [`ArcScorer::score_into`].
@@ -508,6 +537,52 @@ mod tests {
         scorer.score_into(&table, &mut out);
         assert!((out[0] - 1.0f32.min(3.0)).abs() < 1e-6);
         assert!((out[1] - 5.0f32.min(8.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn score_until_prefix_is_bit_identical_and_stops_on_expiry() {
+        use halk_obs::Clock;
+        let rho = 1.0;
+        let arcs = grid_arcs(rho);
+        let n = 64;
+        let mut data = Vec::with_capacity(n * 2);
+        for i in 0..n {
+            data.push(i as f32 * TAU / n as f32);
+            data.push((i as f32 * 0.77 + 1.3) % TAU);
+        }
+        let table = Tensor::from_vec(n, 2, data);
+        let trig = EntityTrig::new(&table);
+        let scorer = ArcScorer::from_arcs(&arcs, rho, 0.05, DistanceMode::LiteralEq16);
+        let full = scorer.score_all(&trig);
+
+        // Unarmed deadline: everything scored, bit-identical to score_all.
+        let mut out = vec![f32::INFINITY; n];
+        let done = scorer.score_until(&trig, 0, &mut out, 16, &Deadline::never());
+        assert_eq!(done, n);
+        assert!(full
+            .iter()
+            .zip(&out)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
+
+        // An expired mock deadline stops at the first slice boundary:
+        // zero rows scored, the buffer untouched.
+        let (clock, now) = Clock::mock();
+        let d = Deadline::at_ns(&clock, 1);
+        now.store(5, std::sync::atomic::Ordering::SeqCst);
+        let mut partial = vec![f32::INFINITY; n];
+        assert_eq!(scorer.score_until(&trig, 0, &mut partial, 16, &d), 0);
+        assert!(partial.iter().all(|s| s.is_infinite()));
+
+        // Partial run resumed from row `done` equals the full pass.
+        let mut halves = vec![f32::INFINITY; n];
+        let first = scorer.score_until(&trig, 0, &mut halves[..n / 2], 16, &Deadline::never());
+        assert_eq!(first, n / 2);
+        let second = scorer.score_until(&trig, n / 2, &mut halves[n / 2..], 16, &Deadline::never());
+        assert_eq!(second, n / 2);
+        assert!(full
+            .iter()
+            .zip(&halves)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

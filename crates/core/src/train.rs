@@ -24,6 +24,8 @@ use rand::{Rng, SeedableRng};
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Knobs for one training run (model-independent).
@@ -62,6 +64,11 @@ pub struct TrainConfig {
     /// strictly sequential). Purely a scheduling knob — results are
     /// bit-identical at every setting.
     pub threads: usize,
+    /// Cooperative stop flag (e.g. set from a SIGINT handler): checked
+    /// between steps, so the in-flight step always completes, a final
+    /// checkpoint is written, and the run returns normally with
+    /// [`TrainStats::interrupted`] set instead of dying mid-update.
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 impl Default for TrainConfig {
@@ -79,6 +86,7 @@ impl Default for TrainConfig {
             keep_checkpoints: 3,
             resume_from: None,
             threads: 0,
+            stop: None,
         }
     }
 }
@@ -164,6 +172,10 @@ pub struct TrainStats {
     pub rollbacks: usize,
     /// Step the run started at (> 0 when resumed from a checkpoint).
     pub start_step: usize,
+    /// True when the run stopped early via [`TrainConfig::stop`]; the
+    /// in-flight step completed and a final checkpoint was written, so a
+    /// resume from the checkpoint directory continues seamlessly.
+    pub interrupted: bool,
 }
 
 impl TrainStats {
@@ -365,7 +377,22 @@ pub fn train_model<M: QueryModel + ?Sized>(
     let start = Instant::now();
     let mut losses = Vec::with_capacity(cfg.steps.saturating_sub(start_step));
     let mut rollbacks = 0usize;
+    let mut interrupted = false;
+    let mut completed = start_step;
     for step in start_step..cfg.steps {
+        // Cooperative interruption point: between steps, never inside one,
+        // so the parameter store is always at a step boundary.
+        if cfg.stop.as_ref().is_some_and(|s| s.load(Ordering::SeqCst)) {
+            interrupted = true;
+            halk_obs::log!(
+                Warn,
+                "[{}] stop requested; halting after step {step} of {}",
+                model.name(),
+                cfg.steps
+            );
+            break;
+        }
+        completed = step + 1;
         let step_start = Instant::now();
         let pool = &pools[schedule[step % schedule.len()]];
         let batch: Vec<TrainExample> = (0..cfg.batch_size)
@@ -438,13 +465,14 @@ pub fn train_model<M: QueryModel + ?Sized>(
         }
     }
 
-    // A final checkpoint so a resumed run can always pick up the end state,
-    // even when `steps` is not a multiple of `checkpoint_every`.
+    // A final checkpoint so a resumed run can always pick up the end state
+    // — when `steps` is not a multiple of `checkpoint_every`, and when an
+    // interrupt stopped the run between periodic checkpoints.
     if let (Some(ck), Some(store)) = (checkpointer.as_mut(), model.param_store()) {
-        if cfg.steps > start_step && !cfg.steps.is_multiple_of(ck.every) {
+        if completed > start_step && !completed.is_multiple_of(ck.every) {
             let _ck_span = halk_obs::span!("checkpoint_save");
             let ck_start = Instant::now();
-            ck.save(store, cfg.steps)?;
+            ck.save(store, completed)?;
             halk_obs::histogram!("halk_train_checkpoint_write_us")
                 .record(ck_start.elapsed().as_micros() as u64);
         }
@@ -456,6 +484,7 @@ pub fn train_model<M: QueryModel + ?Sized>(
         trained_structures: pools.iter().map(|p| p.structure).collect(),
         rollbacks,
         start_step,
+        interrupted,
     })
 }
 
@@ -517,8 +546,97 @@ mod tests {
             trained_structures: vec![],
             rollbacks: 0,
             start_step: 0,
+            interrupted: false,
         };
         assert!(s.tail_loss().is_nan());
+    }
+
+    /// Wraps HaLk and raises the stop flag mid-run, as a signal handler
+    /// would, to exercise cooperative interruption.
+    struct StopsItself {
+        inner: HalkModel,
+        calls: usize,
+        stop_at: usize,
+        flag: Arc<AtomicBool>,
+    }
+
+    impl QueryModel for StopsItself {
+        fn name(&self) -> &'static str {
+            "StopsItself"
+        }
+
+        fn supports(&self, s: Structure) -> bool {
+            self.inner.supports(s)
+        }
+
+        fn train_batch(&mut self, batch: &[TrainExample]) -> f32 {
+            self.calls += 1;
+            if self.calls == self.stop_at {
+                self.flag.store(true, Ordering::SeqCst);
+            }
+            self.inner.train_batch(batch)
+        }
+
+        fn score_all(&self, query: &halk_logic::Query) -> Vec<f32> {
+            QueryModel::score_all(&self.inner, query)
+        }
+
+        fn n_entities(&self) -> usize {
+            QueryModel::n_entities(&self.inner)
+        }
+
+        fn param_store(&self) -> Option<&halk_nn::ParamStore> {
+            Some(&self.inner.store)
+        }
+
+        fn param_store_mut(&mut self) -> Option<&mut halk_nn::ParamStore> {
+            Some(&mut self.inner.store)
+        }
+    }
+
+    #[test]
+    fn stop_flag_finishes_step_and_writes_final_checkpoint() {
+        let g = generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(38));
+        let dir = std::env::temp_dir().join("halk_train_ckpt_interrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let flag = Arc::new(AtomicBool::new(false));
+        let mut model = StopsItself {
+            inner: HalkModel::new(&g, HalkConfig::tiny()),
+            calls: 0,
+            stop_at: 7,
+            flag: flag.clone(),
+        };
+        let tc = TrainConfig {
+            steps: 100,
+            checkpoint_every: 50,
+            checkpoint_dir: Some(dir.clone()),
+            stop: Some(flag),
+            ..TrainConfig::tiny()
+        };
+        let stats = train_model(&mut model, &g, &[Structure::P1], &tc).unwrap();
+        // The flag went up during step 7 (0-based step 6); that step
+        // completed, the next never started.
+        assert!(stats.interrupted);
+        assert_eq!(stats.losses.len(), 7);
+        // The final checkpoint reflects the interrupted state, so resume
+        // continues from step 7 rather than replaying it.
+        assert_eq!(
+            std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect::<Vec<_>>(),
+            vec!["step-00000007.ckpt"]
+        );
+        let mut resumed = HalkModel::new(&g, HalkConfig::tiny());
+        let tc2 = TrainConfig {
+            steps: 10,
+            resume_from: Some(dir.join("step-00000007.ckpt")),
+            ..TrainConfig::tiny()
+        };
+        let stats2 = train_model(&mut resumed, &g, &[Structure::P1], &tc2).unwrap();
+        assert_eq!(stats2.start_step, 7);
+        assert!(!stats2.interrupted);
+        assert_eq!(stats2.losses.len(), 3);
     }
 
     #[test]

@@ -27,7 +27,8 @@ use crate::answers::AnswerSplit;
 use crate::ast::Query;
 use crate::set::EntitySet;
 use halk_kg::{EntityId, Graph, Grouping, RelationId};
-use std::collections::HashMap;
+use halk_obs::Deadline;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, RwLock};
 
 /// One operator slot of a compiled plan. Anchor/relation arguments are
@@ -302,10 +303,42 @@ impl PlanMasks {
 /// smallest-cardinality-first so the empty-accumulator early exit fires as
 /// soon as any selective input empties the result.
 pub fn execute_set(shape: &PlanShape, bindings: &PlanBindings, graph: &Graph) -> EntitySet {
+    execute_set_deadline(shape, bindings, graph, &Deadline::never())
+        .expect("an unarmed deadline never expires")
+}
+
+/// The error of [`execute_set_deadline`]: the deadline expired before the
+/// plan finished. Exact set semantics admit no meaningful partial answer,
+/// so there is no partial payload to carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadlineExpired;
+
+impl std::fmt::Display for DeadlineExpired {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deadline expired during plan execution")
+    }
+}
+
+impl std::error::Error for DeadlineExpired {}
+
+/// [`execute_set`] under a [`Deadline`], checked between plan slots (the
+/// natural work quantum of the exact engine: one slot is one relational
+/// sweep). Returns [`DeadlineExpired`] as soon as the deadline is found
+/// expired, and the caller degrades to a typed deadline response instead
+/// of a wrong answer.
+pub fn execute_set_deadline(
+    shape: &PlanShape,
+    bindings: &PlanBindings,
+    graph: &Graph,
+    deadline: &Deadline,
+) -> Result<EntitySet, DeadlineExpired> {
     bindings.check(shape);
     let n = graph.n_entities();
     let mut slots: Vec<EntitySet> = Vec::with_capacity(shape.n_slots());
     for op in shape.ops() {
+        if deadline.expired() {
+            return Err(DeadlineExpired);
+        }
         let set = match op {
             PlanOp::Anchor { arg } => EntitySet::singleton(n, bindings.anchors[*arg as usize]),
             PlanOp::Projection { rel, input } => {
@@ -353,7 +386,7 @@ pub fn execute_set(shape: &PlanShape, bindings: &PlanBindings, graph: &Graph) ->
     for &r in shape.roots() {
         acc.union_with(&slots[r as usize]);
     }
-    acc
+    Ok(acc)
 }
 
 /// Plan-based [`crate::answer_split`]: one compile serves both graphs.
@@ -377,27 +410,74 @@ pub fn split_set(
     AnswerSplit { hard, easy }
 }
 
+/// Default [`PlanCache`] capacity: far above the paper's 22 named
+/// structures, far below anything a long-lived daemon would notice.
+pub const PLAN_CACHE_DEFAULT_CAP: usize = 1024;
+
 /// A thread-safe shape cache keyed by the query's structural skeleton
 /// (operator tree with ids stripped). The paper's workload grounds every
 /// query from a named [`Structure`](crate::Structure), so each of the 16
 /// training/evaluation structures and 6 large structures (§IV-D) compiles
 /// exactly once per run no matter how many instances flow through.
-#[derive(Debug, Default)]
+///
+/// The cache is **bounded**: a long-lived `halk serve` daemon fed
+/// adversarial query shapes (every request a fresh skeleton) would
+/// otherwise grow it without limit. Past `cap` distinct skeletons the
+/// oldest-inserted entry is evicted (FIFO — the workload is a small fixed
+/// set of hot skeletons, so anything old enough to evict is stale or
+/// hostile) and `halk_plan_cache_evictions_total` increments. Outstanding
+/// [`Arc<PlanShape>`] handles keep evicted shapes alive; only the cache's
+/// reference is dropped.
+#[derive(Debug)]
 pub struct PlanCache {
-    map: RwLock<HashMap<Vec<u8>, Arc<PlanShape>>>,
+    inner: RwLock<PlanCacheInner>,
+    cap: usize,
+}
+
+#[derive(Debug, Default)]
+struct PlanCacheInner {
+    map: HashMap<Vec<u8>, Arc<PlanShape>>,
+    /// Insertion order of the keys in `map`, oldest first.
+    order: VecDeque<Vec<u8>>,
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::with_capacity(PLAN_CACHE_DEFAULT_CAP)
+    }
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity.
     pub fn new() -> PlanCache {
         PlanCache::default()
+    }
+
+    /// An empty cache holding at most `cap` compiled shapes (clamped to at
+    /// least 1).
+    pub fn with_capacity(cap: usize) -> PlanCache {
+        PlanCache {
+            inner: RwLock::new(PlanCacheInner::default()),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
     }
 
     /// The compiled shape of `query`, compiling on first sight of its
     /// skeleton and returning the shared copy afterwards.
     pub fn shape_for(&self, query: &Query) -> Arc<PlanShape> {
         let key = skeleton_key(query);
-        if let Some(shape) = self.map.read().expect("plan cache poisoned").get(&key) {
+        if let Some(shape) = self
+            .inner
+            .read()
+            .expect("plan cache poisoned")
+            .map
+            .get(&key)
+        {
             halk_obs::counter!("halk_plan_cache_hits_total").inc();
             return shape.clone();
         }
@@ -405,13 +485,23 @@ impl PlanCache {
         let shape = Arc::new(PlanShape::compile(query));
         // Double-checked under the write lock: a racing compiler's copy
         // wins so every caller shares one Arc per skeleton.
-        let mut map = self.map.write().expect("plan cache poisoned");
-        map.entry(key).or_insert(shape).clone()
+        let mut inner = self.inner.write().expect("plan cache poisoned");
+        if let Some(existing) = inner.map.get(&key) {
+            return existing.clone();
+        }
+        inner.map.insert(key.clone(), shape.clone());
+        inner.order.push_back(key);
+        while inner.map.len() > self.cap {
+            let oldest = inner.order.pop_front().expect("order tracks map");
+            inner.map.remove(&oldest);
+            halk_obs::counter!("halk_plan_cache_evictions_total").inc();
+        }
+        shape
     }
 
-    /// Number of distinct skeletons compiled so far.
+    /// Number of distinct skeletons currently cached.
     pub fn len(&self) -> usize {
-        self.map.read().expect("plan cache poisoned").len()
+        self.inner.read().expect("plan cache poisoned").map.len()
     }
 
     /// True when nothing has been compiled yet.
@@ -535,6 +625,73 @@ mod tests {
         let s3 = cache.shape_for(&atom(0, 0).project(RelationId(1)));
         assert!(!Arc::ptr_eq(&s1, &s3));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_evicts_oldest_skeleton_past_capacity() {
+        let cache = PlanCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        let s_atom = cache.shape_for(&atom(0, 0));
+        let s_1p = cache.shape_for(&atom(0, 0).project(RelationId(1)));
+        assert_eq!(cache.len(), 2);
+        // A third skeleton evicts the oldest (the bare atom) — but the Arc
+        // we already hold stays alive.
+        let before = halk_obs::counter!("halk_plan_cache_evictions_total").get();
+        let _s_2p = cache.shape_for(&atom(0, 0).project(RelationId(1)).project(RelationId(0)));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(
+            halk_obs::counter!("halk_plan_cache_evictions_total").get(),
+            before + 1
+        );
+        // The evicted shape is still usable through our Arc.
+        assert_eq!(s_atom.n_slots(), 2);
+        // Re-requesting the evicted skeleton recompiles: a fresh Arc. This
+        // insert in turn evicts the next-oldest entry (the 1p shape).
+        let s_atom2 = cache.shape_for(&atom(3, 1));
+        assert!(!Arc::ptr_eq(&s_atom, &s_atom2));
+        assert_eq!(cache.len(), 2);
+        assert!(!Arc::ptr_eq(
+            &s_1p,
+            &cache.shape_for(&atom(9, 2).project(RelationId(0)))
+        ));
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_at_least_one() {
+        let cache = PlanCache::with_capacity(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.shape_for(&atom(0, 0));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn deadline_execution_matches_plain_and_expires_between_slots() {
+        use halk_kg::Triple;
+        let g = Graph::from_triples(
+            4,
+            2,
+            vec![
+                Triple::new(0, 0, 1),
+                Triple::new(0, 0, 2),
+                Triple::new(1, 1, 3),
+                Triple::new(2, 1, 3),
+            ],
+        );
+        let q = atom(0, 0).project(RelationId(1));
+        let shape = PlanShape::compile(&q);
+        let bindings = PlanBindings::of(&q);
+        let plain = execute_set(&shape, &bindings, &g);
+        let ok = execute_set_deadline(&shape, &bindings, &g, &Deadline::never())
+            .expect("never-deadline cannot expire");
+        assert_eq!(
+            plain.iter().collect::<Vec<_>>(),
+            ok.iter().collect::<Vec<_>>()
+        );
+        // An already-expired mock deadline aborts before the first slot.
+        let (clock, now) = halk_obs::Clock::mock();
+        now.store(10, std::sync::atomic::Ordering::SeqCst);
+        let d = Deadline::at_ns(&clock, 5);
+        assert!(execute_set_deadline(&shape, &bindings, &g, &d).is_err());
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Request deadlines over an injectable monotonic clock.
+//!
+//! Serving work must never block forever: plan execution and entity
+//! scoring accept a [`Deadline`] and check it at coarse boundaries (plan
+//! slots, 1024-row scoring slices), degrading to a partial answer or a
+//! typed error instead of wedging a worker. The clock is injectable so the
+//! expiry logic is testable without sleeping: [`Clock::mock`] returns a
+//! clock whose "now" is an atomic the test advances by hand, and the same
+//! [`Deadline`] type flows through production and tests.
+//!
+//! Cost discipline matches the rest of this crate: [`Deadline::never`]
+//! never reads a clock, and an armed deadline is one `Instant::elapsed`
+//! call (or one atomic load under a mock) per check — cheap enough for
+//! per-slice polling but not for per-entity polling, which is why callers
+//! check at slice boundaries only.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic nanosecond clock: real time anchored at construction, or a
+/// hand-advanced atomic for deterministic tests.
+#[derive(Debug, Clone)]
+pub enum Clock {
+    /// Real monotonic time, measured from the anchor instant.
+    Monotonic(Instant),
+    /// Test clock: "now" is whatever the owner stored, in nanoseconds.
+    Mock(Arc<AtomicU64>),
+}
+
+impl Clock {
+    /// A real monotonic clock anchored at the call.
+    pub fn monotonic() -> Clock {
+        Clock::Monotonic(Instant::now())
+    }
+
+    /// A mock clock starting at 0 ns plus the handle that advances it.
+    pub fn mock() -> (Clock, Arc<AtomicU64>) {
+        let now = Arc::new(AtomicU64::new(0));
+        (Clock::Mock(now.clone()), now)
+    }
+
+    /// Nanoseconds on this clock's timeline.
+    pub fn now_ns(&self) -> u64 {
+        match self {
+            Clock::Monotonic(anchor) => anchor.elapsed().as_nanos() as u64,
+            Clock::Mock(now) => now.load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Clock {
+        Clock::monotonic()
+    }
+}
+
+/// An absolute expiry on a [`Clock`]'s timeline. Cheap to clone and pass
+/// down a call stack; `u64::MAX` means "never expires" and short-circuits
+/// before touching the clock.
+#[derive(Debug, Clone)]
+pub struct Deadline {
+    clock: Clock,
+    at_ns: u64,
+}
+
+impl Deadline {
+    /// A deadline that never expires (checks cost no clock read).
+    pub fn never() -> Deadline {
+        Deadline {
+            // Anchor is irrelevant: expiry short-circuits on `at_ns`.
+            clock: Clock::Monotonic(Instant::now()),
+            at_ns: u64::MAX,
+        }
+    }
+
+    /// A deadline `timeout` from the clock's current now.
+    pub fn after(clock: &Clock, timeout: Duration) -> Deadline {
+        let at_ns = clock
+            .now_ns()
+            .saturating_add(timeout.as_nanos().min(u64::MAX as u128 - 1) as u64);
+        Deadline {
+            clock: clock.clone(),
+            at_ns,
+        }
+    }
+
+    /// A deadline at an absolute nanosecond mark on the clock's timeline.
+    pub fn at_ns(clock: &Clock, at_ns: u64) -> Deadline {
+        Deadline {
+            clock: clock.clone(),
+            at_ns,
+        }
+    }
+
+    /// True once the clock has reached (or passed) the expiry.
+    #[inline]
+    pub fn expired(&self) -> bool {
+        self.at_ns != u64::MAX && self.clock.now_ns() >= self.at_ns
+    }
+
+    /// Nanoseconds left before expiry: 0 when expired, `u64::MAX` when the
+    /// deadline never expires.
+    pub fn remaining_ns(&self) -> u64 {
+        if self.at_ns == u64::MAX {
+            return u64::MAX;
+        }
+        self.at_ns.saturating_sub(self.clock.now_ns())
+    }
+
+    /// True when this deadline can expire at all.
+    pub fn is_armed(&self) -> bool {
+        self.at_ns != u64::MAX
+    }
+
+    /// The clock this deadline reads.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_does_not_expire() {
+        let d = Deadline::never();
+        assert!(!d.expired());
+        assert!(!d.is_armed());
+        assert_eq!(d.remaining_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn mock_clock_drives_expiry_deterministically() {
+        let (clock, now) = Clock::mock();
+        let d = Deadline::after(&clock, Duration::from_nanos(1_000));
+        assert!(d.is_armed());
+        assert!(!d.expired());
+        assert_eq!(d.remaining_ns(), 1_000);
+        now.store(999, Ordering::SeqCst);
+        assert!(!d.expired());
+        assert_eq!(d.remaining_ns(), 1);
+        now.store(1_000, Ordering::SeqCst);
+        assert!(d.expired());
+        assert_eq!(d.remaining_ns(), 0);
+        now.store(5_000, Ordering::SeqCst);
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn monotonic_deadline_eventually_expires() {
+        let clock = Clock::monotonic();
+        let d = Deadline::after(&clock, Duration::ZERO);
+        // A zero timeout is expired as soon as the clock ticks once.
+        while !d.expired() {
+            std::hint::spin_loop();
+        }
+        assert!(d.expired());
+    }
+
+    #[test]
+    fn after_saturates_instead_of_overflowing() {
+        let (clock, now) = Clock::mock();
+        now.store(u64::MAX - 10, Ordering::SeqCst);
+        let d = Deadline::after(&clock, Duration::from_secs(u64::MAX / 2));
+        // Saturates into the unreachable top of the clock's range instead
+        // of wrapping into the past.
+        assert!(!d.expired());
+    }
+}

@@ -30,11 +30,13 @@
 //!
 //! [`AtomicBool`]: std::sync::atomic::AtomicBool
 
+pub mod deadline;
 pub mod log;
 pub mod manifest;
 pub mod metrics;
 pub mod trace;
 
+pub use deadline::{Clock, Deadline};
 pub use manifest::Manifest;
 
 /// Starts a traced span; the returned RAII guard closes it on drop.

@@ -124,6 +124,28 @@ impl Histogram {
         std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
     }
 
+    /// Approximate `q`-quantile (`0.0 ≤ q ≤ 1.0`) from the log2 buckets:
+    /// the upper bound of the first bucket whose cumulative count reaches
+    /// `q · count` (so the true quantile is ≤ the returned value, within a
+    /// factor of 2). Returns 0 when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let buckets = self.buckets();
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, b) in buckets.iter().enumerate() {
+            cumulative += b;
+            if cumulative >= rank {
+                // Bucket 0 holds exact zeros; bucket i covers [2^(i-1), 2^i).
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
+            }
+        }
+        u64::MAX
+    }
+
     /// Registered name.
     pub fn name(&self) -> &'static str {
         self.name
@@ -388,6 +410,20 @@ mod tests {
         assert!(b[0] >= 1, "zero lands in bucket 0");
         assert!(b[2] >= 1, "3 lands in bucket 2");
         assert!(b[10] >= 1, "1000 lands in bucket 10 ([512,1024))");
+    }
+
+    #[test]
+    fn quantiles_track_bucket_upper_bounds() {
+        let h = histogram("halk_metrics_test_quantile_us");
+        assert_eq!(h.quantile(0.5), 0, "empty histogram quantile is 0");
+        for _ in 0..99 {
+            h.record(3); // bucket 2: [2, 4)
+        }
+        h.record(1000); // bucket 10: [512, 1024)
+        assert_eq!(h.quantile(0.5), 3);
+        assert_eq!(h.quantile(0.0), 3);
+        assert_eq!(h.quantile(1.0), 1023);
+        assert_eq!(h.quantile(0.99), 3);
     }
 
     #[test]

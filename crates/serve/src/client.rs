@@ -1,0 +1,91 @@
+//! A minimal blocking client for the serve protocol — used by `load_gen`,
+//! the integration tests, and as the copy-paste example in the README.
+
+use crate::protocol::{encode_frame, AskEngine, FrameDecoder, Request, Response, MAX_FRAME};
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One connection to a `halk serve` daemon. Requests are strictly
+/// request→response on this connection, matching the server's session
+/// loop.
+pub struct Client {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+}
+
+impl Client {
+    /// Connects with a read timeout generous enough for deadline-bounded
+    /// requests (the server always answers within deadline + drain).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        Ok(Client {
+            stream,
+            decoder: FrameDecoder::new(MAX_FRAME),
+        })
+    }
+
+    /// Sends one request and reads one response.
+    pub fn request(&mut self, req: &Request) -> io::Result<Response> {
+        self.stream
+            .write_all(&encode_frame(req.encode().as_bytes()))?;
+        self.read_response()
+    }
+
+    /// Convenience: an ASK with the given engine/top/deadline.
+    pub fn ask(
+        &mut self,
+        engine: AskEngine,
+        top: usize,
+        deadline_ms: u64,
+        sparql: &str,
+    ) -> io::Result<Response> {
+        self.request(&Request::Ask {
+            engine,
+            top,
+            deadline_ms,
+            sparql: sparql.to_string(),
+        })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<Response> {
+        self.request(&Request::Ping)
+    }
+
+    /// Asks the daemon to drain and exit; expect [`Response::Bye`].
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        self.request(&Request::Shutdown)
+    }
+
+    /// The underlying socket — the fault injector uses this to disconnect
+    /// mid-frame, dribble bytes, or write garbage.
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    fn read_response(&mut self) -> io::Result<Response> {
+        let mut frames = Vec::new();
+        let mut buf = [0u8; 4096];
+        loop {
+            let n = self.stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            self.decoder
+                .push(&buf[..n], &mut frames)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            if let Some(payload) = frames.pop() {
+                let text = std::str::from_utf8(&payload)
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 frame"))?;
+                return Response::parse(text)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+            }
+        }
+    }
+}

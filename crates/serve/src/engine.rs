@@ -1,0 +1,302 @@
+//! The request engine: everything loaded once and shared by all workers.
+//!
+//! A daemon's whole point is amortization — the KG, the model, the plan
+//! cache and the entity trig tables are built at startup and then shared
+//! immutably (`&self`) across every request, so a request costs only its
+//! own query compilation (cached per skeleton) and scoring sweep.
+//!
+//! [`Engine::execute`] is the unit of panic isolation: the server runs it
+//! under `catch_unwind`, so whatever a hostile query manages to trip stays
+//! inside one request. With [`Engine::test_faults`] enabled (the load
+//! generator's fault drill; never in normal operation) two magic query
+//! strings exercise the isolation machinery end-to-end: `__panic__`
+//! panics, `__sleep__:<ms>` stalls while honoring the deadline.
+
+use crate::protocol::{AskEngine, ErrorKind, Response};
+use halk_core::{top_k_indices, EntityTrig, HalkModel};
+use halk_kg::Graph;
+use halk_logic::plan::{execute_set_deadline, PlanBindings, PlanCache};
+use halk_logic::Query;
+use halk_obs::Deadline;
+
+/// Immutable serving state, shared across worker threads.
+pub struct Engine {
+    graph: Graph,
+    model: Option<HalkModel>,
+    /// Warm half-angle trig of the model's entity table.
+    trig: Option<EntityTrig>,
+    /// Skeleton-keyed plan cache for the exact engine (bounded — see
+    /// `halk_logic::plan::PlanCache`).
+    plans: PlanCache,
+    test_faults: bool,
+}
+
+impl Engine {
+    /// Builds the serving state, warming the entity trig once.
+    pub fn new(graph: Graph, model: Option<HalkModel>) -> Engine {
+        let trig = model.as_ref().map(HalkModel::entity_trig);
+        Engine {
+            graph,
+            model,
+            trig,
+            plans: PlanCache::new(),
+            test_faults: false,
+        }
+    }
+
+    /// Enables the `__panic__` / `__sleep__:<ms>` fault hooks. Only the
+    /// fault drill turns this on; a production daemon treats those
+    /// strings as the bad SPARQL they are.
+    pub fn test_faults(mut self, enabled: bool) -> Engine {
+        self.test_faults = enabled;
+        self
+    }
+
+    /// The graph being served.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// True when a model is loaded (the `halk` engine is available).
+    pub fn has_model(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Answers one request. Infallible by construction: every failure is a
+    /// typed [`Response::Error`]. May panic only through a bug (or an
+    /// injected test fault) — the server catches that one level up.
+    pub fn execute(
+        &self,
+        engine: AskEngine,
+        top: usize,
+        sparql: &str,
+        deadline: &Deadline,
+    ) -> Response {
+        if self.test_faults {
+            if sparql == "__panic__" {
+                panic!("injected test fault");
+            }
+            if let Some(ms) = sparql.strip_prefix("__sleep__:") {
+                return self.fault_sleep(ms, deadline);
+            }
+        }
+        let query = match halk_sparql::sparql_to_query(sparql) {
+            Ok(q) => q,
+            Err(e) => {
+                return Response::Error {
+                    kind: ErrorKind::BadQuery,
+                    detail: e.to_string(),
+                }
+            }
+        };
+        if let Err(detail) = self.validate(&query) {
+            return Response::Error {
+                kind: ErrorKind::BadQuery,
+                detail,
+            };
+        }
+        match engine {
+            AskEngine::Exact => self.execute_exact(&query, top, deadline),
+            AskEngine::Halk => self.execute_halk(&query, top, deadline),
+        }
+    }
+
+    /// Rejects queries referencing entities or relations outside the
+    /// graph before they can index out of bounds deep in the engine.
+    fn validate(&self, query: &Query) -> Result<(), String> {
+        let n = self.graph.n_entities() as u32;
+        let r = self.graph.n_relations() as u32;
+        if let Some(e) = query.anchors().iter().find(|e| e.0 >= n) {
+            return Err(format!("entity e:{} out of range (n={n})", e.0));
+        }
+        if let Some(rel) = query.relations().iter().find(|rel| rel.0 >= r) {
+            return Err(format!("relation r:{} out of range (n={r})", rel.0));
+        }
+        Ok(())
+    }
+
+    fn execute_exact(&self, query: &Query, top: usize, deadline: &Deadline) -> Response {
+        let shape = self.plans.shape_for(query);
+        match execute_set_deadline(&shape, &PlanBindings::of(query), &self.graph, deadline) {
+            Ok(ans) => Response::Answers {
+                total: ans.len(),
+                ids: ans.iter().take(top).map(|e| e.0).collect(),
+            },
+            // Exact sets have no useful partial answer; degrade to a
+            // typed deadline error instead of a wrong set.
+            Err(halk_logic::plan::DeadlineExpired) => Response::Error {
+                kind: ErrorKind::Deadline,
+                detail: "deadline expired during plan execution".to_string(),
+            },
+        }
+    }
+
+    fn execute_halk(&self, query: &Query, top: usize, deadline: &Deadline) -> Response {
+        let (Some(model), Some(trig)) = (&self.model, &self.trig) else {
+            return Response::Error {
+                kind: ErrorKind::NoModel,
+                detail: "daemon started without --model".to_string(),
+            };
+        };
+        let mut scores = Vec::new();
+        let rows = model.score_all_until(trig, query, &mut scores, deadline);
+        let truncated = rows < scores.len();
+        // Soft degradation: rank whatever prefix fit in the budget. The
+        // prefix scores are bit-identical to the full pass, so hits are
+        // exact for the rows that were reached.
+        let hits = top_k_indices(&scores[..rows], top)
+            .into_iter()
+            .map(|e| (e, scores[e as usize]))
+            .collect();
+        Response::Scores {
+            truncated,
+            scored_rows: rows,
+            hits,
+        }
+    }
+
+    /// `__sleep__:<ms>`: hold a worker busy while staying
+    /// deadline-honest, in 5 ms slices like a real long computation.
+    fn fault_sleep(&self, ms: &str, deadline: &Deadline) -> Response {
+        let Ok(ms) = ms.parse::<u64>() else {
+            return Response::Error {
+                kind: ErrorKind::BadQuery,
+                detail: "bad __sleep__ duration".to_string(),
+            };
+        };
+        let mut slept = 0u64;
+        while slept < ms {
+            if deadline.expired() {
+                return Response::Error {
+                    kind: ErrorKind::Deadline,
+                    detail: format!("deadline expired {slept} ms into sleep"),
+                };
+            }
+            let step = 5.min(ms - slept);
+            std::thread::sleep(std::time::Duration::from_millis(step));
+            slept += step;
+        }
+        Response::Pong
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use halk_kg::Triple;
+
+    fn toy_engine(test_faults: bool) -> Engine {
+        let graph = Graph::from_triples(
+            4,
+            2,
+            vec![
+                Triple::new(0, 0, 1),
+                Triple::new(0, 0, 2),
+                Triple::new(1, 1, 3),
+            ],
+        );
+        Engine::new(graph, None).test_faults(test_faults)
+    }
+
+    #[test]
+    fn exact_ask_answers_and_bad_queries_are_typed() {
+        let e = toy_engine(false);
+        let r = e.execute(
+            AskEngine::Exact,
+            10,
+            "SELECT ?x WHERE { e:0 r:0 ?x . }",
+            &Deadline::never(),
+        );
+        assert_eq!(
+            r,
+            Response::Answers {
+                total: 2,
+                ids: vec![1, 2]
+            }
+        );
+        let bad = e.execute(AskEngine::Exact, 10, "SELECT nonsense", &Deadline::never());
+        assert!(matches!(
+            bad,
+            Response::Error {
+                kind: ErrorKind::BadQuery,
+                ..
+            }
+        ));
+        // Out-of-range ids are rejected, not panicked on.
+        let oob = e.execute(
+            AskEngine::Exact,
+            10,
+            "SELECT ?x WHERE { e:99 r:0 ?x . }",
+            &Deadline::never(),
+        );
+        assert!(matches!(
+            oob,
+            Response::Error {
+                kind: ErrorKind::BadQuery,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn halk_engine_without_model_is_no_model() {
+        let e = toy_engine(false);
+        let r = e.execute(
+            AskEngine::Halk,
+            5,
+            "SELECT ?x WHERE { e:0 r:0 ?x . }",
+            &Deadline::never(),
+        );
+        assert!(matches!(
+            r,
+            Response::Error {
+                kind: ErrorKind::NoModel,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_on_exact_is_a_typed_error() {
+        let e = toy_engine(false);
+        let (clock, now) = halk_obs::Clock::mock();
+        now.store(10, std::sync::atomic::Ordering::SeqCst);
+        let d = Deadline::at_ns(&clock, 1);
+        let r = e.execute(AskEngine::Exact, 10, "SELECT ?x WHERE { e:0 r:0 ?x . }", &d);
+        assert!(matches!(
+            r,
+            Response::Error {
+                kind: ErrorKind::Deadline,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn fault_hooks_are_inert_without_the_flag() {
+        let e = toy_engine(false);
+        let r = e.execute(AskEngine::Exact, 10, "__panic__", &Deadline::never());
+        assert!(matches!(
+            r,
+            Response::Error {
+                kind: ErrorKind::BadQuery,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn sleep_fault_honors_deadline() {
+        let e = toy_engine(true);
+        let clock = halk_obs::Clock::monotonic();
+        let d = Deadline::after(&clock, std::time::Duration::from_millis(10));
+        let r = e.execute(AskEngine::Exact, 10, "__sleep__:10000", &d);
+        assert!(matches!(
+            r,
+            Response::Error {
+                kind: ErrorKind::Deadline,
+                ..
+            }
+        ));
+    }
+}

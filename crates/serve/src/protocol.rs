@@ -1,0 +1,526 @@
+//! The wire protocol: length-prefixed frames carrying UTF-8 text messages.
+//!
+//! A frame is a 4-byte little-endian payload length followed by that many
+//! bytes of UTF-8. Text inside the frame keeps the protocol debuggable
+//! (`printf`-able, greppable in traces); the length prefix keeps parsing
+//! trivial and makes hostile input detectable *before* it costs anything:
+//!
+//! * a declared length above [`FrameDecoder::max_frame`] is rejected the
+//!   moment the 4-byte header is complete — no allocation ever happens for
+//!   an oversized frame;
+//! * a truncated frame is simply an incomplete decoder ([`FrameDecoder::
+//!   is_mid_frame`]), which the session layer converts into a slow-client
+//!   protocol error after a stall budget;
+//! * garbage bytes decode into at worst a garbage *message*, which the
+//!   [`Request::parse`] layer rejects with a typed error — the decoder
+//!   itself never panics on any byte sequence (see
+//!   `tests/frame_properties.rs`).
+//!
+//! Message grammar (one message per frame):
+//!
+//! ```text
+//! request  = "PING" | "SHUTDOWN"
+//!          | "ASK " engine " " top " " deadline_ms "\n" sparql
+//! engine   = "exact" | "halk"
+//! response = "PONG" | "BYE"
+//!          | "ANSWERS " total "\n" id*            ; exact engine
+//!          | "SCORES " truncated " " rows "\n" (id " " score "\n")*
+//!          | "ERR " kind " " detail
+//! ```
+//!
+//! Scores travel as Rust's shortest-round-trip `{:?}` float formatting, so
+//! a client reparsing them recovers the server's `f32` bit pattern exactly
+//! — "bit-identical to one-shot `halk ask`" is testable over the wire.
+
+use std::fmt;
+
+/// Default cap on a frame's payload size (64 KiB) — far above any real
+/// query, far below anything that could pressure the allocator.
+pub const MAX_FRAME: usize = 64 * 1024;
+
+/// Length of the frame header (little-endian payload length).
+pub const HEADER_LEN: usize = 4;
+
+/// Why a byte stream stopped being a valid frame sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The header declared a payload larger than the decoder's cap. The
+    /// declared size was *not* allocated.
+    TooLarge { declared: usize, max: usize },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLarge { declared, max } => {
+                write!(f, "frame declares {declared} bytes, cap is {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Incremental frame decoder. Feed it arbitrary byte chunks as they arrive
+/// from a socket; complete payloads come out in order. All state lives in
+/// one small struct, so each connection owns one decoder and hostile
+/// framing on one connection cannot affect another.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    max_frame: usize,
+    header: [u8; HEADER_LEN],
+    header_filled: usize,
+    /// Payload in progress; capacity is bounded by `max_frame` because the
+    /// header is validated before the first payload byte is buffered.
+    payload: Vec<u8>,
+    /// Declared payload length once the header is complete.
+    need: Option<usize>,
+}
+
+impl FrameDecoder {
+    /// A decoder rejecting frames whose payload exceeds `max_frame` bytes.
+    pub fn new(max_frame: usize) -> FrameDecoder {
+        FrameDecoder {
+            max_frame,
+            header: [0; HEADER_LEN],
+            header_filled: 0,
+            payload: Vec::new(),
+            need: None,
+        }
+    }
+
+    /// The payload cap this decoder enforces.
+    pub fn max_frame(&self) -> usize {
+        self.max_frame
+    }
+
+    /// True when some bytes of an unfinished frame are buffered — the
+    /// difference between an idle connection and a stalled (slowloris or
+    /// truncated) one.
+    pub fn is_mid_frame(&self) -> bool {
+        self.header_filled > 0 || self.need.is_some()
+    }
+
+    /// Consumes a chunk of bytes, appending every completed payload to
+    /// `out`. On [`FrameError`] the decoder is poisoned garbage and the
+    /// connection should be closed; no partial payload is emitted.
+    pub fn push(&mut self, mut bytes: &[u8], out: &mut Vec<Vec<u8>>) -> Result<(), FrameError> {
+        while !bytes.is_empty() {
+            match self.need {
+                None => {
+                    let take = (HEADER_LEN - self.header_filled).min(bytes.len());
+                    self.header[self.header_filled..self.header_filled + take]
+                        .copy_from_slice(&bytes[..take]);
+                    self.header_filled += take;
+                    bytes = &bytes[take..];
+                    if self.header_filled == HEADER_LEN {
+                        let declared = u32::from_le_bytes(self.header) as usize;
+                        if declared > self.max_frame {
+                            return Err(FrameError::TooLarge {
+                                declared,
+                                max: self.max_frame,
+                            });
+                        }
+                        if declared == 0 {
+                            // Complete immediately: a zero-length frame
+                            // has no payload bytes to wait for.
+                            out.push(Vec::new());
+                            self.header_filled = 0;
+                        } else {
+                            self.need = Some(declared);
+                            self.payload.reserve_exact(declared);
+                        }
+                    }
+                }
+                Some(need) => {
+                    let take = (need - self.payload.len()).min(bytes.len());
+                    self.payload.extend_from_slice(&bytes[..take]);
+                    bytes = &bytes[take..];
+                    if self.payload.len() == need {
+                        out.push(std::mem::take(&mut self.payload));
+                        self.need = None;
+                        self.header_filled = 0;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Encodes one payload as a length-prefixed frame.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend((payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Which answering engine an `ASK` runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AskEngine {
+    /// Exact set semantics over the plan IR (ground truth).
+    Exact,
+    /// HaLk embedding scores, ranked ascending.
+    Halk,
+}
+
+impl AskEngine {
+    fn as_str(self) -> &'static str {
+        match self {
+            AskEngine::Exact => "exact",
+            AskEngine::Halk => "halk",
+        }
+    }
+}
+
+/// One client request (one frame).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Ask the daemon to drain and exit (same path as SIGTERM).
+    Shutdown,
+    /// Answer a SPARQL query.
+    Ask {
+        engine: AskEngine,
+        /// How many answers to return.
+        top: usize,
+        /// Per-request deadline in milliseconds; 0 = server default.
+        deadline_ms: u64,
+        sparql: String,
+    },
+}
+
+impl Request {
+    /// Renders the request as a frame payload.
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Ping => "PING".to_string(),
+            Request::Shutdown => "SHUTDOWN".to_string(),
+            Request::Ask {
+                engine,
+                top,
+                deadline_ms,
+                sparql,
+            } => format!("ASK {} {top} {deadline_ms}\n{sparql}", engine.as_str()),
+        }
+    }
+
+    /// Parses a frame payload. The error string is safe to echo back to
+    /// the client (single line, bounded length).
+    pub fn parse(text: &str) -> Result<Request, String> {
+        let (head, rest) = match text.split_once('\n') {
+            Some((h, r)) => (h, Some(r)),
+            None => (text, None),
+        };
+        let mut words = head.split(' ');
+        match words.next() {
+            Some("PING") => Ok(Request::Ping),
+            Some("SHUTDOWN") => Ok(Request::Shutdown),
+            Some("ASK") => {
+                let engine = match words.next() {
+                    Some("exact") => AskEngine::Exact,
+                    Some("halk") => AskEngine::Halk,
+                    other => return Err(format!("unknown engine {other:?}")),
+                };
+                let top: usize = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or("bad top count")?;
+                let deadline_ms: u64 = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or("bad deadline")?;
+                if words.next().is_some() {
+                    return Err("trailing words in ASK header".to_string());
+                }
+                let sparql = rest.ok_or("ASK without a query line")?;
+                Ok(Request::Ask {
+                    engine,
+                    top,
+                    deadline_ms,
+                    sparql: sparql.to_string(),
+                })
+            }
+            _ => Err("unknown request verb".to_string()),
+        }
+    }
+}
+
+/// Typed failure classes a client can react to programmatically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Malformed frame or message; the server closes the connection.
+    Protocol,
+    /// The SPARQL text did not parse or references out-of-range ids.
+    BadQuery,
+    /// `engine=halk` requested but the daemon was started without a model.
+    NoModel,
+    /// Load shed: the admission controller predicted the deadline cannot
+    /// be met, or the queue/session limit is reached. Retry with backoff.
+    Overloaded,
+    /// The deadline expired before a useful answer existed.
+    Deadline,
+    /// The request panicked; the daemon is still serving.
+    Panic,
+    /// The daemon is draining for shutdown.
+    Shutdown,
+}
+
+impl ErrorKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Protocol => "protocol",
+            ErrorKind::BadQuery => "bad_query",
+            ErrorKind::NoModel => "no_model",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::Deadline => "deadline",
+            ErrorKind::Panic => "panic",
+            ErrorKind::Shutdown => "shutdown",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<ErrorKind> {
+        Some(match s {
+            "protocol" => ErrorKind::Protocol,
+            "bad_query" => ErrorKind::BadQuery,
+            "no_model" => ErrorKind::NoModel,
+            "overloaded" => ErrorKind::Overloaded,
+            "deadline" => ErrorKind::Deadline,
+            "panic" => ErrorKind::Panic,
+            "shutdown" => ErrorKind::Shutdown,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One server response (one frame).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// Reply to [`Request::Shutdown`]; the daemon is now draining.
+    Bye,
+    /// Exact answers: the full count plus the first `top` entity ids in
+    /// ascending order — the same ids `halk ask --engine exact` prints.
+    Answers { total: usize, ids: Vec<u32> },
+    /// Ranked embedding answers. `truncated` is set when the deadline cut
+    /// scoring short: `scored_rows` entities were ranked and the hits are
+    /// a correct top-k *of that prefix* (bit-identical to the full pass on
+    /// those rows), not of the whole entity table.
+    Scores {
+        truncated: bool,
+        scored_rows: usize,
+        hits: Vec<(u32, f32)>,
+    },
+    /// A typed failure; `detail` is one human-readable line.
+    Error { kind: ErrorKind, detail: String },
+}
+
+impl Response {
+    /// Renders the response as a frame payload.
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Pong => "PONG".to_string(),
+            Response::Bye => "BYE".to_string(),
+            Response::Answers { total, ids } => {
+                let mut out = format!("ANSWERS {total}\n");
+                for (i, id) in ids.iter().enumerate() {
+                    if i > 0 {
+                        out.push(' ');
+                    }
+                    out.push_str(&id.to_string());
+                }
+                out
+            }
+            Response::Scores {
+                truncated,
+                scored_rows,
+                hits,
+            } => {
+                let mut out = format!("SCORES {} {scored_rows}\n", u8::from(*truncated));
+                for (id, score) in hits {
+                    // `{:?}` prints the shortest string that reparses to
+                    // the same f32 bits — exactness survives the wire.
+                    out.push_str(&format!("{id} {score:?}\n"));
+                }
+                out
+            }
+            Response::Error { kind, detail } => {
+                format!("ERR {kind} {}", detail.replace('\n', " "))
+            }
+        }
+    }
+
+    /// Parses a frame payload (the client side of [`Response::encode`]).
+    pub fn parse(text: &str) -> Result<Response, String> {
+        let (head, rest) = match text.split_once('\n') {
+            Some((h, r)) => (h, r),
+            None => (text, ""),
+        };
+        let mut words = head.split(' ');
+        match words.next() {
+            Some("PONG") => Ok(Response::Pong),
+            Some("BYE") => Ok(Response::Bye),
+            Some("ANSWERS") => {
+                let total = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or("bad ANSWERS total")?;
+                let ids = rest
+                    .split_whitespace()
+                    .map(|w| w.parse().map_err(|_| format!("bad id {w:?}")))
+                    .collect::<Result<Vec<u32>, String>>()?;
+                Ok(Response::Answers { total, ids })
+            }
+            Some("SCORES") => {
+                let truncated = match words.next() {
+                    Some("0") => false,
+                    Some("1") => true,
+                    other => return Err(format!("bad truncated flag {other:?}")),
+                };
+                let scored_rows = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or("bad scored_rows")?;
+                let mut hits = Vec::new();
+                for line in rest.lines() {
+                    let (id, score) = line.split_once(' ').ok_or("bad score line")?;
+                    let id = id.parse().map_err(|_| format!("bad id {id:?}"))?;
+                    let score = score.parse().map_err(|_| format!("bad score {score:?}"))?;
+                    hits.push((id, score));
+                }
+                Ok(Response::Scores {
+                    truncated,
+                    scored_rows,
+                    hits,
+                })
+            }
+            Some("ERR") => {
+                let kind = words
+                    .next()
+                    .and_then(ErrorKind::from_str)
+                    .ok_or("bad error kind")?;
+                let detail = head.splitn(3, ' ').nth(2).unwrap_or("").to_string();
+                Ok(Response::Error { kind, detail })
+            }
+            _ => Err("unknown response verb".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_through_any_chunking() {
+        let payloads: Vec<&[u8]> = vec![b"PING", b"", b"ASK exact 5 100\nSELECT"];
+        let mut wire = Vec::new();
+        for p in &payloads {
+            wire.extend(encode_frame(p));
+        }
+        // Feed one byte at a time — worst-case fragmentation.
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let mut out = Vec::new();
+        for b in &wire {
+            dec.push(std::slice::from_ref(b), &mut out).unwrap();
+        }
+        assert_eq!(out, payloads);
+        assert!(!dec.is_mid_frame());
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_any_payload() {
+        let mut dec = FrameDecoder::new(16);
+        let mut out = Vec::new();
+        let err = dec.push(&(u32::MAX).to_le_bytes(), &mut out).unwrap_err();
+        assert_eq!(
+            err,
+            FrameError::TooLarge {
+                declared: u32::MAX as usize,
+                max: 16
+            }
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn partial_frame_is_mid_frame() {
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let mut out = Vec::new();
+        dec.push(&[3, 0], &mut out).unwrap();
+        assert!(dec.is_mid_frame());
+        dec.push(&[0, 0, b'a'], &mut out).unwrap();
+        assert!(dec.is_mid_frame());
+        dec.push(b"bc", &mut out).unwrap();
+        assert!(!dec.is_mid_frame());
+        assert_eq!(out, vec![b"abc".to_vec()]);
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let cases = vec![
+            Request::Ping,
+            Request::Shutdown,
+            Request::Ask {
+                engine: AskEngine::Halk,
+                top: 10,
+                deadline_ms: 250,
+                sparql: "SELECT ?x WHERE { e:0 r:1 ?x . }".to_string(),
+            },
+        ];
+        for r in cases {
+            assert_eq!(Request::parse(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip_scores_bit_exactly() {
+        let awkward = vec![
+            (0u32, f32::MIN_POSITIVE),
+            (1, 0.1),
+            (2, 1.0 / 3.0),
+            (3, f32::INFINITY),
+            (4, 123456.78),
+        ];
+        let r = Response::Scores {
+            truncated: true,
+            scored_rows: 2048,
+            hits: awkward.clone(),
+        };
+        match Response::parse(&r.encode()).unwrap() {
+            Response::Scores { hits, .. } => {
+                for ((_, want), (_, got)) in awkward.iter().zip(&hits) {
+                    assert_eq!(want.to_bits(), got.to_bits());
+                }
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+        let e = Response::Error {
+            kind: ErrorKind::Overloaded,
+            detail: "queue full (64)".to_string(),
+        };
+        assert_eq!(Response::parse(&e.encode()).unwrap(), e);
+        assert_eq!(
+            Response::parse(&Response::Pong.encode()).unwrap(),
+            Response::Pong
+        );
+    }
+
+    #[test]
+    fn garbage_messages_are_typed_errors() {
+        assert!(Request::parse("NOPE").is_err());
+        assert!(Request::parse("ASK warp 1 1\nq").is_err());
+        assert!(Request::parse("ASK exact nope 1\nq").is_err());
+        assert!(Request::parse("ASK exact 1 1").is_err());
+        assert!(Response::parse("WAT").is_err());
+    }
+}

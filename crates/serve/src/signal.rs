@@ -1,0 +1,64 @@
+//! SIGINT/SIGTERM → one process-global [`AtomicBool`], no external crates.
+//!
+//! The workspace vendors no `libc`, so the handler is installed through a
+//! two-symbol FFI declaration of POSIX `signal(2)`. The handler body is a
+//! single relaxed atomic store — the only thing that is async-signal-safe
+//! *and* useful — and everything else (draining, checkpointing, manifest
+//! writing) happens cooperatively on normal threads that poll the flag.
+//!
+//! Rust's runtime already ignores `SIGPIPE`, so a client disconnecting
+//! mid-write surfaces as a normal `io::Error` on the socket, never a
+//! process kill.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the POSIX function of that name; the handler
+        // only performs an atomic store, which is async-signal-safe.
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// No signal delivery on this platform; the flag is still usable as a
+    /// cooperative stop switch (e.g. from a SHUTDOWN control frame).
+    pub fn install() {}
+}
+
+/// Installs SIGINT/SIGTERM handlers (idempotent) and returns the flag they
+/// raise. Callers poll it between units of work.
+pub fn install_shutdown_flag() -> &'static AtomicBool {
+    imp::install();
+    &SHUTDOWN
+}
+
+/// The flag without (re)installing handlers — for code that only needs to
+/// raise or observe it.
+pub fn shutdown_flag() -> &'static AtomicBool {
+    &SHUTDOWN
+}
+
+/// True once a shutdown signal (or a manual raise) happened.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}

@@ -1,0 +1,106 @@
+//! Property tests for the hardened frame parser: no byte stream — random,
+//! truncated, oversized, or adversarially chunked — may panic the decoder
+//! or make it allocate beyond its declared cap.
+
+use halk_serve::protocol::{encode_frame, FrameDecoder, FrameError, Request, Response};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup never panics, and every emitted payload
+    /// respects the cap. (An allocation past the cap would show up as an
+    /// oversized payload — the decoder only buffers after validating the
+    /// header.)
+    #[test]
+    fn random_streams_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048),
+        max in 1usize..512,
+    ) {
+        let mut dec = FrameDecoder::new(max);
+        let mut out = Vec::new();
+        let result = dec.push(&bytes, &mut out);
+        for payload in &out {
+            prop_assert!(payload.len() <= max);
+        }
+        if let Err(FrameError::TooLarge { declared, max: m }) = result {
+            prop_assert!(declared > m);
+        }
+    }
+
+    /// Valid frames survive any fragmentation of the byte stream: split
+    /// the wire image at arbitrary points and the same payloads come out.
+    #[test]
+    fn chunking_is_invisible(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64), 0..8),
+        cut_seed in any::<u64>(),
+    ) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            wire.extend(encode_frame(p));
+        }
+        let mut dec = FrameDecoder::new(64);
+        let mut out = Vec::new();
+        // Derive deterministic cut points from the seed.
+        let mut pos = 0usize;
+        let mut s = cut_seed;
+        while pos < wire.len() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let step = 1 + (s % 7) as usize;
+            let end = (pos + step).min(wire.len());
+            dec.push(&wire[pos..end], &mut out).unwrap();
+            pos = end;
+        }
+        prop_assert_eq!(out, payloads);
+        prop_assert!(!dec.is_mid_frame());
+    }
+
+    /// A truncated wire image never yields a phantom payload: every
+    /// complete frame before the cut is emitted, nothing after.
+    #[test]
+    fn truncation_yields_only_complete_frames(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..32), 1..6),
+        cut_seed in any::<u64>(),
+    ) {
+        let mut wire = Vec::new();
+        let mut boundaries = Vec::new();
+        for p in &payloads {
+            wire.extend(encode_frame(p));
+            boundaries.push(wire.len());
+        }
+        let cut = (cut_seed % wire.len() as u64) as usize;
+        let mut dec = FrameDecoder::new(64);
+        let mut out = Vec::new();
+        dec.push(&wire[..cut], &mut out).unwrap();
+        let complete = boundaries.iter().filter(|&&b| b <= cut).count();
+        prop_assert_eq!(out.len(), complete);
+        let at_boundary = cut == 0 || boundaries.contains(&cut);
+        prop_assert_eq!(dec.is_mid_frame(), !at_boundary);
+    }
+
+    /// An oversized declaration is rejected from the header alone; no
+    /// payload bytes are ever buffered for it.
+    #[test]
+    fn oversized_is_rejected_at_the_header(
+        max in 1usize..1024,
+        excess in 1usize..4096,
+    ) {
+        let declared = max + excess;
+        let mut dec = FrameDecoder::new(max);
+        let mut out = Vec::new();
+        let err = dec.push(&(declared as u32).to_le_bytes(), &mut out).unwrap_err();
+        prop_assert_eq!(err, FrameError::TooLarge { declared, max });
+        prop_assert!(out.is_empty());
+    }
+
+    /// Request/Response text parsing never panics on arbitrary UTF-8
+    /// (lossily decoded byte soup covers multi-byte boundaries too).
+    #[test]
+    fn message_parsing_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = Request::parse(&text);
+        let _ = Response::parse(&text);
+    }
+}

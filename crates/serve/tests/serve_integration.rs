@@ -1,0 +1,243 @@
+//! End-to-end daemon tests over real sockets: correctness (answers
+//! bit-identical to the one-shot path), fault isolation (panics, garbage,
+//! disconnects), backpressure (typed Overloaded), and graceful shutdown.
+
+use halk_core::{top_k_indices, HalkConfig, HalkModel};
+use halk_kg::{generate, Graph, SynthConfig};
+use halk_serve::protocol::{encode_frame, AskEngine, ErrorKind, Response};
+use halk_serve::{Client, Engine, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+use std::time::Duration;
+
+fn small_graph(seed: u64) -> Graph {
+    generate(&SynthConfig::fb237_like(), &mut StdRng::seed_from_u64(seed))
+}
+
+fn trained_model(g: &Graph) -> HalkModel {
+    let mut model = HalkModel::new(g, HalkConfig::tiny());
+    let tc = halk_core::TrainConfig {
+        steps: 15,
+        threads: 1,
+        ..halk_core::TrainConfig::tiny()
+    };
+    halk_core::train_model(&mut model, g, &[halk_logic::Structure::P1], &tc).unwrap();
+    model
+}
+
+fn start(engine: Engine, cfg: ServeConfig) -> (Server, String) {
+    let server = Server::start(engine, cfg).unwrap();
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn fast_cfg() -> ServeConfig {
+    ServeConfig {
+        read_timeout: Duration::from_millis(20),
+        stall: Duration::from_millis(200),
+        drain: Duration::from_millis(500),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn served_answers_match_one_shot_bit_for_bit() {
+    let g = small_graph(50);
+    let model = trained_model(&g);
+    let t = g.triples()[0];
+    let sparql = format!("SELECT ?x WHERE {{ e:{} r:{} ?x . }}", t.h.0, t.r.0);
+
+    // One-shot reference: the same paths `halk ask` runs.
+    let query = halk_sparql::sparql_to_query(&sparql).unwrap();
+    let shape = halk_logic::plan::PlanShape::compile(&query);
+    let exact_ref =
+        halk_logic::plan::execute_set(&shape, &halk_logic::plan::PlanBindings::of(&query), &g);
+    let scores_ref = model.score_all(&query);
+    let top_ref = top_k_indices(&scores_ref, 10);
+
+    let (server, addr) = start(Engine::new(g, Some(model)), fast_cfg());
+    let mut c = Client::connect(&addr).unwrap();
+
+    match c.ask(AskEngine::Exact, 10, 0, &sparql).unwrap() {
+        Response::Answers { total, ids } => {
+            assert_eq!(total, exact_ref.len());
+            let want: Vec<u32> = exact_ref.iter().take(10).map(|e| e.0).collect();
+            assert_eq!(ids, want);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    match c.ask(AskEngine::Halk, 10, 0, &sparql).unwrap() {
+        Response::Scores {
+            truncated,
+            scored_rows,
+            hits,
+        } => {
+            assert!(!truncated);
+            assert_eq!(scored_rows, scores_ref.len());
+            assert_eq!(hits.len(), top_ref.len());
+            for (&want_id, &(got_id, got_score)) in top_ref.iter().zip(&hits) {
+                assert_eq!(got_id, want_id);
+                // Bit-identical across scoring, formatting and the wire.
+                assert_eq!(got_score.to_bits(), scores_ref[want_id as usize].to_bits());
+            }
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    server.join();
+}
+
+#[test]
+fn daemon_survives_panics_garbage_and_disconnects() {
+    let g = small_graph(51);
+    let (server, addr) = start(Engine::new(g, None).test_faults(true), fast_cfg());
+
+    // 1. A panicking request gets a typed error; the daemon keeps serving.
+    let mut c = Client::connect(&addr).unwrap();
+    match c.ask(AskEngine::Exact, 5, 0, "__panic__").unwrap() {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Panic),
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(c.ping().unwrap(), Response::Pong);
+
+    // 2. Garbage inside a valid frame: typed protocol error, then close.
+    let mut c2 = Client::connect(&addr).unwrap();
+    c2.stream_mut()
+        .write_all(&encode_frame(b"EXPLODE NOW"))
+        .unwrap();
+    match c2.ping() {
+        Ok(Response::Error { kind, .. }) => assert_eq!(kind, ErrorKind::Protocol),
+        Ok(other) => panic!("unexpected {other:?}"),
+        // The server may close before our second request lands.
+        Err(_) => {}
+    }
+
+    // 3. An oversized frame header: rejected without allocation.
+    let mut c3 = Client::connect(&addr).unwrap();
+    c3.stream_mut().write_all(&u32::MAX.to_le_bytes()).unwrap();
+    match c3.ping() {
+        Ok(Response::Error { kind, .. }) => assert_eq!(kind, ErrorKind::Protocol),
+        Ok(other) => panic!("unexpected {other:?}"),
+        Err(_) => {}
+    }
+
+    // 4. Mid-frame disconnect: write half a frame and vanish.
+    {
+        let mut c4 = Client::connect(&addr).unwrap();
+        c4.stream_mut().write_all(&[8, 0, 0, 0, b'P']).unwrap();
+        // c4 drops here — mid-request disconnect.
+    }
+
+    // 5. A slowloris writer (half a frame, then silence) is cut off after
+    // the stall budget rather than pinning a session forever.
+    let mut c5 = Client::connect(&addr).unwrap();
+    c5.stream_mut().write_all(&[8, 0, 0, 0, b'P']).unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+
+    // After all of that, a fresh client still gets served.
+    let mut c6 = Client::connect(&addr).unwrap();
+    assert_eq!(c6.ping().unwrap(), Response::Pong);
+    server.join();
+}
+
+#[test]
+fn overload_sheds_with_typed_rejection() {
+    let g = small_graph(52);
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_cap: 1,
+        ..fast_cfg()
+    };
+    let (server, addr) = start(Engine::new(g, None).test_faults(true), cfg);
+
+    // Occupy the single worker with a long sleep, fill the queue of 1,
+    // then watch the next request bounce.
+    let addr2 = addr.clone();
+    let busy = std::thread::spawn(move || {
+        let mut c = Client::connect(&addr2).unwrap();
+        c.ask(AskEngine::Exact, 1, 5_000, "__sleep__:600").unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(150)); // busy request is running
+    let addr3 = addr.clone();
+    let queued = std::thread::spawn(move || {
+        let mut c = Client::connect(&addr3).unwrap();
+        c.ask(AskEngine::Exact, 1, 5_000, "__sleep__:10").unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(150)); // it is now queued
+
+    let mut c = Client::connect(&addr).unwrap();
+    match c.ask(AskEngine::Exact, 1, 5_000, "__sleep__:10").unwrap() {
+        Response::Error { kind, detail } => {
+            assert_eq!(kind, ErrorKind::Overloaded, "{detail}");
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    // The well-formed in-budget requests still complete correctly.
+    assert_eq!(busy.join().unwrap(), Response::Pong);
+    assert_eq!(queued.join().unwrap(), Response::Pong);
+    server.join();
+}
+
+#[test]
+fn deadline_sheds_queued_work_and_truncates_scoring() {
+    let g = small_graph(53);
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_cap: 8,
+        ..fast_cfg()
+    };
+    let (server, addr) = start(Engine::new(g, None).test_faults(true), cfg);
+
+    // Tie up the worker long enough that a short-deadline queued request
+    // expires before execution — it must be shed with ERR deadline.
+    let addr2 = addr.clone();
+    let busy = std::thread::spawn(move || {
+        let mut c = Client::connect(&addr2).unwrap();
+        c.ask(AskEngine::Exact, 1, 5_000, "__sleep__:400").unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    let mut c = Client::connect(&addr).unwrap();
+    match c.ask(AskEngine::Exact, 1, 100, "__sleep__:10").unwrap() {
+        Response::Error { kind, .. } => assert_eq!(kind, ErrorKind::Deadline),
+        other => panic!("expected Deadline, got {other:?}"),
+    }
+    assert_eq!(busy.join().unwrap(), Response::Pong);
+    server.join();
+}
+
+#[test]
+fn shutdown_frame_drains_and_join_returns() {
+    let g = small_graph(54);
+    let (server, addr) = start(Engine::new(g, None), fast_cfg());
+    let mut c = Client::connect(&addr).unwrap();
+    assert_eq!(c.shutdown().unwrap(), Response::Bye);
+    assert!(server.shutdown_requested());
+    // Join must return promptly (drain is 500ms in fast_cfg).
+    let t0 = std::time::Instant::now();
+    server.join();
+    assert!(t0.elapsed() < Duration::from_secs(10));
+
+    // New connections are refused (or immediately closed) after drain.
+    if let Ok(mut c2) = Client::connect(&addr) {
+        assert!(c2.ping().is_err());
+    }
+}
+
+#[test]
+fn requests_during_drain_get_typed_shutdown() {
+    let g = small_graph(55);
+    let (server, addr) = start(Engine::new(g, None), fast_cfg());
+    let mut c = Client::connect(&addr).unwrap();
+    // Open a session first, then trigger shutdown from another client.
+    let mut c2 = Client::connect(&addr).unwrap();
+    assert_eq!(c2.shutdown().unwrap(), Response::Bye);
+    // The already-open session's next request is refused as Shutdown —
+    // or the server already closed it; both are graceful.
+    match c.ask(AskEngine::Exact, 1, 0, "SELECT ?x WHERE { e:0 r:0 ?x . }") {
+        Ok(Response::Error { kind, .. }) => assert_eq!(kind, ErrorKind::Shutdown),
+        Ok(other) => panic!("unexpected {other:?}"),
+        Err(_) => {}
+    }
+    server.join();
+}
