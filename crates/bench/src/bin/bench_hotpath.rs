@@ -5,14 +5,21 @@
 //! count vs one worker, and the query-plan compiler (compile-from-scratch
 //! vs a warm-cache embed) — at fixed seeds, and writes `BENCH_hotpath.json`
 //! at the repo root so future changes can be diffed with `--compare`
-//! (schema `halk-bench-hotpath/v4`; `--compare` still reads v1-v3
-//! baselines, comparing the shared keys). The v4 schema adds a
+//! (schema `halk-bench-hotpath/v5`; `--compare` still reads v1-v4
+//! baselines, comparing the shared keys). The v4 schema added a
 //! `tracing_overhead_disabled` entry (one `span!` open+close with no trace
 //! file configured — must stay at a few ns) and a `metrics_snapshot` field
 //! recording where the metrics-registry snapshot (pool busy/wall
 //! histograms, plan-cache and eval counters accumulated while benching)
 //! was written: `results/bench_hotpath_metrics.json` by default,
-//! `--metrics-out` to override.
+//! `--metrics-out` to override. The v5 schema adds a serving-scale pair
+//! at 8000 entities, both normalized to ns per query over a group of 8
+//! same-skeleton requests: `score_all_8000` (the pre-sharding serve path
+//! — per request, one plan embedding, a fresh full score vector, an
+//! argsort top-k) against `topk_sharded_8000` (what the serving worker
+//! now runs: one batched embedding for the group, then arc-sharded
+//! streaming heaps + merge-k), so `--compare` gates the sharded kernel
+//! too.
 //!
 //! Usage:
 //!   bench_hotpath [--smoke] [--out <path>] [--compare <old.json>]
@@ -23,10 +30,13 @@
 //! shared benchmark regressed by more than 15%, naming each regressed
 //! entry with its slowdown percentage.
 
-use halk_core::{evaluate_structure_pool, HalkConfig, HalkModel, Pool, QueryModel, TrainExample};
+use halk_core::{
+    evaluate_structure_pool, top_k_indices, HalkConfig, HalkModel, Pool, QueryModel, TrainExample,
+};
 use halk_kg::{generate, DatasetSplit, Graph, SynthConfig};
 use halk_logic::plan::{PlanBindings, PlanShape};
 use halk_logic::{answers, Sampler, Structure};
+use halk_obs::Deadline;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde_json::{json, Value};
@@ -284,9 +294,88 @@ fn main() {
         }),
     ));
 
+    // --- sharded streaming top-k (PR 7) at serving scale: 8000 entities,
+    // same config otherwise. `score_all_8000` is the pre-sharding serve
+    // path — a fresh full score vector plus `top_k_indices` argsort per
+    // request, repeated for each request in a group of 8; `topk_sharded_8000`
+    // is what `halk serve`'s worker now runs for that same group: one batched
+    // plan embedding (`scorers_for_shape`, B = 8) plus one sharded sweep — 8
+    // arc shards streamed through bounded heaps, each trig slice visited once
+    // for the whole group, merged by rank, never materializing the O(n)
+    // vector. Both report ns *per query*. One worker on purpose: the win
+    // measured here is embed amortization plus the avoided per-request
+    // allocations and the 4 KB slice working set, not parallelism.
+    let g8 = generate(
+        &SynthConfig {
+            n_entities: 8000,
+            ..SynthConfig::fb237_like()
+        },
+        &mut StdRng::seed_from_u64(8),
+    );
+    let model8 = HalkModel::new(&g8, cfg.clone());
+    let sampler8 = Sampler::new(&g8);
+    let mut rng8 = StdRng::seed_from_u64(9);
+    let group8: Vec<_> = (0..64)
+        .filter_map(|_| sampler8.sample(Structure::P2, &mut rng8))
+        .map(|gq| gq.query)
+        .take(8)
+        .collect();
+    assert_eq!(group8.len(), 8, "8 groundable p2 queries");
+    let trig8 = model8.entity_trig();
+    let sharded8 = model8.entity_shards(8);
+    let pool1 = Pool::new(1);
+    let never = Deadline::never();
+    let ns_full8 = median_ns(samples, iters, || {
+        for q in &group8 {
+            let mut scores = Vec::new();
+            model8.score_all_until(&trig8, q, &mut scores, &never);
+            black_box(top_k_indices(&scores, 10));
+        }
+    }) / group8.len() as f64;
+    println!("score_all_8000           {ns_full8:>12.0} ns/op   ({iters} iters/sample)");
+    results.push((
+        "score_all_8000".to_string(),
+        json!({
+            "median_ns": ns_full8,
+            "iters": iters,
+            "n_entities": 8000,
+            "k": 10,
+            "group": group8.len(),
+        }),
+    ));
+    let shape8 = PlanShape::compile(&group8[0]);
+    let ks8 = [10usize; 8];
+    let deadlines8 = [&never; 8];
+    let ns_sharded8 = median_ns(samples, iters, || {
+        let refs: Vec<&halk_logic::Query> = group8.iter().collect();
+        let scorers = model8.scorers_for_shape(&shape8, &refs);
+        black_box(halk_core::sharded_top_k(
+            &pool1,
+            &sharded8,
+            &scorers,
+            &ks8,
+            &deadlines8,
+        ));
+    }) / group8.len() as f64;
+    println!("topk_sharded_8000        {ns_sharded8:>12.0} ns/op   ({iters} iters/sample)");
+    results.push((
+        "topk_sharded_8000".to_string(),
+        json!({
+            "median_ns": ns_sharded8,
+            "iters": iters,
+            "n_entities": 8000,
+            "k": 10,
+            "group": group8.len(),
+            "shards": 8,
+            "pool_threads": 1,
+        }),
+    ));
+    let sharded_speedup = ns_full8 / ns_sharded8;
+
     let speedup = ns_scalar / ns_vec;
     let speedup_p2 = ns_scalar_p2 / ns_vec_p2;
     println!("score_all speedup vs scalar: up {speedup:.2}x, p2 {speedup_p2:.2}x");
+    println!("topk_sharded_8000 vs score_all_8000: {sharded_speedup:.2}x");
 
     // Snapshot the metrics the instrumented paths accumulated while
     // benching (pool regions, plan-cache hits/misses, eval counters).
@@ -300,7 +389,7 @@ fn main() {
     }
 
     let report = json!({
-        "schema": "halk-bench-hotpath/v4",
+        "schema": "halk-bench-hotpath/v5",
         "metrics_snapshot": metrics_path,
         "config": json!({
             "smoke": args.smoke,
@@ -321,6 +410,7 @@ fn main() {
             "score_all_p2_speedup": speedup_p2,
             "eval_parallel_speedup": eval_speedup,
             "train_parallel_speedup": train_speedup,
+            "topk_sharded_8000_speedup": sharded_speedup,
         }),
     });
 

@@ -513,11 +513,30 @@ fn main() -> ExitCode {
         let _ = h.join();
     }
 
+    // Skeleton-batching counters from the daemon itself (STATS frame), so
+    // batching shows up as a measured number in the summary; 0s when the
+    // daemon is unreachable or predates the STATS verb.
+    let (mut batched_groups, mut batch_p50, mut batch_p99) = (0u64, 0u64, 0u64);
+    if let Ok(mut c) = Client::connect(&*addr) {
+        if let Ok(Response::Stats { pairs }) = c.stats() {
+            for (k, v) in pairs {
+                match k.as_str() {
+                    "batched_groups" => batched_groups = v,
+                    "batch_size_p50" => batch_p50 = v,
+                    "batch_size_p99" => batch_p99 = v,
+                    _ => {}
+                }
+            }
+        }
+    }
+
     let latency = metrics::histogram("loadgen_latency_us");
     let summary = format!(
         "{{\"requests\":{},\"ok\":{},\"mismatches\":{},\"shed_overloaded\":{},\
          \"shed_deadline\":{},\"truncated\":{},\"server_errors\":{},\"io_errors\":{},\
-         \"fault_probes\":{},\"structures\":{},\"p50_us\":{},\"p99_us\":{}}}",
+         \"fault_probes\":{},\"structures\":{},\"p50_us\":{},\"p99_us\":{},\
+         \"batched_groups\":{batched_groups},\"batch_size_p50\":{batch_p50},\
+         \"batch_size_p99\":{batch_p99}}}",
         tally.requests.load(Ordering::Relaxed),
         tally.ok.load(Ordering::Relaxed),
         tally.mismatches.load(Ordering::Relaxed),

@@ -171,6 +171,8 @@ USAGE:
   halk serve --graph graph.tsv [--model model_dir] [--addr 127.0.0.1:7464]
              [--workers N] [--queue-cap N] [--max-sessions N]
              [--default-deadline-ms N] [--drain-ms N]
+             [--shards N]              arc shards for sharded scoring
+                                      (0 = auto: the thread budget)
              answer queries as a daemon until SIGINT/SIGTERM or a
              SHUTDOWN frame; degrades gracefully under overload
              (see DESIGN.md §12 for the wire protocol)
@@ -424,13 +426,19 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let faults = args
         .optional("test-faults")
         .is_some_and(|v| v == "true" || v == "1");
-    let engine = halk_serve::Engine::new(g, model).test_faults(faults);
+    let mut engine = halk_serve::Engine::new(g, model).test_faults(faults);
+    // 0 (the default) keeps the engine's auto shard count (thread budget).
+    let shards: usize = args.parsed_or("shards", 0)?;
+    if shards > 0 {
+        engine = engine.shards(shards);
+    }
 
     let mut manifest = halk_obs::Manifest::new("serve");
     manifest.config_str("graph", args.required("graph")?);
     manifest.config_str("addr", addr);
     manifest.config_int("workers", cfg.workers as u64);
     manifest.config_int("queue_cap", cfg.queue_cap as u64);
+    manifest.config_int("shards", engine.n_shards() as u64);
     manifest.set_bool("model_loaded", has_model);
 
     let signal_flag = halk_serve::signal::install_shutdown_flag();

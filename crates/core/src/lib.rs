@@ -41,6 +41,7 @@ pub mod obs;
 pub mod prune;
 pub mod qmodel;
 pub mod scorer;
+pub mod shard;
 pub mod train;
 
 pub use config::{Ablation, DistanceMode, HalkConfig};
@@ -51,5 +52,6 @@ pub use halk_par::Pool;
 pub use lsh::EntityLsh;
 pub use model::HalkModel;
 pub use qmodel::{QueryModel, ScoreCache, TrainExample};
-pub use scorer::{top_k_indices, ArcScorer, BoxScorer, EntityTrig, L1Scorer};
+pub use scorer::{top_k_indices, ArcScorer, BoxScorer, EntityTrig, L1Scorer, TopK, SCORE_SLICE};
+pub use shard::{sharded_top_k, ArcShards, ShardedTopK, ShardedTrig};
 pub use train::{train_model, TrainConfig, TrainError, TrainStats};

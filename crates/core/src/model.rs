@@ -25,7 +25,8 @@
 
 use crate::arcvar::{chord, clamp, g_squash, ArcVar};
 use crate::config::{Ablation, DistanceMode, HalkConfig};
-use crate::scorer::{ArcScorer, EntityTrig};
+use crate::scorer::{ArcScorer, EntityTrig, SCORE_SLICE};
+use crate::shard::{sharded_top_k, ArcShards, ShardedTopK, ShardedTrig};
 use halk_geometry::Arc;
 use halk_kg::{EntityId, Graph, Grouping, RelationId};
 use halk_logic::plan::{PlanBindings, PlanCache, PlanMasks, PlanOp, PlanShape};
@@ -681,7 +682,6 @@ impl HalkModel {
             scorer.score_slice(trig, 0, out);
             return;
         }
-        const SCORE_SLICE: usize = 1024;
         pool.par_chunks_mut(out, SCORE_SLICE, |ci, chunk| {
             scorer.score_slice(trig, ci * SCORE_SLICE, chunk);
         });
@@ -701,11 +701,78 @@ impl HalkModel {
         out: &mut Vec<f32>,
         deadline: &Deadline,
     ) -> usize {
-        const SCORE_SLICE: usize = 1024;
         let scorer = self.scorer_for(query);
         out.clear();
         out.resize(trig.n_entities(), f32::INFINITY);
         scorer.score_until(trig, 0, out, SCORE_SLICE, deadline)
+    }
+
+    /// Shard-local trig tables for the current entity table under a
+    /// balanced `n_shards`-way arc partition. Like
+    /// [`HalkModel::entity_trig`], valid until the next training step;
+    /// build once per model snapshot and share across queries.
+    pub fn entity_shards(&self, n_shards: usize) -> ShardedTrig {
+        let table = self.store.value(self.ent_center);
+        ShardedTrig::new(table, &ArcShards::new(table.rows, n_shards))
+    }
+
+    /// Streaming sharded top-k for one query: per-shard bounded heaps fanned
+    /// out over `pool`, merged by rank — never materializing the full score
+    /// vector. Returns the top-`k` `(entity, score)` pairs in ascending rank
+    /// order plus the rows scored before `deadline` (the union of per-shard
+    /// prefixes; `n_entities` when the deadline never fires). The selection
+    /// and scores are bit-identical to [`HalkModel::score_all`] followed by
+    /// [`crate::top_k_indices`].
+    pub fn top_k_sharded(
+        &self,
+        pool: &Pool,
+        sharded: &ShardedTrig,
+        query: &Query,
+        k: usize,
+        deadline: &Deadline,
+    ) -> ShardedTopK {
+        let scorer = self.scorer_for(query);
+        sharded_top_k(
+            pool,
+            sharded,
+            std::slice::from_ref(&scorer),
+            &[k],
+            &[deadline],
+        )
+        .pop()
+        .expect("one query in, one result out")
+    }
+
+    /// Compiles a *group* of same-skeleton queries into per-query
+    /// [`ArcScorer`]s through one batched plan embedding — the serving-side
+    /// twin of `train_batch`'s shard forward: every query must share
+    /// `shape` (enforce via `Arc<PlanShape>` pointer identity upstream),
+    /// so the whole group runs one tape pass with `B = queries.len()`
+    /// rows. Row `b` of the batch is bit-identical to embedding query `b`
+    /// alone ([`HalkModel::embed_query`]): every tape op is row-independent.
+    pub fn scorers_for_shape(&self, shape: &PlanShape, queries: &[&Query]) -> Vec<ArcScorer> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let (bindings, masks): (Vec<_>, Vec<_>) =
+            queries.iter().map(|q| self.bind(shape, q)).unzip();
+        let mut tape = Tape::new();
+        let roots = self.embed_plan(&mut tape, shape, &bindings, &masks);
+        (0..queries.len())
+            .map(|b| {
+                let branches: Vec<Vec<Arc>> = roots
+                    .iter()
+                    .map(|arc| {
+                        let c = tape.value(arc.center);
+                        let l = tape.value(arc.len);
+                        (0..self.cfg.dim)
+                            .map(|j| Arc::new(c.get(b, j), l.get(b, j).max(0.0), self.cfg.rho))
+                            .collect()
+                    })
+                    .collect();
+                ArcScorer::from_arcs(&branches, self.cfg.rho, self.cfg.eta, self.cfg.distance)
+            })
+            .collect()
     }
 
     /// Scalar reference scoring: the straightforward entity-major loop over

@@ -7,17 +7,35 @@
 //! large online-time reduction (Fig. 6a).
 
 use crate::model::HalkModel;
-use crate::scorer::top_k_indices;
+use crate::scorer::TopK;
 use halk_kg::{EntityId, Graph};
 use halk_logic::Query;
+use halk_obs::Deadline;
+use std::cell::RefCell;
+
+thread_local! {
+    /// Pooled per-thread selection scratch: the bounded heap plus its
+    /// sorted drain buffer, reused across calls so the pruning hot path
+    /// (hit on every served query) allocates nothing in steady state —
+    /// previously each call built a fresh `n_entities` score vector *and*
+    /// an `n_entities` index vector for the argsort.
+    static TOPK_SCRATCH: RefCell<(TopK, Vec<(u32, f32)>)> =
+        RefCell::new((TopK::new(0), Vec::new()));
+}
 
 /// Top-`k` entity candidates for *one* query node, by embedding distance.
+/// Streams the entity table through a pooled bounded heap; the selection is
+/// bit-identical to the full-vector `score_all` + `top_k_indices` path.
 pub fn top_k_candidates(model: &HalkModel, query: &Query, k: usize) -> Vec<EntityId> {
-    let scores = model.score_all(query);
-    top_k_indices(&scores, k)
-        .into_iter()
-        .map(EntityId)
-        .collect()
+    let trig = model.entity_trig();
+    let scorer = model.scorer_for(query);
+    TOPK_SCRATCH.with(|cell| {
+        let (heap, drain) = &mut *cell.borrow_mut();
+        heap.reset(k);
+        scorer.top_k_until(&trig, 0, heap, &Deadline::never());
+        heap.drain_sorted_into(drain);
+        drain.iter().map(|&(i, _)| EntityId(i)).collect()
+    })
 }
 
 /// The candidate node set `S`: top-`k` candidates of every variable node of
@@ -38,13 +56,19 @@ pub fn candidate_set(model: &HalkModel, query: &Query, k: usize) -> Vec<EntityId
         }
     });
     let trig = model.entity_trig();
-    let mut scores = Vec::new();
-    for sub in &subqueries {
-        model.score_all_with(&trig, sub, &mut scores);
-        for e in top_k_indices(&scores, k) {
-            keep[e as usize] = true;
+    TOPK_SCRATCH.with(|cell| {
+        let (heap, drain) = &mut *cell.borrow_mut();
+        for sub in &subqueries {
+            heap.reset(k);
+            model
+                .scorer_for(sub)
+                .top_k_until(&trig, 0, heap, &Deadline::never());
+            heap.drain_sorted_into(drain);
+            for &(e, _) in drain.iter() {
+                keep[e as usize] = true;
+            }
         }
-    }
+    });
     keep.iter()
         .enumerate()
         .filter(|&(_, &k)| k)

@@ -32,6 +32,14 @@ use halk_geometry::Arc;
 use halk_nn::Tensor;
 use halk_obs::Deadline;
 
+/// The fixed scoring-slice size shared by every sweep over the entity
+/// table: the parallel `par_chunks_mut` sweep, the deadline-checked
+/// `score_until` loop and the streaming [`ArcScorer::top_k_until`] path
+/// all quantize work in rows of this many entities. Slice boundaries
+/// depend only on the entity count, never on thread or shard counts, so
+/// every partition of the table scores bit-identically.
+pub const SCORE_SLICE: usize = 1024;
+
 /// Precomputed half-angle trig of an entity table: `sin(θ/2)` and
 /// `cos(θ/2)` for every entity coordinate, laid out row-major to match the
 /// table. Build once, reuse across every query scored against the same
@@ -46,13 +54,26 @@ pub struct EntityTrig {
 impl EntityTrig {
     /// Precomputes trig for an `n×d` table of entity angles.
     pub fn new(table: &Tensor) -> Self {
-        let half_sin: Vec<f32> = table.data.iter().map(|&t| (t * 0.5).sin()).collect();
-        let half_cos: Vec<f32> = table.data.iter().map(|&t| (t * 0.5).cos()).collect();
+        Self::from_rows(table, 0..table.rows)
+    }
+
+    /// Precomputes trig for the contiguous row range `rows` of a table —
+    /// the shard-local constructor: each arc shard owns the trig of its own
+    /// entity range and nothing else, so per-shard memory is bounded by the
+    /// shard size. Entry `i` of the result is row `rows.start + i` of the
+    /// table, element-for-element bit-identical to the same row of a
+    /// whole-table [`EntityTrig::new`].
+    pub fn from_rows(table: &Tensor, rows: std::ops::Range<usize>) -> Self {
+        assert!(rows.end <= table.rows, "trig row range out of bounds");
+        let d = table.cols;
+        let data = &table.data[rows.start * d..rows.end * d];
+        let half_sin: Vec<f32> = data.iter().map(|&t| (t * 0.5).sin()).collect();
+        let half_cos: Vec<f32> = data.iter().map(|&t| (t * 0.5).cos()).collect();
         Self {
             half_sin,
             half_cos,
-            n_entities: table.rows,
-            dim: table.cols,
+            n_entities: rows.len(),
+            dim: d,
         }
     }
 
@@ -64,6 +85,144 @@ impl EntityTrig {
     /// Embedding dimensionality.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+}
+
+/// A bounded top-k accumulator: a max-heap of the `k` best (lowest)
+/// `(score, index)` entries seen so far, with the *worst* kept entry at the
+/// root so a streaming producer can reject most rows with one comparison.
+///
+/// Ordering is ascending score with ties broken by index — via
+/// `f32::total_cmp`, which on the scorer's output domain (finite,
+/// non-negative: every kernel score is a `min`-fold of sums of absolute
+/// values times `2ρ`) coincides exactly with the `partial_cmp`-plus-index
+/// order of [`top_k_indices`]. Offering every row of a score vector
+/// therefore yields *bit-identically* the same selection as
+/// `top_k_indices`, in any offer order and under any partition of the rows
+/// (distinct indices make the total order strict, so the k-smallest set is
+/// unique). The backing buffer is reusable via [`TopK::reset`], so pooled
+/// callers (the pruning engine, the serve workers) allocate nothing per
+/// query in steady state.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    /// Max-heap by `(score, index)`; `heap[0]` is the worst kept entry.
+    heap: Vec<(f32, u32)>,
+}
+
+/// The selection order: ascending score, ties broken by ascending index.
+#[inline]
+fn rank_cmp(a: (f32, u32), b: (f32, u32)) -> std::cmp::Ordering {
+    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
+}
+
+impl TopK {
+    /// An empty accumulator keeping the best `k` entries.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: Vec::with_capacity(k.min(4096)),
+        }
+    }
+
+    /// Clears the accumulator for a new sweep with bound `k`, keeping the
+    /// backing allocation.
+    pub fn reset(&mut self, k: usize) {
+        self.k = k;
+        self.heap.clear();
+    }
+
+    /// The configured bound.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Entries currently held (≤ `k`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no entry has been kept yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Offers one `(index, score)` row. Kept iff it ranks among the best
+    /// `k` seen so far; once the heap is full the common case is a single
+    /// comparison against the root.
+    #[inline]
+    pub fn offer(&mut self, idx: u32, score: f32) {
+        if self.heap.len() < self.k {
+            self.heap.push((score, idx));
+            self.sift_up(self.heap.len() - 1);
+            return;
+        }
+        if self.k == 0 || rank_cmp((score, idx), self.heap[0]).is_ge() {
+            return;
+        }
+        self.heap[0] = (score, idx);
+        self.sift_down(0);
+    }
+
+    /// The kept entries in unspecified (heap) order, as `(index, score)`.
+    pub fn entries(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
+        self.heap.iter().map(|&(s, i)| (i, s))
+    }
+
+    /// Merges another accumulator's entries into this one (the coordinator
+    /// side of merge-k). Order-independent: the union's k-smallest set is
+    /// unique under the strict total order.
+    pub fn absorb(&mut self, other: &TopK) {
+        for (i, s) in other.entries() {
+            self.offer(i, s);
+        }
+    }
+
+    /// Drains the kept entries into `out` (cleared first) in ascending rank
+    /// order — the order [`top_k_indices`] returns — keeping both
+    /// allocations for reuse.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<(u32, f32)>) {
+        self.heap.sort_unstable_by(|&a, &b| rank_cmp(a, b));
+        out.clear();
+        out.extend(self.heap.iter().map(|&(s, i)| (i, s)));
+        self.heap.clear();
+    }
+
+    /// The kept entries in ascending rank order, consuming the accumulator.
+    pub fn into_sorted(mut self) -> Vec<(u32, f32)> {
+        let mut out = Vec::new();
+        self.drain_sorted_into(&mut out);
+        out
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if rank_cmp(self.heap[i], self.heap[parent]).is_le() {
+                break;
+            }
+            self.heap.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < n && rank_cmp(self.heap[l], self.heap[largest]).is_gt() {
+                largest = l;
+            }
+            if r < n && rank_cmp(self.heap[r], self.heap[largest]).is_gt() {
+                largest = r;
+            }
+            if largest == i {
+                return;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
     }
 }
 
@@ -216,6 +375,44 @@ impl ArcScorer {
             let n = slice_rows.min(out.len() - done);
             self.score_slice(trig, row0 + done, &mut out[done..done + n]);
             done += n;
+        }
+        done
+    }
+
+    /// Streaming bounded top-k over the rows of `trig` under a
+    /// [`Deadline`]: scores [`SCORE_SLICE`]-row slices into a small stack
+    /// scratch and offers each row into `heap`, never materializing a
+    /// full score vector. `global_row0` is the table-global index of
+    /// `trig`'s first row (the shard offset), so offered indices are
+    /// table-global. Returns the number of rows scored; the deadline is
+    /// checked once per slice like [`ArcScorer::score_until`].
+    ///
+    /// Offering rows through a [`TopK`] selects bit-identically the same
+    /// entries as [`top_k_indices`] over a full score vector (see the
+    /// [`TopK`] ordering contract), so shard-local sweeps merged by
+    /// [`TopK::absorb`] reproduce the full-vector reference exactly.
+    pub fn top_k_until(
+        &self,
+        trig: &EntityTrig,
+        global_row0: usize,
+        heap: &mut TopK,
+        deadline: &Deadline,
+    ) -> usize {
+        let n = trig.n_entities;
+        let mut scratch = [0.0f32; SCORE_SLICE];
+        let mut done = 0;
+        while done < n {
+            if deadline.expired() {
+                return done;
+            }
+            let take = SCORE_SLICE.min(n - done);
+            let out = &mut scratch[..take];
+            out.fill(f32::INFINITY); // score_slice min-folds into `out`
+            self.score_slice(trig, done, out);
+            for (j, &s) in out.iter().enumerate() {
+                heap.offer((global_row0 + done + j) as u32, s);
+            }
+            done += take;
         }
         done
     }
@@ -593,5 +790,96 @@ mod tests {
         assert_eq!(got, vec![4, 1, 3, 2]);
         assert_eq!(top_k_indices(&scores, 0), Vec::<u32>::new());
         assert_eq!(top_k_indices(&scores, 100).len(), scores.len());
+    }
+
+    #[test]
+    fn topk_heap_matches_reference_with_ties_and_reuse() {
+        let scores = vec![3.0, 1.0, 2.0, 1.0, 0.5, 2.0, 9.0, 1.0];
+        for k in [0, 1, 4, scores.len(), scores.len() + 5] {
+            let mut heap = TopK::new(k);
+            for (i, &s) in scores.iter().enumerate() {
+                heap.offer(i as u32, s);
+            }
+            let got: Vec<u32> = heap.into_sorted().iter().map(|&(i, _)| i).collect();
+            assert_eq!(got, top_k_indices(&scores, k), "k={k}");
+        }
+        // reset() keeps the buffer but clears state and changes the bound.
+        let mut heap = TopK::new(2);
+        heap.offer(0, 1.0);
+        heap.reset(3);
+        for (i, &s) in scores.iter().enumerate() {
+            heap.offer(i as u32, s);
+        }
+        let mut out = Vec::new();
+        heap.drain_sorted_into(&mut out);
+        assert_eq!(out.iter().map(|&(i, _)| i).collect::<Vec<_>>(), [4, 1, 3]);
+        assert!(heap.is_empty());
+    }
+
+    #[test]
+    fn topk_absorb_is_order_independent() {
+        let scores: Vec<f32> = (0..200).map(|i| ((i * 37) % 50) as f32 * 0.25).collect();
+        let want = top_k_indices(&scores, 7);
+        // Split the offers across three heaps in a scrambled order, then merge.
+        let mut parts = [TopK::new(7), TopK::new(7), TopK::new(7)];
+        for (i, &s) in scores.iter().enumerate().rev() {
+            parts[i % 3].offer(i as u32, s);
+        }
+        let mut merged = TopK::new(7);
+        for p in &parts {
+            merged.absorb(p);
+        }
+        let got: Vec<u32> = merged.into_sorted().iter().map(|&(i, _)| i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn trig_from_rows_matches_full_table() {
+        let table = Tensor::from_vec(4, 2, vec![0.1, 0.2, 3.0, 4.0, 5.5, 0.9, 2.2, 2.3]);
+        let full = EntityTrig::new(&table);
+        let part = EntityTrig::from_rows(&table, 1..3);
+        assert_eq!(part.n_entities(), 2);
+        for j in 0..4 {
+            assert_eq!(part.half_sin[j].to_bits(), full.half_sin[2 + j].to_bits());
+            assert_eq!(part.half_cos[j].to_bits(), full.half_cos[2 + j].to_bits());
+        }
+    }
+
+    #[test]
+    fn streaming_top_k_matches_full_vector_reference() {
+        let rho = 1.0;
+        let arcs = grid_arcs(rho);
+        // More rows than one SCORE_SLICE so the streaming loop takes
+        // multiple slices.
+        let n = SCORE_SLICE + 300;
+        let mut data = Vec::with_capacity(n * 2);
+        for i in 0..n {
+            data.push(i as f32 * TAU / n as f32);
+            data.push((i as f32 * 0.77 + 1.3) % TAU);
+        }
+        let table = Tensor::from_vec(n, 2, data);
+        let trig = EntityTrig::new(&table);
+        let scorer = ArcScorer::from_arcs(&arcs, rho, 0.05, DistanceMode::LiteralEq16);
+        let full = scorer.score_all(&trig);
+        let want = top_k_indices(&full, 10);
+
+        let mut heap = TopK::new(10);
+        let rows = scorer.top_k_until(&trig, 0, &mut heap, &Deadline::never());
+        assert_eq!(rows, n);
+        let got = heap.into_sorted();
+        assert_eq!(got.len(), want.len());
+        for (&w, &(i, s)) in want.iter().zip(&got) {
+            assert_eq!(i, w);
+            assert_eq!(s.to_bits(), full[w as usize].to_bits());
+        }
+
+        // An already-expired deadline scores zero rows.
+        use halk_obs::Clock;
+        let (clock, now) = Clock::mock();
+        let d = Deadline::at_ns(&clock, 1);
+        now.store(5, std::sync::atomic::Ordering::SeqCst);
+        let mut h2 = TopK::new(10);
+        assert_eq!(scorer.top_k_until(&trig, 0, &mut h2, &d), 0);
+        assert!(h2.is_empty());
     }
 }

@@ -332,9 +332,41 @@ pub fn execute_set_deadline(
     graph: &Graph,
     deadline: &Deadline,
 ) -> Result<EntitySet, DeadlineExpired> {
+    let mut slots = Vec::with_capacity(shape.n_slots());
+    execute_set_into(shape, bindings, graph, deadline, &mut slots)
+}
+
+/// Executes one compiled shape for a whole *group* of bindings — the exact
+/// engine's half of skeleton batching: the shape is traversed once per
+/// query but the slot table is a single reused allocation across the
+/// group, and callers amortize the plan lookup/validation over the batch.
+/// Each query runs under its own deadline; one expiring does not stop the
+/// rest. Result `i` is exactly `execute_set_deadline(shape, bindings[i])`.
+pub fn execute_set_batch(
+    shape: &PlanShape,
+    bindings: &[&PlanBindings],
+    graph: &Graph,
+    deadlines: &[&Deadline],
+) -> Vec<Result<EntitySet, DeadlineExpired>> {
+    assert_eq!(bindings.len(), deadlines.len(), "one deadline per binding");
+    let mut slots = Vec::with_capacity(shape.n_slots());
+    bindings
+        .iter()
+        .zip(deadlines)
+        .map(|(b, d)| execute_set_into(shape, b, graph, d, &mut slots))
+        .collect()
+}
+
+fn execute_set_into(
+    shape: &PlanShape,
+    bindings: &PlanBindings,
+    graph: &Graph,
+    deadline: &Deadline,
+    slots: &mut Vec<EntitySet>,
+) -> Result<EntitySet, DeadlineExpired> {
     bindings.check(shape);
     let n = graph.n_entities();
-    let mut slots: Vec<EntitySet> = Vec::with_capacity(shape.n_slots());
+    slots.clear();
     for op in shape.ops() {
         if deadline.expired() {
             return Err(DeadlineExpired);

@@ -4,7 +4,9 @@
 
 use halk_kg::{generate, DatasetSplit, EntityId, Graph, RelationId, SynthConfig};
 use halk_logic::answers::reference::{answer_split_ast, answers_ast};
-use halk_logic::plan::{execute_set, split_set, PlanBindings, PlanCache, PlanShape};
+use halk_logic::plan::{
+    execute_set, execute_set_batch, split_set, PlanBindings, PlanCache, PlanShape,
+};
 use halk_logic::{to_dnf, Query, Sampler, Structure};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -71,6 +73,56 @@ fn cache_compiles_each_structure_once() {
         }
     }
     assert_eq!(plans.len(), all.len());
+}
+
+/// Skeleton-batched exact execution: one shape over a group of bindings
+/// returns exactly what per-query execution returns, and an expired
+/// deadline on one group member does not disturb the others.
+#[test]
+fn batch_execution_matches_singles_with_mixed_deadlines() {
+    use halk_obs::{Clock, Deadline};
+    let g = toy_graph();
+    let sampler = Sampler::new(&g);
+    let mut rng = StdRng::seed_from_u64(13);
+    for s in [Structure::P2, Structure::I2, Structure::U2] {
+        let gqs = sampler.sample_many(s, 5, &mut rng);
+        let shape = PlanShape::compile(&gqs[0].query);
+        let bindings: Vec<PlanBindings> =
+            gqs.iter().map(|gq| PlanBindings::of(&gq.query)).collect();
+        let refs: Vec<&PlanBindings> = bindings.iter().collect();
+
+        let never = Deadline::never();
+        let deadlines: Vec<&Deadline> = refs.iter().map(|_| &never).collect();
+        let batch = execute_set_batch(&shape, &refs, &g, &deadlines);
+        for (got, gq) in batch.iter().zip(&gqs) {
+            assert_eq!(
+                got.as_ref().expect("unarmed deadline"),
+                &execute_set(&shape, &PlanBindings::of(&gq.query), &g),
+                "{s}"
+            );
+        }
+
+        // Expire query 1's deadline only: it errors, the rest are intact.
+        let (clock, now) = Clock::mock();
+        let expired = Deadline::at_ns(&clock, 1);
+        now.store(5, std::sync::atomic::Ordering::SeqCst);
+        let mixed: Vec<&Deadline> = refs
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 1 { &expired } else { &never })
+            .collect();
+        let batch = execute_set_batch(&shape, &refs, &g, &mixed);
+        for (i, (got, gq)) in batch.iter().zip(&gqs).enumerate() {
+            if i == 1 {
+                assert!(got.is_err());
+            } else {
+                assert_eq!(
+                    got.as_ref().unwrap(),
+                    &execute_set(&shape, &PlanBindings::of(&gq.query), &g)
+                );
+            }
+        }
+    }
 }
 
 fn arb_query(entities: u32, relations: u32) -> impl Strategy<Value = Query> {

@@ -276,6 +276,59 @@ impl Pool {
         per_chunk.into_iter().flatten().collect()
     }
 
+    /// Shard-affine fan-out: runs `f(s)` once for every shard index
+    /// `0..n_shards`, with a *stable* contiguous shard→worker assignment
+    /// (worker `w` owns shards `w * per .. (w + 1) * per`). Unlike
+    /// [`Pool::par_map_dyn`] there is no work stealing — a shard always
+    /// lands on the same worker for a given `(n_shards, threads)` pair, so
+    /// shard-local state (trig tables, heaps) stays cache- and, later,
+    /// NUMA-resident. Results come back indexed by shard. One thread (or
+    /// one shard) runs exactly sequentially.
+    pub fn par_shards<R, F>(&self, n_shards: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = self.threads.min(n_shards);
+        let obs = RegionObs::begin(self.label, workers.max(1));
+        if workers <= 1 {
+            let out: Vec<R> = (0..n_shards).map(f).collect();
+            if let Some(o) = obs {
+                o.worker_done(0, o.start);
+                o.finish(1);
+            }
+            return out;
+        }
+        let per = n_shards.div_ceil(workers);
+        let mut per_worker: Vec<Vec<R>> = Vec::with_capacity(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let (f, obs) = (&f, &obs);
+                    s.spawn(move || {
+                        let started = Instant::now();
+                        let lo = w * per;
+                        let hi = (lo + per).min(n_shards);
+                        let out = (lo..hi).map(f).collect::<Vec<R>>();
+                        if let Some(o) = obs {
+                            o.worker_done(w, started);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            per_worker.extend(
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("par_shards worker panicked")),
+            );
+        });
+        if let Some(o) = obs {
+            o.finish(workers);
+        }
+        per_worker.into_iter().flatten().collect()
+    }
+
     /// Like [`Pool::par_map`] but with a dynamic splitter: workers claim
     /// items one at a time off a shared atomic counter, so uneven per-item
     /// costs balance automatically. Results still come back in input order.
@@ -608,6 +661,22 @@ mod tests {
         // Other tests' pool regions may add to the count concurrently;
         // at least this region's four workers must have reported.
         assert!(EXITS.load(Ordering::SeqCst) - before >= 4);
+    }
+
+    #[test]
+    fn par_shards_returns_shard_order_and_stable_assignment() {
+        for threads in [1, 2, 4, 8] {
+            let got = Pool::new(threads).par_shards(7, |s| s * 10);
+            assert_eq!(got, vec![0, 10, 20, 30, 40, 50, 60], "threads={threads}");
+        }
+        // Zero shards is fine.
+        assert_eq!(Pool::new(4).par_shards(0, |s| s), Vec::<usize>::new());
+        // Contiguous affinity: with 2 workers over 4 shards, shards 0–1
+        // run on worker 0's thread and 2–3 on worker 1's.
+        let ids = Pool::new(2).par_shards(4, |_| std::thread::current().id());
+        assert_eq!(ids[0], ids[1]);
+        assert_eq!(ids[2], ids[3]);
+        assert_ne!(ids[0], ids[2]);
     }
 
     #[test]

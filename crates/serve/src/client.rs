@@ -55,6 +55,11 @@ impl Client {
         self.request(&Request::Ping)
     }
 
+    /// Fetches the daemon's serving counters; expect [`Response::Stats`].
+    pub fn stats(&mut self) -> io::Result<Response> {
+        self.request(&Request::Stats)
+    }
+
     /// Asks the daemon to drain and exit; expect [`Response::Bye`].
     pub fn shutdown(&mut self) -> io::Result<Response> {
         self.request(&Request::Shutdown)

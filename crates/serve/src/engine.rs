@@ -1,47 +1,118 @@
 //! The request engine: everything loaded once and shared by all workers.
 //!
 //! A daemon's whole point is amortization — the KG, the model, the plan
-//! cache and the entity trig tables are built at startup and then shared
-//! immutably (`&self`) across every request, so a request costs only its
-//! own query compilation (cached per skeleton) and scoring sweep.
+//! cache and the shard-local entity trig tables are built at startup and
+//! then shared immutably (`&self`) across every request, so a request
+//! costs only its own query compilation (cached per skeleton) and scoring
+//! sweep.
 //!
-//! [`Engine::execute`] is the unit of panic isolation: the server runs it
+//! Requests are answered in two steps. [`Engine::prepare`] runs in the
+//! *session* thread: parse, validate, and resolve the cached
+//! `Arc<PlanShape>` — malformed queries bounce with a typed error before
+//! ever touching the worker queue, and the shape pointer becomes the
+//! skeleton-batching key. [`Engine::execute_prepared`] (or
+//! [`Engine::execute_batch`] for a same-skeleton group) runs in a worker
 //! under `catch_unwind`, so whatever a hostile query manages to trip stays
 //! inside one request. With [`Engine::test_faults`] enabled (the load
 //! generator's fault drill; never in normal operation) two magic query
 //! strings exercise the isolation machinery end-to-end: `__panic__`
-//! panics, `__sleep__:<ms>` stalls while honoring the deadline.
+//! panics, `__sleep__:<ms>` stalls while honoring the deadline — both are
+//! deferred to the worker so the panic lands inside the isolation
+//! boundary, not in the session loop.
+//!
+//! The `halk` engine scores through the arc-sharded path: per-shard
+//! streaming bounded top-k heaps merged by rank (`halk_core::shard`),
+//! never materializing a full score vector, bit-identical to the one-shot
+//! `score_all` + `top_k_indices` reference.
 
 use crate::protocol::{AskEngine, ErrorKind, Response};
-use halk_core::{top_k_indices, EntityTrig, HalkModel};
+use halk_core::shard::sharded_top_k;
+use halk_core::{HalkModel, Pool, ShardedTrig};
 use halk_kg::Graph;
-use halk_logic::plan::{execute_set_deadline, PlanBindings, PlanCache};
+use halk_logic::plan::PlanShape;
+use halk_logic::plan::{execute_set_batch, execute_set_deadline, PlanBindings, PlanCache};
 use halk_logic::Query;
 use halk_obs::Deadline;
+use std::sync::Arc;
 
 /// Immutable serving state, shared across worker threads.
 pub struct Engine {
     graph: Graph,
     model: Option<HalkModel>,
-    /// Warm half-angle trig of the model's entity table.
-    trig: Option<EntityTrig>,
-    /// Skeleton-keyed plan cache for the exact engine (bounded — see
+    /// Shard-local half-angle trig of the model's entity table.
+    sharded: Option<ShardedTrig>,
+    /// Arc-shard count for the scoring sweep.
+    shards: usize,
+    /// Skeleton-keyed plan cache shared by both engines (bounded — see
     /// `halk_logic::plan::PlanCache`).
     plans: PlanCache,
     test_faults: bool,
 }
 
+/// A session-side compiled request: parsed, validated, and keyed by its
+/// cached plan shape so workers can group same-skeleton jobs.
+pub struct PreparedAsk {
+    kind: PreparedKind,
+}
+
+enum PreparedKind {
+    Query {
+        engine: AskEngine,
+        query: Query,
+        shape: Arc<PlanShape>,
+    },
+    /// A `__panic__` / `__sleep__:<ms>` fault probe, deferred to the
+    /// worker so it fires inside the catch_unwind boundary.
+    Fault(String),
+}
+
+impl PreparedAsk {
+    /// The skeleton-batching key: same `Arc<PlanShape>` pointer + same
+    /// engine ⇒ the jobs can share one kernel pass. `None` for fault
+    /// probes, which always run alone.
+    pub fn batch_key(&self) -> Option<(&Arc<PlanShape>, AskEngine)> {
+        match &self.kind {
+            PreparedKind::Query { engine, shape, .. } => Some((shape, *engine)),
+            PreparedKind::Fault(_) => None,
+        }
+    }
+}
+
+/// One member of a same-skeleton batch: a prepared request plus its
+/// per-request answer budget and deadline.
+pub struct BatchItem<'a> {
+    pub prepared: &'a PreparedAsk,
+    pub top: usize,
+    pub deadline: &'a Deadline,
+}
+
 impl Engine {
-    /// Builds the serving state, warming the entity trig once.
+    /// Builds the serving state, warming the shard-local entity trig once.
+    /// The shard count defaults to the pool's thread budget (HALK_THREADS
+    /// or the machine); override with [`Engine::shards`].
     pub fn new(graph: Graph, model: Option<HalkModel>) -> Engine {
-        let trig = model.as_ref().map(HalkModel::entity_trig);
+        let shards = Pool::auto().threads().max(1);
+        let sharded = model.as_ref().map(|m| m.entity_shards(shards));
         Engine {
             graph,
             model,
-            trig,
+            sharded,
+            shards,
             plans: PlanCache::new(),
             test_faults: false,
         }
+    }
+
+    /// Overrides the arc-shard count, rebuilding the shard-local trig.
+    pub fn shards(mut self, n: usize) -> Engine {
+        self.shards = n.max(1);
+        self.sharded = self.model.as_ref().map(|m| m.entity_shards(self.shards));
+        self
+    }
+
+    /// The configured arc-shard count.
+    pub fn n_shards(&self) -> usize {
+        self.shards
     }
 
     /// Enables the `__panic__` / `__sleep__:<ms>` fault hooks. Only the
@@ -62,9 +133,97 @@ impl Engine {
         self.model.is_some()
     }
 
-    /// Answers one request. Infallible by construction: every failure is a
-    /// typed [`Response::Error`]. May panic only through a bug (or an
-    /// injected test fault) — the server catches that one level up.
+    /// Session-side compilation: parse and validate the SPARQL and resolve
+    /// the cached plan shape. A malformed query is rejected here — before
+    /// admission, queueing, or a worker — as `Err(typed response)`.
+    pub fn prepare(&self, engine: AskEngine, sparql: &str) -> Result<PreparedAsk, Response> {
+        if self.test_faults && (sparql == "__panic__" || sparql.starts_with("__sleep__:")) {
+            return Ok(PreparedAsk {
+                kind: PreparedKind::Fault(sparql.to_string()),
+            });
+        }
+        let query = match halk_sparql::sparql_to_query(sparql) {
+            Ok(q) => q,
+            Err(e) => {
+                return Err(Response::Error {
+                    kind: ErrorKind::BadQuery,
+                    detail: e.to_string(),
+                })
+            }
+        };
+        if let Err(detail) = self.validate(&query) {
+            return Err(Response::Error {
+                kind: ErrorKind::BadQuery,
+                detail,
+            });
+        }
+        let shape = self.plans.shape_for(&query);
+        Ok(PreparedAsk {
+            kind: PreparedKind::Query {
+                engine,
+                query,
+                shape,
+            },
+        })
+    }
+
+    /// Answers one prepared request. Infallible by construction: every
+    /// failure is a typed [`Response::Error`]. May panic only through a
+    /// bug (or an injected test fault) — the server catches that one
+    /// level up.
+    pub fn execute_prepared(
+        &self,
+        prepared: &PreparedAsk,
+        top: usize,
+        deadline: &Deadline,
+    ) -> Response {
+        match &prepared.kind {
+            PreparedKind::Fault(s) => self.run_fault(s, deadline),
+            PreparedKind::Query {
+                engine,
+                query,
+                shape,
+            } => match engine {
+                AskEngine::Exact => self.execute_exact(shape, query, top, deadline),
+                AskEngine::Halk => self
+                    .execute_halk_group(
+                        shape,
+                        &[BatchItem {
+                            prepared,
+                            top,
+                            deadline,
+                        }],
+                    )
+                    .pop()
+                    .expect("one item in, one response out"),
+            },
+        }
+    }
+
+    /// Answers a same-skeleton *group* in one kernel pass per shard: every
+    /// item must share the first item's [`PreparedAsk::batch_key`] (the
+    /// worker's drain guarantees this). Response `i` is bit-identical to
+    /// `execute_prepared(items[i], ...)` run alone.
+    pub fn execute_batch(&self, items: &[BatchItem]) -> Vec<Response> {
+        let Some(first) = items.first() else {
+            return Vec::new();
+        };
+        let (shape, engine) = first
+            .prepared
+            .batch_key()
+            .expect("fault probes are never batched");
+        debug_assert!(items.iter().all(|it| {
+            it.prepared
+                .batch_key()
+                .is_some_and(|(s, e)| Arc::ptr_eq(s, shape) && e == engine)
+        }));
+        match engine {
+            AskEngine::Exact => self.execute_exact_group(shape, items),
+            AskEngine::Halk => self.execute_halk_group(shape, items),
+        }
+    }
+
+    /// One-shot convenience (tests, CLI parity): prepare + execute.
     pub fn execute(
         &self,
         engine: AskEngine,
@@ -72,32 +231,9 @@ impl Engine {
         sparql: &str,
         deadline: &Deadline,
     ) -> Response {
-        if self.test_faults {
-            if sparql == "__panic__" {
-                panic!("injected test fault");
-            }
-            if let Some(ms) = sparql.strip_prefix("__sleep__:") {
-                return self.fault_sleep(ms, deadline);
-            }
-        }
-        let query = match halk_sparql::sparql_to_query(sparql) {
-            Ok(q) => q,
-            Err(e) => {
-                return Response::Error {
-                    kind: ErrorKind::BadQuery,
-                    detail: e.to_string(),
-                }
-            }
-        };
-        if let Err(detail) = self.validate(&query) {
-            return Response::Error {
-                kind: ErrorKind::BadQuery,
-                detail,
-            };
-        }
-        match engine {
-            AskEngine::Exact => self.execute_exact(&query, top, deadline),
-            AskEngine::Halk => self.execute_halk(&query, top, deadline),
+        match self.prepare(engine, sparql) {
+            Ok(p) => self.execute_prepared(&p, top, deadline),
+            Err(resp) => resp,
         }
     }
 
@@ -115,9 +251,14 @@ impl Engine {
         Ok(())
     }
 
-    fn execute_exact(&self, query: &Query, top: usize, deadline: &Deadline) -> Response {
-        let shape = self.plans.shape_for(query);
-        match execute_set_deadline(&shape, &PlanBindings::of(query), &self.graph, deadline) {
+    fn execute_exact(
+        &self,
+        shape: &PlanShape,
+        query: &Query,
+        top: usize,
+        deadline: &Deadline,
+    ) -> Response {
+        match execute_set_deadline(shape, &PlanBindings::of(query), &self.graph, deadline) {
             Ok(ans) => Response::Answers {
                 total: ans.len(),
                 ids: ans.iter().take(top).map(|e| e.0).collect(),
@@ -131,27 +272,77 @@ impl Engine {
         }
     }
 
-    fn execute_halk(&self, query: &Query, top: usize, deadline: &Deadline) -> Response {
-        let (Some(model), Some(trig)) = (&self.model, &self.trig) else {
-            return Response::Error {
+    /// Exact engine over a same-shape group: one slot-table allocation
+    /// serves the whole batch (`execute_set_batch`).
+    fn execute_exact_group(&self, shape: &PlanShape, items: &[BatchItem]) -> Vec<Response> {
+        let bindings: Vec<PlanBindings> = items
+            .iter()
+            .map(|it| match &it.prepared.kind {
+                PreparedKind::Query { query, .. } => PlanBindings::of(query),
+                PreparedKind::Fault(_) => unreachable!("fault probes are never batched"),
+            })
+            .collect();
+        let refs: Vec<&PlanBindings> = bindings.iter().collect();
+        let deadlines: Vec<&Deadline> = items.iter().map(|it| it.deadline).collect();
+        execute_set_batch(shape, &refs, &self.graph, &deadlines)
+            .into_iter()
+            .zip(items)
+            .map(|(res, it)| match res {
+                Ok(ans) => Response::Answers {
+                    total: ans.len(),
+                    ids: ans.iter().take(it.top).map(|e| e.0).collect(),
+                },
+                Err(halk_logic::plan::DeadlineExpired) => Response::Error {
+                    kind: ErrorKind::Deadline,
+                    detail: "deadline expired during plan execution".to_string(),
+                },
+            })
+            .collect()
+    }
+
+    /// Halk engine over a same-shape group: one batched plan embedding
+    /// compiles every query's scorer, then one streaming sweep per shard
+    /// serves the whole group (slice-major, so each hot trig slice scores
+    /// all queries before moving on). Per-request deadlines are honored at
+    /// slice boundaries; `scored_rows` is the union of per-shard prefixes
+    /// and the hits are an exact top-k of that scored subset.
+    fn execute_halk_group(&self, shape: &PlanShape, items: &[BatchItem]) -> Vec<Response> {
+        let (Some(model), Some(sharded)) = (&self.model, &self.sharded) else {
+            let err = || Response::Error {
                 kind: ErrorKind::NoModel,
                 detail: "daemon started without --model".to_string(),
             };
+            return items.iter().map(|_| err()).collect();
         };
-        let mut scores = Vec::new();
-        let rows = model.score_all_until(trig, query, &mut scores, deadline);
-        let truncated = rows < scores.len();
-        // Soft degradation: rank whatever prefix fit in the budget. The
-        // prefix scores are bit-identical to the full pass, so hits are
-        // exact for the rows that were reached.
-        let hits = top_k_indices(&scores[..rows], top)
-            .into_iter()
-            .map(|e| (e, scores[e as usize]))
+        let queries: Vec<&Query> = items
+            .iter()
+            .map(|it| match &it.prepared.kind {
+                PreparedKind::Query { query, .. } => query,
+                PreparedKind::Fault(_) => unreachable!("fault probes are never batched"),
+            })
             .collect();
-        Response::Scores {
-            truncated,
-            scored_rows: rows,
-            hits,
+        let scorers = model.scorers_for_shape(shape, &queries);
+        let ks: Vec<usize> = items.iter().map(|it| it.top).collect();
+        let deadlines: Vec<&Deadline> = items.iter().map(|it| it.deadline).collect();
+        let n = sharded.n_entities();
+        sharded_top_k(&model.pool(), sharded, &scorers, &ks, &deadlines)
+            .into_iter()
+            .map(|(hits, rows)| Response::Scores {
+                truncated: rows < n,
+                scored_rows: rows,
+                hits,
+            })
+            .collect()
+    }
+
+    /// Runs a deferred fault probe in the worker.
+    fn run_fault(&self, sparql: &str, deadline: &Deadline) -> Response {
+        if sparql == "__panic__" {
+            panic!("injected test fault");
+        }
+        match sparql.strip_prefix("__sleep__:") {
+            Some(ms) => self.fault_sleep(ms, deadline),
+            None => unreachable!("prepare only defers known fault strings"),
         }
     }
 
@@ -236,6 +427,52 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn prepare_rejects_bad_queries_and_keys_batches_by_shape() {
+        let e = toy_engine(false);
+        assert!(e.prepare(AskEngine::Exact, "SELECT nonsense").is_err());
+        let a = e
+            .prepare(AskEngine::Exact, "SELECT ?x WHERE { e:0 r:0 ?x . }")
+            .unwrap();
+        let b = e
+            .prepare(AskEngine::Exact, "SELECT ?x WHERE { e:1 r:1 ?x . }")
+            .unwrap();
+        // Same skeleton (one atom) ⇒ same cached shape pointer.
+        let (sa, ea) = a.batch_key().unwrap();
+        let (sb, eb) = b.batch_key().unwrap();
+        assert!(Arc::ptr_eq(sa, sb));
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn exact_batch_matches_singles() {
+        let e = toy_engine(false);
+        let sparqls = [
+            "SELECT ?x WHERE { e:0 r:0 ?x . }",
+            "SELECT ?x WHERE { e:1 r:1 ?x . }",
+        ];
+        let prepared: Vec<PreparedAsk> = sparqls
+            .iter()
+            .map(|s| e.prepare(AskEngine::Exact, s).unwrap())
+            .collect();
+        let never = Deadline::never();
+        let items: Vec<BatchItem> = prepared
+            .iter()
+            .map(|p| BatchItem {
+                prepared: p,
+                top: 10,
+                deadline: &never,
+            })
+            .collect();
+        let batch = e.execute_batch(&items);
+        for (resp, s) in batch.iter().zip(&sparqls) {
+            assert_eq!(
+                resp,
+                &e.execute(AskEngine::Exact, 10, s, &Deadline::never())
+            );
+        }
     }
 
     #[test]

@@ -20,10 +20,13 @@
 //!
 //! Served answers are **bit-identical** to one-shot `halk ask`: the exact
 //! engine runs the same compiled plans, and embedding scores travel as
-//! shortest-round-trip floats (see [`protocol`]). DESIGN.md §12 documents
-//! the protocol grammar, the backpressure state machine and the shutdown
-//! sequence; `scripts/ci.sh` drills the fault paths against a live daemon
-//! on every run.
+//! shortest-round-trip floats (see [`protocol`]). The `halk` engine
+//! scores through arc-sharded streaming top-k heaps, and workers group
+//! in-flight same-skeleton requests ([`engine::PreparedAsk::batch_key`])
+//! into one kernel pass per shard — DESIGN.md §13. DESIGN.md §12
+//! documents the protocol grammar, the backpressure state machine and
+//! the shutdown sequence; `scripts/ci.sh` drills the fault paths and the
+//! sharded path against a live daemon on every run.
 //!
 //! [`Deadline`]: halk_obs::Deadline
 //! [`admit`]: server::admit
@@ -37,6 +40,6 @@ pub mod server;
 pub mod signal;
 
 pub use client::Client;
-pub use engine::Engine;
+pub use engine::{BatchItem, Engine, PreparedAsk};
 pub use protocol::{AskEngine, ErrorKind, FrameDecoder, Request, Response, MAX_FRAME};
 pub use server::{admit, Rejection, ServeConfig, Server};

@@ -19,12 +19,13 @@
 //! Message grammar (one message per frame):
 //!
 //! ```text
-//! request  = "PING" | "SHUTDOWN"
+//! request  = "PING" | "SHUTDOWN" | "STATS"
 //!          | "ASK " engine " " top " " deadline_ms "\n" sparql
 //! engine   = "exact" | "halk"
 //! response = "PONG" | "BYE"
 //!          | "ANSWERS " total "\n" id*            ; exact engine
 //!          | "SCORES " truncated " " rows "\n" (id " " score "\n")*
+//!          | "STATS\n" (key " " value "\n")*      ; serving counters
 //!          | "ERR " kind " " detail
 //! ```
 //!
@@ -181,6 +182,8 @@ pub enum Request {
     Ping,
     /// Ask the daemon to drain and exit (same path as SIGTERM).
     Shutdown,
+    /// Snapshot the daemon's serving counters (batching, request totals).
+    Stats,
     /// Answer a SPARQL query.
     Ask {
         engine: AskEngine,
@@ -198,6 +201,7 @@ impl Request {
         match self {
             Request::Ping => "PING".to_string(),
             Request::Shutdown => "SHUTDOWN".to_string(),
+            Request::Stats => "STATS".to_string(),
             Request::Ask {
                 engine,
                 top,
@@ -218,6 +222,7 @@ impl Request {
         match words.next() {
             Some("PING") => Ok(Request::Ping),
             Some("SHUTDOWN") => Ok(Request::Shutdown),
+            Some("STATS") => Ok(Request::Stats),
             Some("ASK") => {
                 let engine = match words.next() {
                     Some("exact") => AskEngine::Exact,
@@ -312,14 +317,18 @@ pub enum Response {
     /// ascending order — the same ids `halk ask --engine exact` prints.
     Answers { total: usize, ids: Vec<u32> },
     /// Ranked embedding answers. `truncated` is set when the deadline cut
-    /// scoring short: `scored_rows` entities were ranked and the hits are
-    /// a correct top-k *of that prefix* (bit-identical to the full pass on
-    /// those rows), not of the whole entity table.
+    /// scoring short: `scored_rows` entities were ranked (the union of
+    /// per-shard slice prefixes under arc-sharded scoring) and the hits
+    /// are a correct top-k *of that scored subset* (bit-identical to the
+    /// full pass on those rows), not of the whole entity table.
     Scores {
         truncated: bool,
         scored_rows: usize,
         hits: Vec<(u32, f32)>,
     },
+    /// Serving counters as `(key, value)` pairs, e.g. the skeleton-batch
+    /// counters `load_gen` folds into its summary. Keys are single words.
+    Stats { pairs: Vec<(String, u64)> },
     /// A typed failure; `detail` is one human-readable line.
     Error { kind: ErrorKind, detail: String },
 }
@@ -350,6 +359,13 @@ impl Response {
                     // `{:?}` prints the shortest string that reparses to
                     // the same f32 bits — exactness survives the wire.
                     out.push_str(&format!("{id} {score:?}\n"));
+                }
+                out
+            }
+            Response::Stats { pairs } => {
+                let mut out = "STATS\n".to_string();
+                for (k, v) in pairs {
+                    out.push_str(&format!("{k} {v}\n"));
                 }
                 out
             }
@@ -402,6 +418,15 @@ impl Response {
                     scored_rows,
                     hits,
                 })
+            }
+            Some("STATS") => {
+                let mut pairs = Vec::new();
+                for line in rest.lines() {
+                    let (k, v) = line.split_once(' ').ok_or("bad stats line")?;
+                    let v = v.parse().map_err(|_| format!("bad stats value {v:?}"))?;
+                    pairs.push((k.to_string(), v));
+                }
+                Ok(Response::Stats { pairs })
             }
             Some("ERR") => {
                 let kind = words
@@ -470,6 +495,7 @@ mod tests {
         let cases = vec![
             Request::Ping,
             Request::Shutdown,
+            Request::Stats,
             Request::Ask {
                 engine: AskEngine::Halk,
                 top: 10,
@@ -513,6 +539,20 @@ mod tests {
             Response::parse(&Response::Pong.encode()).unwrap(),
             Response::Pong
         );
+    }
+
+    #[test]
+    fn stats_response_roundtrips() {
+        let s = Response::Stats {
+            pairs: vec![
+                ("batched_groups".to_string(), 7),
+                ("batch_size_p50".to_string(), 3),
+                ("requests_total".to_string(), 120),
+            ],
+        };
+        assert_eq!(Response::parse(&s.encode()).unwrap(), s);
+        let empty = Response::Stats { pairs: vec![] };
+        assert_eq!(Response::parse(&empty.encode()).unwrap(), empty);
     }
 
     #[test]

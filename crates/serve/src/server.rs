@@ -31,7 +31,7 @@
 //!   remainder as `ERR shutdown` — [`Server::join`] returns in bounded
 //!   time.
 
-use crate::engine::Engine;
+use crate::engine::{BatchItem, Engine, PreparedAsk};
 use crate::protocol::{encode_frame, ErrorKind, FrameDecoder, Request, Response, MAX_FRAME};
 use halk_obs::{Clock, Deadline};
 use std::collections::VecDeque;
@@ -126,14 +126,19 @@ pub fn admit(
     Ok(())
 }
 
-/// One queued request, carrying its reply channel.
+/// One queued request, carrying its reply channel. The query was already
+/// parsed, validated and shape-resolved in the session thread
+/// ([`Engine::prepare`]), so the queue holds only executable work and the
+/// shape pointer doubles as the skeleton-batching key.
 struct Job {
-    engine: crate::protocol::AskEngine,
+    prepared: PreparedAsk,
     top: usize,
-    sparql: String,
     deadline: Deadline,
     reply: mpsc::Sender<Response>,
 }
+
+/// Most jobs a worker groups into one same-skeleton kernel pass.
+const MAX_BATCH: usize = 16;
 
 /// State shared by the acceptor, sessions and workers.
 struct Shared {
@@ -384,6 +389,13 @@ fn session_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
                             let _ = write_response(&mut stream, &Response::Bye);
                             break 'session;
                         }
+                        // Counters only — answered inline, never queued, so
+                        // stats stay readable under full load.
+                        Request::Stats => {
+                            if write_response(&mut stream, &stats_response()).is_err() {
+                                break 'session;
+                            }
+                        }
                         Request::Ask {
                             engine,
                             top,
@@ -417,9 +429,29 @@ fn session_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
     }
 }
 
-/// Admits, enqueues and answers one ASK. `Err` means the socket failed
-/// and the session should close; protocol-level failures are `Ok` typed
-/// responses.
+/// Snapshot of the serving counters `load_gen` folds into its summary.
+fn stats_response() -> Response {
+    let batch = halk_obs::histogram!("halk_serve_batch_size");
+    Response::Stats {
+        pairs: vec![
+            (
+                "requests_total".to_string(),
+                halk_obs::counter!("halk_serve_requests_total").get(),
+            ),
+            (
+                "batched_groups".to_string(),
+                halk_obs::counter!("halk_serve_batched_groups_total").get(),
+            ),
+            ("batch_size_p50".to_string(), batch.quantile(0.5)),
+            ("batch_size_p99".to_string(), batch.quantile(0.99)),
+        ],
+    }
+}
+
+/// Prepares, admits, enqueues and answers one ASK. `Err` means the socket
+/// failed and the session should close; protocol-level failures are `Ok`
+/// typed responses. Malformed queries are rejected right here in the
+/// session thread ([`Engine::prepare`]) without ever entering the queue.
 fn handle_ask(
     shared: &Arc<Shared>,
     stream: &mut TcpStream,
@@ -430,6 +462,15 @@ fn handle_ask(
 ) -> io::Result<()> {
     halk_obs::counter!("halk_serve_requests_total").inc();
     let started = Instant::now();
+    let prepared = match shared.engine.prepare(engine, &sparql) {
+        Ok(p) => p,
+        Err(resp) => {
+            write_response(stream, &resp)?;
+            halk_obs::histogram!("halk_serve_latency_us")
+                .record(started.elapsed().as_micros() as u64);
+            return Ok(());
+        }
+    };
     let budget = if deadline_ms > 0 {
         Duration::from_millis(deadline_ms)
     } else {
@@ -453,9 +494,8 @@ fn handle_ask(
             ) {
                 Ok(()) => {
                     q.push_back(Job {
-                        engine,
+                        prepared,
                         top,
-                        sparql,
                         deadline: deadline.clone(),
                         reply: tx,
                     });
@@ -525,56 +565,138 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
         };
         let Some(job) = job else { return };
-        // Past the drain deadline queued work is flushed, not executed.
-        if shared.draining_expired() {
-            let _ = job.reply.send(Response::Error {
-                kind: ErrorKind::Shutdown,
-                detail: "drain deadline reached".to_string(),
-            });
+        // Skeleton batching: pull queued companions sharing this job's
+        // (shape pointer, engine) key — same `Arc::ptr_eq` homogeneity
+        // guard as `train_batch` — so the group runs one kernel pass per
+        // shard. Fault probes never batch (`batch_key` is None for them).
+        let mut group = vec![job];
+        let key = group[0]
+            .prepared
+            .batch_key()
+            .map(|(s, e)| (Arc::clone(s), e));
+        if let Some((shape, eng)) = key {
+            let mut q = shared.queue.lock().expect("queue");
+            let mut i = 0;
+            while i < q.len() && group.len() < MAX_BATCH {
+                let matches = q[i]
+                    .prepared
+                    .batch_key()
+                    .is_some_and(|(s, e)| Arc::ptr_eq(s, &shape) && e == eng);
+                if matches {
+                    group.push(q.remove(i).expect("index checked"));
+                } else {
+                    i += 1;
+                }
+            }
+            halk_obs::gauge!("halk_serve_queue_depth").set(q.len() as f64);
+        }
+
+        // Per-job shedding, exactly as for singles: past the drain
+        // deadline queued work is flushed, and work whose own deadline
+        // passed while queued is shed — the client has given up.
+        let draining = shared.draining_expired();
+        let mut live: Vec<Job> = Vec::with_capacity(group.len());
+        for job in group {
+            if draining {
+                let _ = job.reply.send(Response::Error {
+                    kind: ErrorKind::Shutdown,
+                    detail: "drain deadline reached".to_string(),
+                });
+            } else if job.deadline.expired() {
+                halk_obs::counter!("halk_serve_deadline_shed_total").inc();
+                let _ = job.reply.send(Response::Error {
+                    kind: ErrorKind::Deadline,
+                    detail: "deadline expired while queued".to_string(),
+                });
+            } else {
+                live.push(job);
+            }
+        }
+        if live.is_empty() {
             continue;
         }
-        // Shed work whose deadline already passed while queued: the
-        // client has given up, computing the answer helps nobody.
-        if job.deadline.expired() {
-            halk_obs::counter!("halk_serve_deadline_shed_total").inc();
-            let _ = job.reply.send(Response::Error {
-                kind: ErrorKind::Deadline,
-                detail: "deadline expired while queued".to_string(),
-            });
-            continue;
+
+        let n = live.len();
+        halk_obs::histogram!("halk_serve_batch_size").record(n as u64);
+        if n >= 2 {
+            halk_obs::counter!("halk_serve_batched_groups_total").inc();
         }
         let t0 = shared.cfg.clock.now_ns();
         let _span = halk_obs::span!("serve_request");
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            shared
-                .engine
-                .execute(job.engine, job.top, &job.sparql, &job.deadline)
-        }));
-        let resp = match outcome {
-            Ok(resp) => {
-                shared.observe_service(shared.cfg.clock.now_ns().saturating_sub(t0));
-                if matches!(
-                    resp,
-                    Response::Scores {
-                        truncated: true,
-                        ..
-                    }
-                ) {
-                    halk_obs::counter!("halk_serve_truncated_total").inc();
-                }
-                resp
+            if n == 1 {
+                vec![shared.engine.execute_prepared(
+                    &live[0].prepared,
+                    live[0].top,
+                    &live[0].deadline,
+                )]
+            } else {
+                let items: Vec<BatchItem> = live
+                    .iter()
+                    .map(|j| BatchItem {
+                        prepared: &j.prepared,
+                        top: j.top,
+                        deadline: &j.deadline,
+                    })
+                    .collect();
+                shared.engine.execute_batch(&items)
             }
-            Err(_) => {
+        }));
+        match outcome {
+            Ok(resps) => {
+                // EWMA observes per-request cost, so batching *improves*
+                // the admission controller's service-time estimate.
+                shared.observe_service(shared.cfg.clock.now_ns().saturating_sub(t0) / n as u64);
+                for (job, resp) in live.iter().zip(resps) {
+                    if matches!(
+                        resp,
+                        Response::Scores {
+                            truncated: true,
+                            ..
+                        }
+                    ) {
+                        halk_obs::counter!("halk_serve_truncated_total").inc();
+                    }
+                    let _ = job.reply.send(resp);
+                }
+            }
+            Err(_) if n == 1 => {
                 // The request died; the daemon must not. Panic payload is
                 // already printed by the default hook.
                 halk_obs::counter!("halk_serve_panics_total").inc();
-                Response::Error {
+                let _ = live[0].reply.send(Response::Error {
                     kind: ErrorKind::Panic,
                     detail: "request panicked; daemon still serving".to_string(),
+                });
+            }
+            Err(_) => {
+                // A batch member panicked the whole group: retry each job
+                // alone under its own catch_unwind so one hostile query
+                // cannot poison its batch-mates' answers.
+                for job in &live {
+                    let t1 = shared.cfg.clock.now_ns();
+                    let one = catch_unwind(AssertUnwindSafe(|| {
+                        shared
+                            .engine
+                            .execute_prepared(&job.prepared, job.top, &job.deadline)
+                    }));
+                    let resp = match one {
+                        Ok(r) => {
+                            shared.observe_service(shared.cfg.clock.now_ns().saturating_sub(t1));
+                            r
+                        }
+                        Err(_) => {
+                            halk_obs::counter!("halk_serve_panics_total").inc();
+                            Response::Error {
+                                kind: ErrorKind::Panic,
+                                detail: "request panicked; daemon still serving".to_string(),
+                            }
+                        }
+                    };
+                    let _ = job.reply.send(resp);
                 }
             }
-        };
-        let _ = job.reply.send(resp);
+        }
     }
 }
 

@@ -88,6 +88,146 @@ fn served_answers_match_one_shot_bit_for_bit() {
 }
 
 #[test]
+fn sharded_engine_serves_bit_identical_answers() {
+    let g = small_graph(56);
+    let model = trained_model(&g);
+    let t = g.triples()[1];
+    let sparql = format!("SELECT ?x WHERE {{ e:{} r:{} ?x . }}", t.h.0, t.r.0);
+    let query = halk_sparql::sparql_to_query(&sparql).unwrap();
+    let scores_ref = model.score_all(&query);
+    let top_ref = top_k_indices(&scores_ref, 10);
+
+    // Four shards on a single worker: the merge-k path with several real
+    // partitions, no parallelism needed for correctness.
+    let engine = Engine::new(g, Some(model)).shards(4);
+    assert_eq!(engine.n_shards(), 4);
+    let cfg = ServeConfig {
+        workers: 1,
+        ..fast_cfg()
+    };
+    let (server, addr) = start(engine, cfg);
+    let mut c = Client::connect(&addr).unwrap();
+    match c.ask(AskEngine::Halk, 10, 0, &sparql).unwrap() {
+        Response::Scores {
+            truncated,
+            scored_rows,
+            hits,
+        } => {
+            assert!(!truncated);
+            assert_eq!(scored_rows, scores_ref.len());
+            assert_eq!(hits.len(), top_ref.len());
+            for (&want_id, &(got_id, got_score)) in top_ref.iter().zip(&hits) {
+                assert_eq!(got_id, want_id);
+                assert_eq!(got_score.to_bits(), scores_ref[want_id as usize].to_bits());
+            }
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    server.join();
+}
+
+#[test]
+fn stacked_same_skeleton_asks_batch_and_stay_bit_identical() {
+    let g = small_graph(57);
+    let model = trained_model(&g);
+
+    // Five same-skeleton questions with different groundings — the shape
+    // cache hands every session the same Arc<PlanShape>, so once they are
+    // all queued behind the sleeper, the single worker drains them as one
+    // batched group (one kernel pass per shard for the whole group).
+    let mut asks = Vec::new();
+    for t in g.triples().iter().take(64) {
+        let sparql = format!("SELECT ?x WHERE {{ e:{} r:{} ?x . }}", t.h.0, t.r.0);
+        if asks.iter().any(|(s, _)| s == &sparql) {
+            continue;
+        }
+        let query = halk_sparql::sparql_to_query(&sparql).unwrap();
+        asks.push((sparql, model.score_all(&query)));
+        if asks.len() == 5 {
+            break;
+        }
+    }
+    assert_eq!(asks.len(), 5);
+
+    let engine = Engine::new(g, Some(model)).shards(4).test_faults(true);
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_cap: 16,
+        ..fast_cfg()
+    };
+    let (server, addr) = start(engine, cfg);
+
+    // Occupy the single worker so the five asks stack up in the queue.
+    let addr_busy = addr.clone();
+    let busy = std::thread::spawn(move || {
+        let mut c = Client::connect(&addr_busy).unwrap();
+        c.ask(AskEngine::Exact, 1, 5_000, "__sleep__:500").unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    let handles: Vec<_> = asks
+        .iter()
+        .map(|(sparql, _)| {
+            let addr = addr.clone();
+            let sparql = sparql.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                c.ask(AskEngine::Halk, 10, 0, &sparql).unwrap()
+            })
+        })
+        .collect();
+
+    for (h, (sparql, scores_ref)) in handles.into_iter().zip(&asks) {
+        let top_ref = top_k_indices(scores_ref, 10);
+        match h.join().unwrap() {
+            Response::Scores {
+                truncated,
+                scored_rows,
+                hits,
+            } => {
+                assert!(!truncated, "{sparql}");
+                assert_eq!(scored_rows, scores_ref.len(), "{sparql}");
+                assert_eq!(hits.len(), top_ref.len(), "{sparql}");
+                for (&want_id, &(got_id, got_score)) in top_ref.iter().zip(&hits) {
+                    assert_eq!(got_id, want_id, "{sparql}");
+                    assert_eq!(
+                        got_score.to_bits(),
+                        scores_ref[want_id as usize].to_bits(),
+                        "{sparql}: batched answers must be bit-identical"
+                    );
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(busy.join().unwrap(), Response::Pong);
+
+    // The daemon's own counters saw at least one multi-request group.
+    let mut c = Client::connect(&addr).unwrap();
+    match c.stats().unwrap() {
+        Response::Stats { pairs } => {
+            let get = |k: &str| {
+                pairs
+                    .iter()
+                    .find(|(n, _)| n == k)
+                    .map(|&(_, v)| v)
+                    .unwrap_or_else(|| panic!("missing stat {k}"))
+            };
+            assert!(get("requests_total") >= 6);
+            assert!(
+                get("batched_groups") >= 1,
+                "queued same-skeleton asks must have batched: {pairs:?}"
+            );
+            // p99 shares the process-global registry with the other tests
+            // in this binary, so only sanity-check it.
+            assert!(get("batch_size_p99") >= 1);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    server.join();
+}
+
+#[test]
 fn daemon_survives_panics_garbage_and_disconnects() {
     let g = small_graph(51);
     let (server, addr) = start(Engine::new(g, None).test_faults(true), fast_cfg());
