@@ -8,6 +8,9 @@
 //!            [--keep-checkpoints K] [--resume FILE]
 //! halk ask   --graph graph.tsv --sparql 'SELECT ?x WHERE { e:0 r:0 ?x . }'
 //!            [--model model_dir] [--engine exact|halk|match] [--top N]
+//! halk serve --graph graph.tsv | --snapshot file.snap [--precision f32|i16|i8] ...
+//! halk snapshot build   --graph graph.tsv --model model_dir --out file.snap
+//! halk snapshot inspect --snap file.snap
 //! halk help
 //! ```
 //!
@@ -18,7 +21,7 @@
 mod args;
 
 use args::{ArgError, Args};
-use halk_core::{train_model, HalkConfig, HalkModel, TrainConfig, TrainError};
+use halk_core::{train_model, HalkConfig, HalkModel, Precision, TrainConfig, TrainError};
 use halk_kg::{generate, stats::GraphStats, tsv, Graph, SynthConfig};
 use halk_logic::plan::{execute_set, PlanBindings, PlanShape};
 use halk_logic::Structure;
@@ -108,7 +111,16 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(argv: Vec<String>) -> Result<(), CliError> {
+fn run(mut argv: Vec<String>) -> Result<(), CliError> {
+    // `snapshot` takes an action word (`build` / `inspect`); lift it out so
+    // the uniform `--flag value` grammar handles the rest.
+    let action = if argv.first().map(String::as_str) == Some("snapshot")
+        && argv.get(1).is_some_and(|a| !a.starts_with("--"))
+    {
+        Some(argv.remove(1))
+    } else {
+        None
+    };
     let args = Args::parse(argv)?;
     init_obs(&args);
     let result = match args.command.as_str() {
@@ -117,6 +129,7 @@ fn run(argv: Vec<String>) -> Result<(), CliError> {
         "train" => cmd_train(&args),
         "ask" => cmd_ask(&args),
         "serve" => cmd_serve(&args),
+        "snapshot" => cmd_snapshot(&args, action.as_deref()),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
             Ok(())
@@ -173,9 +186,19 @@ USAGE:
              [--default-deadline-ms N] [--drain-ms N]
              [--shards N]              arc shards for sharded scoring
                                       (0 = auto: the thread budget)
+             [--snapshot FILE]        boot from a binary snapshot instead
+                                      of --graph/--model (fast cold start)
+             [--precision f32|i16|i8] trig table storage precision
+                                      (f32 = bit-exact default; i16/i8
+                                      shrink resident bytes 2x/4x and
+                                      preserve ranks — DESIGN.md §14)
              answer queries as a daemon until SIGINT/SIGTERM or a
              SHUTDOWN frame; degrades gracefully under overload
              (see DESIGN.md §12 for the wire protocol)
+  halk snapshot build   --graph graph.tsv --model model_dir --out FILE
+  halk snapshot inspect --snap FILE
+             versioned CRC-framed binary snapshots of graph + model;
+             `serve --snapshot` boots from them without touching TSVs
   halk help
 
   `train` and `serve` handle SIGINT/SIGTERM gracefully: train finishes
@@ -393,18 +416,95 @@ fn cmd_ask(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-fn cmd_serve(args: &Args) -> Result<(), CliError> {
-    let g = load_graph(args)?;
-    let model = match args.optional("model") {
-        Some(dir) => {
-            Some(
-                HalkModel::load(&g, Path::new(dir)).map_err(|error| CliError::Model {
-                    dir: dir.to_string(),
-                    error,
-                })?,
-            )
+/// `halk snapshot build|inspect` — produce and examine versioned binary
+/// snapshots (graph + grouping + config + parameters in one CRC-framed
+/// file; see DESIGN.md §14).
+fn cmd_snapshot(args: &Args, action: Option<&str>) -> Result<(), CliError> {
+    match action {
+        Some("build") => {
+            let g = load_graph(args)?;
+            let dir = args.required("model")?;
+            let model = HalkModel::load(&g, Path::new(dir)).map_err(|error| CliError::Model {
+                dir: dir.to_string(),
+                error,
+            })?;
+            let out = args.required("out")?;
+            let started = std::time::Instant::now();
+            halk_snap::write_file(Path::new(out), &g, &model).map_err(|error| CliError::Io {
+                path: out.to_string(),
+                error,
+            })?;
+            let meta = halk_snap::inspect_file(Path::new(out)).map_err(|error| CliError::Io {
+                path: out.to_string(),
+                error,
+            })?;
+            println!(
+                "wrote {out}: snapshot v{} — {} entities, {} relations, {} triples, \
+                 {} params ({} bytes) in {:.1?}",
+                meta.version,
+                meta.n_entities,
+                meta.n_relations,
+                meta.n_triples,
+                meta.n_params,
+                meta.total_bytes,
+                started.elapsed()
+            );
+            Ok(())
         }
-        None => None,
+        Some("inspect") => {
+            let path = args.required("snap")?;
+            let meta = halk_snap::inspect_file(Path::new(path)).map_err(|error| CliError::Io {
+                path: path.to_string(),
+                error,
+            })?;
+            println!("snapshot version  {}", meta.version);
+            println!("entities          {}", meta.n_entities);
+            println!("relations         {}", meta.n_relations);
+            println!("triples           {}", meta.n_triples);
+            println!("groups            {}", meta.n_groups);
+            println!("dim               {}", meta.dim);
+            println!("param tensors     {}", meta.n_params);
+            println!("param scalars     {}", meta.n_scalars);
+            println!("total bytes       {}", meta.total_bytes);
+            for (name, bytes) in &meta.sections {
+                println!("  section {name}   {bytes} bytes");
+            }
+            Ok(())
+        }
+        Some(other) => Err(ArgError::BadValue("action", other.into()).into()),
+        None => Err(ArgError::MissingFlag("action (build|inspect)").into()),
+    }
+}
+
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let boot_start = std::time::Instant::now();
+    // Boot either from a binary snapshot (graph + model + grouping + the
+    // precomputed trig table in one validated read) or from the TSV +
+    // model-directory cold path. The snapshot keeps its trig so the engine
+    // can re-slice it instead of recomputing sin/cos per entity row.
+    let (g, model, boot_trig) = match args.optional("snapshot") {
+        Some(path) => {
+            let (g, m, trig) =
+                halk_snap::read_file(Path::new(path)).map_err(|error| CliError::Io {
+                    path: path.to_string(),
+                    error,
+                })?;
+            (g, Some(m), Some(trig))
+        }
+        None => {
+            let g = load_graph(args)?;
+            let model =
+                match args.optional("model") {
+                    Some(dir) => Some(HalkModel::load(&g, Path::new(dir)).map_err(|error| {
+                        CliError::Model {
+                            dir: dir.to_string(),
+                            error,
+                        }
+                    })?),
+                    None => None,
+                };
+            (g, model, None)
+        }
     };
     let addr = args.optional("addr").unwrap_or("127.0.0.1:7464");
     let defaults = halk_serve::ServeConfig::default();
@@ -426,19 +526,41 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let faults = args
         .optional("test-faults")
         .is_some_and(|v| v == "true" || v == "1");
-    let mut engine = halk_serve::Engine::new(g, model).test_faults(faults);
     // 0 (the default) keeps the engine's auto shard count (thread budget).
     let shards: usize = args.parsed_or("shards", 0)?;
-    if shards > 0 {
-        engine = engine.shards(shards);
+    let precision: Precision = args.parsed_or("precision", Precision::F32)?;
+    let shards_opt = (shards > 0).then_some(shards);
+    let engine = match (boot_trig, model) {
+        (Some(trig), Some(m)) => {
+            halk_serve::Engine::with_boot_table(g, m, &trig, shards_opt, precision)
+        }
+        (_, model) => halk_serve::Engine::with_options(g, model, shards_opt, precision),
     }
+    .test_faults(faults);
+    let boot = boot_start.elapsed();
+    halk_obs::metrics::gauge("halk_serve_boot_ns").set(boot.as_nanos() as f64);
+    eprintln!(
+        "booted in {boot:.1?} ({}; precision {precision}, trig resident {} bytes)",
+        if args.optional("snapshot").is_some() {
+            "snapshot"
+        } else {
+            "tsv"
+        },
+        engine.trig_resident_bytes(),
+    );
 
     let mut manifest = halk_obs::Manifest::new("serve");
-    manifest.config_str("graph", args.required("graph")?);
+    match args.optional("snapshot") {
+        Some(path) => manifest.config_str("snapshot", path),
+        None => manifest.config_str("graph", args.required("graph")?),
+    }
     manifest.config_str("addr", addr);
     manifest.config_int("workers", cfg.workers as u64);
     manifest.config_int("queue_cap", cfg.queue_cap as u64);
     manifest.config_int("shards", engine.n_shards() as u64);
+    manifest.config_str("precision", precision.name());
+    manifest.set_int("boot_ns", boot.as_nanos() as u64);
+    manifest.set_int("trig_resident_bytes", engine.trig_resident_bytes() as u64);
     manifest.set_bool("model_loaded", has_model);
 
     let signal_flag = halk_serve::signal::install_shutdown_flag();
@@ -573,6 +695,44 @@ mod tests {
     #[test]
     fn help_prints() {
         run_line("help").unwrap();
+    }
+
+    #[test]
+    fn snapshot_build_and_inspect_pipeline() {
+        let g = tmp("g_snap.tsv");
+        let gs = g.to_str().unwrap();
+        run_line(&format!("gen --dataset nell --out {gs} --seed 6")).unwrap();
+        let model_dir = tmp("model_snap");
+        run_line(&format!(
+            "train --graph {gs} --out {} --steps 3 --dim 8",
+            model_dir.display()
+        ))
+        .unwrap();
+        let snap = tmp("deploy.snap");
+        run_line(&format!(
+            "snapshot build --graph {gs} --model {} --out {}",
+            model_dir.display(),
+            snap.display()
+        ))
+        .unwrap();
+        run_line(&format!("snapshot inspect --snap {}", snap.display())).unwrap();
+
+        // The snapshot decodes to the same deployment the TSV path loads.
+        let graph = tsv::load(&g).unwrap();
+        let model = HalkModel::load(&graph, &model_dir).unwrap();
+        let (g2, m2, _trig) = halk_snap::read_file(&snap).unwrap();
+        assert_eq!(g2.triples(), graph.triples());
+        let q = halk_sparql::sparql_to_query("SELECT ?x WHERE { e:0 r:0 ?x . }").unwrap();
+        assert_eq!(model.score_all(&q), m2.score_all(&q));
+
+        // Action word is mandatory and validated.
+        assert!(run_line("snapshot --snap nope").is_err());
+        assert!(run_line(&format!("snapshot frob --snap {}", snap.display())).is_err());
+        // A corrupt snapshot is a typed IO error, not a panic.
+        let bad = tmp("bad.snap");
+        std::fs::write(&bad, b"HALKSNAPgarbage").unwrap();
+        let err = run_line(&format!("snapshot inspect --snap {}", bad.display())).unwrap_err();
+        assert!(matches!(err, CliError::Io { .. }), "{err}");
     }
 
     #[test]

@@ -52,6 +52,8 @@ pub use halk_par::Pool;
 pub use lsh::EntityLsh;
 pub use model::HalkModel;
 pub use qmodel::{QueryModel, ScoreCache, TrainExample};
-pub use scorer::{top_k_indices, ArcScorer, BoxScorer, EntityTrig, L1Scorer, TopK, SCORE_SLICE};
+pub use scorer::{
+    top_k_indices, ArcScorer, BoxScorer, EntityTrig, L1Scorer, Precision, TopK, SCORE_SLICE,
+};
 pub use shard::{sharded_top_k, ArcShards, ShardedTopK, ShardedTrig};
 pub use train::{train_model, TrainConfig, TrainError, TrainStats};

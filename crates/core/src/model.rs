@@ -25,7 +25,7 @@
 
 use crate::arcvar::{chord, clamp, g_squash, ArcVar};
 use crate::config::{Ablation, DistanceMode, HalkConfig};
-use crate::scorer::{ArcScorer, EntityTrig, SCORE_SLICE};
+use crate::scorer::{ArcScorer, EntityTrig, Precision, SCORE_SLICE};
 use crate::shard::{sharded_top_k, ArcShards, ShardedTopK, ShardedTrig};
 use halk_geometry::Arc;
 use halk_kg::{EntityId, Graph, Grouping, RelationId};
@@ -204,6 +204,17 @@ impl HalkModel {
     /// The node grouping (needed by the loss's group penalty).
     pub fn grouping(&self) -> &Grouping {
         &self.grouping
+    }
+
+    /// The hyper-parameter configuration the model was built with.
+    pub fn config(&self) -> &HalkConfig {
+        &self.cfg
+    }
+
+    /// The underlying parameter store (values + optimizer state) — read
+    /// access for snapshot encoding.
+    pub fn param_store(&self) -> &ParamStore {
+        &self.store
     }
 
     // -------------------------------------------------------------- plans
@@ -647,6 +658,26 @@ impl HalkModel {
         EntityTrig::new(self.store.value(self.ent_center))
     }
 
+    /// [`HalkModel::entity_trig`] at an explicit storage [`Precision`] —
+    /// the serving-side memory-diet knob. `Precision::F32` is bit-identical
+    /// to [`HalkModel::entity_trig`]; quantized modes preserve ranks, not
+    /// bits (see [`Precision`] and DESIGN.md §14).
+    pub fn entity_trig_with(&self, precision: Precision) -> EntityTrig {
+        EntityTrig::with_precision(self.store.value(self.ent_center), precision)
+    }
+
+    /// Trig of a contiguous row range only — `O(len · dim)` instead of the
+    /// full-table sweep. Snapshot decoding uses this to spot-check a stored
+    /// trig table against the model it claims to belong to without paying
+    /// the full rebuild the snapshot exists to avoid.
+    pub fn entity_trig_rows_with(
+        &self,
+        rows: std::ops::Range<usize>,
+        precision: Precision,
+    ) -> EntityTrig {
+        EntityTrig::from_rows_with(self.store.value(self.ent_center), rows, precision)
+    }
+
     /// Distance from every entity to the query region — the online scoring
     /// path (lower = more likely an answer). Union queries take the minimum
     /// distance across DNF branches (§III-G). Runs on the vectorized
@@ -714,6 +745,12 @@ impl HalkModel {
     pub fn entity_shards(&self, n_shards: usize) -> ShardedTrig {
         let table = self.store.value(self.ent_center);
         ShardedTrig::new(table, &ArcShards::new(table.rows, n_shards))
+    }
+
+    /// [`HalkModel::entity_shards`] at an explicit storage [`Precision`].
+    pub fn entity_shards_with(&self, n_shards: usize, precision: Precision) -> ShardedTrig {
+        let table = self.store.value(self.ent_center);
+        ShardedTrig::with_precision(table, &ArcShards::new(table.rows, n_shards), precision)
     }
 
     /// Streaming sharded top-k for one query: per-shard bounded heaps fanned
@@ -876,6 +913,112 @@ impl HalkModel {
         }
         model.store = store;
         Ok(model)
+    }
+
+    /// Rebuilds a model around decoded snapshot state — the fast-boot
+    /// constructor behind `halk serve --snapshot`. [`HalkModel::new`] pays
+    /// `O(n_entities · d)` seeded RNG draws for the embedding tables plus a
+    /// full triple sweep for the grouping; this constructor allocates the
+    /// tables zeroed (the decoded `store` replaces every value anyway) and
+    /// takes the decoded `grouping` as-is, so its cost is the small
+    /// operator-MLP registrations. Parameter registration order and shapes
+    /// are identical to `HalkModel::new` on a graph of the same shape —
+    /// that invariant is what makes the store swap sound, and it is
+    /// enforced structurally by [`ParamStore::same_shapes`].
+    pub fn from_parts(
+        cfg: HalkConfig,
+        n_entities: usize,
+        n_relations: usize,
+        grouping: Grouping,
+        store: ParamStore,
+    ) -> std::io::Result<Self> {
+        // Shape-only registration: every value in `arch` is replaced by the
+        // decoded store, so the layers register zeroed (`Mlp::zeroed` keeps
+        // the registration order and shapes in lockstep with `new` without
+        // the throwaway RNG draws — `Tensor::zeros` is an `alloc_zeroed`,
+        // nearly free even at the entity-table scale).
+        let mut arch = ParamStore::new();
+        let d = cfg.dim;
+        let h = cfg.hidden;
+        let layers = cfg.mlp_layers;
+
+        let ent_center = arch.add(Tensor::zeros(n_entities, d));
+        let rel_center = arch.add(Tensor::zeros(n_relations, d));
+        let rel_len = arch.add(Tensor::zeros(n_relations, d));
+
+        let (proj_c_in, proj_a_in) = if cfg.ablation == Ablation::V3 {
+            (2 * d, d)
+        } else {
+            (4 * d, 4 * d)
+        };
+        let proj_center = Mlp::zeroed(&mut arch, proj_c_in, h, d, layers, Act::Relu);
+        let proj_alpha = Mlp::zeroed(&mut arch, proj_a_in, h, d, layers, Act::Relu);
+
+        let inter_att = Mlp::zeroed(&mut arch, 4 * d, h, d, layers, Act::Relu);
+        let inter_ds_inner = Mlp::zeroed(&mut arch, 4 * d, h, d, layers, Act::Relu);
+        let inter_ds_outer = Mlp::zeroed(&mut arch, d, h, d, layers, Act::Relu);
+
+        let diff_att = Mlp::zeroed(&mut arch, 4 * d, h, d, layers, Act::Relu);
+        let diff_kappa_first = arch.add(Tensor::zeros(1, d));
+        let diff_kappa_rest = arch.add(Tensor::zeros(1, d));
+        let diff_ds_inner = Mlp::zeroed(&mut arch, 2 * d, h, d, layers, Act::Relu);
+        let diff_ds_outer = Mlp::zeroed(&mut arch, d, h, d, layers, Act::Relu);
+
+        let neg_t1 = Mlp::zeroed(&mut arch, 2 * d, h, d, layers, Act::Relu);
+        let neg_t2 = Mlp::zeroed(&mut arch, d, h, d, layers, Act::Relu);
+        let neg_center = Mlp::zeroed(&mut arch, 2 * d, h, d, layers, Act::Relu);
+        let neg_alpha = Mlp::zeroed(&mut arch, 2 * d, h, d, layers, Act::Relu);
+
+        if !arch.same_shapes(&store) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "snapshot parameter store does not fit this graph+config: \
+                     {} tensors / {} scalars decoded, {} / {} expected",
+                    store.len(),
+                    store.num_scalars(),
+                    arch.len(),
+                    arch.num_scalars()
+                ),
+            ));
+        }
+        if grouping.n_entities() != n_entities {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "snapshot grouping covers {} entities, graph has {n_entities}",
+                    grouping.n_entities()
+                ),
+            ));
+        }
+
+        Ok(Self {
+            cfg,
+            store,
+            grouping,
+            n_entities,
+            n_relations,
+            ent_center,
+            rel_center,
+            rel_len,
+            proj_center,
+            proj_alpha,
+            inter_att,
+            inter_ds_inner,
+            inter_ds_outer,
+            diff_att,
+            diff_kappa_first,
+            diff_kappa_rest,
+            diff_ds_inner,
+            diff_ds_outer,
+            neg_t1,
+            neg_t2,
+            neg_center,
+            neg_alpha,
+            train_shards: Vec::new(),
+            threads: 0,
+            plans: PlanCache::new(),
+        })
     }
 }
 

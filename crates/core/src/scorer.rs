@@ -31,6 +31,7 @@ use crate::config::DistanceMode;
 use halk_geometry::Arc;
 use halk_nn::Tensor;
 use halk_obs::Deadline;
+use serde::{Deserialize, Serialize};
 
 /// The fixed scoring-slice size shared by every sweep over the entity
 /// table: the parallel `par_chunks_mut` sweep, the deadline-checked
@@ -40,21 +41,123 @@ use halk_obs::Deadline;
 /// every partition of the table scores bit-identically.
 pub const SCORE_SLICE: usize = 1024;
 
+/// Storage precision of the precomputed entity-trig working set — the
+/// accuracy/bandwidth knob of the memory diet (DESIGN.md §14). HaLk's
+/// ranking only needs score *order* preserved, not bits, so the hot
+/// tables can trade precision for bytes. Trig values are bounded in
+/// `[-1, 1]`, so the quantized modes use **fixed-point** integers rather
+/// than IEEE half floats: on a bounded domain, `i16` fixed point is both
+/// strictly more accurate near ±1 than binary16 (3.1e-5 worst-case error
+/// vs ~4.9e-4) and far cheaper to decode (integer convert + one multiply,
+/// which autovectorizes; no exponent/subnormal handling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Precision {
+    /// Full `f32` storage — the default. Scores are bit-identical to the
+    /// historical unquantized path; every bit-identity contract in this
+    /// module holds only in this mode.
+    #[default]
+    F32,
+    /// 16-bit fixed point (`round(x · 32767)` stored as `i16`, decoded as
+    /// `v / 32767`). Halves resident table bytes; worst-case per-coordinate
+    /// error 1.6e-5, which preserves MRR/H@k to well under the 1e-3
+    /// equivalence gate on the seed eval.
+    I16,
+    /// 8-bit fixed point (scale 127) — experimental. Quarters resident
+    /// bytes; per-coordinate error up to 4e-3, enough to reorder
+    /// near-tied entities. Not covered by the rank-equivalence gate.
+    I8,
+}
+
+impl Precision {
+    /// Bytes one stored trig coordinate pair (`sin`, `cos`) occupies.
+    pub fn bytes_per_pair(self) -> usize {
+        match self {
+            Precision::F32 => 8,
+            Precision::I16 => 4,
+            Precision::I8 => 2,
+        }
+    }
+
+    /// The CLI / STATS name (`f32`, `i16`, `i8`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::I16 => "i16",
+            Precision::I8 => "i8",
+        }
+    }
+}
+
+impl std::str::FromStr for Precision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "f32" | "exact" => Ok(Precision::F32),
+            "i16" | "f16" => Ok(Precision::I16), // `f16` accepted as the colloquial 16-bit name
+            "i8" => Ok(Precision::I8),
+            other => Err(format!("unknown precision '{other}' (f32|i16|i8)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+const I16_SCALE: f32 = 32767.0;
+const I8_SCALE: f32 = 127.0;
+
+#[inline]
+fn quantize_i16(x: f32) -> i16 {
+    (x * I16_SCALE).round().clamp(-I16_SCALE, I16_SCALE) as i16
+}
+
+#[inline]
+fn quantize_i8(x: f32) -> i8 {
+    (x * I8_SCALE).round().clamp(-I8_SCALE, I8_SCALE) as i8
+}
+
+/// The trig arrays in one of the [`Precision`] storage modes.
+enum TrigStore {
+    F32 {
+        half_sin: Vec<f32>,
+        half_cos: Vec<f32>,
+    },
+    I16 {
+        half_sin: Vec<i16>,
+        half_cos: Vec<i16>,
+    },
+    I8 {
+        half_sin: Vec<i8>,
+        half_cos: Vec<i8>,
+    },
+}
+
 /// Precomputed half-angle trig of an entity table: `sin(θ/2)` and
 /// `cos(θ/2)` for every entity coordinate, laid out row-major to match the
 /// table. Build once, reuse across every query scored against the same
-/// parameters (rebuild after a training step moves the table).
+/// parameters (rebuild after a training step moves the table). Storage
+/// [`Precision`] is chosen at build time; the kernels always compute in
+/// `f32`, decoding quantized rows on the fly.
 pub struct EntityTrig {
-    half_sin: Vec<f32>,
-    half_cos: Vec<f32>,
+    store: TrigStore,
     n_entities: usize,
     dim: usize,
 }
 
 impl EntityTrig {
-    /// Precomputes trig for an `n×d` table of entity angles.
+    /// Precomputes trig for an `n×d` table of entity angles at full
+    /// precision.
     pub fn new(table: &Tensor) -> Self {
         Self::from_rows(table, 0..table.rows)
+    }
+
+    /// [`EntityTrig::new`] at an explicit storage precision.
+    pub fn with_precision(table: &Tensor, precision: Precision) -> Self {
+        Self::from_rows_with(table, 0..table.rows, precision)
     }
 
     /// Precomputes trig for the contiguous row range `rows` of a table —
@@ -64,14 +167,43 @@ impl EntityTrig {
     /// table, element-for-element bit-identical to the same row of a
     /// whole-table [`EntityTrig::new`].
     pub fn from_rows(table: &Tensor, rows: std::ops::Range<usize>) -> Self {
+        Self::from_rows_with(table, rows, Precision::F32)
+    }
+
+    /// [`EntityTrig::from_rows`] at an explicit storage precision.
+    /// Quantization is per element, so the range invariant carries over:
+    /// entry `i` equals row `rows.start + i` of a whole-table build at the
+    /// same precision, element for element.
+    pub fn from_rows_with(
+        table: &Tensor,
+        rows: std::ops::Range<usize>,
+        precision: Precision,
+    ) -> Self {
         assert!(rows.end <= table.rows, "trig row range out of bounds");
         let d = table.cols;
         let data = &table.data[rows.start * d..rows.end * d];
-        let half_sin: Vec<f32> = data.iter().map(|&t| (t * 0.5).sin()).collect();
-        let half_cos: Vec<f32> = data.iter().map(|&t| (t * 0.5).cos()).collect();
+        let store = match precision {
+            Precision::F32 => TrigStore::F32 {
+                half_sin: data.iter().map(|&t| (t * 0.5).sin()).collect(),
+                half_cos: data.iter().map(|&t| (t * 0.5).cos()).collect(),
+            },
+            Precision::I16 => TrigStore::I16 {
+                half_sin: data
+                    .iter()
+                    .map(|&t| quantize_i16((t * 0.5).sin()))
+                    .collect(),
+                half_cos: data
+                    .iter()
+                    .map(|&t| quantize_i16((t * 0.5).cos()))
+                    .collect(),
+            },
+            Precision::I8 => TrigStore::I8 {
+                half_sin: data.iter().map(|&t| quantize_i8((t * 0.5).sin())).collect(),
+                half_cos: data.iter().map(|&t| quantize_i8((t * 0.5).cos())).collect(),
+            },
+        };
         Self {
-            half_sin,
-            half_cos,
+            store,
             n_entities: rows.len(),
             dim: d,
         }
@@ -85,6 +217,117 @@ impl EntityTrig {
     /// Embedding dimensionality.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// The storage precision this table was built at.
+    pub fn precision(&self) -> Precision {
+        match self.store {
+            TrigStore::F32 { .. } => Precision::F32,
+            TrigStore::I16 { .. } => Precision::I16,
+            TrigStore::I8 { .. } => Precision::I8,
+        }
+    }
+
+    /// Bytes resident in the trig arrays (the memory-diet number STATS
+    /// reports; excludes the fixed-size struct header).
+    pub fn resident_bytes(&self) -> usize {
+        self.n_entities * self.dim * self.precision().bytes_per_pair()
+    }
+
+    /// The raw `(half_sin, half_cos)` arrays of a full-precision table —
+    /// `None` for quantized stores. This is the snapshot serialization
+    /// surface: an `F32` table's arrays roundtrip bit-exactly through
+    /// [`EntityTrig::from_f32_parts`].
+    pub fn f32_parts(&self) -> Option<(&[f32], &[f32])> {
+        match &self.store {
+            TrigStore::F32 { half_sin, half_cos } => Some((half_sin, half_cos)),
+            _ => None,
+        }
+    }
+
+    /// Rebuilds a full-precision table from arrays previously obtained via
+    /// [`EntityTrig::f32_parts`] — the snapshot fast-boot constructor that
+    /// skips the `O(n_entities · dim)` sin/cos sweep. Shape mismatches are
+    /// a typed error (snapshot decode must never panic).
+    pub fn from_f32_parts(
+        half_sin: Vec<f32>,
+        half_cos: Vec<f32>,
+        n_entities: usize,
+        dim: usize,
+    ) -> Result<Self, String> {
+        if half_sin.len() != n_entities * dim || half_cos.len() != n_entities * dim {
+            return Err(format!(
+                "trig arrays hold {}/{} values, {n_entities}x{dim} table needs {}",
+                half_sin.len(),
+                half_cos.len(),
+                n_entities * dim
+            ));
+        }
+        Ok(Self {
+            store: TrigStore::F32 { half_sin, half_cos },
+            n_entities,
+            dim,
+        })
+    }
+
+    /// Re-slices rows of a full-precision table into a (possibly
+    /// quantized) shard table. Quantization applies the same per-element
+    /// mapping as [`EntityTrig::from_rows_with`] to the same stored f32
+    /// values, so the result is element-for-element bit-identical to
+    /// building the shard from the angle table directly — that equality is
+    /// what lets a snapshot-booted server serve the same bits as a
+    /// TSV-booted one.
+    ///
+    /// # Panics
+    /// If `self` is not an `F32` table or `rows` is out of bounds — both
+    /// are caller bugs (callers hold the full-precision table by
+    /// construction).
+    pub fn slice_rows(&self, rows: std::ops::Range<usize>, precision: Precision) -> Self {
+        assert!(rows.end <= self.n_entities, "trig row range out of bounds");
+        let d = self.dim;
+        let (half_sin, half_cos) = self
+            .f32_parts()
+            .expect("slice_rows requires a full-precision source table");
+        let (sin, cos) = (
+            &half_sin[rows.start * d..rows.end * d],
+            &half_cos[rows.start * d..rows.end * d],
+        );
+        let store = match precision {
+            Precision::F32 => TrigStore::F32 {
+                half_sin: sin.to_vec(),
+                half_cos: cos.to_vec(),
+            },
+            Precision::I16 => TrigStore::I16 {
+                half_sin: sin.iter().map(|&v| quantize_i16(v)).collect(),
+                half_cos: cos.iter().map(|&v| quantize_i16(v)).collect(),
+            },
+            Precision::I8 => TrigStore::I8 {
+                half_sin: sin.iter().map(|&v| quantize_i8(v)).collect(),
+                half_cos: cos.iter().map(|&v| quantize_i8(v)).collect(),
+            },
+        };
+        Self {
+            store,
+            n_entities: rows.len(),
+            dim: d,
+        }
+    }
+
+    /// Decodes element `j` (row-major) to the `(sin, cos)` pair the kernel
+    /// computes with — exact storage bits in `F32` mode, dequantized values
+    /// otherwise. Diagnostics and tests; the hot path decodes in bulk.
+    pub fn decoded(&self, j: usize) -> (f32, f32) {
+        match &self.store {
+            TrigStore::F32 { half_sin, half_cos } => (half_sin[j], half_cos[j]),
+            TrigStore::I16 { half_sin, half_cos } => (
+                half_sin[j] as f32 * (1.0 / I16_SCALE),
+                half_cos[j] as f32 * (1.0 / I16_SCALE),
+            ),
+            TrigStore::I8 { half_sin, half_cos } => (
+                half_sin[j] as f32 * (1.0 / I8_SCALE),
+                half_cos[j] as f32 * (1.0 / I8_SCALE),
+            ),
+        }
     }
 }
 
@@ -453,10 +696,49 @@ impl ArcScorer {
         if d == 0 {
             return;
         }
-        let rows_s = trig.half_sin[row0 * d..].chunks_exact(d);
-        let rows_c = trig.half_cos[row0 * d..].chunks_exact(d);
-        for ((sh, ch), slot) in rows_s.zip(rows_c).zip(out.iter_mut()) {
-            *slot = slot.min(self.score_row::<MODE>(sh, ch));
+        match &trig.store {
+            TrigStore::F32 { half_sin, half_cos } => {
+                // The historical unquantized loop, untouched: `F32` scores
+                // stay bit-identical to every pre-quantization release.
+                let rows_s = half_sin[row0 * d..].chunks_exact(d);
+                let rows_c = half_cos[row0 * d..].chunks_exact(d);
+                for ((sh, ch), slot) in rows_s.zip(rows_c).zip(out.iter_mut()) {
+                    *slot = slot.min(self.score_row::<MODE>(sh, ch));
+                }
+            }
+            TrigStore::I16 { half_sin, half_cos } => {
+                self.score_quantized::<MODE, _>(half_sin, half_cos, 1.0 / I16_SCALE, row0, out)
+            }
+            TrigStore::I8 { half_sin, half_cos } => {
+                self.score_quantized::<MODE, _>(half_sin, half_cos, 1.0 / I8_SCALE, row0, out)
+            }
+        }
+    }
+
+    /// Quantized-table sweep: each row is dequantized once into a small
+    /// scratch pair (an integer convert plus one multiply per element —
+    /// both autovectorize) and then scored by the same branch-free kernel
+    /// as the `f32` path, so the decode cost amortizes over all DNF
+    /// branches of the query.
+    fn score_quantized<const MODE: u8, Q: Copy + Into<f32>>(
+        &self,
+        half_sin: &[Q],
+        half_cos: &[Q],
+        inv_scale: f32,
+        row0: usize,
+        out: &mut [f32],
+    ) {
+        let d = self.dim;
+        let mut sh = vec![0.0f32; d];
+        let mut ch = vec![0.0f32; d];
+        let rows_s = half_sin[row0 * d..].chunks_exact(d);
+        let rows_c = half_cos[row0 * d..].chunks_exact(d);
+        for ((qs, qc), slot) in rows_s.zip(rows_c).zip(out.iter_mut()) {
+            for j in 0..d {
+                sh[j] = qs[j].into() * inv_scale;
+                ch[j] = qc[j].into() * inv_scale;
+            }
+            *slot = slot.min(self.score_row::<MODE>(&sh, &ch));
         }
     }
 
@@ -836,13 +1118,115 @@ mod tests {
     #[test]
     fn trig_from_rows_matches_full_table() {
         let table = Tensor::from_vec(4, 2, vec![0.1, 0.2, 3.0, 4.0, 5.5, 0.9, 2.2, 2.3]);
-        let full = EntityTrig::new(&table);
-        let part = EntityTrig::from_rows(&table, 1..3);
-        assert_eq!(part.n_entities(), 2);
-        for j in 0..4 {
-            assert_eq!(part.half_sin[j].to_bits(), full.half_sin[2 + j].to_bits());
-            assert_eq!(part.half_cos[j].to_bits(), full.half_cos[2 + j].to_bits());
+        for p in [Precision::F32, Precision::I16, Precision::I8] {
+            let full = EntityTrig::with_precision(&table, p);
+            let part = EntityTrig::from_rows_with(&table, 1..3, p);
+            assert_eq!(part.n_entities(), 2);
+            assert_eq!(part.precision(), p);
+            for j in 0..4 {
+                let (ps, pc) = part.decoded(j);
+                let (fs, fc) = full.decoded(2 + j);
+                assert_eq!(ps.to_bits(), fs.to_bits(), "{p} sin {j}");
+                assert_eq!(pc.to_bits(), fc.to_bits(), "{p} cos {j}");
+            }
         }
+    }
+
+    #[test]
+    fn precision_parses_and_sizes() {
+        assert_eq!("f32".parse::<Precision>().unwrap(), Precision::F32);
+        assert_eq!("f16".parse::<Precision>().unwrap(), Precision::I16);
+        assert_eq!("i16".parse::<Precision>().unwrap(), Precision::I16);
+        assert_eq!("i8".parse::<Precision>().unwrap(), Precision::I8);
+        assert!("f64".parse::<Precision>().is_err());
+        assert_eq!(Precision::default(), Precision::F32);
+        let table = Tensor::from_vec(4, 2, vec![0.0; 8]);
+        assert_eq!(EntityTrig::new(&table).resident_bytes(), 4 * 2 * 8);
+        assert_eq!(
+            EntityTrig::with_precision(&table, Precision::I16).resident_bytes(),
+            4 * 2 * 4
+        );
+        assert_eq!(
+            EntityTrig::with_precision(&table, Precision::I8).resident_bytes(),
+            4 * 2 * 2
+        );
+    }
+
+    #[test]
+    fn quantized_scores_track_exact_within_error_bound() {
+        let rho = 1.0;
+        let eta = 0.05;
+        let arcs = grid_arcs(rho);
+        let n = 128;
+        let d = 2;
+        let mut data = Vec::with_capacity(n * d);
+        for i in 0..n {
+            data.push(i as f32 * TAU / n as f32);
+            data.push((i as f32 * 0.77 + 1.3) % TAU);
+        }
+        let table = Tensor::from_vec(n, d, data);
+        let exact = EntityTrig::new(&table);
+        for mode in [
+            DistanceMode::LiteralEq16,
+            DistanceMode::CenterAnchored,
+            DistanceMode::ZeroedInside,
+        ] {
+            let scorer = ArcScorer::from_arcs(&arcs, rho, eta, mode);
+            let want = scorer.score_all(&exact);
+            // Worst-case per-coordinate decode error is 1/(2·scale); each
+            // coordinate contributes ≤ 2 decoded values per distance term,
+            // so bound the score gap by a small multiple of dims · step
+            // (the ZeroedInside containment mask can flip on boundary
+            // entities, so skip exact-boundary rows there via the bound).
+            for (p, step) in [
+                (Precision::I16, 0.5 / I16_SCALE),
+                (Precision::I8, 0.5 / I8_SCALE),
+            ] {
+                let q = EntityTrig::with_precision(&table, p);
+                let got = scorer.score_all(&q);
+                let tol = 2.0 * rho * (d as f32) * 8.0 * step + 1e-5;
+                let mut close = 0;
+                for (e, (&a, &b)) in want.iter().zip(&got).enumerate() {
+                    if (a - b).abs() <= tol {
+                        close += 1;
+                    } else {
+                        // Mask flips under ZeroedInside can move a term by
+                        // the full endpoint distance; allow only there.
+                        assert_eq!(
+                            mode,
+                            DistanceMode::ZeroedInside,
+                            "{p} {mode:?} entity {e}: {a} vs {b} (tol {tol})"
+                        );
+                    }
+                }
+                assert!(close >= n - 2, "{p} {mode:?}: only {close}/{n} close");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_top_k_ranks_match_exact_on_separated_scores() {
+        // Rank equivalence on a table whose score gaps dwarf the i16
+        // quantization step — the regime the serving gate runs in.
+        let rho = 1.0;
+        let arcs = grid_arcs(rho);
+        let n = SCORE_SLICE + 77;
+        let mut data = Vec::with_capacity(n * 2);
+        for i in 0..n {
+            data.push(i as f32 * TAU / n as f32);
+            data.push((i as f32 * 0.77 + 1.3) % TAU);
+        }
+        let table = Tensor::from_vec(n, 2, data);
+        let scorer = ArcScorer::from_arcs(&arcs, rho, 0.05, DistanceMode::CenterAnchored);
+        let exact = scorer.score_all(&EntityTrig::new(&table));
+        let want = top_k_indices(&exact, 10);
+
+        let q = EntityTrig::with_precision(&table, Precision::I16);
+        let mut heap = TopK::new(10);
+        let rows = scorer.top_k_until(&q, 0, &mut heap, &Deadline::never());
+        assert_eq!(rows, n);
+        let got: Vec<u32> = heap.into_sorted().iter().map(|&(i, _)| i).collect();
+        assert_eq!(got, want, "i16 top-k order drifted from exact");
     }
 
     #[test]

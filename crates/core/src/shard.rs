@@ -18,7 +18,7 @@
 //! full-vector [`crate::top_k_indices`] reference bit-for-bit for every
 //! shard count.
 
-use crate::scorer::{ArcScorer, EntityTrig, TopK, SCORE_SLICE};
+use crate::scorer::{ArcScorer, EntityTrig, Precision, TopK, SCORE_SLICE};
 use halk_nn::Tensor;
 use halk_obs::metrics;
 use halk_obs::Deadline;
@@ -82,13 +82,25 @@ pub struct ShardedTrig {
 }
 
 impl ShardedTrig {
-    /// Precomputes per-shard trig for an angle table under `parts`.
+    /// Precomputes per-shard trig for an angle table under `parts` at full
+    /// precision.
     pub fn new(table: &Tensor, parts: &ArcShards) -> Self {
+        Self::with_precision(table, parts, Precision::F32)
+    }
+
+    /// [`ShardedTrig::new`] at an explicit storage [`Precision`]: every
+    /// shard stores its trig slice in the same quantized format, so the
+    /// per-shard resident bytes shrink by the precision's width ratio.
+    pub fn with_precision(table: &Tensor, parts: &ArcShards, precision: Precision) -> Self {
         assert_eq!(parts.n_entities(), table.rows, "shard/table row mismatch");
+        // Table builds are the expensive cold-start event; the warm-start
+        // test pins that a serving engine performs them at boot, never on
+        // the request path.
+        metrics::counter("halk_trig_builds_total").inc();
         let shards = (0..parts.n_shards())
             .map(|s| {
                 let r = parts.range(s);
-                (r.start, EntityTrig::from_rows(table, r))
+                (r.start, EntityTrig::from_rows_with(table, r, precision))
             })
             .collect();
         Self {
@@ -98,9 +110,46 @@ impl ShardedTrig {
         }
     }
 
+    /// Builds the sharded tables by re-slicing an already-computed
+    /// full-precision [`EntityTrig`] instead of paying the sin/cos sweep —
+    /// the snapshot fast-boot path. [`EntityTrig::slice_rows`] guarantees
+    /// each shard is bit-identical to [`ShardedTrig::with_precision`] on
+    /// the angle table the full trig was built from, at every precision.
+    pub fn from_table(full: &EntityTrig, parts: &ArcShards, precision: Precision) -> Self {
+        assert_eq!(
+            parts.n_entities(),
+            full.n_entities(),
+            "shard/table row mismatch"
+        );
+        metrics::counter("halk_trig_builds_total").inc();
+        let shards = (0..parts.n_shards())
+            .map(|s| {
+                let r = parts.range(s);
+                (r.start, full.slice_rows(r, precision))
+            })
+            .collect();
+        Self {
+            shards,
+            n_entities: full.n_entities(),
+            dim: full.dim(),
+        }
+    }
+
     /// Number of shards.
     pub fn n_shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The storage precision the shards were built at.
+    pub fn precision(&self) -> Precision {
+        self.shards
+            .first()
+            .map_or(Precision::F32, |(_, t)| t.precision())
+    }
+
+    /// Total bytes resident across all shard trig tables.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(|(_, t)| t.resident_bytes()).sum()
     }
 
     /// Total rows covered.

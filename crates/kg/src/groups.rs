@@ -67,6 +67,71 @@ impl Grouping {
         self.n_groups
     }
 
+    /// Number of entities partitioned.
+    pub fn n_entities(&self) -> usize {
+        self.group_of.len()
+    }
+
+    /// Raw parts `(n_groups, group_of, adj, adj_inv)` for snapshot
+    /// encoding.
+    #[allow(clippy::type_complexity)]
+    pub fn parts(&self) -> (usize, &[u8], &[Vec<u64>], &[Vec<u64>]) {
+        (self.n_groups, &self.group_of, &self.adj, &self.adj_inv)
+    }
+
+    /// Rebuilds a grouping from decoded raw parts, validating every
+    /// invariant [`Grouping::random`] establishes: the group count is in
+    /// `1..=`[`MAX_GROUPS`], every entity's group index is in range, both
+    /// adjacency matrices are `n_relations × n_groups`, and no mask sets a
+    /// bit at or above `n_groups` — so a corrupted snapshot can never load
+    /// as a silently wrong grouping.
+    pub fn from_parts(
+        n_groups: usize,
+        group_of: Vec<u8>,
+        adj: Vec<Vec<u64>>,
+        adj_inv: Vec<Vec<u64>>,
+    ) -> Result<Self, String> {
+        if !(1..=MAX_GROUPS).contains(&n_groups) {
+            return Err(format!("n_groups {n_groups} outside 1..={MAX_GROUPS}"));
+        }
+        if let Some(e) = group_of.iter().position(|&g| g as usize >= n_groups) {
+            return Err(format!(
+                "entity {e} assigned to group {} of {n_groups}",
+                group_of[e]
+            ));
+        }
+        if adj.len() != adj_inv.len() {
+            return Err(format!(
+                "adjacency directions disagree: {} vs {} relations",
+                adj.len(),
+                adj_inv.len()
+            ));
+        }
+        let legal = if n_groups == MAX_GROUPS {
+            u64::MAX
+        } else {
+            (1u64 << n_groups) - 1
+        };
+        for (r, (fwd, bwd)) in adj.iter().zip(&adj_inv).enumerate() {
+            if fwd.len() != n_groups || bwd.len() != n_groups {
+                return Err(format!(
+                    "relation {r}: adjacency row is not {n_groups} wide"
+                ));
+            }
+            if fwd.iter().chain(bwd).any(|&m| m & !legal != 0) {
+                return Err(format!(
+                    "relation {r}: mask sets bits beyond group {n_groups}"
+                ));
+            }
+        }
+        Ok(Self {
+            n_groups,
+            group_of,
+            adj,
+            adj_inv,
+        })
+    }
+
     /// Group index of an entity.
     pub fn group_of(&self, e: EntityId) -> usize {
         self.group_of[e.index()] as usize
@@ -224,5 +289,46 @@ mod tests {
         let g = Graph::from_triples(1, 1, vec![]);
         let mut rng = StdRng::seed_from_u64(0);
         let _ = Grouping::random(&g, 65, &mut rng);
+    }
+
+    #[test]
+    fn parts_roundtrip_preserves_grouping() {
+        let (g, gr) = toy();
+        let (n, group_of, adj, adj_inv) = gr.parts();
+        let gr2 =
+            Grouping::from_parts(n, group_of.to_vec(), adj.to_vec(), adj_inv.to_vec()).unwrap();
+        assert_eq!(gr2.n_groups(), gr.n_groups());
+        assert_eq!(gr2.n_entities(), g.n_entities());
+        for e in g.entities() {
+            assert_eq!(gr2.mask_of(e), gr.mask_of(e));
+        }
+        for t in g.triples() {
+            assert_eq!(
+                gr2.propagate(gr2.mask_of(t.h), t.r),
+                gr.propagate(gr.mask_of(t.h), t.r)
+            );
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_corrupt_state() {
+        let (_, gr) = toy();
+        let (n, group_of, adj, adj_inv) = gr.parts();
+        let (group_of, adj, adj_inv) = (group_of.to_vec(), adj.to_vec(), adj_inv.to_vec());
+
+        assert!(Grouping::from_parts(0, group_of.clone(), adj.clone(), adj_inv.clone()).is_err());
+        assert!(Grouping::from_parts(65, group_of.clone(), adj.clone(), adj_inv.clone()).is_err());
+
+        let mut bad_group = group_of.clone();
+        bad_group[0] = n as u8; // out of range
+        assert!(Grouping::from_parts(n, bad_group, adj.clone(), adj_inv.clone()).is_err());
+
+        let mut bad_mask = adj.clone();
+        bad_mask[0][0] |= 1 << n; // bit beyond the legal mask
+        assert!(Grouping::from_parts(n, group_of.clone(), bad_mask, adj_inv.clone()).is_err());
+
+        let mut ragged = adj.clone();
+        ragged[0].pop();
+        assert!(Grouping::from_parts(n, group_of, ragged, adj_inv).is_err());
     }
 }

@@ -63,17 +63,163 @@ impl fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
-/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320), bitwise.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc ^= b as u32;
-        for _ in 0..8 {
+/// Slicing-by-8 lookup tables for [`crc32`], built at compile time.
+/// `CRC_TABLES[0]` is the classic byte-at-a-time table; table `k` advances
+/// a byte through `k` further zero bytes, so eight table lookups consume
+/// eight input bytes per iteration.
+const CRC_TABLES: [[u32; 256]; 8] = {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut j = 0;
+        while j < 8 {
             let mask = (crc & 1).wrapping_neg();
             crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            j += 1;
         }
+        t[0][i] = crc;
+        i += 1;
     }
-    !crc
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
+};
+
+/// Slicing-by-8 over a running (non-inverted) CRC state.
+fn crc32_sliced(mut crc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = crc ^ u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ CRC_TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
+
+/// Carry-less-multiplication CRC32 (the classic folding scheme from
+/// Intel's "Fast CRC Computation Using PCLMULQDQ" note): fold 64-byte
+/// blocks through four 128-bit lanes, collapse to one lane, then Barrett-
+/// reduce to 32 bits. Runs at roughly memory speed, an order of magnitude
+/// past the table kernel. Guarded by runtime feature detection; callers
+/// fall back to [`crc32_sliced`] on other hardware. The constants are the
+/// standard precomputed `x^k mod P` residues for the reflected IEEE
+/// polynomial, so the result is bit-identical to the table kernel — pinned
+/// by the equivalence test across every length class.
+#[cfg(target_arch = "x86_64")]
+mod crc_pclmul {
+    use std::arch::x86_64::*;
+
+    const K1: i64 = 0x0001_5444_2bd4; // x^(4·128+32) mod P
+    const K2: i64 = 0x0001_c6e4_1596; // x^(4·128-32) mod P
+    const K3: i64 = 0x0001_7519_97d0; // x^(128+32)   mod P
+    const K4: i64 = 0x0000_ccaa_009e; // x^(128-32)   mod P
+    const K5: i64 = 0x0001_63cd_6124; // x^64         mod P
+    const P_X: i64 = 0x0001_db71_0641; // P (reflected, with x^32 term)
+    const U_PRIME: i64 = 0x0001_f701_1641; // Barrett µ
+
+    #[inline]
+    #[target_feature(enable = "pclmulqdq", enable = "sse4.1")]
+    unsafe fn next16(data: &mut &[u8]) -> __m128i {
+        let v = _mm_loadu_si128(data.as_ptr() as *const __m128i);
+        *data = &data[16..];
+        v
+    }
+
+    #[inline]
+    #[target_feature(enable = "pclmulqdq", enable = "sse4.1")]
+    unsafe fn fold16(a: __m128i, b: __m128i, keys: __m128i) -> __m128i {
+        let lo = _mm_clmulepi64_si128(a, keys, 0x00);
+        let hi = _mm_clmulepi64_si128(a, keys, 0x11);
+        _mm_xor_si128(_mm_xor_si128(b, lo), hi)
+    }
+
+    /// Advances CRC state over the longest prefix of whole 16-byte blocks
+    /// (requires ≥ 64 bytes); returns the new state and the unconsumed
+    /// tail for the table kernel.
+    #[target_feature(enable = "pclmulqdq", enable = "sse4.1")]
+    pub unsafe fn fold(crc: u32, mut data: &[u8]) -> (u32, &[u8]) {
+        debug_assert!(data.len() >= 64);
+        let k1k2 = _mm_set_epi64x(K2, K1);
+        let mut x3 = next16(&mut data);
+        let mut x2 = next16(&mut data);
+        let mut x1 = next16(&mut data);
+        let mut x0 = next16(&mut data);
+        x3 = _mm_xor_si128(x3, _mm_set_epi32(0, 0, 0, crc as i32));
+        while data.len() >= 64 {
+            x3 = fold16(x3, next16(&mut data), k1k2);
+            x2 = fold16(x2, next16(&mut data), k1k2);
+            x1 = fold16(x1, next16(&mut data), k1k2);
+            x0 = fold16(x0, next16(&mut data), k1k2);
+        }
+        let k3k4 = _mm_set_epi64x(K4, K3);
+        let mut x = fold16(x3, x2, k3k4);
+        x = fold16(x, x1, k3k4);
+        x = fold16(x, x0, k3k4);
+        while data.len() >= 16 {
+            x = fold16(x, next16(&mut data), k3k4);
+        }
+        // 128 → 64 bits.
+        let lo32 = _mm_set_epi32(0, 0, 0, !0);
+        x = _mm_xor_si128(_mm_clmulepi64_si128(x, k3k4, 0x10), _mm_srli_si128(x, 8));
+        x = _mm_xor_si128(
+            _mm_clmulepi64_si128(_mm_and_si128(x, lo32), _mm_set_epi64x(0, K5), 0x00),
+            _mm_srli_si128(x, 4),
+        );
+        // Barrett reduction 64 → 32 bits.
+        let pu = _mm_set_epi64x(U_PRIME, P_X);
+        let t1 = _mm_clmulepi64_si128(_mm_and_si128(x, lo32), pu, 0x10);
+        let t2 = _mm_xor_si128(_mm_clmulepi64_si128(_mm_and_si128(t1, lo32), pu, 0x00), x);
+        (_mm_extract_epi32(t2, 1) as u32, data)
+    }
+
+    /// Whether the fold kernel can run on this CPU (checked once).
+    pub fn available() -> bool {
+        use std::sync::OnceLock;
+        static AVAILABLE: OnceLock<bool> = OnceLock::new();
+        *AVAILABLE.get_or_init(|| {
+            std::is_x86_feature_detected!("pclmulqdq") && std::is_x86_feature_detected!("sse4.1")
+        })
+    }
+}
+
+/// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320). Checkpoints and
+/// snapshots checksum every byte they read and write, so this sits on the
+/// cold-boot path of multi-megabyte files; the original bitwise
+/// formulation (8 shift/xor steps per byte) was the dominant cost of
+/// snapshot decode. Large inputs take the carry-less-multiply fold where
+/// the CPU supports it, the slicing-by-8 table kernel otherwise; values
+/// are identical either way and match the bitwise reference — the on-disk
+/// format is unchanged.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut state = 0xFFFF_FFFFu32;
+    let mut rest = data;
+    #[cfg(target_arch = "x86_64")]
+    if rest.len() >= 64 && crc_pclmul::available() {
+        // SAFETY: `available()` verified pclmulqdq + sse4.1 at runtime.
+        let (s, r) = unsafe { crc_pclmul::fold(state, rest) };
+        state = s;
+        rest = r;
+    }
+    !crc32_sliced(state, rest)
 }
 
 fn encode(store: &ParamStore, version: u32) -> Vec<u8> {
@@ -427,6 +573,32 @@ mod tests {
         // Standard IEEE test vector.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_sliced_matches_bitwise_reference() {
+        // The slicing-by-8 kernel must agree with the bitwise definition
+        // at every length mod 8 (full chunks plus each remainder path).
+        fn bitwise(data: &[u8]) -> u32 {
+            let mut crc = 0xFFFF_FFFFu32;
+            for &b in data {
+                crc ^= b as u32;
+                for _ in 0..8 {
+                    let mask = (crc & 1).wrapping_neg();
+                    crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+                }
+            }
+            !crc
+        }
+        // 0..64 exercises pure table paths; 64..257 mixes the clmul fold
+        // (where available) with every remainder class; the larger sweep
+        // covers multi-block folding with misaligned tails.
+        let data: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(97) >> 3) as u8)
+            .collect();
+        for len in (0..257).chain((257..data.len()).step_by(61)) {
+            assert_eq!(crc32(&data[..len]), bitwise(&data[..len]), "len {len}");
+        }
     }
 
     #[test]

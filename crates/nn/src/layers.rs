@@ -57,6 +57,21 @@ impl Linear {
         }
     }
 
+    /// [`Linear::new`] with zeroed weights: registers the same shapes in
+    /// the same order without paying the Xavier RNG draws. For loaders
+    /// that immediately overwrite every value (snapshot `from_parts`),
+    /// where the init would be allocated and thrown away.
+    pub fn zeroed(store: &mut ParamStore, in_dim: usize, out_dim: usize) -> Self {
+        let w = store.add(crate::tensor::Tensor::zeros(in_dim, out_dim));
+        let b = store.add(crate::tensor::Tensor::zeros(1, out_dim));
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
     /// Forward pass for a `B × in_dim` input.
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
         let w = tape.param(store, self.w);
@@ -94,6 +109,27 @@ impl Mlp {
             cur = hidden;
         }
         layers.push(Linear::new(store, cur, out_dim, rng));
+        Self { layers, act }
+    }
+
+    /// [`Mlp::new`] with zeroed layers ([`Linear::zeroed`]): identical
+    /// parameter registration order and shapes, no RNG cost. Only sound
+    /// when every registered value is subsequently replaced.
+    pub fn zeroed(
+        store: &mut ParamStore,
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        n_hidden: usize,
+        act: Act,
+    ) -> Self {
+        let mut layers = Vec::with_capacity(n_hidden + 1);
+        let mut cur = in_dim;
+        for _ in 0..n_hidden {
+            layers.push(Linear::zeroed(store, cur, hidden));
+            cur = hidden;
+        }
+        layers.push(Linear::zeroed(store, cur, out_dim));
         Self { layers, act }
     }
 

@@ -153,6 +153,14 @@ impl ParamStore {
         self.values.len()
     }
 
+    /// The handle of the `i`-th registered parameter. Ids are assigned
+    /// densely in registration order, so every `i < len()` is valid;
+    /// serialization sweeps (checkpoints, snapshots) iterate with this.
+    pub fn param_id(&self, i: usize) -> ParamId {
+        assert!(i < self.values.len(), "param index {i} out of range");
+        ParamId(i)
+    }
+
     /// True when no parameters are registered.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()

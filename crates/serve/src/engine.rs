@@ -27,7 +27,7 @@
 
 use crate::protocol::{AskEngine, ErrorKind, Response};
 use halk_core::shard::sharded_top_k;
-use halk_core::{HalkModel, Pool, ShardedTrig};
+use halk_core::{ArcShards, EntityTrig, HalkModel, Pool, Precision, ShardedTrig};
 use halk_kg::Graph;
 use halk_logic::plan::PlanShape;
 use halk_logic::plan::{execute_set_batch, execute_set_deadline, PlanBindings, PlanCache};
@@ -43,6 +43,9 @@ pub struct Engine {
     sharded: Option<ShardedTrig>,
     /// Arc-shard count for the scoring sweep.
     shards: usize,
+    /// Storage precision of the shard-local trig tables (the serving-side
+    /// memory-diet knob; `F32` is the bit-exact default).
+    precision: Precision,
     /// Skeleton-keyed plan cache shared by both engines (bounded — see
     /// `halk_logic::plan::PlanCache`).
     plans: PlanCache,
@@ -91,28 +94,136 @@ impl Engine {
     /// The shard count defaults to the pool's thread budget (HALK_THREADS
     /// or the machine); override with [`Engine::shards`].
     pub fn new(graph: Graph, model: Option<HalkModel>) -> Engine {
-        let shards = Pool::auto().threads().max(1);
-        let sharded = model.as_ref().map(|m| m.entity_shards(shards));
-        Engine {
+        Engine::with_options(graph, model, None, Precision::F32)
+    }
+
+    /// [`Engine::new`] with the shard count and trig precision fixed up
+    /// front, so the boot-time table build happens exactly once in the
+    /// requested format (no throwaway full-precision warm-up).
+    pub fn with_options(
+        graph: Graph,
+        model: Option<HalkModel>,
+        shards: Option<usize>,
+        precision: Precision,
+    ) -> Engine {
+        let shards = shards.unwrap_or_else(|| Pool::auto().threads()).max(1);
+        let mut engine = Engine {
             graph,
             model,
-            sharded,
+            sharded: None,
             shards,
+            precision,
             plans: PlanCache::new(),
             test_faults: false,
-        }
+        };
+        engine.rebuild_sharded();
+        engine
+    }
+
+    /// [`Engine::with_options`] booting from a precomputed full-precision
+    /// trig table (a snapshot's `TRIG` section) instead of paying the
+    /// sin/cos sweep. The table is re-sliced into shards — bit-identical
+    /// to a fresh build at every precision (`ShardedTrig::from_table`) —
+    /// and dropped afterwards, so the resident working set is the same as
+    /// a cold boot's.
+    pub fn with_boot_table(
+        graph: Graph,
+        model: HalkModel,
+        trig: &EntityTrig,
+        shards: Option<usize>,
+        precision: Precision,
+    ) -> Engine {
+        assert_eq!(
+            trig.n_entities(),
+            model.n_entities(),
+            "boot trig/model entity count mismatch"
+        );
+        let shards = shards.unwrap_or_else(|| Pool::auto().threads()).max(1);
+        let mut engine = Engine {
+            graph,
+            model: Some(model),
+            sharded: None,
+            shards,
+            precision,
+            plans: PlanCache::new(),
+            test_faults: false,
+        };
+        let parts = ArcShards::new(trig.n_entities(), shards);
+        engine.sharded = Some(ShardedTrig::from_table(trig, &parts, precision));
+        engine.publish_trig_gauges();
+        engine
     }
 
     /// Overrides the arc-shard count, rebuilding the shard-local trig.
     pub fn shards(mut self, n: usize) -> Engine {
         self.shards = n.max(1);
-        self.sharded = self.model.as_ref().map(|m| m.entity_shards(self.shards));
+        self.rebuild_sharded();
         self
+    }
+
+    /// Overrides the trig storage [`Precision`], rebuilding the
+    /// shard-local tables in the requested format. `F32` (the default) is
+    /// bit-identical to every pre-quantization release; `I16`/`I8` shrink
+    /// the resident working set by 2×/4× and preserve ranks, not bits.
+    pub fn precision(mut self, p: Precision) -> Engine {
+        self.precision = p;
+        self.rebuild_sharded();
+        self
+    }
+
+    /// Warms the shard-local trig at the configured shard count and
+    /// precision, and publishes the resident-bytes gauges. This runs at
+    /// construction — request 1 scores through exactly the same tables as
+    /// request 100.
+    fn rebuild_sharded(&mut self) {
+        self.sharded = self
+            .model
+            .as_ref()
+            .map(|m| m.entity_shards_with(self.shards, self.precision));
+        self.publish_trig_gauges();
+    }
+
+    /// Publishes the resident-bytes gauges for the current shard tables.
+    fn publish_trig_gauges(&self) {
+        if let Some(sharded) = &self.sharded {
+            let total = sharded.resident_bytes();
+            halk_obs::metrics::gauge("halk_serve_trig_resident_bytes").set(total as f64);
+            halk_obs::metrics::gauge(&format!(
+                "halk_serve_trig_resident_bytes_{}",
+                self.precision.name()
+            ))
+            .set(total as f64);
+            for (s, bytes) in self.trig_shard_bytes().into_iter().enumerate() {
+                halk_obs::metrics::gauge(&format!("halk_serve_trig_resident_bytes_shard_{s}"))
+                    .set(bytes as f64);
+            }
+        }
     }
 
     /// The configured arc-shard count.
     pub fn n_shards(&self) -> usize {
         self.shards
+    }
+
+    /// The trig storage precision the engine scores at.
+    pub fn scoring_precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Total resident bytes of the shard-local trig tables (0 without a
+    /// model).
+    pub fn trig_resident_bytes(&self) -> usize {
+        self.sharded.as_ref().map_or(0, ShardedTrig::resident_bytes)
+    }
+
+    /// Resident trig bytes per shard (empty without a model).
+    pub fn trig_shard_bytes(&self) -> Vec<usize> {
+        let Some(sharded) = &self.sharded else {
+            return Vec::new();
+        };
+        (0..sharded.n_shards())
+            .map(|s| sharded.shard(s).0.resident_bytes())
+            .collect()
     }
 
     /// Enables the `__panic__` / `__sleep__:<ms>` fault hooks. Only the

@@ -392,7 +392,8 @@ fn session_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
                         // Counters only — answered inline, never queued, so
                         // stats stay readable under full load.
                         Request::Stats => {
-                            if write_response(&mut stream, &stats_response()).is_err() {
+                            if write_response(&mut stream, &stats_response(&shared.engine)).is_err()
+                            {
                                 break 'session;
                             }
                         }
@@ -429,23 +430,40 @@ fn session_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
     }
 }
 
-/// Snapshot of the serving counters `load_gen` folds into its summary.
-fn stats_response() -> Response {
+/// Snapshot of the serving counters `load_gen` folds into its summary,
+/// plus the memory-diet gauges: resident trig bytes (total, per shard)
+/// at the engine's precision, and how long boot took (`boot_ns` is set by
+/// the CLI around engine construction; 0 when serving embedded).
+fn stats_response(engine: &Engine) -> Response {
     let batch = halk_obs::histogram!("halk_serve_batch_size");
-    Response::Stats {
-        pairs: vec![
-            (
-                "requests_total".to_string(),
-                halk_obs::counter!("halk_serve_requests_total").get(),
-            ),
-            (
-                "batched_groups".to_string(),
-                halk_obs::counter!("halk_serve_batched_groups_total").get(),
-            ),
-            ("batch_size_p50".to_string(), batch.quantile(0.5)),
-            ("batch_size_p99".to_string(), batch.quantile(0.99)),
-        ],
+    let mut pairs = vec![
+        (
+            "requests_total".to_string(),
+            halk_obs::counter!("halk_serve_requests_total").get(),
+        ),
+        (
+            "batched_groups".to_string(),
+            halk_obs::counter!("halk_serve_batched_groups_total").get(),
+        ),
+        ("batch_size_p50".to_string(), batch.quantile(0.5)),
+        ("batch_size_p99".to_string(), batch.quantile(0.99)),
+        (
+            "boot_ns".to_string(),
+            halk_obs::metrics::gauge("halk_serve_boot_ns").get() as u64,
+        ),
+        (
+            "trig_resident_bytes".to_string(),
+            engine.trig_resident_bytes() as u64,
+        ),
+        (
+            "trig_bytes_per_pair".to_string(),
+            engine.scoring_precision().bytes_per_pair() as u64,
+        ),
+    ];
+    for (s, bytes) in engine.trig_shard_bytes().into_iter().enumerate() {
+        pairs.push((format!("trig_shard{s}_bytes"), bytes as u64));
     }
+    Response::Stats { pairs }
 }
 
 /// Prepares, admits, enqueues and answers one ASK. `Err` means the socket
