@@ -5,7 +5,7 @@
 //! count vs one worker, and the query-plan compiler (compile-from-scratch
 //! vs a warm-cache embed) — at fixed seeds, and writes `BENCH_hotpath.json`
 //! at the repo root so future changes can be diffed with `--compare`
-//! (schema `halk-bench-hotpath/v6`; `--compare` still reads v1-v5
+//! (schema `halk-bench-hotpath/v7`; `--compare` still reads v1-v6
 //! baselines, comparing the shared keys). The v4 schema added a
 //! `tracing_overhead_disabled` entry (one `span!` open+close with no trace
 //! file configured — must stay at a few ns) and a `metrics_snapshot` field
@@ -27,7 +27,11 @@
 //! `from_parts` constructors, then re-slicing the shipped TRIG table into
 //! shards) — plus the quantized scoring pair `score_all_8000_f32` /
 //! `score_all_8000_i16` (same queries, same hoisted output buffer, trig
-//! stored at each precision).
+//! stored at each precision). The v7 schema adds `executor_group_8000`:
+//! the same 8-query group submitted through the skeleton-keyed batch
+//! executor (`halk_core::exec`, ISSUE 9) with a serve-style backend, so
+//! `--compare` gates the executor's envelope (keying, grouping, obs,
+//! scatter) on top of the raw batched kernel it wraps.
 //!
 //! Usage:
 //!   bench_hotpath [--smoke] [--out <path>] [--compare <old.json>]
@@ -39,8 +43,8 @@
 //! entry with its slowdown percentage.
 
 use halk_core::{
-    evaluate_structure_pool, top_k_indices, ArcShards, HalkConfig, HalkModel, Pool, Precision,
-    QueryModel, ShardedTrig, TrainExample,
+    evaluate_structure_pool, top_k_indices, ArcShards, ExecBackend, ExecConfig, Executor,
+    HalkConfig, HalkModel, Pool, Precision, QueryModel, ShapeKey, ShardedTrig, TrainExample,
 };
 use halk_kg::{generate, DatasetSplit, Graph, SynthConfig};
 use halk_logic::plan::{PlanBindings, PlanShape};
@@ -381,6 +385,66 @@ fn main() {
     ));
     let sharded_speedup = ns_full8 / ns_sharded8;
 
+    // --- the skeleton-keyed batch executor (ISSUE 9): the same 8-query
+    // group pushed through `Executor::submit` with a serve-style backend.
+    // Keying, group formation, obs accounting, and the scatter back to
+    // submission order all ride on top of the batched embed + sharded
+    // sweep `topk_sharded_8000` times in isolation, so the pair prices the
+    // executor's envelope — the derived overhead ratio must stay ~1.0.
+    struct BenchServe<'a> {
+        model: &'a HalkModel,
+    }
+    impl ExecBackend for BenchServe<'_> {
+        type Job = halk_logic::Query;
+        type Out = Vec<u32>;
+        fn key_of(&self, exec: &Executor, job: &Self::Job) -> Option<ShapeKey> {
+            Some(ShapeKey::new(exec.shape_for(job)))
+        }
+        fn exec_group(
+            &self,
+            exec: &Executor,
+            key: Option<&ShapeKey>,
+            jobs: &[&Self::Job],
+        ) -> Vec<Vec<u32>> {
+            let shape = key.expect("bench jobs carry shapes").shape();
+            let sharded = exec.sharded_trig(self.model);
+            let refs: Vec<&halk_logic::Query> = jobs.to_vec();
+            let scorers = exec.scorers_for_group(self.model, shape, &refs);
+            let never = Deadline::never();
+            let ks = vec![10usize; jobs.len()];
+            let deadlines: Vec<&Deadline> = jobs.iter().map(|_| &never).collect();
+            halk_core::sharded_top_k(&exec.pool(), &sharded, &scorers, &ks, &deadlines)
+                .into_iter()
+                .map(|(hits, _)| hits.into_iter().map(|(e, _)| e).collect())
+                .collect()
+        }
+    }
+    let exec8 = Executor::new(ExecConfig {
+        threads: 1,
+        shards: 8,
+        label: "model_batch",
+        ..ExecConfig::default()
+    });
+    let _ = exec8.sharded_trig(&model8); // warm the resident tables, like a serve boot
+    let backend8 = BenchServe { model: &model8 };
+    let ns_exec8 = median_ns(samples, iters, || {
+        black_box(exec8.submit(&backend8, &group8));
+    }) / group8.len() as f64;
+    println!("executor_group_8000      {ns_exec8:>12.0} ns/op   ({iters} iters/sample)");
+    results.push((
+        "executor_group_8000".to_string(),
+        json!({
+            "median_ns": ns_exec8,
+            "iters": iters,
+            "n_entities": 8000,
+            "k": 10,
+            "group": group8.len(),
+            "shards": 8,
+            "pool_threads": 1,
+        }),
+    ));
+    let executor_overhead = ns_exec8 / ns_sharded8;
+
     // --- quantized scoring (ISSUE 8): the same 8-query group swept with
     // the trig table stored at F32 vs I16 fixed point. Both use the
     // amortized shape (hoisted trig + reusable output buffer) so the
@@ -519,6 +583,7 @@ fn main() {
     let speedup_p2 = ns_scalar_p2 / ns_vec_p2;
     println!("score_all speedup vs scalar: up {speedup:.2}x, p2 {speedup_p2:.2}x");
     println!("topk_sharded_8000 vs score_all_8000: {sharded_speedup:.2}x");
+    println!("executor_group_8000 vs topk_sharded_8000: {executor_overhead:.2}x envelope");
     println!("score_all_8000 f32 vs i16: {quantized_ratio:.2}x");
     println!("snapshot_boot_8000 vs tsv_boot_8000: {boot_speedup:.2}x");
 
@@ -534,7 +599,7 @@ fn main() {
     }
 
     let report = json!({
-        "schema": "halk-bench-hotpath/v6",
+        "schema": "halk-bench-hotpath/v7",
         "metrics_snapshot": metrics_path,
         "config": json!({
             "smoke": args.smoke,
@@ -556,6 +621,7 @@ fn main() {
             "eval_parallel_speedup": eval_speedup,
             "train_parallel_speedup": train_speedup,
             "topk_sharded_8000_speedup": sharded_speedup,
+            "executor_group_8000_overhead": executor_overhead,
             "score_all_8000_f32_vs_i16": quantized_ratio,
             "snapshot_boot_8000_speedup": boot_speedup,
         }),

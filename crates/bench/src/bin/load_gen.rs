@@ -516,7 +516,8 @@ fn main() -> ExitCode {
     // Skeleton-batching counters from the daemon itself (STATS frame), so
     // batching shows up as a measured number in the summary; 0s when the
     // daemon is unreachable or predates the STATS verb.
-    let (mut batched_groups, mut batch_p50, mut batch_p99) = (0u64, 0u64, 0u64);
+    let (mut batched_groups, mut batch_p50, mut batch_p99, mut batch_cap) =
+        (0u64, 0u64, 0u64, 0u64);
     if let Ok(mut c) = Client::connect(&*addr) {
         if let Ok(Response::Stats { pairs }) = c.stats() {
             for (k, v) in pairs {
@@ -524,6 +525,7 @@ fn main() -> ExitCode {
                     "batched_groups" => batched_groups = v,
                     "batch_size_p50" => batch_p50 = v,
                     "batch_size_p99" => batch_p99 = v,
+                    "batch_cap" => batch_cap = v,
                     _ => {}
                 }
             }
@@ -536,7 +538,7 @@ fn main() -> ExitCode {
          \"shed_deadline\":{},\"truncated\":{},\"server_errors\":{},\"io_errors\":{},\
          \"fault_probes\":{},\"structures\":{},\"p50_us\":{},\"p99_us\":{},\
          \"batched_groups\":{batched_groups},\"batch_size_p50\":{batch_p50},\
-         \"batch_size_p99\":{batch_p99}}}",
+         \"batch_size_p99\":{batch_p99},\"batch_cap\":{batch_cap}}}",
         tally.requests.load(Ordering::Relaxed),
         tally.ok.load(Ordering::Relaxed),
         tally.mismatches.load(Ordering::Relaxed),

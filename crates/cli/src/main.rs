@@ -52,6 +52,9 @@ enum CliError {
     Sparql(SparqlError),
     /// Any other IO failure, with the path involved.
     Io { path: String, error: io::Error },
+    /// A flag parsed but its value is out of range for this invocation
+    /// (e.g. `serve --shards 0`, or more shards than entities).
+    Flag { flag: &'static str, detail: String },
 }
 
 impl fmt::Display for CliError {
@@ -66,6 +69,7 @@ impl fmt::Display for CliError {
             CliError::Model { dir, error } => write!(f, "model directory {dir}: {error}"),
             CliError::Sparql(e) => write!(f, "bad SPARQL query: {e}"),
             CliError::Io { path, error } => write!(f, "{path}: {error}"),
+            CliError::Flag { flag, detail } => write!(f, "invalid --{flag}: {detail}"),
         }
     }
 }
@@ -94,7 +98,9 @@ impl CliError {
     /// Usage mistakes exit with 2, operational failures with 1.
     fn exit_code(&self) -> ExitCode {
         match self {
-            CliError::Args(_) | CliError::UnknownCommand(_) => ExitCode::from(2),
+            CliError::Args(_) | CliError::UnknownCommand(_) | CliError::Flag { .. } => {
+                ExitCode::from(2)
+            }
             _ => ExitCode::FAILURE,
         }
     }
@@ -185,7 +191,11 @@ USAGE:
              [--workers N] [--queue-cap N] [--max-sessions N]
              [--default-deadline-ms N] [--drain-ms N]
              [--shards N]              arc shards for sharded scoring
-                                      (0 = auto: the thread budget)
+                                      (omit for auto: the thread budget;
+                                      must be 1..=entity count)
+             [--batch-cap N]          most same-skeleton requests one
+                                      worker batches into a single kernel
+                                      pass (default 16; must be >= 1)
              [--snapshot FILE]        boot from a binary snapshot instead
                                       of --graph/--model (fast cold start)
              [--precision f32|i16|i8] trig table storage precision
@@ -526,17 +536,59 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let faults = args
         .optional("test-faults")
         .is_some_and(|v| v == "true" || v == "1");
-    // 0 (the default) keeps the engine's auto shard count (thread budget).
-    let shards: usize = args.parsed_or("shards", 0)?;
+    // Omitting --shards means auto (the thread budget); an explicit value
+    // must be a sane shard count for *this* graph — zero shards or more
+    // shards than entities is a configuration mistake, rejected up front
+    // with a typed error instead of panicking deep in the table build.
+    let shards_opt = match args.optional("shards") {
+        None => None,
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| ArgError::BadValue("shards", v.to_string()))?;
+            if n == 0 {
+                return Err(CliError::Flag {
+                    flag: "shards",
+                    detail: "must be at least 1 (omit the flag for auto)".to_string(),
+                });
+            }
+            if n > g.n_entities() {
+                return Err(CliError::Flag {
+                    flag: "shards",
+                    detail: format!("{n} shards exceed the graph's {} entities", g.n_entities()),
+                });
+            }
+            Some(n)
+        }
+    };
+    // Omitting --batch-cap keeps the engine default; an explicit 0 would
+    // silently disable batching-with-a-bound, so reject it.
+    let batch_cap = match args.optional("batch-cap") {
+        None => None,
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| ArgError::BadValue("batch-cap", v.to_string()))?;
+            if n == 0 {
+                return Err(CliError::Flag {
+                    flag: "batch-cap",
+                    detail: "must be at least 1".to_string(),
+                });
+            }
+            Some(n)
+        }
+    };
     let precision: Precision = args.parsed_or("precision", Precision::F32)?;
-    let shards_opt = (shards > 0).then_some(shards);
-    let engine = match (boot_trig, model) {
+    let mut engine = match (boot_trig, model) {
         (Some(trig), Some(m)) => {
             halk_serve::Engine::with_boot_table(g, m, &trig, shards_opt, precision)
         }
         (_, model) => halk_serve::Engine::with_options(g, model, shards_opt, precision),
     }
     .test_faults(faults);
+    if let Some(cap) = batch_cap {
+        engine = engine.batch_cap(cap);
+    }
     let boot = boot_start.elapsed();
     halk_obs::metrics::gauge("halk_serve_boot_ns").set(boot.as_nanos() as f64);
     eprintln!(
@@ -558,6 +610,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     manifest.config_int("workers", cfg.workers as u64);
     manifest.config_int("queue_cap", cfg.queue_cap as u64);
     manifest.config_int("shards", engine.n_shards() as u64);
+    manifest.config_int("batch_cap", engine.max_batch() as u64);
     manifest.config_str("precision", precision.name());
     manifest.set_int("boot_ns", boot.as_nanos() as u64);
     manifest.set_int("trig_resident_bytes", engine.trig_resident_bytes() as u64);
@@ -663,6 +716,45 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.to_string().contains("--model"), "{err}");
+    }
+
+    #[test]
+    fn serve_rejects_bad_shards_and_batch_cap_with_typed_errors() {
+        let g = tmp("g_serve_flags.tsv");
+        let gs = g.to_str().unwrap();
+        run_line(&format!("gen --dataset nell --out {gs} --seed 6")).unwrap();
+        // Explicit zero is a mistake, not auto (omit the flag for that).
+        let err = run_line(&format!("serve --graph {gs} --shards 0")).unwrap_err();
+        assert!(
+            matches!(err, CliError::Flag { flag: "shards", .. }),
+            "{err}"
+        );
+        assert_eq!(err.exit_code(), ExitCode::from(2));
+        // More shards than entities can't all be non-empty.
+        let n = tsv::load(&g).unwrap().n_entities();
+        let err = run_line(&format!("serve --graph {gs} --shards {}", n + 1)).unwrap_err();
+        assert!(
+            matches!(err, CliError::Flag { flag: "shards", .. }),
+            "{err}"
+        );
+        // A zero batch cap would mean "never batch anything, not even 1".
+        let err = run_line(&format!("serve --graph {gs} --batch-cap 0")).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CliError::Flag {
+                    flag: "batch-cap",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // Unparsable values stay ordinary arg errors.
+        let err = run_line(&format!("serve --graph {gs} --batch-cap lots")).unwrap_err();
+        assert!(
+            matches!(err, CliError::Args(ArgError::BadValue(..))),
+            "{err}"
+        );
     }
 
     #[test]

@@ -6,13 +6,15 @@
 //! are filtered out of every ranking. Metrics are averaged per structure, as
 //! in Tables I–IV.
 
-use crate::qmodel::QueryModel;
+use crate::exec::{ExecBackend, ExecConfig, Executor, ShapeKey};
+use crate::qmodel::{QueryModel, ScoreCache};
 use halk_kg::split::DatasetSplit;
-use halk_logic::plan::{split_set, PlanBindings, PlanCache};
+use halk_logic::plan::{split_set, PlanBindings};
 use halk_logic::{filtered_ranks, MetricsAccumulator, RankMetrics, Sampler, Structure};
 use halk_par::Pool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Evaluation result for one (model, structure) cell.
@@ -50,6 +52,57 @@ pub fn evaluate_structure<M: QueryModel + Sync + ?Sized>(
     evaluate_structure_pool(model, split, structure, n_queries, seed, Pool::auto())
 }
 
+/// The evaluation surface of the batch executor (DESIGN.md §15): a chunk
+/// of speculative candidates is one job list (same structure ⇒ one
+/// skeleton group), the group kernel answer-splits and scores queries in
+/// parallel on the executor's pool, and the reduce hook's outputs come
+/// back in attempt order so the caller's sequential rank folds see exactly
+/// the sequential stream.
+struct EvalBackend<'a, M: QueryModel + Sync + ?Sized> {
+    model: &'a M,
+    split: &'a DatasetSplit,
+    /// Executor-provisioned scoring cache (shared across structures).
+    cache: Option<Arc<ScoreCache>>,
+}
+
+impl<M: QueryModel + Sync + ?Sized> ExecBackend for EvalBackend<'_, M> {
+    type Job = halk_logic::Query;
+    type Out = Option<(Vec<usize>, Duration)>;
+
+    fn key_of(&self, exec: &Executor, job: &Self::Job) -> Option<ShapeKey> {
+        Some(ShapeKey::new(exec.shape_for(job)))
+    }
+
+    fn exec_group(
+        &self,
+        exec: &Executor,
+        key: Option<&ShapeKey>,
+        jobs: &[&Self::Job],
+    ) -> Vec<Self::Out> {
+        let shape = key.expect("eval jobs always carry a shape").shape();
+        // Queries vary wildly in answer-set size, so use the dynamic
+        // splitter; it returns results in attempt order regardless.
+        exec.pool().par_map_dyn(jobs, |query| {
+            let ans = split_set(
+                shape,
+                &PlanBindings::of(query),
+                &self.split.valid,
+                &self.split.test,
+            );
+            if ans.hard.is_empty() {
+                return None;
+            }
+            let t0 = std::time::Instant::now();
+            let scores = match &self.cache {
+                Some(c) => self.model.score_all_cached(query, c),
+                None => self.model.score_all(query),
+            };
+            let elapsed = t0.elapsed();
+            Some((filtered_ranks(&scores, &ans.hard, &ans.easy), elapsed))
+        })
+    }
+}
+
 /// [`evaluate_structure`] on an explicit pool. Bit-identical metrics at any
 /// thread count: candidate queries are sampled sequentially in fixed-size
 /// chunks (the RNG stream is the sequential one), answer-splitting and
@@ -66,17 +119,42 @@ pub fn evaluate_structure_pool<M: QueryModel + Sync + ?Sized>(
     seed: u64,
     pool: Pool,
 ) -> EvalCell {
+    let exec = Executor::new(ExecConfig {
+        threads: pool.threads(),
+        label: "eval_score",
+        ..ExecConfig::default()
+    });
+    evaluate_structure_exec(model, split, structure, n_queries, seed, &exec)
+}
+
+/// [`evaluate_structure_pool`] on an explicit [`Executor`] — the shared
+/// batch-executor entry every eval caller routes through (DESIGN.md §15).
+/// The executor owns the plan cache and the scoring cache; passing one
+/// executor across structures (as [`evaluate_table_pool`] does) builds the
+/// model's scoring tables once per parameter state instead of once per
+/// structure.
+pub fn evaluate_structure_exec<M: QueryModel + Sync + ?Sized>(
+    model: &M,
+    split: &DatasetSplit,
+    structure: Structure,
+    n_queries: usize,
+    seed: u64,
+    exec: &Executor,
+) -> EvalCell {
     let _span = halk_obs::span!("eval_structure", || structure.to_string());
-    let pool = pool.labeled("eval_score");
     let mut rng = StdRng::seed_from_u64(seed);
     let sampler = Sampler::new(&split.test);
-    // Build the model's scoring cache (e.g. entity-table trig) once per
-    // structure; every query then scores against it. The exact answer
-    // splits likewise share one compiled plan per structure skeleton.
+    // Resolve the model's scoring cache (e.g. entity-table trig) through
+    // the executor's cache layer: built at most once per parameter state,
+    // shared across structures. The exact answer splits likewise share one
+    // compiled plan per structure skeleton via the executor's plan cache.
     let setup_span = halk_obs::span!("eval_setup");
     let setup_start = std::time::Instant::now();
-    let cache = model.score_cache();
-    let plans = PlanCache::new();
+    let backend = EvalBackend {
+        model,
+        split,
+        cache: exec.score_cache(model),
+    };
     halk_obs::histogram!("halk_eval_setup_us").record(setup_start.elapsed().as_micros() as u64);
     drop(setup_span);
     let mut acc = MetricsAccumulator::new();
@@ -100,24 +178,11 @@ pub fn evaluate_structure_pool<M: QueryModel + Sync + ?Sized>(
             .record(sample_start.elapsed().as_micros() as u64);
         drop(sample_span);
 
-        // Queries vary wildly in answer-set size, so use the dynamic
-        // splitter; it returns results in attempt order regardless.
+        // One executor submission per chunk: same structure ⇒ one skeleton
+        // group, scored in parallel inside the group kernel.
         let score_span = halk_obs::span!("eval_score");
         let score_start = std::time::Instant::now();
-        let scored = pool.par_map_dyn(&candidates, |query| {
-            let shape = plans.shape_for(query);
-            let ans = split_set(&shape, &PlanBindings::of(query), &split.valid, &split.test);
-            if ans.hard.is_empty() {
-                return None;
-            }
-            let t0 = std::time::Instant::now();
-            let scores = match &cache {
-                Some(c) => model.score_all_cached(query, c),
-                None => model.score_all(query),
-            };
-            let elapsed = t0.elapsed();
-            Some((filtered_ranks(&scores, &ans.hard, &ans.easy), elapsed))
-        });
+        let scored = exec.submit(&backend, &candidates);
         halk_obs::histogram!("halk_eval_score_us").record(score_start.elapsed().as_micros() as u64);
         drop(score_span);
 
@@ -171,6 +236,11 @@ pub fn evaluate_table<M: QueryModel + Sync + ?Sized>(
 /// so they go through the dynamic splitter, and each cell evaluates
 /// sequentially inside to avoid nested oversubscription. Each cell is
 /// bit-identical to its sequential evaluation, so the whole row is too.
+///
+/// One [`Executor`] is shared by every cell, so the model's scoring cache
+/// (HaLk's entity-trig table) is built once for the whole row instead of
+/// once per structure — the cells only race for the first build, after
+/// which they share the same `Arc`'d table.
 pub fn evaluate_table_pool<M: QueryModel + Sync + ?Sized>(
     model: &M,
     split: &DatasetSplit,
@@ -179,14 +249,18 @@ pub fn evaluate_table_pool<M: QueryModel + Sync + ?Sized>(
     seed: u64,
     pool: Pool,
 ) -> Vec<(Structure, Option<EvalCell>)> {
-    let inner = Pool::new(1);
+    let exec = Executor::new(ExecConfig {
+        threads: 1,
+        label: "eval_score",
+        ..ExecConfig::default()
+    });
     let pool = pool.labeled("eval_table");
     pool.par_map_dyn(structures, |&s| {
         if model.supports(s) {
             (
                 s,
-                Some(evaluate_structure_pool(
-                    model, split, s, n_queries, seed, inner,
+                Some(evaluate_structure_exec(
+                    model, split, s, n_queries, seed, &exec,
                 )),
             )
         } else {

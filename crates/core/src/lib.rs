@@ -34,6 +34,7 @@
 pub mod arcvar;
 pub mod config;
 pub mod eval;
+pub mod exec;
 pub mod loss;
 pub mod lsh;
 pub mod model;
@@ -46,8 +47,10 @@ pub mod train;
 
 pub use config::{Ablation, DistanceMode, HalkConfig};
 pub use eval::{
-    evaluate_structure, evaluate_structure_pool, evaluate_table, evaluate_table_pool, EvalCell,
+    evaluate_structure, evaluate_structure_exec, evaluate_structure_pool, evaluate_table,
+    evaluate_table_pool, EvalCell,
 };
+pub use exec::{ExecBackend, ExecConfig, Executor, ShapeKey, DEFAULT_BATCH_CAP};
 pub use halk_par::Pool;
 pub use lsh::EntityLsh;
 pub use model::HalkModel;

@@ -25,6 +25,7 @@
 
 use crate::arcvar::{chord, clamp, g_squash, ArcVar};
 use crate::config::{Ablation, DistanceMode, HalkConfig};
+use crate::exec::{ExecConfig, Executor};
 use crate::scorer::{ArcScorer, EntityTrig, Precision, SCORE_SLICE};
 use crate::shard::{sharded_top_k, ArcShards, ShardedTopK, ShardedTrig};
 use halk_geometry::Arc;
@@ -77,13 +78,11 @@ pub struct HalkModel {
     /// bit-identical at any parallelism (DESIGN.md §9). Not part of the
     /// saved state — fresh shards are equivalent (see DESIGN.md §8).
     pub(crate) train_shards: Vec<(Tape, GradBuffer)>,
-    /// Worker threads for training/scoring: 0 = resolve via
-    /// [`halk_par::auto_threads`] (HALK_THREADS or the machine's
-    /// parallelism), 1 = strictly sequential.
-    threads: usize,
-    /// Compiled query plans, one per structure skeleton seen. Like
-    /// `train_shards`, derived state: not saved, rebuilt lazily after load.
-    plans: PlanCache,
+    /// The model's own batch executor (DESIGN.md §15): owns the worker
+    /// pool (0 threads = auto via [`halk_par::auto_threads`]), the
+    /// compiled-plan cache, and the scoring-cache layer. Like
+    /// `train_shards`, derived state: not saved, rebuilt after load.
+    exec: Executor,
 }
 
 impl HalkModel {
@@ -167,8 +166,17 @@ impl HalkModel {
             neg_center,
             neg_alpha,
             train_shards: Vec::new(),
-            threads: 0,
-            plans: PlanCache::new(),
+            exec: Executor::new(Self::exec_config()),
+        }
+    }
+
+    /// The model-internal executor configuration: auto-threaded, no group
+    /// cap (a training batch is one group), full-precision tables, and the
+    /// `model_batch` pool label every release has used.
+    fn exec_config() -> ExecConfig {
+        ExecConfig {
+            label: "model_batch",
+            ..ExecConfig::default()
         }
     }
 
@@ -176,19 +184,20 @@ impl HalkModel {
     /// (0 = auto). Purely a scheduling knob: results are bit-identical at
     /// any setting.
     pub fn set_threads(&mut self, threads: usize) {
-        self.threads = threads;
+        self.exec.set_threads(threads);
+    }
+
+    /// The model's batch executor: skeleton grouping, plan cache, scoring
+    /// caches and the pool, shared by training and scoring (DESIGN.md §15).
+    pub fn executor(&self) -> &Executor {
+        &self.exec
     }
 
     /// The fork-join pool this model schedules on. The label makes the
     /// model's batch/scoring work distinguishable in pool-stats metrics
     /// (`halk_pool_*_model_batch`).
     pub fn pool(&self) -> Pool {
-        if self.threads == 0 {
-            Pool::auto()
-        } else {
-            Pool::new(self.threads)
-        }
-        .labeled("model_batch")
+        self.exec.pool()
     }
 
     /// Number of entities this model embeds.
@@ -220,9 +229,10 @@ impl HalkModel {
     // -------------------------------------------------------------- plans
 
     /// The model's compiled-plan cache: one [`PlanShape`] per structure
-    /// skeleton, compiled on first sight and shared afterwards.
+    /// skeleton, compiled on first sight and shared afterwards (owned by
+    /// the model's [`Executor`]).
     pub fn plan_cache(&self) -> &PlanCache {
-        &self.plans
+        self.exec.plan_cache()
     }
 
     /// Binds one grounded query against a compiled shape: extracts the
@@ -624,7 +634,7 @@ impl HalkModel {
     /// rewrite happened once at compile time; shared subtrees embed once
     /// for all branches.
     pub fn embed_query(&self, query: &Query) -> Vec<Vec<Arc>> {
-        let shape = self.plans.shape_for(query);
+        let shape = self.exec.shape_for(query);
         let (bindings, masks) = self.bind(&shape, query);
         let mut tape = Tape::new();
         let roots = self.embed_plan(
@@ -1016,8 +1026,7 @@ impl HalkModel {
             neg_center,
             neg_alpha,
             train_shards: Vec::new(),
-            threads: 0,
-            plans: PlanCache::new(),
+            exec: Executor::new(Self::exec_config()),
         })
     }
 }

@@ -28,6 +28,13 @@
 //! thread count, wall/phase timings and final metrics, written as
 //! `results/<run>/manifest.json` (see DESIGN.md §11 for the schema).
 //!
+//! The batch executor (`halk_core::exec`, DESIGN.md §15) is the one choke
+//! point every surface's group lifecycle passes through, so its
+//! instrumentation — the `exec_group` span, `halk_exec_jobs_total` /
+//! `halk_exec_groups_total` / `halk_exec_group_size` and the cache
+//! build/hit counters — covers training, evaluation and serving with a
+//! single set of names.
+//!
 //! [`AtomicBool`]: std::sync::atomic::AtomicBool
 
 pub mod deadline;

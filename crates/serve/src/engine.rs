@@ -27,28 +27,31 @@
 
 use crate::protocol::{AskEngine, ErrorKind, Response};
 use halk_core::shard::sharded_top_k;
-use halk_core::{ArcShards, EntityTrig, HalkModel, Pool, Precision, ShardedTrig};
+use halk_core::{
+    ArcShards, EntityTrig, ExecBackend, ExecConfig, Executor, HalkModel, Pool, Precision, ShapeKey,
+    ShardedTrig, DEFAULT_BATCH_CAP,
+};
 use halk_kg::Graph;
 use halk_logic::plan::PlanShape;
-use halk_logic::plan::{execute_set_batch, execute_set_deadline, PlanBindings, PlanCache};
+use halk_logic::plan::{execute_set_batch, PlanBindings};
 use halk_logic::Query;
 use halk_obs::Deadline;
 use std::sync::Arc;
 
 /// Immutable serving state, shared across worker threads.
+///
+/// All the batching machinery — the skeleton-keyed plan cache, the
+/// resident shard-local trig tables, the group-size cap — lives in the
+/// engine's [`Executor`]; the engine itself keeps only the graph, the
+/// model, and the serve-specific reduce hooks ([`ServeBackend`]'s exact
+/// set execution, sharded top-k sweeps, and fault probes).
 pub struct Engine {
     graph: Graph,
     model: Option<HalkModel>,
-    /// Shard-local half-angle trig of the model's entity table.
-    sharded: Option<ShardedTrig>,
-    /// Arc-shard count for the scoring sweep.
-    shards: usize,
-    /// Storage precision of the shard-local trig tables (the serving-side
-    /// memory-diet knob; `F32` is the bit-exact default).
-    precision: Precision,
-    /// Skeleton-keyed plan cache shared by both engines (bounded — see
-    /// `halk_logic::plan::PlanCache`).
-    plans: PlanCache,
+    /// The skeleton-keyed batch executor: owns the plan cache, the
+    /// resident [`ShardedTrig`] tables (shard count + precision knobs),
+    /// and the batch-drain cap.
+    exec: Executor,
     test_faults: bool,
 }
 
@@ -83,10 +86,57 @@ impl PreparedAsk {
 
 /// One member of a same-skeleton batch: a prepared request plus its
 /// per-request answer budget and deadline.
+#[derive(Clone, Copy)]
 pub struct BatchItem<'a> {
     pub prepared: &'a PreparedAsk,
     pub top: usize,
     pub deadline: &'a Deadline,
+}
+
+/// The serve surface of the executor: keys jobs by shape pointer with the
+/// engine discriminant as the lane (exact and halk requests for the same
+/// skeleton never share a kernel), and reduces each group to protocol
+/// responses. Fault probes are keyless, so the executor runs them alone —
+/// inside the worker's `catch_unwind`, where their panics belong.
+struct ServeBackend<'a> {
+    engine: &'a Engine,
+}
+
+impl<'a> ExecBackend for ServeBackend<'a> {
+    type Job = BatchItem<'a>;
+    type Out = Response;
+
+    fn key_of(&self, _exec: &Executor, job: &BatchItem<'a>) -> Option<ShapeKey> {
+        job.prepared
+            .batch_key()
+            .map(|(shape, engine)| ShapeKey::with_lane(Arc::clone(shape), engine as u32))
+    }
+
+    fn exec_group(
+        &self,
+        _exec: &Executor,
+        key: Option<&ShapeKey>,
+        jobs: &[&BatchItem<'a>],
+    ) -> Vec<Response> {
+        let items: Vec<BatchItem<'a>> = jobs.iter().map(|&&it| it).collect();
+        let Some(key) = key else {
+            return items
+                .iter()
+                .map(|it| match &it.prepared.kind {
+                    PreparedKind::Fault(s) => self.engine.run_fault(s, it.deadline),
+                    PreparedKind::Query { .. } => unreachable!("query jobs always carry a key"),
+                })
+                .collect();
+        };
+        let (_, engine) = items[0]
+            .prepared
+            .batch_key()
+            .expect("keyed jobs are queries");
+        match engine {
+            AskEngine::Exact => self.engine.execute_exact_group(key.shape(), &items),
+            AskEngine::Halk => self.engine.execute_halk_group(key.shape(), &items),
+        }
+    }
 }
 
 impl Engine {
@@ -110,14 +160,24 @@ impl Engine {
         let mut engine = Engine {
             graph,
             model,
-            sharded: None,
-            shards,
-            precision,
-            plans: PlanCache::new(),
+            exec: Executor::new(Engine::exec_config(shards, precision)),
             test_faults: false,
         };
         engine.rebuild_sharded();
         engine
+    }
+
+    /// The serving executor profile: the same `model_batch` pool region
+    /// the model's own executor uses, capped at [`DEFAULT_BATCH_CAP`]
+    /// per group (`halk serve --batch-cap` overrides).
+    fn exec_config(shards: usize, precision: Precision) -> ExecConfig {
+        ExecConfig {
+            label: "model_batch",
+            batch_cap: DEFAULT_BATCH_CAP,
+            shards,
+            precision,
+            ..ExecConfig::default()
+        }
     }
 
     /// [`Engine::with_options`] booting from a precomputed full-precision
@@ -139,24 +199,24 @@ impl Engine {
             "boot trig/model entity count mismatch"
         );
         let shards = shards.unwrap_or_else(|| Pool::auto().threads()).max(1);
-        let mut engine = Engine {
+        let version = model.param_store().steps_taken();
+        let engine = Engine {
             graph,
             model: Some(model),
-            sharded: None,
-            shards,
-            precision,
-            plans: PlanCache::new(),
+            exec: Executor::new(Engine::exec_config(shards, precision)),
             test_faults: false,
         };
         let parts = ArcShards::new(trig.n_entities(), shards);
-        engine.sharded = Some(ShardedTrig::from_table(trig, &parts, precision));
+        engine
+            .exec
+            .install_sharded(version, ShardedTrig::from_table(trig, &parts, precision));
         engine.publish_trig_gauges();
         engine
     }
 
     /// Overrides the arc-shard count, rebuilding the shard-local trig.
     pub fn shards(mut self, n: usize) -> Engine {
-        self.shards = n.max(1);
+        self.exec.set_shards(n.max(1));
         self.rebuild_sharded();
         self
     }
@@ -166,9 +226,22 @@ impl Engine {
     /// bit-identical to every pre-quantization release; `I16`/`I8` shrink
     /// the resident working set by 2×/4× and preserve ranks, not bits.
     pub fn precision(mut self, p: Precision) -> Engine {
-        self.precision = p;
+        self.exec.set_precision(p);
         self.rebuild_sharded();
         self
+    }
+
+    /// Overrides the batch-drain cap: the most same-skeleton jobs one
+    /// worker groups into a single kernel pass (`halk serve --batch-cap`;
+    /// defaults to [`DEFAULT_BATCH_CAP`]).
+    pub fn batch_cap(mut self, cap: usize) -> Engine {
+        self.exec.set_batch_cap(cap.max(1));
+        self
+    }
+
+    /// The batch-drain cap the workers group up to.
+    pub fn max_batch(&self) -> usize {
+        self.exec.batch_cap()
     }
 
     /// Warms the shard-local trig at the configured shard count and
@@ -176,21 +249,21 @@ impl Engine {
     /// construction — request 1 scores through exactly the same tables as
     /// request 100.
     fn rebuild_sharded(&mut self) {
-        self.sharded = self
-            .model
-            .as_ref()
-            .map(|m| m.entity_shards_with(self.shards, self.precision));
+        self.exec.invalidate();
+        if let Some(m) = &self.model {
+            let _ = self.exec.sharded_trig(m);
+        }
         self.publish_trig_gauges();
     }
 
     /// Publishes the resident-bytes gauges for the current shard tables.
     fn publish_trig_gauges(&self) {
-        if let Some(sharded) = &self.sharded {
+        if let Some(sharded) = self.exec.resident_sharded() {
             let total = sharded.resident_bytes();
             halk_obs::metrics::gauge("halk_serve_trig_resident_bytes").set(total as f64);
             halk_obs::metrics::gauge(&format!(
                 "halk_serve_trig_resident_bytes_{}",
-                self.precision.name()
+                self.exec.precision().name()
             ))
             .set(total as f64);
             for (s, bytes) in self.trig_shard_bytes().into_iter().enumerate() {
@@ -202,23 +275,25 @@ impl Engine {
 
     /// The configured arc-shard count.
     pub fn n_shards(&self) -> usize {
-        self.shards
+        self.exec.shards()
     }
 
     /// The trig storage precision the engine scores at.
     pub fn scoring_precision(&self) -> Precision {
-        self.precision
+        self.exec.precision()
     }
 
     /// Total resident bytes of the shard-local trig tables (0 without a
     /// model).
     pub fn trig_resident_bytes(&self) -> usize {
-        self.sharded.as_ref().map_or(0, ShardedTrig::resident_bytes)
+        self.exec
+            .resident_sharded()
+            .map_or(0, |s| s.resident_bytes())
     }
 
     /// Resident trig bytes per shard (empty without a model).
     pub fn trig_shard_bytes(&self) -> Vec<usize> {
-        let Some(sharded) = &self.sharded else {
+        let Some(sharded) = self.exec.resident_sharded() else {
             return Vec::new();
         };
         (0..sharded.n_shards())
@@ -268,7 +343,7 @@ impl Engine {
                 detail,
             });
         }
-        let shape = self.plans.shape_for(&query);
+        let shape = self.exec.shape_for(&query);
         Ok(PreparedAsk {
             kind: PreparedKind::Query {
                 engine,
@@ -288,50 +363,24 @@ impl Engine {
         top: usize,
         deadline: &Deadline,
     ) -> Response {
-        match &prepared.kind {
-            PreparedKind::Fault(s) => self.run_fault(s, deadline),
-            PreparedKind::Query {
-                engine,
-                query,
-                shape,
-            } => match engine {
-                AskEngine::Exact => self.execute_exact(shape, query, top, deadline),
-                AskEngine::Halk => self
-                    .execute_halk_group(
-                        shape,
-                        &[BatchItem {
-                            prepared,
-                            top,
-                            deadline,
-                        }],
-                    )
-                    .pop()
-                    .expect("one item in, one response out"),
-            },
-        }
+        self.execute_batch(&[BatchItem {
+            prepared,
+            top,
+            deadline,
+        }])
+        .pop()
+        .expect("one item in, one response out")
     }
 
-    /// Answers a same-skeleton *group* in one kernel pass per shard: every
-    /// item must share the first item's [`PreparedAsk::batch_key`] (the
-    /// worker's drain guarantees this). Response `i` is bit-identical to
-    /// `execute_prepared(items[i], ...)` run alone.
-    pub fn execute_batch(&self, items: &[BatchItem]) -> Vec<Response> {
-        let Some(first) = items.first() else {
-            return Vec::new();
-        };
-        let (shape, engine) = first
-            .prepared
-            .batch_key()
-            .expect("fault probes are never batched");
-        debug_assert!(items.iter().all(|it| {
-            it.prepared
-                .batch_key()
-                .is_some_and(|(s, e)| Arc::ptr_eq(s, shape) && e == engine)
-        }));
-        match engine {
-            AskEngine::Exact => self.execute_exact_group(shape, items),
-            AskEngine::Halk => self.execute_halk_group(shape, items),
-        }
+    /// Answers a prepared group through the executor: jobs are keyed by
+    /// shape pointer + engine lane, partitioned into same-key kernels
+    /// (capped at [`Engine::max_batch`]), and the responses scatter back
+    /// to submission order. Response `i` is bit-identical to
+    /// `execute_prepared(items[i], ...)` run alone; the worker's drain
+    /// usually hands over an already-homogeneous group, in which case this
+    /// is one kernel pass.
+    pub fn execute_batch<'a>(&'a self, items: &[BatchItem<'a>]) -> Vec<Response> {
+        self.exec.submit(&ServeBackend { engine: self }, items)
     }
 
     /// One-shot convenience (tests, CLI parity): prepare + execute.
@@ -360,27 +409,6 @@ impl Engine {
             return Err(format!("relation r:{} out of range (n={r})", rel.0));
         }
         Ok(())
-    }
-
-    fn execute_exact(
-        &self,
-        shape: &PlanShape,
-        query: &Query,
-        top: usize,
-        deadline: &Deadline,
-    ) -> Response {
-        match execute_set_deadline(shape, &PlanBindings::of(query), &self.graph, deadline) {
-            Ok(ans) => Response::Answers {
-                total: ans.len(),
-                ids: ans.iter().take(top).map(|e| e.0).collect(),
-            },
-            // Exact sets have no useful partial answer; degrade to a
-            // typed deadline error instead of a wrong set.
-            Err(halk_logic::plan::DeadlineExpired) => Response::Error {
-                kind: ErrorKind::Deadline,
-                detail: "deadline expired during plan execution".to_string(),
-            },
-        }
     }
 
     /// Exact engine over a same-shape group: one slot-table allocation
@@ -418,13 +446,14 @@ impl Engine {
     /// slice boundaries; `scored_rows` is the union of per-shard prefixes
     /// and the hits are an exact top-k of that scored subset.
     fn execute_halk_group(&self, shape: &PlanShape, items: &[BatchItem]) -> Vec<Response> {
-        let (Some(model), Some(sharded)) = (&self.model, &self.sharded) else {
+        let Some(model) = &self.model else {
             let err = || Response::Error {
                 kind: ErrorKind::NoModel,
                 detail: "daemon started without --model".to_string(),
             };
             return items.iter().map(|_| err()).collect();
         };
+        let sharded = self.exec.sharded_trig(model);
         let queries: Vec<&Query> = items
             .iter()
             .map(|it| match &it.prepared.kind {
@@ -432,11 +461,11 @@ impl Engine {
                 PreparedKind::Fault(_) => unreachable!("fault probes are never batched"),
             })
             .collect();
-        let scorers = model.scorers_for_shape(shape, &queries);
+        let scorers = self.exec.scorers_for_group(model, shape, &queries);
         let ks: Vec<usize> = items.iter().map(|it| it.top).collect();
         let deadlines: Vec<&Deadline> = items.iter().map(|it| it.deadline).collect();
         let n = sharded.n_entities();
-        sharded_top_k(&model.pool(), sharded, &scorers, &ks, &deadlines)
+        sharded_top_k(&self.exec.pool(), &sharded, &scorers, &ks, &deadlines)
             .into_iter()
             .map(|(hits, rows)| Response::Scores {
                 truncated: rows < n,

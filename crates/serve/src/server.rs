@@ -137,9 +137,6 @@ struct Job {
     reply: mpsc::Sender<Response>,
 }
 
-/// Most jobs a worker groups into one same-skeleton kernel pass.
-const MAX_BATCH: usize = 16;
-
 /// State shared by the acceptor, sessions and workers.
 struct Shared {
     engine: Engine,
@@ -447,6 +444,7 @@ fn stats_response(engine: &Engine) -> Response {
         ),
         ("batch_size_p50".to_string(), batch.quantile(0.5)),
         ("batch_size_p99".to_string(), batch.quantile(0.99)),
+        ("batch_cap".to_string(), engine.max_batch() as u64),
         (
             "boot_ns".to_string(),
             halk_obs::metrics::gauge("halk_serve_boot_ns").get() as u64,
@@ -595,7 +593,7 @@ fn worker_loop(shared: &Arc<Shared>) {
         if let Some((shape, eng)) = key {
             let mut q = shared.queue.lock().expect("queue");
             let mut i = 0;
-            while i < q.len() && group.len() < MAX_BATCH {
+            while i < q.len() && group.len() < shared.engine.max_batch() {
                 let matches = q[i]
                     .prepared
                     .batch_key()

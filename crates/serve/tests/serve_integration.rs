@@ -381,3 +381,82 @@ fn requests_during_drain_get_typed_shutdown() {
     }
     server.join();
 }
+
+#[test]
+fn batch_cap_is_configurable_and_surfaced_in_stats() {
+    let g = small_graph(58);
+    let model = trained_model(&g);
+
+    // Five same-skeleton asks, as in the batching test above, but with the
+    // drain cap squeezed to 2: the worker (and the executor beneath it)
+    // may group at most two jobs per kernel pass, and every answer must
+    // still be bit-identical to the one-shot reference.
+    let mut asks = Vec::new();
+    for t in g.triples().iter().take(64) {
+        let sparql = format!("SELECT ?x WHERE {{ e:{} r:{} ?x . }}", t.h.0, t.r.0);
+        if asks.iter().any(|(s, _)| s == &sparql) {
+            continue;
+        }
+        let query = halk_sparql::sparql_to_query(&sparql).unwrap();
+        asks.push((sparql, model.score_all(&query)));
+        if asks.len() == 5 {
+            break;
+        }
+    }
+    let engine = Engine::new(g, Some(model)).batch_cap(2).test_faults(true);
+    assert_eq!(engine.max_batch(), 2);
+    let cfg = ServeConfig {
+        workers: 1,
+        queue_cap: 16,
+        ..fast_cfg()
+    };
+    let (server, addr) = start(engine, cfg);
+
+    // Stack the asks behind a sleeper so the drain actually has a queue.
+    let addr_busy = addr.clone();
+    let busy = std::thread::spawn(move || {
+        let mut c = Client::connect(&addr_busy).unwrap();
+        c.ask(AskEngine::Exact, 1, 5_000, "__sleep__:300").unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    let handles: Vec<_> = asks
+        .iter()
+        .map(|(sparql, _)| {
+            let addr = addr.clone();
+            let sparql = sparql.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr).unwrap();
+                c.ask(AskEngine::Halk, 10, 0, &sparql).unwrap()
+            })
+        })
+        .collect();
+    for (h, (sparql, scores_ref)) in handles.into_iter().zip(&asks) {
+        let top_ref = top_k_indices(scores_ref, 10);
+        match h.join().unwrap() {
+            Response::Scores { hits, .. } => {
+                let got: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+                assert_eq!(
+                    got, top_ref,
+                    "{sparql}: capped batches must stay bit-identical"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    assert_eq!(busy.join().unwrap(), Response::Pong);
+
+    let mut c = Client::connect(&addr).unwrap();
+    match c.stats().unwrap() {
+        Response::Stats { pairs } => {
+            let cap = pairs
+                .iter()
+                .find(|(n, _)| n == "batch_cap")
+                .map(|&(_, v)| v)
+                .expect("STATS must surface the batch cap");
+            assert_eq!(cap, 2);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    server.join();
+}
