@@ -5,7 +5,7 @@
 //! count vs one worker, and the query-plan compiler (compile-from-scratch
 //! vs a warm-cache embed) — at fixed seeds, and writes `BENCH_hotpath.json`
 //! at the repo root so future changes can be diffed with `--compare`
-//! (schema `halk-bench-hotpath/v7`; `--compare` still reads v1-v6
+//! (schema `halk-bench-hotpath/v8`; `--compare` still reads v1-v7
 //! baselines, comparing the shared keys). The v4 schema added a
 //! `tracing_overhead_disabled` entry (one `span!` open+close with no trace
 //! file configured — must stay at a few ns) and a `metrics_snapshot` field
@@ -31,7 +31,11 @@
 //! the same 8-query group submitted through the skeleton-keyed batch
 //! executor (`halk_core::exec`, ISSUE 9) with a serve-style backend, so
 //! `--compare` gates the executor's envelope (keying, grouping, obs,
-//! scatter) on top of the raw batched kernel it wraps.
+//! scatter) on top of the raw batched kernel it wraps. The v8 schema adds
+//! the windowed-histogram record pair (ISSUE 10): `windowed_record_disarmed`
+//! (the default for batch binaries — one relaxed load + branch, same
+//! contract as `tracing_overhead_disabled`) and `windowed_record_armed`
+//! (what a live daemon pays per latency sample).
 //!
 //! Usage:
 //!   bench_hotpath [--smoke] [--out <path>] [--compare <old.json>]
@@ -217,6 +221,21 @@ fn main() {
         black_box(&guard);
     });
     record("tracing_overhead_disabled", ns_span, span_iters);
+
+    // --- windowed-histogram record path (PR 10). Disarmed (the default
+    // for every batch binary) must cost one relaxed load + branch, the
+    // same contract as disabled tracing; the unconditional path is what a
+    // live daemon pays per latency sample — an Acquire slot-index load
+    // plus two relaxed fetch_adds.
+    let wh = halk_obs::window::histogram("bench_windowed_record_us");
+    let ns_disarmed = median_ns(samples, span_iters, || {
+        wh.record(black_box(137));
+    });
+    record("windowed_record_disarmed", ns_disarmed, span_iters);
+    let ns_armed = median_ns(samples, span_iters, || {
+        wh.record_unconditional(black_box(137));
+    });
+    record("windowed_record_armed", ns_armed, span_iters);
 
     // --- one optimizer step (embed + loss + backward + Adam), pooled tape.
     let batch = batch_for(&g, Structure::Pi, cfg.batch_size, 2);
@@ -599,7 +618,7 @@ fn main() {
     }
 
     let report = json!({
-        "schema": "halk-bench-hotpath/v7",
+        "schema": "halk-bench-hotpath/v8",
         "metrics_snapshot": metrics_path,
         "config": json!({
             "smoke": args.smoke,

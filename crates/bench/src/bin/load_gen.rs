@@ -513,11 +513,15 @@ fn main() -> ExitCode {
         let _ = h.join();
     }
 
-    // Skeleton-batching counters from the daemon itself (STATS frame), so
-    // batching shows up as a measured number in the summary; 0s when the
-    // daemon is unreachable or predates the STATS verb.
+    // Daemon-side counters from the STATS frame, so batching and the
+    // server's own rolling latency/queue view show up as measured numbers
+    // in the summary; 0s when the daemon is unreachable or predates the
+    // STATS verb. `serve_p50_us`/`serve_p99_us` are the daemon's rolling
+    // (~60 s window) quantiles — compare them against the client-observed
+    // `p50_us`/`p99_us` to see how much the wire and the queue add.
     let (mut batched_groups, mut batch_p50, mut batch_p99, mut batch_cap) =
         (0u64, 0u64, 0u64, 0u64);
+    let (mut serve_p50, mut serve_p99, mut queue_depth) = (0u64, 0u64, 0u64);
     if let Ok(mut c) = Client::connect(&*addr) {
         if let Ok(Response::Stats { pairs }) = c.stats() {
             for (k, v) in pairs {
@@ -526,6 +530,9 @@ fn main() -> ExitCode {
                     "batch_size_p50" => batch_p50 = v,
                     "batch_size_p99" => batch_p99 = v,
                     "batch_cap" => batch_cap = v,
+                    "latency_p50_us" => serve_p50 = v,
+                    "latency_p99_us" => serve_p99 = v,
+                    "queue_depth" => queue_depth = v,
                     _ => {}
                 }
             }
@@ -538,7 +545,9 @@ fn main() -> ExitCode {
          \"shed_deadline\":{},\"truncated\":{},\"server_errors\":{},\"io_errors\":{},\
          \"fault_probes\":{},\"structures\":{},\"p50_us\":{},\"p99_us\":{},\
          \"batched_groups\":{batched_groups},\"batch_size_p50\":{batch_p50},\
-         \"batch_size_p99\":{batch_p99},\"batch_cap\":{batch_cap}}}",
+         \"batch_size_p99\":{batch_p99},\"batch_cap\":{batch_cap},\
+         \"serve_p50_us\":{serve_p50},\"serve_p99_us\":{serve_p99},\
+         \"queue_depth\":{queue_depth}}}",
         tally.requests.load(Ordering::Relaxed),
         tally.ok.load(Ordering::Relaxed),
         tally.mismatches.load(Ordering::Relaxed),

@@ -4,24 +4,33 @@
 //!
 //! ```text
 //! trace_check [TRACE.jsonl ...] [--manifest FILE.json ...] \
-//!             [--coverage SPAN:FRACTION ...]
+//!             [--coverage SPAN:FRACTION ...] [--reqids] [--chrome OUT.json]
 //! ```
 //!
 //! Each positional argument is a JSONL trace checked with
 //! [`halk_bench::trace_check::check_trace`]; each `--coverage name:frac`
 //! additionally asserts that spans named `name` have direct-child spans
 //! covering at least `frac` (0..1) of their duration in every given trace.
+//! `--reqids` asserts request-id continuity (every referenced id was
+//! minted by a `req_accept`; every `slow_query` resolves to a complete
+//! session → queue → executor chain). `--chrome OUT.json` converts each
+//! trace to Chrome `about:tracing` JSON (for a single trace, written to
+//! OUT.json; with several, OUT.json gets a numeric suffix per trace).
 //! Each `--manifest` file is checked against the DESIGN.md §11 schema.
 //! Exits nonzero on the first failure. Used by `scripts/ci.sh` to gate the
 //! observability smoke run.
 
-use halk_bench::trace_check::{check_coverage, check_manifest, check_trace};
+use halk_bench::trace_check::{
+    check_coverage, check_manifest, check_reqids, check_trace, to_chrome,
+};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut traces: Vec<String> = Vec::new();
     let mut manifests: Vec<String> = Vec::new();
     let mut coverages: Vec<(String, f64)> = Vec::new();
+    let mut reqids = false;
+    let mut chrome_out: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -41,8 +50,13 @@ fn main() -> ExitCode {
                     _ => return usage("coverage fraction must be in 0..=1"),
                 }
             }
+            "--reqids" => reqids = true,
+            "--chrome" => match it.next() {
+                Some(p) => chrome_out = Some(p),
+                None => return usage("--chrome needs an output path"),
+            },
             "--help" | "-h" => {
-                println!("usage: trace_check [TRACE.jsonl ...] [--manifest FILE ...] [--coverage SPAN:FRACTION ...]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             _ => traces.push(a),
@@ -85,6 +99,36 @@ fn main() -> ExitCode {
                 }
             }
         }
+        if reqids {
+            match check_reqids(&text) {
+                Ok(r) => println!(
+                    "trace_check: {path}: reqids ok ({} accepted, {} referencing events, \
+                     {} slow queries resolved)",
+                    r.accepted, r.referencing_events, r.slow_queries
+                ),
+                Err(e) => {
+                    eprintln!("trace_check: {path}: REQID FAILURE: {e}");
+                    failed = true;
+                }
+            }
+        }
+        if let Some(out) = &chrome_out {
+            // One trace writes to OUT verbatim; several get -<index>.
+            let dest = if traces.len() == 1 {
+                out.clone()
+            } else {
+                let i = traces.iter().position(|t| t == path).unwrap_or(0);
+                format!("{out}.{i}")
+            };
+            match to_chrome(&text).and_then(|j| std::fs::write(&dest, j).map_err(|e| e.to_string()))
+            {
+                Ok(()) => println!("trace_check: {path}: chrome trace written to {dest}"),
+                Err(e) => {
+                    eprintln!("trace_check: {path}: CHROME EXPORT FAILURE: {e}");
+                    failed = true;
+                }
+            }
+        }
     }
     for path in &manifests {
         match std::fs::read_to_string(path)
@@ -105,10 +149,11 @@ fn main() -> ExitCode {
     }
 }
 
+const USAGE: &str = "usage: trace_check [TRACE.jsonl ...] [--manifest FILE ...] \
+     [--coverage SPAN:FRACTION ...] [--reqids] [--chrome OUT.json]";
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("trace_check: {msg}");
-    eprintln!(
-        "usage: trace_check [TRACE.jsonl ...] [--manifest FILE ...] [--coverage SPAN:FRACTION ...]"
-    );
+    eprintln!("{USAGE}");
     ExitCode::FAILURE
 }

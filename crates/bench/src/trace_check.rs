@@ -147,6 +147,154 @@ pub fn check_coverage(text: &str, parent: &str, min_fraction: f64) -> Result<usi
     Ok(checked)
 }
 
+/// Summary of a request-id continuity check ([`check_reqids`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReqIdReport {
+    /// Distinct request ids minted at session accept (`req_accept`).
+    pub accepted: usize,
+    /// Events (other than the accept itself) that referenced a req id.
+    pub referencing_events: usize,
+    /// `slow_query` instants validated end-to-end.
+    pub slow_queries: usize,
+}
+
+/// Extracts the ids of a `req=1,5,9` token from a span's detail string.
+/// Absent token (or `detail` itself) yields an empty list — events
+/// without request identity are simply not part of the continuity check.
+fn req_ids_of(detail: &str) -> Result<Vec<u64>, String> {
+    let Some(tok) = detail
+        .split_ascii_whitespace()
+        .find_map(|t| t.strip_prefix("req="))
+    else {
+        return Ok(Vec::new());
+    };
+    tok.split(',')
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|_| format!("malformed req id {s:?} in detail {detail:?}"))
+        })
+        .collect()
+}
+
+/// Checks request-id continuity across a daemon trace: every request id
+/// referenced anywhere (executor groups, shard sweeps, queue events,
+/// slow-query lines) must have been minted by a `req_accept` instant, and
+/// every `slow_query` line must resolve to a *complete* chain — accepted,
+/// enqueued, and executed in an `exec_group` span. Call only on a trace
+/// that already passed [`check_trace`].
+pub fn check_reqids(text: &str) -> Result<ReqIdReport, String> {
+    use std::collections::HashSet;
+    let mut accepted: HashSet<u64> = HashSet::new();
+    let mut enqueued: HashSet<u64> = HashSet::new();
+    let mut executed: HashSet<u64> = HashSet::new();
+    let mut slow: Vec<(usize, u64)> = Vec::new();
+    let mut referencing_events = 0usize;
+
+    // Pass 1: collect what happened to each id, keyed by event name.
+    let mut parsed: Vec<(usize, String, Vec<u64>)> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        let v: Value =
+            serde_json::from_str(line).map_err(|e| format!("line {n}: invalid JSON ({e:?})"))?;
+        let name = field_str(&v, "name", n)?.to_string();
+        let Some(detail) = v.get("detail").and_then(Value::as_str) else {
+            continue;
+        };
+        let ids = req_ids_of(detail).map_err(|e| format!("line {n}: {e}"))?;
+        if ids.is_empty() {
+            continue;
+        }
+        match name.as_str() {
+            "req_accept" => accepted.extend(&ids),
+            "req_enqueue" => enqueued.extend(&ids),
+            "exec_group" => executed.extend(&ids),
+            "slow_query" => slow.extend(ids.iter().map(|&id| (n, id))),
+            _ => {}
+        }
+        parsed.push((n, name, ids));
+    }
+
+    // Pass 2: every referenced id traces back to an accept.
+    for (n, name, ids) in &parsed {
+        if name == "req_accept" {
+            continue;
+        }
+        referencing_events += 1;
+        for id in ids {
+            if !accepted.contains(id) {
+                return Err(format!(
+                    "line {n}: {name} references req {id} with no matching req_accept"
+                ));
+            }
+        }
+    }
+    // Slow-query lines additionally need the full session → queue →
+    // executor chain: a slow report about a request nobody queued or
+    // executed would mean the id plumbing is broken somewhere.
+    for (n, id) in &slow {
+        if !enqueued.contains(id) {
+            return Err(format!(
+                "line {n}: slow_query req {id} was never enqueued (no req_enqueue)"
+            ));
+        }
+        if !executed.contains(id) {
+            return Err(format!(
+                "line {n}: slow_query req {id} appears in no exec_group span"
+            ));
+        }
+    }
+    Ok(ReqIdReport {
+        accepted: accepted.len(),
+        referencing_events,
+        slow_queries: slow.len(),
+    })
+}
+
+/// Converts a `halk-obs` JSONL trace into Chrome `about:tracing` /
+/// Perfetto JSON. Spans become `B`/`E` duration events and instants become
+/// `i` events; thread ordinals carry over as tracks under one process.
+/// Call only on a trace that already passed [`check_trace`].
+pub fn to_chrome(text: &str) -> Result<String, String> {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for (i, line) in text.lines().enumerate() {
+        let n = i + 1;
+        let v: Value =
+            serde_json::from_str(line).map_err(|e| format!("line {n}: invalid JSON ({e:?})"))?;
+        let ev = field_str(&v, "ev", n)?;
+        let name = field_str(&v, "name", n)?;
+        let tid = field_i64(&v, "tid", n)?;
+        let ts = field_i64(&v, "ts_us", n)?;
+        let ph = match ev {
+            "o" => "B",
+            "c" => "E",
+            "i" => "i",
+            other => return Err(format!("line {n}: unknown event kind {other:?}")),
+        };
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"ph\":\"{ph}\",\"name\":{},\"pid\":1,\"tid\":{tid},\"ts\":{ts}",
+            serde_json::to_string(name).map_err(|e| format!("line {n}: {e:?}"))?,
+        ));
+        if ph == "i" {
+            // Thread-scoped instant marker.
+            out.push_str(",\"s\":\"t\"");
+        }
+        if let Some(detail) = v.get("detail").and_then(Value::as_str) {
+            out.push_str(&format!(
+                ",\"args\":{{\"detail\":{}}}",
+                serde_json::to_string(detail).map_err(|e| format!("line {n}: {e:?}"))?,
+            ));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
 /// Keys every manifest must carry (DESIGN.md §11).
 const MANIFEST_KEYS: [&str; 8] = [
     "run",
@@ -271,6 +419,87 @@ mod tests {
             "\n",
         );
         assert_eq!(check_coverage(t, "p", 0.95).unwrap(), 0);
+    }
+
+    // A daemon-shaped trace: two accepted requests, both enqueued, both
+    // executed in one batched exec_group, one flagged slow.
+    const DAEMON: &str = concat!(
+        r#"{"ev":"i","name":"req_accept","ts_us":1,"tid":0,"detail":"req=1 top=5 deadline_ms=0"}"#,
+        "\n",
+        r#"{"ev":"i","name":"req_enqueue","ts_us":2,"tid":0,"detail":"req=1 depth=1"}"#,
+        "\n",
+        r#"{"ev":"i","name":"req_accept","ts_us":3,"tid":1,"detail":"req=2 top=5 deadline_ms=0"}"#,
+        "\n",
+        r#"{"ev":"i","name":"req_enqueue","ts_us":4,"tid":1,"detail":"req=2 depth=2"}"#,
+        "\n",
+        r#"{"ev":"o","name":"exec_group","ts_us":5,"tid":2,"detail":"req=1,2 lane=halk batch=2"}"#,
+        "\n",
+        r#"{"ev":"o","name":"shard_sweep","ts_us":6,"tid":3,"detail":"shard=0 req=1,2"}"#,
+        "\n",
+        r#"{"ev":"c","name":"shard_sweep","ts_us":8,"tid":3,"dur_us":2}"#,
+        "\n",
+        r#"{"ev":"c","name":"exec_group","ts_us":9,"tid":2,"dur_us":4}"#,
+        "\n",
+        r#"{"ev":"i","name":"slow_query","ts_us":10,"tid":2,"detail":"req=2 lane=halk skeleton=s1b1@0 batch=2 wall_us=4000 queue_wait_us=2 embed_us=1 score_us=2 merge_us=1"}"#,
+        "\n",
+    );
+
+    #[test]
+    fn reqid_chain_validates_end_to_end() {
+        check_trace(DAEMON).unwrap();
+        let r = check_reqids(DAEMON).unwrap();
+        assert_eq!(r.accepted, 2);
+        assert_eq!(r.slow_queries, 1);
+        assert!(r.referencing_events >= 4);
+    }
+
+    #[test]
+    fn unaccepted_reqid_fails() {
+        let bad = concat!(
+            r#"{"ev":"o","name":"exec_group","ts_us":1,"tid":0,"detail":"req=7 lane=exact batch=1"}"#,
+            "\n",
+            r#"{"ev":"c","name":"exec_group","ts_us":2,"tid":0,"dur_us":1}"#,
+            "\n",
+        );
+        assert!(check_reqids(bad).unwrap_err().contains("req_accept"));
+    }
+
+    #[test]
+    fn slow_query_without_exec_span_fails() {
+        let bad = concat!(
+            r#"{"ev":"i","name":"req_accept","ts_us":1,"tid":0,"detail":"req=3 top=1 deadline_ms=0"}"#,
+            "\n",
+            r#"{"ev":"i","name":"req_enqueue","ts_us":2,"tid":0,"detail":"req=3 depth=1"}"#,
+            "\n",
+            r#"{"ev":"i","name":"slow_query","ts_us":3,"tid":0,"detail":"req=3 lane=halk skeleton=none batch=1 wall_us=9 queue_wait_us=1 embed_us=1 score_us=1 merge_us=1"}"#,
+            "\n",
+        );
+        assert!(check_reqids(bad).unwrap_err().contains("exec_group"));
+    }
+
+    #[test]
+    fn traces_without_reqids_pass_vacuously() {
+        // A CLI one-shot trace (req=0 suppressed) has nothing to check.
+        let r = check_reqids(GOOD).unwrap();
+        assert_eq!(r.accepted, 0);
+        assert_eq!(r.referencing_events, 0);
+    }
+
+    #[test]
+    fn chrome_export_round_trips_shape() {
+        let chrome = to_chrome(DAEMON).unwrap();
+        let v: Value = serde_json::from_str(&chrome).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), DAEMON.lines().count());
+        assert_eq!(events[0]["ph"].as_str(), Some("i"));
+        assert_eq!(events[0]["s"].as_str(), Some("t"));
+        assert_eq!(events[4]["ph"].as_str(), Some("B"));
+        assert_eq!(
+            events[4]["args"]["detail"].as_str(),
+            Some("req=1,2 lane=halk batch=2")
+        );
+        assert_eq!(events[7]["ph"].as_str(), Some("E"));
+        assert!(to_chrome("{bad json}").is_err());
     }
 
     #[test]

@@ -135,6 +135,7 @@ fn run(mut argv: Vec<String>) -> Result<(), CliError> {
         "train" => cmd_train(&args),
         "ask" => cmd_ask(&args),
         "serve" => cmd_serve(&args),
+        "top" => cmd_top(&args),
         "snapshot" => cmd_snapshot(&args, action.as_deref()),
         "help" | "--help" | "-h" => {
             print!("{}", HELP);
@@ -202,9 +203,23 @@ USAGE:
                                       (f32 = bit-exact default; i16/i8
                                       shrink resident bytes 2x/4x and
                                       preserve ranks — DESIGN.md §14)
+             [--obs-addr HOST:PORT]   serve GET /metrics, /metrics.json
+                                      and /healthz on a dedicated thread
+                                      (DESIGN.md §16; port 0 = OS-picked,
+                                      printed as `metrics on ...`)
+             [--slow-ms N]            log queries slower than N ms with a
+                                      per-phase breakdown (also via
+                                      HALK_SLOW_MS; 0 = log every query)
              answer queries as a daemon until SIGINT/SIGTERM or a
              SHUTDOWN frame; degrades gracefully under overload
              (see DESIGN.md §12 for the wire protocol)
+  halk top   --addr HOST:PORT         the daemon's --obs-addr endpoint
+             [--serve-addr HOST:PORT] also poll the daemon's STATS verb
+             [--interval-ms N]        refresh cadence (default 1000)
+             [--once true]            print one snapshot and exit
+             live one-screen view of a running daemon: qps, rolling
+             p50/p99, queue depth, shed/panic rates, batch sizes,
+             cache hits, per-region pool load
   halk snapshot build   --graph graph.tsv --model model_dir --out FILE
   halk snapshot inspect --snap FILE
              versioned CRC-framed binary snapshots of graph + model;
@@ -520,6 +535,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     let defaults = halk_serve::ServeConfig::default();
     let cfg = halk_serve::ServeConfig {
         addr: addr.to_string(),
+        obs_addr: args.optional("obs-addr").map(str::to_string),
         workers: args.parsed_or("workers", defaults.workers)?,
         queue_cap: args.parsed_or("queue-cap", defaults.queue_cap)?,
         max_sessions: args.parsed_or("max-sessions", defaults.max_sessions)?,
@@ -578,6 +594,15 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
             Some(n)
         }
     };
+    // `--slow-ms` overrides the HALK_SLOW_MS environment default; 0 is
+    // legitimate (flag every request — CI uses it to exercise the path).
+    let slow_ms = match args.optional("slow-ms") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| ArgError::BadValue("slow-ms", v.to_string()))?,
+        ),
+    };
     let precision: Precision = args.parsed_or("precision", Precision::F32)?;
     let mut engine = match (boot_trig, model) {
         (Some(trig), Some(m)) => {
@@ -588,6 +613,9 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     .test_faults(faults);
     if let Some(cap) = batch_cap {
         engine = engine.batch_cap(cap);
+    }
+    if slow_ms.is_some() {
+        engine = engine.slow_ms(slow_ms);
     }
     let boot = boot_start.elapsed();
     halk_obs::metrics::gauge("halk_serve_boot_ns").set(boot.as_nanos() as f64);
@@ -623,6 +651,11 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
         error,
     })?;
     println!("listening on {}", server.local_addr());
+    if let Some(obs) = server.obs_addr() {
+        // Same stdout discovery contract as `listening on` — scripts boot
+        // with port 0 and scrape the resolved address from here.
+        println!("metrics on {obs}");
+    }
 
     // Serve until a signal lands or a client sends a SHUTDOWN frame;
     // either way drain in-flight work before exiting.
@@ -657,6 +690,211 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
     }
     println!("served {m} request(s); goodbye");
     Ok(())
+}
+
+// ---------------------------------------------------------------- halk top
+
+/// One bounded HTTP/1.0 GET against the daemon's scrape endpoint; returns
+/// the response body (everything after the blank line).
+fn http_get_body(addr: &str, path: &str) -> io::Result<String> {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr)?;
+    s.set_read_timeout(Some(Duration::from_secs(5)))?;
+    s.set_write_timeout(Some(Duration::from_secs(5)))?;
+    s.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())?;
+    let mut raw = String::new();
+    s.read_to_string(&mut raw)?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .or_else(|| raw.split_once("\n\n"))
+        .map(|(_, b)| b.to_string())
+        .unwrap_or(raw);
+    Ok(body)
+}
+
+/// Walks `path` into nested JSON objects and reads a number; 0.0 when any
+/// step is missing, so a young daemon (no samples yet) renders as zeros.
+fn json_num(v: &serde_json::Value, path: &[&str]) -> f64 {
+    let mut cur = v;
+    for key in path {
+        match cur.get(key) {
+            Some(next) => cur = next,
+            None => return 0.0,
+        }
+    }
+    cur.as_f64().unwrap_or(0.0)
+}
+
+fn json_bool(v: &serde_json::Value, path: &[&str]) -> bool {
+    let mut cur = v;
+    for key in path {
+        match cur.get(key) {
+            Some(next) => cur = next,
+            None => return false,
+        }
+    }
+    cur.as_bool().unwrap_or(false)
+}
+
+fn json_str<'a>(v: &'a serde_json::Value, path: &[&str]) -> &'a str {
+    let mut cur = v;
+    for key in path {
+        match cur.get(key) {
+            Some(next) => cur = next,
+            None => return "?",
+        }
+    }
+    cur.as_str().unwrap_or("?")
+}
+
+/// Renders one screenful of daemon state from a `/metrics.json` snapshot
+/// (plus optional `STATS` pairs from the query port).
+fn render_top(addr: &str, v: &serde_json::Value, stats: Option<&[(String, u64)]>) -> String {
+    use std::fmt::Write as _;
+    let wrate = |name: &str| json_num(v, &["window", "counters", name, "rate"]);
+    let wq = |name: &str, q: &str| json_num(v, &["window", "histograms", name, q]);
+    let ctotal = |name: &str| json_num(v, &["cumulative", "counters", name]);
+    let window_s = json_num(v, &["window_us"]).max(json_num(v, &["window", "window_us"])) / 1e6;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "halk top — {addr}   (rolling window {window_s:.0}s; rates are per-second)"
+    );
+    let _ = writeln!(
+        out,
+        "requests  {:>10.1}/s   total {:>10}",
+        wrate("halk_serve_requests_total"),
+        ctotal("halk_serve_requests_total") as u64,
+    );
+    let _ = writeln!(
+        out,
+        "latency   p50 {:>8}us   p99 {:>8}us   queue wait p99 {:>8}us",
+        wq("halk_serve_latency_us", "p50") as u64,
+        wq("halk_serve_latency_us", "p99") as u64,
+        wq("halk_serve_queue_wait_us", "p99") as u64,
+    );
+    let _ = writeln!(
+        out,
+        "queue     depth {:>3} / cap {:<4}  sessions {:>3} / max {:<4}",
+        json_num(v, &["health", "queue_depth"]) as u64,
+        json_num(v, &["health", "queue_cap"]) as u64,
+        json_num(v, &["health", "sessions"]) as u64,
+        json_num(v, &["health", "max_sessions"]) as u64,
+    );
+    let _ = writeln!(
+        out,
+        "shed      overloaded {:>6.1}/s   deadline {:>6.1}/s   panics {:>6.1}/s",
+        wrate("halk_serve_overloaded_total"),
+        wrate("halk_serve_deadline_shed_total"),
+        wrate("halk_serve_panics_total"),
+    );
+    let _ = writeln!(
+        out,
+        "batch     p50 {:>3}  p99 {:>3}   grouped {:>6.1}/s   truncated {:>6.1}/s",
+        wq("halk_serve_batch_size", "p50") as u64,
+        wq("halk_serve_batch_size", "p99") as u64,
+        wrate("halk_serve_batched_groups_total"),
+        wrate("halk_serve_truncated_total"),
+    );
+    let _ = writeln!(
+        out,
+        "cache     scorer hits {:>6.1}/s   builds {:>6.1}/s   slow queries {:>6.1}/s",
+        wrate("halk_exec_cache_hits_total"),
+        wrate("halk_exec_cache_builds_total"),
+        wrate("halk_serve_slow_queries_total"),
+    );
+    // Pool load per labeled region: windowed busy/wall is the mean number
+    // of active workers over the window (can exceed 1.0).
+    if let serde_json::Value::Object(fields) = v
+        .get("window")
+        .and_then(|w| w.get("counters"))
+        .unwrap_or(&serde_json::Value::Null)
+    {
+        let mut any = false;
+        for (name, _) in fields.iter() {
+            let Some(region) = name.strip_prefix("halk_pool_wall_us_") else {
+                continue;
+            };
+            let busy_name = format!("halk_pool_busy_us_{region}");
+            let wall = json_num(v, &["window", "counters", name.as_str(), "total"]);
+            let busy = json_num(v, &["window", "counters", busy_name.as_str(), "total"]);
+            if wall > 0.0 {
+                if !any {
+                    let _ = write!(out, "pool      ");
+                    any = true;
+                }
+                let _ = write!(out, "{region} x{:.1}  ", busy / wall);
+            }
+        }
+        if any {
+            let _ = writeln!(out);
+        }
+    }
+    let _ = writeln!(
+        out,
+        "health    draining={}  model={}  shards={}  precision={}  resident {:.1} MB",
+        json_bool(v, &["health", "draining"]),
+        json_bool(v, &["health", "has_model"]),
+        json_num(v, &["health", "shards"]) as u64,
+        json_str(v, &["health", "precision"]),
+        json_num(v, &["health", "trig_resident_bytes"]) / (1024.0 * 1024.0),
+    );
+    if let Some(pairs) = stats {
+        let get = |k: &str| pairs.iter().find(|(n, _)| n == k).map_or(0, |&(_, x)| x);
+        let _ = writeln!(
+            out,
+            "stats     p50 {}us  p99 {}us  depth {}  boot {:.1}ms  (query-port STATS)",
+            get("latency_p50_us"),
+            get("latency_p99_us"),
+            get("queue_depth"),
+            get("boot_ns") as f64 / 1e6,
+        );
+    }
+    out
+}
+
+/// `halk top`: poll a daemon's `--obs-addr` endpoint (and optionally its
+/// query port's STATS verb) and redraw a one-screen live view.
+fn cmd_top(args: &Args) -> Result<(), CliError> {
+    let addr = args.required("addr")?;
+    let once = args
+        .optional("once")
+        .is_some_and(|x| x == "true" || x == "1");
+    let interval = Duration::from_millis(args.parsed_or("interval-ms", 1_000u64)?);
+    loop {
+        let body = http_get_body(addr, "/metrics.json").map_err(|error| CliError::Io {
+            path: format!("{addr}/metrics.json"),
+            error,
+        })?;
+        let v: serde_json::Value = serde_json::from_str(&body).map_err(|e| CliError::Io {
+            path: format!("{addr}/metrics.json"),
+            error: io::Error::new(io::ErrorKind::InvalidData, e.to_string()),
+        })?;
+        let stats = match args.optional("serve-addr") {
+            Some(sa) => {
+                let mut c = halk_serve::Client::connect(sa).map_err(|error| CliError::Io {
+                    path: sa.to_string(),
+                    error,
+                })?;
+                match c.stats() {
+                    Ok(halk_serve::Response::Stats { pairs }) => Some(pairs),
+                    _ => None,
+                }
+            }
+            None => None,
+        };
+        let screen = render_top(addr, &v, stats.as_deref());
+        if once {
+            print!("{screen}");
+            return Ok(());
+        }
+        // ANSI clear + home: redraw in place like top(1).
+        print!("\x1b[2J\x1b[H{screen}");
+        use std::io::Write as _;
+        let _ = io::stdout().flush();
+        std::thread::sleep(interval);
+    }
 }
 
 #[cfg(test)]

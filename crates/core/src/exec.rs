@@ -162,6 +162,16 @@ pub trait ExecBackend: Sync {
         key: Option<&ShapeKey>,
         jobs: &[&Self::Job],
     ) -> Vec<Self::Out>;
+
+    /// Optional tag for the group's `exec_group` trace span. Serve returns
+    /// `req=<id>,...` plus the engine lane here so one grep of the JSONL
+    /// reconstructs a request's hop chain (DESIGN.md §16); the default
+    /// leaves the span detail-less, so train and eval traces are
+    /// unchanged. Called only when tracing is enabled.
+    fn group_detail(&self, key: Option<&ShapeKey>, jobs: &[&Self::Job]) -> Option<String> {
+        let _ = (key, jobs);
+        None
+    }
 }
 
 /// Scoring caches for one parameter state (see [`Executor::score_cache`]).
@@ -294,11 +304,13 @@ impl Executor {
         st.roll_to(version);
         if let Some(cache) = &st.score {
             halk_obs::counter!("halk_exec_cache_hits_total").inc();
+            halk_obs::windowed_counter!("halk_exec_cache_hits_total").inc();
             return Some(cache.clone());
         }
         let built = model.score_cache().map(Arc::new);
         if built.is_some() {
             halk_obs::counter!("halk_exec_cache_builds_total").inc();
+            halk_obs::windowed_counter!("halk_exec_cache_builds_total").inc();
         }
         st.score = built.clone();
         built
@@ -314,6 +326,7 @@ impl Executor {
         st.roll_to(version);
         if let Some(sharded) = &st.sharded {
             halk_obs::counter!("halk_exec_cache_hits_total").inc();
+            halk_obs::windowed_counter!("halk_exec_cache_hits_total").inc();
             return sharded.clone();
         }
         let shards = if self.shards == 0 {
@@ -324,6 +337,7 @@ impl Executor {
         .max(1);
         let built = Arc::new(model.entity_shards_with(shards, self.precision));
         halk_obs::counter!("halk_exec_cache_builds_total").inc();
+        halk_obs::windowed_counter!("halk_exec_cache_builds_total").inc();
         st.sharded = Some(built.clone());
         built
     }
@@ -400,10 +414,20 @@ impl Executor {
         halk_obs::counter!("halk_exec_jobs_total").add(jobs.len() as u64);
         let mut out: Vec<Option<B::Out>> = jobs.iter().map(|_| None).collect();
         for (key, idxs) in groups {
-            let _span = halk_obs::span!("exec_group");
+            let group: Vec<&B::Job> = idxs.iter().map(|&i| &jobs[i]).collect();
+            // The backend's detail hook (request ids, lanes) is consulted
+            // only when tracing is on; the disabled path stays one relaxed
+            // load, exactly like a plain `span!`.
+            let _span = if halk_obs::trace::enabled() {
+                match backend.group_detail(key.as_ref(), &group) {
+                    Some(d) => halk_obs::trace::span_detail("exec_group", move || d),
+                    None => halk_obs::trace::span("exec_group"),
+                }
+            } else {
+                halk_obs::trace::span("exec_group")
+            };
             halk_obs::counter!("halk_exec_groups_total").inc();
             halk_obs::histogram!("halk_exec_group_size").record(idxs.len() as u64);
-            let group: Vec<&B::Job> = idxs.iter().map(|&i| &jobs[i]).collect();
             let results = backend.exec_group(self, key.as_ref(), &group);
             assert_eq!(
                 results.len(),

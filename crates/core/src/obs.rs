@@ -40,6 +40,15 @@ fn on_pool_stats(s: &halk_par::PoolStats) {
     for &ns in &s.busy_ns {
         busy.record(ns / 1_000);
     }
+    // Rolling wall/busy totals feed the live per-shard busy% in `halk top`
+    // (busy/wall over the window). One branch each when windowed
+    // collection is disarmed; the hook fires once per region, not per row.
+    if halk_obs::window::enabled() {
+        halk_obs::window::counter(&format!("halk_pool_wall_us_{}", s.region))
+            .add_unconditional(s.wall_ns / 1_000);
+        halk_obs::window::counter(&format!("halk_pool_busy_us_{}", s.region))
+            .add_unconditional(s.busy_ns.iter().map(|ns| ns / 1_000).sum());
+    }
 }
 
 #[cfg(test)]

@@ -194,15 +194,64 @@ pub fn sharded_top_k(
     ks: &[usize],
     deadlines: &[&Deadline],
 ) -> Vec<ShardedTopK> {
+    sharded_top_k_tagged(pool, sharded, scorers, ks, deadlines, None)
+}
+
+/// Where a sharded sweep spent its wall time: the parallel per-shard
+/// scoring region vs. the coordinator's heap merge. Feeds the per-phase
+/// breakdown of serve's slow-query log (DESIGN.md §16).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepTiming {
+    /// Wall microseconds of the `par_shards` scoring region.
+    pub score_us: u64,
+    /// Wall microseconds of the coordinator merge-k.
+    pub merge_us: u64,
+}
+
+/// [`sharded_top_k`] with an optional trace tag: when tracing is enabled,
+/// every shard's sweep opens a `shard_sweep` span whose detail carries the
+/// shard index plus `tag` (serve passes the group's `req=...` ids), so a
+/// request's hop chain extends into the per-shard workers (DESIGN.md §16).
+/// Scoring is unaffected; with tracing off the extra cost is one relaxed
+/// load per shard.
+pub fn sharded_top_k_tagged(
+    pool: &Pool,
+    sharded: &ShardedTrig,
+    scorers: &[ArcScorer],
+    ks: &[usize],
+    deadlines: &[&Deadline],
+    tag: Option<&str>,
+) -> Vec<ShardedTopK> {
+    sharded_top_k_timed(pool, sharded, scorers, ks, deadlines, tag).0
+}
+
+/// [`sharded_top_k_tagged`] that also reports where the wall time went
+/// (score sweep vs. coordinator merge). The timing is observational only —
+/// results are bit-identical to the untimed path.
+pub fn sharded_top_k_timed(
+    pool: &Pool,
+    sharded: &ShardedTrig,
+    scorers: &[ArcScorer],
+    ks: &[usize],
+    deadlines: &[&Deadline],
+    tag: Option<&str>,
+) -> (Vec<ShardedTopK>, SweepTiming) {
     assert_eq!(scorers.len(), ks.len(), "one k per scorer");
     assert_eq!(scorers.len(), deadlines.len(), "one deadline per scorer");
     let nq = scorers.len();
     if nq == 0 {
-        return Vec::new();
+        return (Vec::new(), SweepTiming::default());
     }
 
     // Each shard returns its local heaps plus per-query rows scored.
+    let t0 = std::time::Instant::now();
     let per_shard = pool.par_shards(sharded.n_shards(), |s| {
+        let _sweep = match tag {
+            Some(t) if halk_obs::trace::enabled() => {
+                halk_obs::trace::span_detail("shard_sweep", || format!("shard={s} {t}"))
+            }
+            _ => halk_obs::trace::span("shard_sweep"),
+        };
         let (trig, row0) = sharded.shard(s);
         let n = trig.n_entities();
         let mut heaps: Vec<TopK> = ks.iter().map(|&k| TopK::new(k)).collect();
@@ -234,11 +283,13 @@ pub fn sharded_top_k(
         (heaps, rows)
     });
     metrics::counter("halk_shard_sweeps_total").add(sharded.n_shards() as u64);
+    let score_us = t0.elapsed().as_micros() as u64;
 
     // Coordinator merge-k: absorb every shard's heap for each query.
     // Order-independent — distinct indices make the ranking a strict
     // total order, so the k-smallest set of the union is unique.
-    (0..nq)
+    let t1 = std::time::Instant::now();
+    let merged: Vec<ShardedTopK> = (0..nq)
         .map(|q| {
             let mut merged = TopK::new(ks[q]);
             let mut scored = 0;
@@ -248,7 +299,9 @@ pub fn sharded_top_k(
             }
             (merged.into_sorted(), scored)
         })
-        .collect()
+        .collect();
+    let merge_us = t1.elapsed().as_micros() as u64;
+    (merged, SweepTiming { score_us, merge_us })
 }
 
 #[cfg(test)]

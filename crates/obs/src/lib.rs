@@ -19,6 +19,12 @@
 //!   [`counter!`]/[`gauge!`]/[`histogram!`] macros. Snapshots render in
 //!   Prometheus exposition format or JSON.
 //!
+//! - **[`window`]** — rolling counterparts to the cumulative metrics: a
+//!   ring of log2-bucket histograms rotated on a coarse epoch tick gives
+//!   p50/p99 and rates over the last ~60 s instead of process lifetime.
+//!   Armed only by the serve daemon ([`window::set_enabled`]); everywhere
+//!   else the record path is one relaxed atomic load and a branch.
+//!
 //! - **[`log`]** — a leveled [`log!`] macro filtered by
 //!   `HALK_LOG=error|warn|info|debug` (default `error`), so warnings that
 //!   used to be unconditional `eprintln!` calls are quiet by default and
@@ -42,6 +48,7 @@ pub mod log;
 pub mod manifest;
 pub mod metrics;
 pub mod trace;
+pub mod window;
 
 pub use deadline::{Clock, Deadline};
 pub use manifest::Manifest;
@@ -109,6 +116,29 @@ macro_rules! histogram {
         static SLOT: ::std::sync::OnceLock<&'static $crate::metrics::Histogram> =
             ::std::sync::OnceLock::new();
         *SLOT.get_or_init(|| $crate::metrics::histogram($name))
+    }};
+}
+
+/// Interns a [`window::WindowedHistogram`] once per call site. The
+/// convention is to register the same base name as the cumulative
+/// histogram at the same call site; the windowed renderers add a
+/// `_window` suffix.
+#[macro_export]
+macro_rules! windowed_histogram {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::window::WindowedHistogram> =
+            ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::window::histogram($name))
+    }};
+}
+
+/// Interns a [`window::WindowedCounter`] once per call site.
+#[macro_export]
+macro_rules! windowed_counter {
+    ($name:expr) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::window::WindowedCounter> =
+            ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::window::counter($name))
     }};
 }
 

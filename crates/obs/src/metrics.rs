@@ -92,8 +92,9 @@ pub struct Histogram {
 }
 
 /// Bucket index for a sample: 0 for 0, else `floor(log2(v)) + 1`, capped.
+/// Shared with the windowed ring in [`crate::window`].
 #[inline]
-fn bucket_of(v: u64) -> usize {
+pub(crate) fn bucket_of(v: u64) -> usize {
     if v == 0 {
         0
     } else {
@@ -129,27 +130,35 @@ impl Histogram {
     /// `q · count` (so the true quantile is ≤ the returned value, within a
     /// factor of 2). Returns 0 when the histogram is empty.
     pub fn quantile(&self, q: f64) -> u64 {
-        let buckets = self.buckets();
-        let total: u64 = buckets.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut cumulative = 0u64;
-        for (i, b) in buckets.iter().enumerate() {
-            cumulative += b;
-            if cumulative >= rank {
-                // Bucket 0 holds exact zeros; bucket i covers [2^(i-1), 2^i).
-                return if i == 0 { 0 } else { (1u64 << i) - 1 };
-            }
-        }
-        u64::MAX
+        quantile_from_buckets(&self.buckets(), q)
     }
 
     /// Registered name.
     pub fn name(&self) -> &'static str {
         self.name
     }
+}
+
+/// Approximate `q`-quantile of a log2 bucket array: the upper bound of
+/// the first bucket whose cumulative count reaches `q · count` (so the
+/// true quantile is ≤ the returned value, within a factor of 2). Returns
+/// 0 when empty. Shared by [`Histogram::quantile`] and the windowed
+/// snapshots in [`crate::window`].
+pub(crate) fn quantile_from_buckets(buckets: &[u64; N_BUCKETS], q: f64) -> u64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut cumulative = 0u64;
+    for (i, b) in buckets.iter().enumerate() {
+        cumulative += b;
+        if cumulative >= rank {
+            // Bucket 0 holds exact zeros; bucket i covers [2^(i-1), 2^i).
+            return if i == 0 { 0 } else { (1u64 << i) - 1 };
+        }
+    }
+    u64::MAX
 }
 
 enum Entry {

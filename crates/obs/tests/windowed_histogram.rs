@@ -1,0 +1,90 @@
+//! Integration tests for the windowed metrics ring (DESIGN.md §16).
+//!
+//! These run in their own process, so unlike the in-crate unit tests they
+//! may arm the global `window::set_enabled` switch and drive rotation
+//! concurrently with writers.
+
+use halk_obs::metrics::{Histogram, N_BUCKETS};
+use halk_obs::window::{WindowedHistogram, N_SLOTS, SLOT_SPAN_US};
+
+/// Concurrent writers never lose a sample across epoch ticks, as long as
+/// the ring does not complete a full revolution (each tick only zeroes the
+/// slot that left the window).
+#[test]
+fn concurrent_writers_survive_rotation() {
+    static H: WindowedHistogram = WindowedHistogram::new("rotation_torture_us");
+    halk_obs::window::set_enabled(true);
+
+    const WRITERS: usize = 4;
+    const PER_WRITER: u64 = 50_000;
+
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            s.spawn(move || {
+                for i in 0..PER_WRITER {
+                    H.record((w as u64) * 7 + (i % 1000));
+                }
+            });
+        }
+        // Rotator thread: ticks fewer than N_SLOTS times while the writers
+        // hammer, so every slot a writer has touched is still inside the
+        // window at the end.
+        s.spawn(|| {
+            for tick in 1..N_SLOTS as u64 {
+                H.maybe_rotate(tick * SLOT_SPAN_US);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        });
+    });
+
+    let snap = H.snapshot();
+    assert_eq!(
+        snap.count,
+        (WRITERS as u64) * PER_WRITER,
+        "no sample may be lost while rotation stays within one revolution"
+    );
+}
+
+/// On a single window (no rotation), the merged windowed snapshot agrees
+/// exactly with a cumulative histogram fed the same samples: same count,
+/// sum, buckets and quantiles.
+#[test]
+fn single_window_agrees_with_cumulative() {
+    static W: WindowedHistogram = WindowedHistogram::new("agreement_us");
+    let c: &'static Histogram = halk_obs::metrics::histogram("halk_window_agreement_us");
+    halk_obs::window::set_enabled(true);
+
+    let samples: Vec<u64> = (0..4096u64).map(|i| (i * i) % 90_000).collect();
+    for &v in &samples {
+        W.record(v);
+        c.record(v);
+    }
+
+    let snap = W.snapshot();
+    assert_eq!(snap.count, c.count());
+    assert_eq!(snap.sum, c.sum());
+    assert_eq!(snap.buckets, c.buckets());
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(snap.quantile(q), c.quantile(q), "quantile {q} diverged");
+    }
+}
+
+/// An empty window (fresh, or fully evicted) snapshots to all-zero counts
+/// and zero quantiles, and renders without panicking.
+#[test]
+fn empty_window_snapshot_is_zero() {
+    static E: WindowedHistogram = WindowedHistogram::new("empty_us");
+    let snap = E.snapshot();
+    assert_eq!(snap.count, 0);
+    assert_eq!(snap.sum, 0);
+    assert_eq!(snap.buckets, [0u64; N_BUCKETS]);
+    assert_eq!(snap.quantile(0.5), 0);
+    assert_eq!(snap.quantile(0.99), 0);
+
+    // Fill, then evict everything with a full-revolution tick: back to zero.
+    E.record_unconditional(42);
+    assert!(E.snapshot().count > 0);
+    E.maybe_rotate(SLOT_SPAN_US * (N_SLOTS as u64 + 1));
+    assert_eq!(E.snapshot().count, 0);
+    assert_eq!(E.snapshot().quantile(0.99), 0);
+}

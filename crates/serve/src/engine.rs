@@ -26,7 +26,7 @@
 //! `score_all` + `top_k_indices` reference.
 
 use crate::protocol::{AskEngine, ErrorKind, Response};
-use halk_core::shard::sharded_top_k;
+use halk_core::shard::sharded_top_k_timed;
 use halk_core::{
     ArcShards, EntityTrig, ExecBackend, ExecConfig, Executor, HalkModel, Pool, Precision, ShapeKey,
     ShardedTrig, DEFAULT_BATCH_CAP,
@@ -53,6 +53,11 @@ pub struct Engine {
     /// and the batch-drain cap.
     exec: Executor,
     test_faults: bool,
+    /// Slow-query threshold in milliseconds: a group whose wall time
+    /// reaches it emits one structured line per member request (`None`
+    /// disables; `Some(0)` logs everything — CI's chain-validation mode).
+    /// Defaults from `HALK_SLOW_MS`; `halk serve --slow-ms` overrides.
+    slow_ms: Option<u64>,
 }
 
 /// A session-side compiled request: parsed, validated, and keyed by its
@@ -85,12 +90,61 @@ impl PreparedAsk {
 }
 
 /// One member of a same-skeleton batch: a prepared request plus its
-/// per-request answer budget and deadline.
+/// per-request answer budget and deadline, and the request-scoped trace
+/// identity the daemon minted at accept time.
 #[derive(Clone, Copy)]
 pub struct BatchItem<'a> {
     pub prepared: &'a PreparedAsk,
     pub top: usize,
     pub deadline: &'a Deadline,
+    /// The daemon-minted [`ReqId`](crate::server) carried through the
+    /// trace hop chain; 0 for paths with no request identity (CLI `ask`,
+    /// tests) — those are omitted from `req=` trace details.
+    pub req: u64,
+    /// Microseconds the request waited in the daemon queue before a
+    /// worker picked it up (0 off the daemon path).
+    pub queue_wait_us: u64,
+}
+
+/// Wall-time breakdown of one group execution, reported by the slow-query
+/// log. For halk groups `embed` is the batched plan embedding, `score`
+/// the parallel shard sweep and `merge` the coordinator merge-k; exact
+/// groups report plan execution under `score`; fault probes report zeros.
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseBreakdown {
+    embed_us: u64,
+    score_us: u64,
+    merge_us: u64,
+}
+
+/// The default slow-query threshold: `HALK_SLOW_MS=<ms>` (unset or
+/// unparsable = disabled).
+fn slow_ms_from_env() -> Option<u64> {
+    std::env::var("HALK_SLOW_MS").ok()?.parse().ok()
+}
+
+/// The engine lane of a group, for trace details and the slow-query log.
+fn lane_name(key: Option<&ShapeKey>) -> &'static str {
+    match key {
+        None => "fault",
+        Some(k) if k.lane() == AskEngine::Exact as u32 => "exact",
+        Some(_) => "halk",
+    }
+}
+
+/// `"1,5,9"` — the nonzero request ids of a group, `None` when the group
+/// has no daemon-minted identity at all.
+fn req_list(items: &[BatchItem]) -> Option<String> {
+    let ids: Vec<String> = items
+        .iter()
+        .filter(|it| it.req != 0)
+        .map(|it| it.req.to_string())
+        .collect();
+    if ids.is_empty() {
+        None
+    } else {
+        Some(ids.join(","))
+    }
 }
 
 /// The serve surface of the executor: keys jobs by shape pointer with the
@@ -119,23 +173,48 @@ impl<'a> ExecBackend for ServeBackend<'a> {
         jobs: &[&BatchItem<'a>],
     ) -> Vec<Response> {
         let items: Vec<BatchItem<'a>> = jobs.iter().map(|&&it| it).collect();
-        let Some(key) = key else {
-            return items
+        let t0 = std::time::Instant::now();
+        let mut phases = PhaseBreakdown::default();
+        let out: Vec<Response> = match key {
+            None => items
                 .iter()
                 .map(|it| match &it.prepared.kind {
                     PreparedKind::Fault(s) => self.engine.run_fault(s, it.deadline),
                     PreparedKind::Query { .. } => unreachable!("query jobs always carry a key"),
                 })
-                .collect();
+                .collect(),
+            Some(key) => {
+                let (_, engine) = items[0]
+                    .prepared
+                    .batch_key()
+                    .expect("keyed jobs are queries");
+                match engine {
+                    AskEngine::Exact => {
+                        self.engine
+                            .execute_exact_group(key.shape(), &items, &mut phases)
+                    }
+                    AskEngine::Halk => {
+                        self.engine
+                            .execute_halk_group(key.shape(), &items, &mut phases)
+                    }
+                }
+            }
         };
-        let (_, engine) = items[0]
-            .prepared
-            .batch_key()
-            .expect("keyed jobs are queries");
-        match engine {
-            AskEngine::Exact => self.engine.execute_exact_group(key.shape(), &items),
-            AskEngine::Halk => self.engine.execute_halk_group(key.shape(), &items),
-        }
+        self.engine
+            .note_slow_group(key, &items, t0.elapsed().as_micros() as u64, phases);
+        out
+    }
+
+    /// Tags the group's `exec_group` span with `req=...` ids, the engine
+    /// lane and the batch size, so the JSONL hop chain session → queue →
+    /// executor is greppable by request id (DESIGN.md §16).
+    fn group_detail(&self, key: Option<&ShapeKey>, jobs: &[&BatchItem<'a>]) -> Option<String> {
+        let items: Vec<BatchItem<'a>> = jobs.iter().map(|&&it| it).collect();
+        let lane = lane_name(key);
+        Some(match req_list(&items) {
+            Some(reqs) => format!("req={reqs} lane={lane} batch={}", jobs.len()),
+            None => format!("lane={lane} batch={}", jobs.len()),
+        })
     }
 }
 
@@ -162,6 +241,7 @@ impl Engine {
             model,
             exec: Executor::new(Engine::exec_config(shards, precision)),
             test_faults: false,
+            slow_ms: slow_ms_from_env(),
         };
         engine.rebuild_sharded();
         engine
@@ -205,6 +285,7 @@ impl Engine {
             model: Some(model),
             exec: Executor::new(Engine::exec_config(shards, precision)),
             test_faults: false,
+            slow_ms: slow_ms_from_env(),
         };
         let parts = ArcShards::new(trig.n_entities(), shards);
         engine
@@ -309,6 +390,20 @@ impl Engine {
         self
     }
 
+    /// Overrides the slow-query threshold: groups whose wall time reaches
+    /// `ms` emit one structured log line and `slow_query` trace instant
+    /// per member request. `None` disables (unless `HALK_SLOW_MS` set it);
+    /// `Some(0)` logs every request.
+    pub fn slow_ms(mut self, ms: Option<u64>) -> Engine {
+        self.slow_ms = ms;
+        self
+    }
+
+    /// The active slow-query threshold, if any.
+    pub fn slow_threshold_ms(&self) -> Option<u64> {
+        self.slow_ms
+    }
+
     /// The graph being served.
     pub fn graph(&self) -> &Graph {
         &self.graph
@@ -367,6 +462,8 @@ impl Engine {
             prepared,
             top,
             deadline,
+            req: 0,
+            queue_wait_us: 0,
         }])
         .pop()
         .expect("one item in, one response out")
@@ -412,8 +509,14 @@ impl Engine {
     }
 
     /// Exact engine over a same-shape group: one slot-table allocation
-    /// serves the whole batch (`execute_set_batch`).
-    fn execute_exact_group(&self, shape: &PlanShape, items: &[BatchItem]) -> Vec<Response> {
+    /// serves the whole batch (`execute_set_batch`). Plan execution time
+    /// is reported under the breakdown's `score` phase.
+    fn execute_exact_group(
+        &self,
+        shape: &PlanShape,
+        items: &[BatchItem],
+        phases: &mut PhaseBreakdown,
+    ) -> Vec<Response> {
         let bindings: Vec<PlanBindings> = items
             .iter()
             .map(|it| match &it.prepared.kind {
@@ -423,7 +526,10 @@ impl Engine {
             .collect();
         let refs: Vec<&PlanBindings> = bindings.iter().collect();
         let deadlines: Vec<&Deadline> = items.iter().map(|it| it.deadline).collect();
-        execute_set_batch(shape, &refs, &self.graph, &deadlines)
+        let t0 = std::time::Instant::now();
+        let results = execute_set_batch(shape, &refs, &self.graph, &deadlines);
+        phases.score_us = t0.elapsed().as_micros() as u64;
+        results
             .into_iter()
             .zip(items)
             .map(|(res, it)| match res {
@@ -445,7 +551,12 @@ impl Engine {
     /// all queries before moving on). Per-request deadlines are honored at
     /// slice boundaries; `scored_rows` is the union of per-shard prefixes
     /// and the hits are an exact top-k of that scored subset.
-    fn execute_halk_group(&self, shape: &PlanShape, items: &[BatchItem]) -> Vec<Response> {
+    fn execute_halk_group(
+        &self,
+        shape: &PlanShape,
+        items: &[BatchItem],
+        phases: &mut PhaseBreakdown,
+    ) -> Vec<Response> {
         let Some(model) = &self.model else {
             let err = || Response::Error {
                 kind: ErrorKind::NoModel,
@@ -461,11 +572,30 @@ impl Engine {
                 PreparedKind::Fault(_) => unreachable!("fault probes are never batched"),
             })
             .collect();
+        let t0 = std::time::Instant::now();
         let scorers = self.exec.scorers_for_group(model, shape, &queries);
+        phases.embed_us = t0.elapsed().as_micros() as u64;
         let ks: Vec<usize> = items.iter().map(|it| it.top).collect();
         let deadlines: Vec<&Deadline> = items.iter().map(|it| it.deadline).collect();
         let n = sharded.n_entities();
-        sharded_top_k(&self.exec.pool(), &sharded, &scorers, &ks, &deadlines)
+        // The req tag extends the hop chain into the per-shard workers;
+        // built only when tracing is on.
+        let tag = if halk_obs::trace::enabled() {
+            req_list(items).map(|reqs| format!("req={reqs}"))
+        } else {
+            None
+        };
+        let (results, timing) = sharded_top_k_timed(
+            &self.exec.pool(),
+            &sharded,
+            &scorers,
+            &ks,
+            &deadlines,
+            tag.as_deref(),
+        );
+        phases.score_us = timing.score_us;
+        phases.merge_us = timing.merge_us;
+        results
             .into_iter()
             .map(|(hits, rows)| Response::Scores {
                 truncated: rows < n,
@@ -473,6 +603,52 @@ impl Engine {
                 hits,
             })
             .collect()
+    }
+
+    /// Emits the slow-query log when a group's wall time reaches the
+    /// threshold: one structured `log!(Warn)` line (visible under
+    /// `HALK_LOG=warn`) *and* one `slow_query` trace instant per member
+    /// request, each carrying the request id, engine lane, plan-skeleton
+    /// id, batch size, queue wait and the embed/score/merge breakdown —
+    /// the trace copy is what `trace_check --reqids` validates in CI.
+    fn note_slow_group(
+        &self,
+        key: Option<&ShapeKey>,
+        items: &[BatchItem],
+        wall_us: u64,
+        phases: PhaseBreakdown,
+    ) {
+        let Some(slow_ms) = self.slow_ms else { return };
+        if wall_us < slow_ms.saturating_mul(1_000) {
+            return;
+        }
+        let lane = lane_name(key);
+        // Skeleton identity = structural summary + the grouping pointer
+        // (same skeleton ⇒ same cached Arc, so the hex tag is stable for
+        // the daemon's lifetime).
+        let skeleton = key.map_or_else(
+            || "none".to_string(),
+            |k| {
+                format!(
+                    "s{}b{}@{:x}",
+                    k.shape().n_slots(),
+                    k.shape().n_branches(),
+                    Arc::as_ptr(k.shape()) as usize
+                )
+            },
+        );
+        let batch = items.len();
+        for it in items {
+            halk_obs::counter!("halk_serve_slow_queries_total").inc();
+            halk_obs::windowed_counter!("halk_serve_slow_queries_total").inc();
+            let line = format!(
+                "req={} lane={lane} skeleton={skeleton} batch={batch} wall_us={wall_us} \
+                 queue_wait_us={} embed_us={} score_us={} merge_us={}",
+                it.req, it.queue_wait_us, phases.embed_us, phases.score_us, phases.merge_us
+            );
+            halk_obs::log!(Warn, "slow_query {line}");
+            halk_obs::trace::instant_detail("slow_query", || line.clone());
+        }
     }
 
     /// Runs a deferred fault probe in the worker.
@@ -604,6 +780,8 @@ mod tests {
                 prepared: p,
                 top: 10,
                 deadline: &never,
+                req: 0,
+                queue_wait_us: 0,
             })
             .collect();
         let batch = e.execute_batch(&items);
@@ -660,6 +838,49 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn slow_threshold_zero_flags_every_request() {
+        let e = toy_engine(false).slow_ms(Some(0));
+        let c = halk_obs::metrics::counter("halk_serve_slow_queries_total");
+        let before = c.get();
+        let r = e.execute(
+            AskEngine::Exact,
+            10,
+            "SELECT ?x WHERE { e:0 r:0 ?x . }",
+            &Deadline::never(),
+        );
+        assert!(matches!(r, Response::Answers { .. }));
+        assert!(c.get() > before, "threshold 0 flags every group");
+    }
+
+    #[test]
+    fn sleeper_probe_crosses_the_slow_threshold() {
+        // The `__sleep__:<ms>` fault probe is the induced slow query: it
+        // holds a worker for 20 ms, well past a 5 ms threshold, and the
+        // keyless (fault-lane) group still goes through the slow-query
+        // accounting.
+        let e = toy_engine(true).slow_ms(Some(5));
+        let c = halk_obs::metrics::counter("halk_serve_slow_queries_total");
+        let before = c.get();
+        let r = e.execute(AskEngine::Exact, 10, "__sleep__:20", &Deadline::never());
+        assert_eq!(r, Response::Pong);
+        assert!(c.get() > before, "20 ms sleep crosses the 5 ms threshold");
+    }
+
+    #[test]
+    fn fast_requests_stay_under_a_high_threshold() {
+        let e = toy_engine(false).slow_ms(Some(60_000));
+        let c = halk_obs::metrics::counter("halk_serve_slow_queries_total");
+        let before = c.get();
+        let _ = e.execute(
+            AskEngine::Exact,
+            10,
+            "SELECT ?x WHERE { e:0 r:0 ?x . }",
+            &Deadline::never(),
+        );
+        assert_eq!(c.get(), before, "a toy query never takes a minute");
     }
 
     #[test]

@@ -35,6 +35,7 @@
 
 pub mod client;
 pub mod engine;
+pub(crate) mod obs_http;
 pub mod protocol;
 pub mod server;
 pub mod signal;

@@ -49,6 +49,10 @@ use std::time::{Duration, Instant};
 pub struct ServeConfig {
     /// Bind address; use port 0 to let the OS pick (tests do).
     pub addr: String,
+    /// Optional telemetry scrape address (`halk serve --obs-addr`): when
+    /// set, a dedicated thread serves `GET /metrics`, `/metrics.json` and
+    /// `/healthz` there (the `obs_http` module).
+    pub obs_addr: Option<String>,
     /// Worker threads executing requests.
     pub workers: usize,
     /// Bounded request queue depth; past it requests are shed.
@@ -77,6 +81,7 @@ impl Default for ServeConfig {
     fn default() -> ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
+            obs_addr: None,
             workers: 2,
             queue_cap: 64,
             max_sessions: 64,
@@ -126,6 +131,10 @@ pub fn admit(
     Ok(())
 }
 
+/// Mints request-scoped trace ids ([`handle_ask`]); id 0 is reserved for
+/// "no identity" (CLI one-shots, tests), so the first request is 1.
+static NEXT_REQ_ID: AtomicU64 = AtomicU64::new(1);
+
 /// One queued request, carrying its reply channel. The query was already
 /// parsed, validated and shape-resolved in the session thread
 /// ([`Engine::prepare`]), so the queue holds only executable work and the
@@ -135,13 +144,18 @@ struct Job {
     top: usize,
     deadline: Deadline,
     reply: mpsc::Sender<Response>,
+    /// The request's trace id, minted at accept.
+    req: u64,
+    /// `cfg.clock` ns when the job entered the queue (queue-wait basis).
+    enqueued_ns: u64,
 }
 
-/// State shared by the acceptor, sessions and workers.
-struct Shared {
-    engine: Engine,
-    cfg: ServeConfig,
-    shutdown: AtomicBool,
+/// State shared by the acceptor, sessions, workers and the telemetry
+/// endpoint ([`crate::obs_http`] reads it for `/healthz`).
+pub(crate) struct Shared {
+    pub(crate) engine: Engine,
+    pub(crate) cfg: ServeConfig,
+    pub(crate) shutdown: AtomicBool,
     /// Drain deadline (ns on `cfg.clock`) once shutdown began; 0 = unset.
     drain_by_ns: AtomicU64,
     queue: Mutex<VecDeque<Job>>,
@@ -149,7 +163,7 @@ struct Shared {
     /// EWMA of worker service time in ns (α = 1/8), 0 until the first
     /// request completes.
     ewma_ns: AtomicU64,
-    sessions: AtomicUsize,
+    pub(crate) sessions: AtomicUsize,
 }
 
 impl Shared {
@@ -171,6 +185,11 @@ impl Shared {
         by != 0 && self.cfg.clock.now_ns() >= by
     }
 
+    /// Current queue depth, for `STATS` and `/healthz`.
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queue.lock().expect("queue").len()
+    }
+
     fn observe_service(&self, ns: u64) {
         let prev = self.ewma_ns.load(Ordering::Relaxed);
         let next = if prev == 0 {
@@ -186,8 +205,10 @@ impl Shared {
 /// call `join` (which drains) or keep it for the process lifetime.
 pub struct Server {
     local_addr: SocketAddr,
+    obs_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
+    obs_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     session_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
@@ -196,6 +217,10 @@ impl Server {
     /// Binds, spawns the worker pool and the acceptor, and returns
     /// immediately; the daemon serves until [`Server::begin_shutdown`].
     pub fn start(engine: Engine, cfg: ServeConfig) -> io::Result<Server> {
+        // A daemon is inherently live: arm windowed collection so the
+        // rolling STATS quantiles work even without `--obs-addr`. Batch
+        // binaries never arm it and pay only a relaxed-load branch.
+        halk_obs::window::set_enabled(true);
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -227,10 +252,19 @@ impl Server {
                 .spawn(move || accept_loop(&listener, &shared, &handles))
                 .expect("spawn acceptor")
         };
+        let (obs_addr, obs_thread) = match shared.cfg.obs_addr.clone() {
+            Some(addr) => {
+                let (a, h) = crate::obs_http::spawn(&addr, shared.clone())?;
+                (Some(a), Some(h))
+            }
+            None => (None, None),
+        };
         Ok(Server {
             local_addr,
+            obs_addr,
             shared,
             acceptor: Some(acceptor),
+            obs_thread,
             workers,
             session_handles,
         })
@@ -239,6 +273,12 @@ impl Server {
     /// The bound address (with the OS-assigned port when `addr` had 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The telemetry endpoint's bound address, when `obs_addr` was
+    /// configured (with the OS-assigned port when it had port 0).
+    pub fn obs_addr(&self) -> Option<SocketAddr> {
+        self.obs_addr
     }
 
     /// Starts graceful shutdown: the acceptor stops, queued work drains
@@ -260,6 +300,9 @@ impl Server {
         self.begin_shutdown();
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
+        }
+        if let Some(o) = self.obs_thread.take() {
+            let _ = o.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -283,6 +326,7 @@ fn accept_loop(
                     // Full house: a typed rejection is kinder than an
                     // unexplained RST, and it must not block the acceptor.
                     halk_obs::counter!("halk_serve_overloaded_total").inc();
+                    halk_obs::windowed_counter!("halk_serve_overloaded_total").inc();
                     let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
                     let resp = Response::Error {
                         kind: ErrorKind::Overloaded,
@@ -389,8 +433,7 @@ fn session_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
                         // Counters only — answered inline, never queued, so
                         // stats stay readable under full load.
                         Request::Stats => {
-                            if write_response(&mut stream, &stats_response(&shared.engine)).is_err()
-                            {
+                            if write_response(&mut stream, &stats_response(shared)).is_err() {
                                 break 'session;
                             }
                         }
@@ -431,8 +474,17 @@ fn session_loop(shared: &Arc<Shared>, mut stream: TcpStream) {
 /// plus the memory-diet gauges: resident trig bytes (total, per shard)
 /// at the engine's precision, and how long boot took (`boot_ns` is set by
 /// the CLI around engine construction; 0 when serving embedded).
-fn stats_response(engine: &Engine) -> Response {
+///
+/// `latency_p50_us`/`latency_p99_us` are *rolling* quantiles over the
+/// windowed latency histogram (last ~60 s), not lifetime aggregates —
+/// they recover after a load spike instead of averaging it away.
+fn stats_response(shared: &Shared) -> Response {
+    let engine = &shared.engine;
+    // Rotate stale window slots so a daemon idle since the last request
+    // reports decayed, not frozen, rolling quantiles.
+    halk_obs::window::tick(halk_obs::trace::now_us());
     let batch = halk_obs::histogram!("halk_serve_batch_size");
+    let lat = halk_obs::windowed_histogram!("halk_serve_latency_us").snapshot();
     let mut pairs = vec![
         (
             "requests_total".to_string(),
@@ -442,6 +494,9 @@ fn stats_response(engine: &Engine) -> Response {
             "batched_groups".to_string(),
             halk_obs::counter!("halk_serve_batched_groups_total").get(),
         ),
+        ("latency_p50_us".to_string(), lat.quantile(0.5)),
+        ("latency_p99_us".to_string(), lat.quantile(0.99)),
+        ("queue_depth".to_string(), shared.queue_len() as u64),
         ("batch_size_p50".to_string(), batch.quantile(0.5)),
         ("batch_size_p99".to_string(), batch.quantile(0.99)),
         ("batch_cap".to_string(), engine.max_batch() as u64),
@@ -477,13 +532,22 @@ fn handle_ask(
     sparql: String,
 ) -> io::Result<()> {
     halk_obs::counter!("halk_serve_requests_total").inc();
+    halk_obs::windowed_counter!("halk_serve_requests_total").inc();
+    // Mint the request's trace identity here, at accept: every downstream
+    // span (queue, executor group, shard sweep, slow-query line) carries
+    // this id, so `trace_check --reqids` can stitch the full chain.
+    let req_id = NEXT_REQ_ID.fetch_add(1, Ordering::Relaxed);
+    halk_obs::trace::instant_detail("req_accept", || {
+        format!("req={req_id} top={top} deadline_ms={deadline_ms}")
+    });
     let started = Instant::now();
     let prepared = match shared.engine.prepare(engine, &sparql) {
         Ok(p) => p,
         Err(resp) => {
             write_response(stream, &resp)?;
-            halk_obs::histogram!("halk_serve_latency_us")
-                .record(started.elapsed().as_micros() as u64);
+            let us = started.elapsed().as_micros() as u64;
+            halk_obs::histogram!("halk_serve_latency_us").record(us);
+            halk_obs::windowed_histogram!("halk_serve_latency_us").record(us);
             return Ok(());
         }
     };
@@ -514,13 +578,20 @@ fn handle_ask(
                         top,
                         deadline: deadline.clone(),
                         reply: tx,
+                        req: req_id,
+                        enqueued_ns: shared.cfg.clock.now_ns(),
                     });
-                    halk_obs::gauge!("halk_serve_queue_depth").set(q.len() as f64);
+                    let depth = q.len();
+                    halk_obs::gauge!("halk_serve_queue_depth").set(depth as f64);
+                    halk_obs::trace::instant_detail("req_enqueue", || {
+                        format!("req={req_id} depth={depth}")
+                    });
                     shared.queue_cv.notify_one();
                     Ok(())
                 }
                 Err(why) => {
                     halk_obs::counter!("halk_serve_overloaded_total").inc();
+                    halk_obs::windowed_counter!("halk_serve_overloaded_total").inc();
                     Err(Response::Error {
                         kind: ErrorKind::Overloaded,
                         detail: match why {
@@ -557,7 +628,9 @@ fn handle_ask(
         }
     };
     write_response(stream, &resp)?;
-    halk_obs::histogram!("halk_serve_latency_us").record(started.elapsed().as_micros() as u64);
+    let us = started.elapsed().as_micros() as u64;
+    halk_obs::histogram!("halk_serve_latency_us").record(us);
+    halk_obs::windowed_histogram!("halk_serve_latency_us").record(us);
     Ok(())
 }
 
@@ -620,6 +693,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 });
             } else if job.deadline.expired() {
                 halk_obs::counter!("halk_serve_deadline_shed_total").inc();
+                halk_obs::windowed_counter!("halk_serve_deadline_shed_total").inc();
                 let _ = job.reply.send(Response::Error {
                     kind: ErrorKind::Deadline,
                     detail: "deadline expired while queued".to_string(),
@@ -634,29 +708,39 @@ fn worker_loop(shared: &Arc<Shared>) {
 
         let n = live.len();
         halk_obs::histogram!("halk_serve_batch_size").record(n as u64);
+        halk_obs::windowed_histogram!("halk_serve_batch_size").record(n as u64);
         if n >= 2 {
             halk_obs::counter!("halk_serve_batched_groups_total").inc();
+            halk_obs::windowed_counter!("halk_serve_batched_groups_total").inc();
         }
         let t0 = shared.cfg.clock.now_ns();
+        // Queue wait travels with each item so the slow-query log can tell
+        // "sat in the queue" apart from "slow kernel".
+        let waits: Vec<u64> = live
+            .iter()
+            .map(|j| {
+                let us = t0.saturating_sub(j.enqueued_ns) / 1_000;
+                halk_obs::histogram!("halk_serve_queue_wait_us").record(us);
+                halk_obs::windowed_histogram!("halk_serve_queue_wait_us").record(us);
+                us
+            })
+            .collect();
         let _span = halk_obs::span!("serve_request");
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            if n == 1 {
-                vec![shared.engine.execute_prepared(
-                    &live[0].prepared,
-                    live[0].top,
-                    &live[0].deadline,
-                )]
-            } else {
-                let items: Vec<BatchItem> = live
-                    .iter()
-                    .map(|j| BatchItem {
-                        prepared: &j.prepared,
-                        top: j.top,
-                        deadline: &j.deadline,
-                    })
-                    .collect();
-                shared.engine.execute_batch(&items)
-            }
+            // Singles go through `execute_batch` too: it carries the req id
+            // and queue wait into the executor span and slow-query log.
+            let items: Vec<BatchItem> = live
+                .iter()
+                .zip(&waits)
+                .map(|(j, &queue_wait_us)| BatchItem {
+                    prepared: &j.prepared,
+                    top: j.top,
+                    deadline: &j.deadline,
+                    req: j.req,
+                    queue_wait_us,
+                })
+                .collect();
+            shared.engine.execute_batch(&items)
         }));
         match outcome {
             Ok(resps) => {
@@ -672,6 +756,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                         }
                     ) {
                         halk_obs::counter!("halk_serve_truncated_total").inc();
+                        halk_obs::windowed_counter!("halk_serve_truncated_total").inc();
                     }
                     let _ = job.reply.send(resp);
                 }
@@ -680,6 +765,7 @@ fn worker_loop(shared: &Arc<Shared>) {
                 // The request died; the daemon must not. Panic payload is
                 // already printed by the default hook.
                 halk_obs::counter!("halk_serve_panics_total").inc();
+                halk_obs::windowed_counter!("halk_serve_panics_total").inc();
                 let _ = live[0].reply.send(Response::Error {
                     kind: ErrorKind::Panic,
                     detail: "request panicked; daemon still serving".to_string(),
@@ -688,21 +774,27 @@ fn worker_loop(shared: &Arc<Shared>) {
             Err(_) => {
                 // A batch member panicked the whole group: retry each job
                 // alone under its own catch_unwind so one hostile query
-                // cannot poison its batch-mates' answers.
-                for job in &live {
+                // cannot poison its batch-mates' answers. Retries keep the
+                // original req id — it is the same request, retraced.
+                for (job, &queue_wait_us) in live.iter().zip(&waits) {
                     let t1 = shared.cfg.clock.now_ns();
                     let one = catch_unwind(AssertUnwindSafe(|| {
-                        shared
-                            .engine
-                            .execute_prepared(&job.prepared, job.top, &job.deadline)
+                        shared.engine.execute_batch(&[BatchItem {
+                            prepared: &job.prepared,
+                            top: job.top,
+                            deadline: &job.deadline,
+                            req: job.req,
+                            queue_wait_us,
+                        }])
                     }));
                     let resp = match one {
-                        Ok(r) => {
+                        Ok(mut r) => {
                             shared.observe_service(shared.cfg.clock.now_ns().saturating_sub(t1));
-                            r
+                            r.pop().expect("one item in, one response out")
                         }
                         Err(_) => {
                             halk_obs::counter!("halk_serve_panics_total").inc();
+                            halk_obs::windowed_counter!("halk_serve_panics_total").inc();
                             Response::Error {
                                 kind: ErrorKind::Panic,
                                 detail: "request panicked; daemon still serving".to_string(),

@@ -460,3 +460,81 @@ fn batch_cap_is_configurable_and_surfaced_in_stats() {
     }
     server.join();
 }
+
+#[test]
+fn obs_endpoint_serves_metrics_and_healthz() {
+    fn http_get(addr: &std::net::SocketAddr, path: &str) -> String {
+        use std::io::Read;
+        let mut s = std::net::TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        s.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    let g = small_graph(59);
+    let t = g.triples()[0];
+    let sparql = format!("SELECT ?x WHERE {{ e:{} r:{} ?x . }}", t.h.0, t.r.0);
+    let engine = Engine::new(g, None);
+    let cfg = ServeConfig {
+        obs_addr: Some("127.0.0.1:0".to_string()),
+        ..fast_cfg()
+    };
+    let (server, addr) = start(engine, cfg);
+    let obs = server.obs_addr().expect("obs endpoint must be bound");
+
+    // Traffic first, so the windowed series have something to show.
+    let mut c = Client::connect(&addr).unwrap();
+    for _ in 0..3 {
+        match c.ask(AskEngine::Exact, 5, 0, &sparql).unwrap() {
+            Response::Answers { .. } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    let metrics = http_get(&obs, "/metrics");
+    assert!(metrics.starts_with("HTTP/1.0 200 OK\r\n"));
+    assert!(
+        metrics.contains("halk_serve_requests_total"),
+        "cumulative series must be exposed"
+    );
+    assert!(
+        metrics.contains("halk_serve_latency_us_window_p99"),
+        "windowed quantile series must be exposed:\n{metrics}"
+    );
+
+    let json = http_get(&obs, "/metrics.json");
+    assert!(json.contains("\"cumulative\":{"));
+    assert!(json.contains("\"window_us\":"));
+    assert!(json.contains("\"health\":{"));
+
+    let health = http_get(&obs, "/healthz");
+    assert!(health.contains("\"ok\":true"));
+    assert!(health.contains("\"draining\":false"));
+    assert!(health.contains("\"queue_cap\":64"));
+
+    let missing = http_get(&obs, "/nope");
+    assert!(missing.starts_with("HTTP/1.0 404"));
+
+    // STATS carries the rolling quantiles and queue depth for load_gen.
+    match c.stats().unwrap() {
+        Response::Stats { pairs } => {
+            for key in ["latency_p50_us", "latency_p99_us", "queue_depth"] {
+                assert!(
+                    pairs.iter().any(|(n, _)| n == key),
+                    "STATS must carry {key}: {pairs:?}"
+                );
+            }
+            let p99 = pairs
+                .iter()
+                .find(|(n, _)| n == "latency_p99_us")
+                .map(|&(_, v)| v)
+                .unwrap();
+            assert!(p99 > 0, "three answered requests must leave a rolling p99");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    server.join();
+}
